@@ -1,0 +1,136 @@
+// Command adltool inspects ADL artifacts: it can emit the packaged
+// use-case applications as ADL JSON, validate an ADL file, and answer
+// the containment/partition queries the ORCA service offers at runtime.
+//
+// Usage:
+//
+//	go run ./cmd/adltool emit -app sentiment > sentiment.adl.json
+//	go run ./cmd/adltool validate sentiment.adl.json
+//	go run ./cmd/adltool query sentiment.adl.json -op analysis.causes
+//	go run ./cmd/adltool pemap sentiment.adl.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"streamorca/internal/adl"
+	"streamorca/internal/apps"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "emit":
+		emit(os.Args[2:])
+	case "validate":
+		validate(os.Args[2:])
+	case "query":
+		query(os.Args[2:])
+	case "pemap":
+		pemap(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: adltool emit|validate|query|pemap ...")
+	os.Exit(2)
+}
+
+func emit(args []string) {
+	fs := flag.NewFlagSet("emit", flag.ExitOnError)
+	name := fs.String("app", "sentiment", "sentiment | trend | c1 | c2 | c3")
+	_ = fs.Parse(args)
+	var (
+		app *adl.Application
+		err error
+	)
+	social := apps.SocialConfig{StoreID: "profiles"}
+	switch *name {
+	case "sentiment":
+		app, err = apps.SentimentApp(apps.SentimentConfig{
+			Name: "Sentiment", Collector: "display", ModelID: "model", StoreID: "corpus",
+		})
+	case "trend":
+		app, err = apps.TrendApp(apps.TrendConfig{})
+	case "c1":
+		app, err = apps.C1App("TwitterStreamReader", "twitter", social)
+	case "c2":
+		app, err = apps.C2App("TwitterQuery", social)
+	case "c3":
+		app, err = apps.C3App("AttributeAggregator", social)
+	default:
+		log.Fatalf("unknown app %q", *name)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := app.Marshal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+func load(path string) *adl.Application {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := adl.Unmarshal(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return app
+}
+
+func validate(args []string) {
+	if len(args) < 1 {
+		log.Fatal("validate: need an ADL file")
+	}
+	app := load(args[0])
+	fmt.Printf("%s: valid (%d operators, %d composites, %d connections, %d PEs)\n",
+		app.Name, len(app.Operators), len(app.Composites), len(app.Connects), len(app.PEs))
+}
+
+func query(args []string) {
+	if len(args) < 1 {
+		log.Fatal("query: need an ADL file")
+	}
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	op := fs.String("op", "", "operator instance to inspect")
+	_ = fs.Parse(args[1:])
+	app := load(args[0])
+	if *op == "" {
+		log.Fatal("query: -op required")
+	}
+	o := app.OperatorByName(*op)
+	if o == nil {
+		log.Fatalf("no operator %q in %s", *op, app.Name)
+	}
+	fmt.Printf("operator:   %s (kind %s)\n", o.Name, o.Kind)
+	fmt.Printf("composites: %v (types %v)\n", app.CompositeChain(*op), app.CompositeKindChain(*op))
+	fmt.Printf("partition:  PE %d (fused with %v)\n", app.PEOfOperator(*op), app.OperatorsInPE(app.PEOfOperator(*op)))
+	fmt.Printf("upstream:   %v\n", app.UpstreamOf(*op))
+	fmt.Printf("downstream: %v\n", app.DownstreamOf(*op))
+}
+
+func pemap(args []string) {
+	if len(args) < 1 {
+		log.Fatal("pemap: need an ADL file")
+	}
+	app := load(args[0])
+	for _, pe := range app.PEs {
+		pool := pe.Pool
+		if pool == "" {
+			pool = adl.DefaultPool
+		}
+		fmt.Printf("PE %d (pool %s): %v\n", pe.Index, pool, pe.Operators)
+	}
+}

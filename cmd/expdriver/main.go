@@ -1,0 +1,188 @@
+// Command expdriver regenerates every experiment from the paper's
+// evaluation (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// the recorded results):
+//
+//	e1  Figure 8  — sentiment adaptation to data-distribution change
+//	e2  Figure 9  — replica failover on PE failure
+//	e3  Figure 10 — on-demand dynamic composition
+//	e4  §5 LoC    — policy vs application code sizes
+//	e5  §3        — hot-path overhead of an attached orchestrator
+//	e6  §3        — failure-reaction latency decomposition
+//
+// Usage:
+//
+//	go run ./cmd/expdriver -exp all
+//	go run ./cmd/expdriver -exp e2 -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"streamorca/internal/exp"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment to run: e1|e2|e3|e4|e5|e6|all")
+	outDir := flag.String("out", "", "directory for CSV output (default: stdout only)")
+	root := flag.String("root", ".", "repository root (for the e4 line count)")
+	flag.Parse()
+
+	runs := map[string]func(string) error{
+		"e1": runE1, "e2": runE2, "e3": runE3,
+		"e4": func(string) error { return runE4(*root) },
+		"e5": runE5, "e6": runE6,
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6"}
+	want := strings.Split(*expFlag, ",")
+	if *expFlag == "all" {
+		want = order
+	}
+	for _, name := range want {
+		run, ok := runs[name]
+		if !ok {
+			log.Fatalf("unknown experiment %q (want e1..e6 or all)", name)
+		}
+		fmt.Printf("==== experiment %s ====\n", name)
+		if err := run(*outDir); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println()
+	}
+}
+
+func writeCSV(outDir, name, contents string) error {
+	if outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(outDir, name), []byte(contents), 0o644)
+}
+
+func runE1(outDir string) error {
+	res, err := exp.RunE1(exp.DefaultE1())
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("epoch,unknown_to_known_ratio\n")
+	for _, p := range res.Series {
+		fmt.Fprintf(&b, "%d,%.4f\n", p.Epoch, p.Ratio)
+	}
+	fmt.Print(b.String())
+	fmt.Printf("threshold crossed at epoch %d; batch jobs: %d; model v%d (%v); recovered at epoch %d\n",
+		res.CrossEpoch, res.Triggers, res.ModelVersion, res.FinalCauses, res.RecoverEpoch)
+	return writeCSV(outDir, "e1_figure8.csv", b.String())
+}
+
+func runE2(outDir string) error {
+	cfg := exp.DefaultE2()
+	res, err := exp.RunE2(cfg)
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("elapsed_ms,active_replica,win_r0,win_r1,win_r2,out_r0,out_r1,out_r2\n")
+	for _, s := range res.Series {
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%d,%d,%d\n", s.Elapsed.Milliseconds(), s.Active,
+			s.WindowCounts[0], s.WindowCounts[1], s.WindowCounts[2],
+			s.Outputs[0], s.Outputs[1], s.Outputs[2])
+	}
+	fmt.Print(b.String())
+	fmt.Printf("replica hosts: %v\n", res.Hosts)
+	fmt.Printf("active %d -> %d after kill of replica %d; failover %v; output gap %v; refill %v (window %v)\n",
+		res.ActiveBefore, res.ActiveAfter, res.KilledReplica,
+		res.FailoverLatency, res.OutputGap, res.RefillTime, cfg.Window)
+	return writeCSV(outDir, "e2_figure9.csv", b.String())
+}
+
+func runE3(outDir string) error {
+	res, err := exp.RunE3(exp.DefaultE3())
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("elapsed_ms,running_jobs\n")
+	for _, s := range res.Timeline {
+		fmt.Fprintf(&b, "%d,%d\n", s.Elapsed.Milliseconds(), s.Jobs)
+	}
+	fmt.Print(b.String())
+	fmt.Printf("base=%d max=%d final=%d jobs; C3 submissions %v; cancellations %v; %d profiles stored\n",
+		res.BaseJobs, res.MaxJobs, res.FinalJobs, res.Submissions, res.Cancellations, res.StoreProfiles)
+	return writeCSV(outDir, "e3_figure10.csv", b.String())
+}
+
+// runE4 reports the §5 LoC comparison: each ORCA policy against the
+// application code it manages (the paper: 114 / 196 / 139 C++ lines).
+func runE4(root string) error {
+	count := func(paths ...string) (int, error) {
+		total := 0
+		for _, p := range paths {
+			data, err := os.ReadFile(filepath.Join(root, p))
+			if err != nil {
+				return 0, err
+			}
+			for _, line := range strings.Split(string(data), "\n") {
+				s := strings.TrimSpace(line)
+				if s == "" || strings.HasPrefix(s, "//") {
+					continue
+				}
+				total++
+			}
+		}
+		return total, nil
+	}
+	rows := []struct {
+		useCase string
+		paper   int
+		policy  []string
+	}{
+		{"5.1 sentiment / model recompute", 114, []string{"internal/policies/sentiment.go"}},
+		{"5.2 trend calculator / failover", 196, []string{"internal/policies/failover.go"}},
+		{"5.3 social media / composition", 139, []string{"internal/policies/composition.go"}},
+	}
+	appLoc, err := count("internal/apps/operators.go", "internal/apps/builders.go")
+	if err != nil {
+		return err
+	}
+	fmt.Println("use_case,paper_cpp_loc,our_go_policy_loc")
+	for _, r := range rows {
+		n, err := count(r.policy...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s,%d,%d\n", r.useCase, r.paper, n)
+	}
+	fmt.Printf("shared application code (all three use cases): %d Go lines\n", appLoc)
+	return nil
+}
+
+func runE5(string) error {
+	res, err := exp.RunE5(500_000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tuples: %d\n", res.Tuples)
+	fmt.Printf("baseline:   %.0f tuples/s\n", res.BaselineTPS)
+	fmt.Printf("with orca:  %.0f tuples/s (%d metric events consumed)\n", res.WithOrcaTPS, res.MetricEvents)
+	fmt.Printf("overhead:   %.1f%%\n", res.OverheadPercent)
+	return nil
+}
+
+func runE6(string) error {
+	res, err := exp.RunE6(7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trials: %d (medians)\n", res.Trials)
+	fmt.Printf("platform auto-restart:        %v\n", res.AutoRestart)
+	fmt.Printf("orchestrated restart (no-op): %v\n", res.OrcaRestart)
+	fmt.Printf("orchestrated + %v handler:  %v\n", res.HandlerDelay, res.OrcaSlowHandler)
+	return nil
+}

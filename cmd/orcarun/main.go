@@ -1,0 +1,67 @@
+// Command orcarun runs one of the paper's three use-case scenarios with
+// adjustable scale parameters — a CLI front-end over the same scenario
+// code the examples and experiments use.
+//
+// Usage:
+//
+//	go run ./cmd/orcarun -scenario sentiment -shift 4000
+//	go run ./cmd/orcarun -scenario failover -window 600ms
+//	go run ./cmd/orcarun -scenario composition -threshold 1500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"streamorca/internal/exp"
+)
+
+func main() {
+	scenario := flag.String("scenario", "sentiment", "sentiment | failover | composition")
+	shift := flag.Int64("shift", 4000, "sentiment: tweet index of the cause-distribution shift")
+	threshold := flag.Float64("ratio", 1.0, "sentiment: actuation ratio threshold")
+	window := flag.Duration("window", 600*time.Millisecond, "failover: sliding window duration")
+	tick := flag.Duration("tick", time.Millisecond, "failover: tick period")
+	c3thresh := flag.Int64("threshold", 1500, "composition: new-profile threshold for C3 spawn")
+	maxDur := flag.Duration("max", 30*time.Second, "run time budget")
+	flag.Parse()
+
+	switch *scenario {
+	case "sentiment":
+		cfg := exp.DefaultE1()
+		cfg.ShiftAt = *shift
+		cfg.Threshold = *threshold
+		cfg.MaxDuration = *maxDur
+		res, err := exp.RunE1(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("crossed threshold at epoch %d, triggered %d job(s), model v%d, recovered at epoch %d\n",
+			res.CrossEpoch, res.Triggers, res.ModelVersion, res.RecoverEpoch)
+	case "failover":
+		cfg := exp.DefaultE2()
+		cfg.Window = *window
+		cfg.TickPeriod = *tick
+		cfg.MaxDuration = *maxDur
+		res, err := exp.RunE2(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("active %d -> %d; failover %v; output gap %v; window refill %v\n",
+			res.ActiveBefore, res.ActiveAfter, res.FailoverLatency, res.OutputGap, res.RefillTime)
+	case "composition":
+		cfg := exp.DefaultE3()
+		cfg.Threshold = *c3thresh
+		cfg.MaxDuration = *maxDur
+		res, err := exp.RunE3(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("jobs base=%d max=%d final=%d; C3 submissions %v; cancellations %v\n",
+			res.BaseJobs, res.MaxJobs, res.FinalJobs, res.Submissions, res.Cancellations)
+	default:
+		log.Fatalf("unknown scenario %q", *scenario)
+	}
+}

@@ -1,0 +1,19 @@
+// Package streamorca is a from-scratch Go reproduction of "Building
+// User-defined Runtime Adaptation Routines for Stream Processing
+// Applications" (Jacques-Silva et al., VLDB 2012): a System S–style
+// distributed stream processing platform plus the paper's contribution,
+// the orchestrator (ORCA) — a first-class runtime component that lets
+// developers write application-management policies (failure recovery,
+// model recomputation, dynamic composition) separately from the data
+// processing logic.
+//
+// Public API:
+//
+//   - package streams — build and run streaming applications
+//   - package orca    — write runtime adaptation routines (ORCA logic)
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured record. The root-level benchmarks (bench_test.go)
+// regenerate one measurement per experiment.
+package streamorca

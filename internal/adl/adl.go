@@ -1,0 +1,447 @@
+// Package adl implements the Application Description Language artifact:
+// the compiler-produced description of a streaming application covering
+// both its logical view (operators, composite instance tree, stream
+// connections, exports/imports) and its physical view (PE partitions,
+// host pools, placement constraints). The System S runtime starts jobs
+// from an ADL, and the ORCA service builds its in-memory stream graph
+// representation from the same artifact, as described in §2.1 and §3 of
+// the paper.
+package adl
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"streamorca/internal/tuple"
+)
+
+// Application is a complete ADL document.
+type Application struct {
+	Name       string              `json:"name"`
+	Composites []CompositeInstance `json:"composites,omitempty"`
+	Operators  []Operator          `json:"operators"`
+	Connects   []Connection        `json:"connections,omitempty"`
+	Exports    []Export            `json:"exports,omitempty"`
+	Imports    []Import            `json:"imports,omitempty"`
+	PEs        []PE                `json:"pes"`
+	HostPools  []HostPool          `json:"hostPools,omitempty"`
+}
+
+// CompositeInstance is one instantiation of a composite operator type in
+// the application's instance tree. Parent is the enclosing composite
+// instance name, or "" for top-level instances.
+type CompositeInstance struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	Parent string `json:"parent,omitempty"`
+}
+
+// Operator is one operator instance of the logical graph.
+type Operator struct {
+	Name      string            `json:"name"` // fully qualified instance name
+	Kind      string            `json:"kind"` // operator type, e.g. "Filter"
+	Composite string            `json:"composite,omitempty"`
+	Params    map[string]string `json:"params,omitempty"`
+	Inputs    []Port            `json:"inputs,omitempty"`
+	Outputs   []Port            `json:"outputs,omitempty"`
+}
+
+// Port describes one input or output port and its stream schema.
+type Port struct {
+	Schema []tuple.Attribute `json:"schema"`
+}
+
+// SchemaOf materialises the port's schema object.
+func (p Port) SchemaOf() (*tuple.Schema, error) { return tuple.NewSchema(p.Schema...) }
+
+// Connection is a static stream edge between two operators of the same
+// application.
+type Connection struct {
+	FromOp   string `json:"fromOp"`
+	FromPort int    `json:"fromPort"`
+	ToOp     string `json:"toOp"`
+	ToPort   int    `json:"toPort"`
+}
+
+// Export publishes an operator output port under a stream id and a set of
+// properties, so other jobs can import it at runtime (§2.1).
+type Export struct {
+	Operator   string            `json:"operator"`
+	Port       int               `json:"port"`
+	StreamID   string            `json:"streamId,omitempty"`
+	Properties map[string]string `json:"properties,omitempty"`
+}
+
+// Import subscribes an operator input port to exported streams, either by
+// exact stream id or by requiring a subset of properties.
+type Import struct {
+	Operator   string            `json:"operator"`
+	Port       int               `json:"port"`
+	StreamID   string            `json:"streamId,omitempty"`
+	Properties map[string]string `json:"properties,omitempty"`
+}
+
+// Matches reports whether the import subscription selects the given
+// export: stream ids must match when the import names one; otherwise every
+// import property must be present with the same value on the export.
+func (im Import) Matches(ex Export) bool {
+	if im.StreamID != "" {
+		return im.StreamID == ex.StreamID
+	}
+	if len(im.Properties) == 0 {
+		return false
+	}
+	for k, v := range im.Properties {
+		if ex.Properties[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// PE is one physical partition: the set of operators fused into a single
+// runtime container (operating-system process in System S, goroutine
+// container here).
+type PE struct {
+	Index     int      `json:"index"` // partition index within the application
+	Operators []string `json:"operators"`
+	Pool      string   `json:"pool,omitempty"`      // host pool to place on
+	Colocate  string   `json:"colocate,omitempty"`  // PEs sharing a tag land on the same host
+	IsolatePE bool     `json:"isolatePE,omitempty"` // demand a host with no other PE of this app
+	Restart   bool     `json:"restart,omitempty"`   // platform auto-restart on crash (off by default; the orchestrator decides)
+}
+
+// HostPool names a set of candidate hosts (explicitly, or by tag). An
+// exclusive pool's hosts may not be used by any other application —
+// the ORCA service's MakeExclusiveHostPools actuation rewrites pools to
+// exclusive before submission (§4.3).
+type HostPool struct {
+	Name      string   `json:"name"`
+	Hosts     []string `json:"hosts,omitempty"`
+	Tags      []string `json:"tags,omitempty"`
+	Size      int      `json:"size,omitempty"` // 0 means unbounded
+	Exclusive bool     `json:"exclusive,omitempty"`
+}
+
+// DefaultPool is the pool name used when an application does not declare
+// any host pools: it admits every host in the cluster.
+const DefaultPool = "default"
+
+// Validate checks structural integrity: unique names, resolvable
+// references, schema-compatible connections, and an exact partition of the
+// operators into PEs.
+func (a *Application) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("adl: application has no name")
+	}
+	comps := make(map[string]*CompositeInstance, len(a.Composites))
+	for i := range a.Composites {
+		c := &a.Composites[i]
+		if c.Name == "" || c.Kind == "" {
+			return fmt.Errorf("adl: composite %d has empty name or kind", i)
+		}
+		if _, dup := comps[c.Name]; dup {
+			return fmt.Errorf("adl: duplicate composite instance %q", c.Name)
+		}
+		comps[c.Name] = c
+	}
+	for _, c := range a.Composites {
+		if c.Parent != "" {
+			if _, ok := comps[c.Parent]; !ok {
+				return fmt.Errorf("adl: composite %q has unknown parent %q", c.Name, c.Parent)
+			}
+		}
+	}
+	if err := a.checkCompositeAcyclic(comps); err != nil {
+		return err
+	}
+
+	ops := make(map[string]*Operator, len(a.Operators))
+	for i := range a.Operators {
+		op := &a.Operators[i]
+		if op.Name == "" || op.Kind == "" {
+			return fmt.Errorf("adl: operator %d has empty name or kind", i)
+		}
+		if _, dup := ops[op.Name]; dup {
+			return fmt.Errorf("adl: duplicate operator %q", op.Name)
+		}
+		if op.Composite != "" {
+			if _, ok := comps[op.Composite]; !ok {
+				return fmt.Errorf("adl: operator %q in unknown composite %q", op.Name, op.Composite)
+			}
+		}
+		for pi, p := range append(append([]Port(nil), op.Inputs...), op.Outputs...) {
+			if _, err := p.SchemaOf(); err != nil {
+				return fmt.Errorf("adl: operator %q port %d: %v", op.Name, pi, err)
+			}
+		}
+		ops[op.Name] = op
+	}
+
+	for _, c := range a.Connects {
+		from, ok := ops[c.FromOp]
+		if !ok {
+			return fmt.Errorf("adl: connection from unknown operator %q", c.FromOp)
+		}
+		to, ok := ops[c.ToOp]
+		if !ok {
+			return fmt.Errorf("adl: connection to unknown operator %q", c.ToOp)
+		}
+		if c.FromPort < 0 || c.FromPort >= len(from.Outputs) {
+			return fmt.Errorf("adl: connection from %q port %d out of range", c.FromOp, c.FromPort)
+		}
+		if c.ToPort < 0 || c.ToPort >= len(to.Inputs) {
+			return fmt.Errorf("adl: connection to %q port %d out of range", c.ToOp, c.ToPort)
+		}
+		fs, _ := from.Outputs[c.FromPort].SchemaOf()
+		ts, _ := to.Inputs[c.ToPort].SchemaOf()
+		if !fs.Equal(ts) {
+			return fmt.Errorf("adl: schema mismatch on %s:%d -> %s:%d (%s vs %s)",
+				c.FromOp, c.FromPort, c.ToOp, c.ToPort, fs, ts)
+		}
+	}
+
+	for _, e := range a.Exports {
+		op, ok := ops[e.Operator]
+		if !ok {
+			return fmt.Errorf("adl: export from unknown operator %q", e.Operator)
+		}
+		if e.Port < 0 || e.Port >= len(op.Outputs) {
+			return fmt.Errorf("adl: export port %d of %q out of range", e.Port, e.Operator)
+		}
+		if e.StreamID == "" && len(e.Properties) == 0 {
+			return fmt.Errorf("adl: export from %q has neither stream id nor properties", e.Operator)
+		}
+	}
+	for _, im := range a.Imports {
+		op, ok := ops[im.Operator]
+		if !ok {
+			return fmt.Errorf("adl: import into unknown operator %q", im.Operator)
+		}
+		if im.Port < 0 || im.Port >= len(op.Inputs) {
+			return fmt.Errorf("adl: import port %d of %q out of range", im.Port, im.Operator)
+		}
+		if im.StreamID == "" && len(im.Properties) == 0 {
+			return fmt.Errorf("adl: import into %q has neither stream id nor properties", im.Operator)
+		}
+	}
+
+	pools := make(map[string]bool, len(a.HostPools))
+	for _, hp := range a.HostPools {
+		if hp.Name == "" {
+			return fmt.Errorf("adl: host pool with empty name")
+		}
+		if pools[hp.Name] {
+			return fmt.Errorf("adl: duplicate host pool %q", hp.Name)
+		}
+		pools[hp.Name] = true
+	}
+
+	if len(a.PEs) == 0 && len(a.Operators) > 0 {
+		return fmt.Errorf("adl: application has operators but no PEs")
+	}
+	seen := make(map[string]int, len(ops))
+	for _, pe := range a.PEs {
+		if len(pe.Operators) == 0 {
+			return fmt.Errorf("adl: PE %d contains no operators", pe.Index)
+		}
+		for _, name := range pe.Operators {
+			if _, ok := ops[name]; !ok {
+				return fmt.Errorf("adl: PE %d contains unknown operator %q", pe.Index, name)
+			}
+			if prev, dup := seen[name]; dup {
+				return fmt.Errorf("adl: operator %q assigned to PEs %d and %d", name, prev, pe.Index)
+			}
+			seen[name] = pe.Index
+		}
+		if pe.Pool != "" && !pools[pe.Pool] && pe.Pool != DefaultPool {
+			return fmt.Errorf("adl: PE %d references unknown pool %q", pe.Index, pe.Pool)
+		}
+	}
+	for name := range ops {
+		if _, ok := seen[name]; !ok {
+			return fmt.Errorf("adl: operator %q is not assigned to any PE", name)
+		}
+	}
+	return nil
+}
+
+func (a *Application) checkCompositeAcyclic(comps map[string]*CompositeInstance) error {
+	for name := range comps {
+		slow, fast := name, name
+		for {
+			fast = comps[fast].Parent
+			if fast == "" {
+				break
+			}
+			if _, ok := comps[fast]; !ok {
+				break // dangling parent reported elsewhere
+			}
+			fast = comps[fast].Parent
+			if fast == "" {
+				break
+			}
+			slow = comps[slow].Parent
+			if slow == fast {
+				return fmt.Errorf("adl: composite containment cycle through %q", name)
+			}
+		}
+	}
+	return nil
+}
+
+// OperatorByName returns the named operator, or nil.
+func (a *Application) OperatorByName(name string) *Operator {
+	for i := range a.Operators {
+		if a.Operators[i].Name == name {
+			return &a.Operators[i]
+		}
+	}
+	return nil
+}
+
+// CompositeByName returns the named composite instance, or nil.
+func (a *Application) CompositeByName(name string) *CompositeInstance {
+	for i := range a.Composites {
+		if a.Composites[i].Name == name {
+			return &a.Composites[i]
+		}
+	}
+	return nil
+}
+
+// CompositeChain returns the composite instance names enclosing the
+// operator, innermost first. An operator outside any composite yields nil.
+func (a *Application) CompositeChain(opName string) []string {
+	op := a.OperatorByName(opName)
+	if op == nil || op.Composite == "" {
+		return nil
+	}
+	var chain []string
+	for cur := op.Composite; cur != ""; {
+		c := a.CompositeByName(cur)
+		if c == nil {
+			break
+		}
+		chain = append(chain, c.Name)
+		cur = c.Parent
+	}
+	return chain
+}
+
+// CompositeKindChain returns the composite *types* enclosing the operator,
+// innermost first.
+func (a *Application) CompositeKindChain(opName string) []string {
+	var kinds []string
+	for _, name := range a.CompositeChain(opName) {
+		if c := a.CompositeByName(name); c != nil {
+			kinds = append(kinds, c.Kind)
+		}
+	}
+	return kinds
+}
+
+// InCompositeType reports whether the operator is (transitively) contained
+// in any composite instance of the given type.
+func (a *Application) InCompositeType(opName, kind string) bool {
+	for _, k := range a.CompositeKindChain(opName) {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// PEOfOperator returns the partition index containing the operator, or -1.
+func (a *Application) PEOfOperator(opName string) int {
+	for _, pe := range a.PEs {
+		for _, n := range pe.Operators {
+			if n == opName {
+				return pe.Index
+			}
+		}
+	}
+	return -1
+}
+
+// OperatorsInPE returns the sorted operator names in the given partition.
+func (a *Application) OperatorsInPE(index int) []string {
+	for _, pe := range a.PEs {
+		if pe.Index == index {
+			out := append([]string(nil), pe.Operators...)
+			sort.Strings(out)
+			return out
+		}
+	}
+	return nil
+}
+
+// MakeExclusive marks every host pool exclusive, the ADL rewrite behind
+// the orchestrator's exclusive-host-pool actuation (§4.3). Applications
+// with no declared pools receive a synthetic exclusive pool covering any
+// host.
+func (a *Application) MakeExclusive() {
+	if len(a.HostPools) == 0 {
+		a.HostPools = []HostPool{{Name: DefaultPool, Exclusive: true}}
+		for i := range a.PEs {
+			a.PEs[i].Pool = DefaultPool
+		}
+		return
+	}
+	for i := range a.HostPools {
+		a.HostPools[i].Exclusive = true
+	}
+}
+
+// Clone returns a deep copy, so ADL rewrites (exclusivity, parameters) on
+// one submission do not leak into other submissions of the same artifact.
+func (a *Application) Clone() *Application {
+	data, err := json.Marshal(a)
+	if err != nil {
+		panic(fmt.Sprintf("adl: clone marshal: %v", err)) // all fields are JSON-safe
+	}
+	var out Application
+	if err := json.Unmarshal(data, &out); err != nil {
+		panic(fmt.Sprintf("adl: clone unmarshal: %v", err))
+	}
+	return &out
+}
+
+// Marshal renders the ADL as indented JSON (the XML of the paper's System
+// S, transposed to Go's stdlib).
+func (a *Application) Marshal() ([]byte, error) { return json.MarshalIndent(a, "", "  ") }
+
+// Unmarshal parses and validates an ADL document.
+func Unmarshal(data []byte) (*Application, error) {
+	var a Application
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("adl: parse: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// UpstreamOf returns connections feeding the operator's input ports.
+func (a *Application) UpstreamOf(opName string) []Connection {
+	var out []Connection
+	for _, c := range a.Connects {
+		if c.ToOp == opName {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DownstreamOf returns connections leaving the operator's output ports.
+func (a *Application) DownstreamOf(opName string) []Connection {
+	var out []Connection
+	for _, c := range a.Connects {
+		if c.FromOp == opName {
+			out = append(out, c)
+		}
+	}
+	return out
+}

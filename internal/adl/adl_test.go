@@ -1,0 +1,277 @@
+package adl
+
+import (
+	"strings"
+	"testing"
+
+	"streamorca/internal/tuple"
+)
+
+func intSchema() []tuple.Attribute { return []tuple.Attribute{{Name: "v", Type: tuple.Int}} }
+
+// figure2App builds the paper's Figure 2 application: two sources feeding
+// two instances of a split-and-merge composite (composite1), fused into
+// PEs that cross composite boundaries as in Figure 3.
+func figure2App() *Application {
+	app := &Application{Name: "Figure2"}
+	app.Composites = []CompositeInstance{
+		{Name: "composite1'", Kind: "composite1"},
+		{Name: "composite1''", Kind: "composite1"},
+	}
+	addOp := func(name, kind, comp string, nin, nout int) {
+		op := Operator{Name: name, Kind: kind, Composite: comp}
+		for i := 0; i < nin; i++ {
+			op.Inputs = append(op.Inputs, Port{Schema: intSchema()})
+		}
+		for i := 0; i < nout; i++ {
+			op.Outputs = append(op.Outputs, Port{Schema: intSchema()})
+		}
+		app.Operators = append(app.Operators, op)
+	}
+	addOp("op1", "Beacon", "", 0, 1)
+	addOp("op2", "Beacon", "", 0, 1)
+	for _, suffix := range []string{"'", "''"} {
+		comp := "composite1" + suffix
+		addOp("op3"+suffix, "Split", comp, 1, 2)
+		addOp("op4"+suffix, "Functor", comp, 1, 1)
+		addOp("op5"+suffix, "Functor", comp, 1, 1)
+		addOp("op6"+suffix, "Merge", comp, 2, 1)
+	}
+	addOp("op7", "Sink", "", 1, 0)
+	addOp("op8", "Sink", "", 1, 0)
+	connect := func(f string, fp int, t string, tp int) {
+		app.Connects = append(app.Connects, Connection{FromOp: f, FromPort: fp, ToOp: t, ToPort: tp})
+	}
+	connect("op1", 0, "op3'", 0)
+	connect("op2", 0, "op3''", 0)
+	for _, s := range []string{"'", "''"} {
+		connect("op3"+s, 0, "op4"+s, 0)
+		connect("op3"+s, 1, "op5"+s, 0)
+		connect("op4"+s, 0, "op6"+s, 0)
+		connect("op5"+s, 0, "op6"+s, 1)
+	}
+	connect("op6'", 0, "op7", 0)
+	connect("op6''", 0, "op8", 0)
+	app.PEs = []PE{
+		{Index: 0, Operators: []string{"op1", "op2", "op3'", "op3''"}},
+		{Index: 1, Operators: []string{"op4'", "op5'", "op6'", "op4''", "op5''", "op6''"}},
+		{Index: 2, Operators: []string{"op7", "op8"}},
+	}
+	return app
+}
+
+func TestFigure2Validates(t *testing.T) {
+	if err := figure2App().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Application)
+		want   string
+	}{
+		{"empty app name", func(a *Application) { a.Name = "" }, "no name"},
+		{"duplicate operator", func(a *Application) { a.Operators = append(a.Operators, a.Operators[0]) }, "duplicate operator"},
+		{"unknown composite", func(a *Application) { a.Operators[2].Composite = "ghost" }, "unknown composite"},
+		{"duplicate composite", func(a *Application) { a.Composites = append(a.Composites, a.Composites[0]) }, "duplicate composite"},
+		{"unknown parent", func(a *Application) { a.Composites[0].Parent = "ghost" }, "unknown parent"},
+		{"conn from unknown", func(a *Application) { a.Connects[0].FromOp = "ghost" }, "unknown operator"},
+		{"conn to unknown", func(a *Application) { a.Connects[0].ToOp = "ghost" }, "unknown operator"},
+		{"conn port range", func(a *Application) { a.Connects[0].FromPort = 5 }, "out of range"},
+		{"pe unknown op", func(a *Application) { a.PEs[0].Operators[0] = "ghost" }, "unknown operator"},
+		{"op in two pes", func(a *Application) { a.PEs[1].Operators = append(a.PEs[1].Operators, "op1") }, "assigned to PEs"},
+		{"op in no pe", func(a *Application) { a.PEs[2].Operators = []string{"op7"} }, "not assigned"},
+		{"empty pe", func(a *Application) { a.PEs[2].Operators = nil }, "no operators"},
+		{"bad pool ref", func(a *Application) { a.PEs[0].Pool = "ghost" }, "unknown pool"},
+		{"dup pool", func(a *Application) {
+			a.HostPools = []HostPool{{Name: "p"}, {Name: "p"}}
+		}, "duplicate host pool"},
+		{"export unknown op", func(a *Application) {
+			a.Exports = []Export{{Operator: "ghost", StreamID: "s"}}
+		}, "unknown operator"},
+		{"export no id", func(a *Application) {
+			a.Exports = []Export{{Operator: "op6'", Port: 0}}
+		}, "neither stream id"},
+		{"import bad port", func(a *Application) {
+			a.Imports = []Import{{Operator: "op7", Port: 3, StreamID: "s"}}
+		}, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			app := figure2App()
+			tc.mutate(app)
+			err := app.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateSchemaMismatch(t *testing.T) {
+	app := figure2App()
+	app.Operators[2].Inputs[0].Schema = []tuple.Attribute{{Name: "other", Type: tuple.String}}
+	err := app.Validate()
+	if err == nil || !strings.Contains(err.Error(), "schema mismatch") {
+		t.Fatalf("Validate() = %v, want schema mismatch", err)
+	}
+}
+
+func TestValidateCompositeCycle(t *testing.T) {
+	app := figure2App()
+	app.Composites[0].Parent = "composite1''"
+	app.Composites[1].Parent = "composite1'"
+	err := app.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("Validate() = %v, want containment cycle", err)
+	}
+}
+
+func TestCompositeChains(t *testing.T) {
+	app := figure2App()
+	// Nest composite1' inside a new outer composite to exercise chains.
+	app.Composites = append(app.Composites, CompositeInstance{Name: "outer", Kind: "outerKind"})
+	app.Composites[0].Parent = "outer"
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	chain := app.CompositeChain("op4'")
+	if len(chain) != 2 || chain[0] != "composite1'" || chain[1] != "outer" {
+		t.Fatalf("CompositeChain(op4') = %v", chain)
+	}
+	kinds := app.CompositeKindChain("op4'")
+	if len(kinds) != 2 || kinds[0] != "composite1" || kinds[1] != "outerKind" {
+		t.Fatalf("CompositeKindChain(op4') = %v", kinds)
+	}
+	if !app.InCompositeType("op4'", "outerKind") {
+		t.Fatal("op4' not reported inside outerKind")
+	}
+	if app.InCompositeType("op1", "composite1") {
+		t.Fatal("op1 reported inside composite1")
+	}
+	if app.CompositeChain("op1") != nil {
+		t.Fatal("top-level operator has a composite chain")
+	}
+}
+
+func TestPEQueries(t *testing.T) {
+	app := figure2App()
+	if pe := app.PEOfOperator("op4''"); pe != 1 {
+		t.Fatalf("PEOfOperator(op4'') = %d", pe)
+	}
+	if pe := app.PEOfOperator("ghost"); pe != -1 {
+		t.Fatalf("PEOfOperator(ghost) = %d", pe)
+	}
+	ops := app.OperatorsInPE(0)
+	if len(ops) != 4 || ops[0] != "op1" {
+		t.Fatalf("OperatorsInPE(0) = %v", ops)
+	}
+	if app.OperatorsInPE(99) != nil {
+		t.Fatal("OperatorsInPE(99) non-nil")
+	}
+}
+
+func TestUpstreamDownstream(t *testing.T) {
+	app := figure2App()
+	up := app.UpstreamOf("op6'")
+	if len(up) != 2 {
+		t.Fatalf("UpstreamOf(op6') = %v", up)
+	}
+	down := app.DownstreamOf("op3'")
+	if len(down) != 2 {
+		t.Fatalf("DownstreamOf(op3') = %v", down)
+	}
+}
+
+func TestImportMatches(t *testing.T) {
+	ex := Export{StreamID: "trades", Properties: map[string]string{"kind": "stock", "venue": "nyse"}}
+	cases := []struct {
+		im   Import
+		want bool
+	}{
+		{Import{StreamID: "trades"}, true},
+		{Import{StreamID: "quotes"}, false},
+		{Import{Properties: map[string]string{"kind": "stock"}}, true},
+		{Import{Properties: map[string]string{"kind": "stock", "venue": "nyse"}}, true},
+		{Import{Properties: map[string]string{"kind": "fx"}}, false},
+		{Import{Properties: map[string]string{"kind": "stock", "extra": "x"}}, false},
+		{Import{}, false},
+	}
+	for i, tc := range cases {
+		if got := tc.im.Matches(ex); got != tc.want {
+			t.Fatalf("case %d: Matches = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestMakeExclusive(t *testing.T) {
+	app := figure2App()
+	app.MakeExclusive()
+	if len(app.HostPools) != 1 || !app.HostPools[0].Exclusive || app.HostPools[0].Name != DefaultPool {
+		t.Fatalf("MakeExclusive with no pools: %+v", app.HostPools)
+	}
+	for _, pe := range app.PEs {
+		if pe.Pool != DefaultPool {
+			t.Fatalf("PE %d pool = %q", pe.Index, pe.Pool)
+		}
+	}
+	app2 := figure2App()
+	app2.HostPools = []HostPool{{Name: "a"}, {Name: "b", Exclusive: true}}
+	app2.MakeExclusive()
+	for _, p := range app2.HostPools {
+		if !p.Exclusive {
+			t.Fatalf("pool %q not exclusive", p.Name)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	app := figure2App()
+	app.HostPools = []HostPool{{Name: "p", Hosts: []string{"h1"}}}
+	app.PEs[0].Pool = "p"
+	cl := app.Clone()
+	cl.HostPools[0].Hosts[0] = "h2"
+	cl.Operators[0].Name = "renamed"
+	cl.PEs[0].Operators[0] = "renamed"
+	if app.HostPools[0].Hosts[0] != "h1" || app.Operators[0].Name != "op1" {
+		t.Fatal("Clone shares storage with original")
+	}
+	if err := app.Validate(); err != nil {
+		t.Fatalf("original corrupted by clone mutation: %v", err)
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	app := figure2App()
+	app.Exports = []Export{{Operator: "op6'", Port: 0, StreamID: "merged", Properties: map[string]string{"k": "v"}}}
+	app.Imports = []Import{{Operator: "op7", Port: 0, StreamID: "merged"}}
+	data, err := app.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != app.Name || len(got.Operators) != len(app.Operators) ||
+		len(got.Connects) != len(app.Connects) || len(got.PEs) != len(app.PEs) {
+		t.Fatal("round trip lost structure")
+	}
+	if got.PEOfOperator("op5''") != app.PEOfOperator("op5''") {
+		t.Fatal("round trip changed partitioning")
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	if _, err := Unmarshal([]byte(`{"name":""}`)); err == nil {
+		t.Fatal("Unmarshal accepted invalid ADL")
+	}
+	if _, err := Unmarshal([]byte(`not json`)); err == nil {
+		t.Fatal("Unmarshal accepted garbage")
+	}
+}

@@ -1,0 +1,220 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"streamorca/internal/extjob"
+	"streamorca/internal/ids"
+	"streamorca/internal/ops"
+	"streamorca/internal/platform"
+	"streamorca/internal/sam"
+)
+
+func newInst(t *testing.T) *platform.Instance {
+	t.Helper()
+	inst, err := platform.NewInstance(platform.Options{
+		Hosts:           []platform.HostSpec{{Name: "h1"}, {Name: "h2"}, {Name: "h3"}},
+		MetricsInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Close)
+	return inst
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestProfileStoreDedup(t *testing.T) {
+	s := NewProfileStore()
+	if !s.Add(ProfileRecord{User: "u1", HasAge: true}) {
+		t.Fatal("first add not new")
+	}
+	if s.Add(ProfileRecord{User: "u1"}) {
+		t.Fatal("duplicate add reported new")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	snap := s.Snapshot()
+	if len(snap) != 1 || snap[0].User != "u1" || !snap[0].HasAge {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestGetProfileStoreShared(t *testing.T) {
+	a := GetProfileStore("apps-test-shared")
+	b := GetProfileStore("apps-test-shared")
+	if a != b {
+		t.Fatal("registry returned distinct stores")
+	}
+}
+
+func TestSentimentAppEndToEnd(t *testing.T) {
+	inst := newInst(t)
+	extjob.SetModel("sa-model", extjob.NewModel("flash", "screen"))
+	ops.ResetCollector("sa-coll")
+	app, err := SentimentApp(SentimentConfig{
+		Name: "SA", Collector: "sa-coll", ModelID: "sa-model", StoreID: "sa-store",
+		Product: "iPhone", Seed: 1, Count: 500, Causes: "flash,screen",
+		RecentWindow: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.OperatorByName(MatcherOp) == nil {
+		t.Fatalf("matcher operator %q missing", MatcherOp)
+	}
+	if !app.InCompositeType(MatcherOp, "SentimentAnalysis") {
+		t.Fatal("matcher not inside the analysis composite")
+	}
+	job, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pipeline completion", func() bool { return ops.Collector("sa-coll").Finals() == 1 })
+	// All causes were known: the display stream carries known=true rows,
+	// the corpus collected negative tweets, the metrics counted them.
+	coll := ops.Collector("sa-coll")
+	if coll.Len() == 0 {
+		t.Fatal("no cause-matched output")
+	}
+	for _, tp := range coll.Tuples() {
+		if !tp.Bool("known") {
+			t.Fatalf("unexpected unknown cause: %s", tp.Format())
+		}
+	}
+	if extjob.GetStore("sa-store").Len() != coll.Len() {
+		t.Fatalf("corpus %d != matched %d", extjob.GetStore("sa-store").Len(), coll.Len())
+	}
+	inst.FlushMetrics()
+	var known, unknown int64
+	for _, m := range inst.SRM.Query([]ids.JobID{job}) {
+		if m.Operator == MatcherOp && m.Custom {
+			switch m.Name {
+			case "totalKnownCauses":
+				known = m.Value
+			case "totalUnknownCauses":
+				unknown = m.Value
+			}
+		}
+	}
+	if known == 0 || unknown != 0 {
+		t.Fatalf("metrics known=%d unknown=%d", known, unknown)
+	}
+}
+
+func TestTrendAppProducesWindowStats(t *testing.T) {
+	inst := newInst(t)
+	ops.ResetCollector("ta-coll")
+	app, err := TrendApp(TrendConfig{
+		Name: "TA", Symbols: "IBM,HPQ", Seed: 2, Count: 400,
+		Period: 0, Window: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.PEs) != 3 {
+		t.Fatalf("TrendApp PEs = %d", len(app.PEs))
+	}
+	if _, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{
+		Params: map[string]string{"collector": "ta-coll"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "trend output", func() bool { return ops.Collector("ta-coll").Finals() == 1 })
+	coll := ops.Collector("ta-coll")
+	if coll.Len() != 400 {
+		t.Fatalf("outputs = %d", coll.Len())
+	}
+	last, _ := coll.Last()
+	if last.Float("min") > last.Float("avg") || last.Float("avg") > last.Float("max") {
+		t.Fatalf("stats inconsistent: %s", last.Format())
+	}
+	if last.Float("bbUpper") < last.Float("avg") || last.Float("bbLower") > last.Float("avg") {
+		t.Fatalf("bollinger inconsistent: %s", last.Format())
+	}
+	if last.Int("count") != 200 { // two symbols round-robin over 400 ticks
+		t.Fatalf("window count = %d", last.Int("count"))
+	}
+}
+
+func TestSocialAppsComposeViaImportExport(t *testing.T) {
+	inst := newInst(t)
+	storeID := "social-test-store"
+	GetProfileStore(storeID).Reset()
+	cfg := SocialConfig{StoreID: storeID, Seed: 3, Period: 100 * time.Microsecond}
+	c1, err := C1App("C1T", "twitter", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := C2App("C2Q", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.SAM.SubmitJob(c1, sam.SubmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.SAM.SubmitJob(c2, sam.SubmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "profiles in store", func() bool { return GetProfileStore(storeID).Len() > 100 })
+
+	// C3 snapshots the store and finishes with a final punctuation.
+	ops.ResetCollector("social-seg")
+	c3, err := C3App("C3A", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.SAM.SubmitJob(c3, sam.SubmitOptions{
+		Params: map[string]string{"attribute": "age", "collector": "social-seg"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "segmentation done", func() bool { return ops.Collector("social-seg").Finals() == 1 })
+	rows := ops.Collector("social-seg").Tuples()
+	if len(rows) != 2 {
+		t.Fatalf("segment rows = %d", len(rows))
+	}
+	var total int64
+	for _, r := range rows {
+		if r.String("attribute") != "age" {
+			t.Fatalf("row attribute %q", r.String("attribute"))
+		}
+		total += r.Int("count")
+	}
+	if total == 0 {
+		t.Fatal("segmentation counted nothing")
+	}
+}
+
+func TestC3AppRejectsBadAttribute(t *testing.T) {
+	inst := newInst(t)
+	cfg := SocialConfig{StoreID: "social-bad", Period: time.Millisecond}
+	c3, err := C3App("C3Bad", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing attribute parameter: the operator fails to open and the
+	// submission rolls back.
+	if _, err := inst.SAM.SubmitJob(c3, sam.SubmitOptions{
+		Params: map[string]string{"collector": "x"},
+	}); err == nil {
+		t.Fatal("submission with unresolved attribute succeeded")
+	}
+}

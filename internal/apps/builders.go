@@ -1,0 +1,184 @@
+package apps
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"streamorca/internal/adl"
+	"streamorca/internal/compiler"
+	"streamorca/internal/ops"
+)
+
+// SentimentConfig parameterises the §5.1 sentiment-analysis application.
+type SentimentConfig struct {
+	Name         string
+	Collector    string // CollectSink collection id
+	ModelID      string // shared cause model
+	StoreID      string // shared negative-tweet corpus
+	Product      string
+	Seed         int64
+	Count        int64 // tweets to emit; 0 = unbounded
+	Period       time.Duration
+	Causes       string // csv cause vocabulary before the shift
+	ShiftAt      int64  // tweet index where the cause mix changes
+	CausesAfter  string // csv vocabulary after the shift
+	RecentWindow int64
+}
+
+// SentimentApp builds the Figure 1 pipeline without the embedded
+// adaptation operators (the orchestrator owns adaptation instead): tweet
+// source → product filter → sentiment classifier → cause matcher → sink,
+// with the analysis stages grouped in a composite.
+func SentimentApp(cfg SentimentConfig) (*adl.Application, error) {
+	if cfg.Name == "" {
+		cfg.Name = "Sentiment"
+	}
+	if cfg.Product == "" {
+		cfg.Product = "iPhone"
+	}
+	b := compiler.NewApp(cfg.Name)
+	src := b.AddOperator("tweets", KindTweetSource).Out(TweetSchema).
+		Param("product", cfg.Product).
+		Param("seed", strconv.FormatInt(cfg.Seed, 10)).
+		Param("count", strconv.FormatInt(cfg.Count, 10)).
+		Param("period", cfg.Period.String()).
+		Param("causes", cfg.Causes).
+		Param("shiftAt", strconv.FormatInt(cfg.ShiftAt, 10)).
+		Param("causesAfter", cfg.CausesAfter)
+	filt := b.AddOperator("productFilter", ops.KindFilter).In(TweetSchema).Out(TweetSchema).
+		Param("attr", "product").Param("op", "eq").Param("value", cfg.Product)
+	var classify, match *compiler.OpHandle
+	b.Composite("SentimentAnalysis", "analysis", func() {
+		classify = b.AddOperator("classify", KindSentiment).In(TweetSchema).Out(TweetSchema).Colocate("analysis")
+		match = b.AddOperator("causes", KindCauseMatcher).In(TweetSchema).Out(CauseSchema).
+			Param("modelId", cfg.ModelID).
+			Param("storeId", cfg.StoreID).
+			Param("recentWindow", strconv.FormatInt(cfg.RecentWindow, 10)).
+			Colocate("analysis")
+	})
+	sink := b.AddOperator("display", ops.KindCollectSink).In(CauseSchema).
+		Param("collectorId", cfg.Collector).Param("limit", "1000")
+	b.Connect(src, 0, filt, 0)
+	b.Connect(filt, 0, classify, 0)
+	b.Connect(classify, 0, match, 0)
+	b.Connect(match, 0, sink, 0)
+	return b.Build(compiler.Options{Fusion: compiler.FuseByTag})
+}
+
+// MatcherOp is the fully qualified instance name of the sentiment
+// application's cause-matcher operator.
+const MatcherOp = "analysis.causes"
+
+// TrendConfig parameterises the §5.2 Trend Calculator application.
+type TrendConfig struct {
+	Name    string
+	Symbols string // csv
+	Seed    int64
+	Count   int64 // ticks to emit; 0 = unbounded
+	Period  time.Duration
+	Window  time.Duration // sliding window (paper: 600 s)
+}
+
+// TrendApp builds the Trend Calculator: tick source → windowed financial
+// aggregation (min/max/avg/Bollinger) → display sink. The collector id is
+// a submission-time parameter ("collector"), so each replica writes to
+// its own collection. Every PE is separate (FuseNone) so that killing the
+// aggregation PE loses exactly the sliding-window state, and the single
+// host pool has size 1 so exclusive-pool rewriting puts each replica on
+// its own host (§5.2).
+func TrendApp(cfg TrendConfig) (*adl.Application, error) {
+	if cfg.Name == "" {
+		cfg.Name = "TrendCalculator"
+	}
+	if cfg.Symbols == "" {
+		cfg.Symbols = "IBM"
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 600 * time.Second
+	}
+	b := compiler.NewApp(cfg.Name)
+	b.HostPool(adl.HostPool{Name: "replicaPool", Size: 1})
+	src := b.AddOperator("ticks", KindTickSource).Out(TickSchema).
+		Param("symbols", cfg.Symbols).
+		Param("seed", strconv.FormatInt(cfg.Seed, 10)).
+		Param("count", strconv.FormatInt(cfg.Count, 10)).
+		Param("period", cfg.Period.String()).
+		Pool("replicaPool")
+	agg := b.AddOperator("trend", ops.KindAggregate).In(TickSchema).Out(TrendSchema).
+		Param("window", cfg.Window.String()).
+		Param("groupBy", "sym").
+		Param("valueAttr", "price").
+		Pool("replicaPool")
+	sink := b.AddOperator("display", ops.KindCollectSink).In(TrendSchema).
+		Param("collectorId", "{{collector}}").Param("limit", "100000").
+		Pool("replicaPool")
+	b.Connect(src, 0, agg, 0)
+	b.Connect(agg, 0, sink, 0)
+	return b.Build(compiler.Options{Fusion: compiler.FuseNone})
+}
+
+// TrendAggregateOp is the instance name of the Trend Calculator's
+// windowed aggregation operator (the stateful one whose PE the failure
+// experiment kills).
+const TrendAggregateOp = "trend"
+
+// SocialConfig parameterises the §5.3 social-media application set.
+type SocialConfig struct {
+	StoreID string // shared profile data store
+	Seed    int64
+	Period  time.Duration // per-profile emission period of C1 readers
+}
+
+// C1App builds a category-1 reader application: a profile source
+// exporting its stream under properties {kind: profiles, source: <name>}.
+func C1App(name, source string, cfg SocialConfig) (*adl.Application, error) {
+	b := compiler.NewApp(name)
+	src := b.AddOperator("reader", KindProfileSource).Out(ProfileSchema).
+		Param("source", source).
+		Param("seed", strconv.FormatInt(cfg.Seed, 10)).
+		Param("period", cfg.Period.String()).
+		Param("count", "0")
+	b.Export(src, 0, "", map[string]string{"kind": "profiles", "source": source})
+	return b.Build(compiler.Options{Fusion: compiler.FuseAll})
+}
+
+// C2App builds a category-2 query application: it imports every exported
+// profile stream and enriches profiles into the shared data store while
+// maintaining the per-attribute custom metrics.
+func C2App(name string, cfg SocialConfig) (*adl.Application, error) {
+	b := compiler.NewApp(name)
+	enrich := b.AddOperator("enricher", KindProfileEnrich).In(ProfileSchema).
+		Param("storeId", cfg.StoreID)
+	b.Import(enrich, 0, "", map[string]string{"kind": "profiles"})
+	return b.Build(compiler.Options{Fusion: compiler.FuseAll})
+}
+
+// C3App builds the category-3 segmentation application
+// (AttributeAggregator): it reads the shared data store, correlates
+// sentiment with the attribute given at submission time, emits its
+// results, and finishes — its sink's final punctuation drives automatic
+// cancellation.
+func C3App(name string, cfg SocialConfig) (*adl.Application, error) {
+	b := compiler.NewApp(name)
+	src := b.AddOperator("segment", KindSegmentSource).Out(SegmentSchema).
+		Param("storeId", cfg.StoreID).
+		Param("attribute", "{{attribute}}")
+	sink := b.AddOperator("results", ops.KindCollectSink).In(SegmentSchema).
+		Param("collectorId", "{{collector}}")
+	b.Connect(src, 0, sink, 0)
+	return b.Build(compiler.Options{Fusion: compiler.FuseAll})
+}
+
+// C3SinkOp is the instance name of the C3 result sink whose input port's
+// final-punctuation metric the composition policy watches.
+const C3SinkOp = "results"
+
+// Itoa is a tiny convenience for building submission parameter maps.
+func Itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+// ReplicaCollector names the collection a Trend Calculator replica writes
+// to.
+func ReplicaCollector(app string, replica int) string {
+	return fmt.Sprintf("%s-replica-%d", app, replica)
+}

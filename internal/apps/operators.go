@@ -1,0 +1,436 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"streamorca/internal/extjob"
+	"streamorca/internal/opapi"
+	"streamorca/internal/tuple"
+	"streamorca/internal/workload"
+)
+
+// Application-specific operator kinds registered by this package.
+const (
+	KindTweetSource   = "TweetSource"
+	KindSentiment     = "SentimentClassifier"
+	KindCauseMatcher  = "CauseMatcher"
+	KindTickSource    = "TickSource"
+	KindProfileSource = "ProfileSource"
+	KindProfileEnrich = "ProfileEnricher"
+	KindSegmentSource = "SegmentSource"
+)
+
+func init() {
+	opapi.Default.Register(KindTweetSource, func() opapi.Operator { return &tweetSource{} })
+	opapi.Default.Register(KindSentiment, func() opapi.Operator { return &sentimentClassifier{} })
+	opapi.Default.Register(KindCauseMatcher, func() opapi.Operator { return &causeMatcher{} })
+	opapi.Default.Register(KindTickSource, func() opapi.Operator { return &tickSource{} })
+	opapi.Default.Register(KindProfileSource, func() opapi.Operator { return &profileSource{} })
+	opapi.Default.Register(KindProfileEnrich, func() opapi.Operator { return &profileEnricher{} })
+	opapi.Default.Register(KindSegmentSource, func() opapi.Operator { return &segmentSource{} })
+}
+
+// Stream schemas of the use-case applications.
+var (
+	// TweetSchema carries raw tweets.
+	TweetSchema = tuple.MustSchema(
+		tuple.Attribute{Name: "user", Type: tuple.String},
+		tuple.Attribute{Name: "text", Type: tuple.String},
+		tuple.Attribute{Name: "product", Type: tuple.String},
+		tuple.Attribute{Name: "negative", Type: tuple.Bool},
+	)
+	// CauseSchema carries cause-matched negative tweets.
+	CauseSchema = tuple.MustSchema(
+		tuple.Attribute{Name: "user", Type: tuple.String},
+		tuple.Attribute{Name: "cause", Type: tuple.String},
+		tuple.Attribute{Name: "known", Type: tuple.Bool},
+	)
+	// TickSchema carries stock trades.
+	TickSchema = tuple.MustSchema(
+		tuple.Attribute{Name: "sym", Type: tuple.String},
+		tuple.Attribute{Name: "price", Type: tuple.Float},
+		tuple.Attribute{Name: "seq", Type: tuple.Int},
+	)
+	// TrendSchema carries windowed financial aggregates (§5.2).
+	TrendSchema = tuple.MustSchema(
+		tuple.Attribute{Name: "sym", Type: tuple.String},
+		tuple.Attribute{Name: "min", Type: tuple.Float},
+		tuple.Attribute{Name: "max", Type: tuple.Float},
+		tuple.Attribute{Name: "avg", Type: tuple.Float},
+		tuple.Attribute{Name: "bbUpper", Type: tuple.Float},
+		tuple.Attribute{Name: "bbLower", Type: tuple.Float},
+		tuple.Attribute{Name: "count", Type: tuple.Int},
+	)
+	// ProfileSchema carries social-media profiles.
+	ProfileSchema = tuple.MustSchema(
+		tuple.Attribute{Name: "user", Type: tuple.String},
+		tuple.Attribute{Name: "source", Type: tuple.String},
+		tuple.Attribute{Name: "negative", Type: tuple.Bool},
+		tuple.Attribute{Name: "hasAge", Type: tuple.Bool},
+		tuple.Attribute{Name: "hasGen", Type: tuple.Bool},
+		tuple.Attribute{Name: "hasLoc", Type: tuple.Bool},
+	)
+	// SegmentSchema carries C3 correlation results.
+	SegmentSchema = tuple.MustSchema(
+		tuple.Attribute{Name: "attribute", Type: tuple.String},
+		tuple.Attribute{Name: "group", Type: tuple.String},
+		tuple.Attribute{Name: "count", Type: tuple.Int},
+	)
+)
+
+// tweetSource emits synthetic tweets from workload.TweetGen.
+//
+// Parameters: product, seed, count (0 = unbounded), period, negRatio,
+// causes (csv), shiftAt, causesAfter (csv).
+type tweetSource struct {
+	opapi.Base
+	ctx opapi.Context
+	gen *workload.TweetGen
+}
+
+func (s *tweetSource) Open(ctx opapi.Context) error {
+	s.ctx = ctx
+	p := ctx.Params()
+	cfg := workload.TweetConfig{
+		Seed:          p.Int("seed", 1),
+		Product:       p.Get("product", "phone"),
+		NegativeRatio: p.Float("negRatio", 0.8),
+		ShiftAt:       int(p.Int("shiftAt", 0)),
+	}
+	if v := p.Get("causes", ""); v != "" {
+		cfg.Causes = strings.Split(v, ",")
+	}
+	if v := p.Get("causesAfter", ""); v != "" {
+		cfg.CausesAfter = strings.Split(v, ",")
+	}
+	s.gen = workload.NewTweetGen(cfg)
+	return nil
+}
+
+func (s *tweetSource) Run(stop <-chan struct{}) error {
+	p := s.ctx.Params()
+	count := p.Int("count", 0)
+	period := p.Duration("period", 0)
+	schema := s.ctx.OutputSchema(0)
+	for i := int64(0); count == 0 || i < count; i++ {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		tw := s.gen.Next()
+		t := tuple.Build(schema).
+			Str("user", tw.User).Str("text", tw.Text).
+			Str("product", tw.Product).Bool("negative", tw.Negative).Done()
+		if err := s.ctx.Submit(0, t); err != nil {
+			return err
+		}
+		if !opapi.Sleep(s.ctx.Clock(), period, stop) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// sentimentClassifier derives sentiment from the tweet text (rather than
+// trusting the generator's flag), passing classified tweets through.
+type sentimentClassifier struct {
+	opapi.Base
+	ctx opapi.Context
+}
+
+func (c *sentimentClassifier) Open(ctx opapi.Context) error { c.ctx = ctx; return nil }
+
+func (c *sentimentClassifier) Process(port int, t tuple.Tuple) error {
+	out := t.Clone()
+	if err := out.SetBool("negative", strings.Contains(t.String("text"), "hate")); err != nil {
+		return err
+	}
+	c.ctx.CustomMetric("nTweetsClassified").Inc()
+	return c.ctx.Submit(0, out)
+}
+
+// causeMatcher correlates negative tweets with the known-cause model
+// (§5.1). It maintains the two cumulative custom metrics the paper
+// describes (totalKnownCauses, totalUnknownCauses) plus sliding-window
+// gauges (recentKnownCauses, recentUnknownCauses) over the last
+// recentWindow negative tweets, which give Figure 8 its post-adaptation
+// drop. Negative tweet texts are appended to the batch corpus for later
+// model recomputation.
+//
+// Parameters: modelId, storeId, recentWindow (default 200).
+type causeMatcher struct {
+	opapi.Base
+	ctx    opapi.Context
+	model  *extjob.Model
+	store  *extjob.Store
+	window int
+	recent []bool // true = known
+	nKnown int
+}
+
+func (m *causeMatcher) Open(ctx opapi.Context) error {
+	m.ctx = ctx
+	p := ctx.Params()
+	modelID := p.Get("modelId", "")
+	storeID := p.Get("storeId", "")
+	if modelID == "" || storeID == "" {
+		return fmt.Errorf("CauseMatcher %s: modelId and storeId required", ctx.Name())
+	}
+	m.model = extjob.GetModel(modelID)
+	m.store = extjob.GetStore(storeID)
+	m.window = int(p.Int("recentWindow", 200))
+	if m.window <= 0 {
+		m.window = 200
+	}
+	return nil
+}
+
+func (m *causeMatcher) Process(port int, t tuple.Tuple) error {
+	if !t.Bool("negative") {
+		return nil
+	}
+	text := t.String("text")
+	m.store.Append(text)
+	cause := extjob.ExtractCause(text)
+	known := cause != "" && m.model.Contains(cause)
+	if known {
+		m.ctx.CustomMetric("totalKnownCauses").Inc()
+	} else {
+		m.ctx.CustomMetric("totalUnknownCauses").Inc()
+	}
+	m.recent = append(m.recent, known)
+	if known {
+		m.nKnown++
+	}
+	if len(m.recent) > m.window {
+		if m.recent[0] {
+			m.nKnown--
+		}
+		m.recent = m.recent[1:]
+	}
+	m.ctx.CustomMetric("recentKnownCauses").Set(int64(m.nKnown))
+	m.ctx.CustomMetric("recentUnknownCauses").Set(int64(len(m.recent) - m.nKnown))
+
+	out := tuple.Build(m.ctx.OutputSchema(0)).
+		Str("user", t.String("user")).Str("cause", cause).Bool("known", known).Done()
+	return m.ctx.Submit(0, out)
+}
+
+// tickSource emits synthetic stock trades from workload.TickGen.
+//
+// Parameters: symbols (csv), seed, count (0 = unbounded), period, start,
+// step.
+type tickSource struct {
+	opapi.Base
+	ctx opapi.Context
+	gen *workload.TickGen
+}
+
+func (s *tickSource) Open(ctx opapi.Context) error {
+	s.ctx = ctx
+	p := ctx.Params()
+	cfg := workload.TickConfig{
+		Seed:  p.Int("seed", 1),
+		Start: p.Float("start", 100),
+		Step:  p.Float("step", 1),
+	}
+	if v := p.Get("symbols", ""); v != "" {
+		cfg.Symbols = strings.Split(v, ",")
+	}
+	s.gen = workload.NewTickGen(cfg)
+	return nil
+}
+
+func (s *tickSource) Run(stop <-chan struct{}) error {
+	p := s.ctx.Params()
+	count := p.Int("count", 0)
+	period := p.Duration("period", 0)
+	schema := s.ctx.OutputSchema(0)
+	for i := int64(0); count == 0 || i < count; i++ {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		tk := s.gen.Next()
+		t := tuple.Build(schema).
+			Str("sym", tk.Symbol).Float("price", tk.Price).Int("seq", tk.Seq).Done()
+		if err := s.ctx.Submit(0, t); err != nil {
+			return err
+		}
+		if !opapi.Sleep(s.ctx.Clock(), period, stop) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// profileSource emits synthetic social-media profiles (a C1 reader
+// application's extraction stage, §5.3).
+//
+// Parameters: source, seed, count (0 = unbounded), period, pAge, pGen,
+// pLoc.
+type profileSource struct {
+	opapi.Base
+	ctx opapi.Context
+	gen *workload.ProfileGen
+}
+
+func (s *profileSource) Open(ctx opapi.Context) error {
+	s.ctx = ctx
+	p := ctx.Params()
+	s.gen = workload.NewProfileGen(workload.ProfileConfig{
+		Seed:      p.Int("seed", 1),
+		Source:    p.Get("source", "twitter"),
+		PAge:      p.Float("pAge", 0.5),
+		PGender:   p.Float("pGen", 0.5),
+		PLocation: p.Float("pLoc", 0.5),
+	})
+	return nil
+}
+
+func (s *profileSource) Run(stop <-chan struct{}) error {
+	p := s.ctx.Params()
+	count := p.Int("count", 0)
+	period := p.Duration("period", 0)
+	schema := s.ctx.OutputSchema(0)
+	for i := int64(0); count == 0 || i < count; i++ {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		pr := s.gen.Next()
+		t := tuple.Build(schema).
+			Str("user", pr.User).Str("source", pr.Source).Bool("negative", pr.Negative).
+			Bool("hasAge", pr.HasAge).Bool("hasGen", pr.HasGen).Bool("hasLoc", pr.HasLoc).Done()
+		if err := s.ctx.Submit(0, t); err != nil {
+			return err
+		}
+		if !opapi.Sleep(s.ctx.Clock(), period, stop) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// profileEnricher is a C2 application's integration stage: it enriches
+// profiles into the shared data store (deduplicating by user) and
+// maintains the per-attribute custom metrics the composition policy
+// subscribes to (profilesWithAge / profilesWithGender /
+// profilesWithLocation, §5.3).
+//
+// Parameters: storeId (required).
+type profileEnricher struct {
+	opapi.Base
+	ctx   opapi.Context
+	store *ProfileStore
+}
+
+func (e *profileEnricher) Open(ctx opapi.Context) error {
+	e.ctx = ctx
+	id := ctx.Params().Get("storeId", "")
+	if id == "" {
+		return fmt.Errorf("ProfileEnricher %s: storeId required", ctx.Name())
+	}
+	e.store = GetProfileStore(id)
+	return nil
+}
+
+func (e *profileEnricher) Process(port int, t tuple.Tuple) error {
+	rec := ProfileRecord{
+		User:     t.String("user"),
+		Negative: t.Bool("negative"),
+		HasAge:   t.Bool("hasAge"),
+		HasGen:   t.Bool("hasGen"),
+		HasLoc:   t.Bool("hasLoc"),
+	}
+	// The aggregate counts include duplicates across C2 applications,
+	// as the paper notes; only the data store is deduplicated.
+	if rec.HasAge {
+		e.ctx.CustomMetric("profilesWithAge").Inc()
+	}
+	if rec.HasGen {
+		e.ctx.CustomMetric("profilesWithGender").Inc()
+	}
+	if rec.HasLoc {
+		e.ctx.CustomMetric("profilesWithLocation").Inc()
+	}
+	e.store.Add(rec)
+	return nil
+}
+
+// segmentSource is a C3 application's reader: it snapshots the profile
+// data store, correlates sentiment with one profile attribute, emits the
+// segment counts, and finishes — producing the final punctuation whose
+// sink port metric triggers the orchestrator's cancellation (§5.3).
+//
+// Parameters: storeId, attribute (age | gender | location).
+type segmentSource struct {
+	opapi.Base
+	ctx   opapi.Context
+	store *ProfileStore
+	attr  string
+}
+
+func (s *segmentSource) Open(ctx opapi.Context) error {
+	s.ctx = ctx
+	p := ctx.Params()
+	id := p.Get("storeId", "")
+	s.attr = p.Get("attribute", "")
+	if id == "" {
+		return fmt.Errorf("SegmentSource %s: storeId required", ctx.Name())
+	}
+	switch s.attr {
+	case "age", "gender", "location":
+	default:
+		return fmt.Errorf("SegmentSource %s: attribute must be age|gender|location, got %q", ctx.Name(), s.attr)
+	}
+	s.store = GetProfileStore(id)
+	return nil
+}
+
+func (s *segmentSource) Run(stop <-chan struct{}) error {
+	has := func(p ProfileRecord) bool {
+		switch s.attr {
+		case "age":
+			return p.HasAge
+		case "gender":
+			return p.HasGen
+		case "location":
+			return p.HasLoc
+		default:
+			return false
+		}
+	}
+	var withNeg, withPos int64
+	for _, p := range s.store.Snapshot() {
+		if !has(p) {
+			continue
+		}
+		if p.Negative {
+			withNeg++
+		} else {
+			withPos++
+		}
+	}
+	schema := s.ctx.OutputSchema(0)
+	for _, row := range []struct {
+		group string
+		count int64
+	}{{"negative", withNeg}, {"positive", withPos}} {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		t := tuple.Build(schema).
+			Str("attribute", s.attr).Str("group", row.group).Int("count", row.count).Done()
+		if err := s.ctx.Submit(0, t); err != nil {
+			return err
+		}
+	}
+	return nil // exhausts: final punctuation follows
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"streamorca/internal/adl"
+	"streamorca/internal/compiler"
+	"streamorca/internal/graph"
+	"streamorca/internal/ids"
+	"streamorca/internal/sam"
+)
+
+// This file implements the actuation and inspection APIs the ORCA logic
+// invokes from its event handlers (§3, §4.2, §4.3). The service acts as a
+// proxy for job submission and control commands; it refuses to act on
+// jobs it did not start (ErrUnmanagedJob).
+
+// SubmitApplication submits a registered application directly (outside
+// the dependency manager), returning the new job id. A job-submitted
+// event is delivered if a matching JobEventScope is registered.
+func (s *Service) SubmitApplication(appName string, params map[string]string) (ids.JobID, error) {
+	return s.submitInternal(appName, params, "")
+}
+
+func (s *Service) submitInternal(appName string, params map[string]string, configID string) (ids.JobID, error) {
+	s.mu.Lock()
+	app, ok := s.apps[appName]
+	s.mu.Unlock()
+	if !ok {
+		return ids.InvalidJob, fmt.Errorf("core: application %q is not registered with orchestrator %q", appName, s.cfg.Name)
+	}
+	job, err := s.cfg.SAM.SubmitJob(app, sam.SubmitOptions{Params: params, Owner: s.cfg.Name})
+	s.recordActuation("SubmitApplication", appName, err)
+	if err != nil {
+		return ids.InvalidJob, err
+	}
+	jobADL, ok1 := s.cfg.SAM.JobADL(job)
+	peIDs, hosts, ok2 := s.cfg.SAM.PEPlacement(job)
+	if !ok1 || !ok2 {
+		_ = s.cfg.SAM.CancelJob(job)
+		return ids.InvalidJob, fmt.Errorf("core: job %s vanished during submission", job)
+	}
+	g, err := graph.Build(jobADL, job, peIDs, hosts)
+	if err != nil {
+		_ = s.cfg.SAM.CancelJob(job)
+		return ids.InvalidJob, fmt.Errorf("core: graph for %s: %w", appName, err)
+	}
+	s.mu.Lock()
+	s.graphs[job] = g
+	s.managed[job] = appName
+	s.mu.Unlock()
+	s.enqueue(&eventData{
+		kind: KindJobSubmitted, job: job, app: appName,
+		ctx: &JobContext{Job: job, App: appName, ConfigID: configID, At: s.clock.Now()},
+	})
+	return job, nil
+}
+
+// CancelJob cancels a managed job. Cancelling a job the orchestrator did
+// not start returns ErrUnmanagedJob.
+func (s *Service) CancelJob(job ids.JobID) error {
+	return s.cancelInternal(job, "")
+}
+
+func (s *Service) cancelInternal(job ids.JobID, configID string) error {
+	s.mu.Lock()
+	appName, ok := s.managed[job]
+	s.mu.Unlock()
+	if !ok {
+		s.recordActuation("CancelJob", job.String(), ErrUnmanagedJob)
+		return ErrUnmanagedJob
+	}
+	err := s.cfg.SAM.CancelJob(job)
+	s.recordActuation("CancelJob", job.String(), err)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.managed, job)
+	delete(s.graphs, job)
+	s.mu.Unlock()
+	if configID == "" {
+		// A direct cancellation may still concern a dependency-managed
+		// job; keep the dependency manager's view consistent.
+		configID = s.deps.noteJobCancelled(job)
+	}
+	s.enqueue(&eventData{
+		kind: KindJobCancelled, job: job, app: appName,
+		ctx: &JobContext{Job: job, App: appName, ConfigID: configID, At: s.clock.Now()},
+	})
+	return nil
+}
+
+// RestartPE restarts a PE of a managed job (the failover actuation of
+// §5.2) and updates the stream graph's physical view.
+func (s *Service) RestartPE(pe ids.PEID) error {
+	job, ok := s.jobOfPE(pe)
+	if !ok {
+		s.recordActuation("RestartPE", pe.String(), ErrUnmanagedJob)
+		return ErrUnmanagedJob
+	}
+	err := s.cfg.SAM.RestartPE(pe)
+	s.recordActuation("RestartPE", pe.String(), err)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if g, ok := s.graphs[job]; ok {
+		g.SetPEState(pe, "running")
+		if _, hosts, ok := s.cfg.SAM.PEPlacement(job); ok {
+			if info, found := g.PE(pe); found {
+				g.SetPEHost(pe, hosts[info.Index])
+			}
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// StopPE stops a PE of a managed job without restarting it.
+func (s *Service) StopPE(pe ids.PEID) error {
+	job, ok := s.jobOfPE(pe)
+	if !ok {
+		s.recordActuation("StopPE", pe.String(), ErrUnmanagedJob)
+		return ErrUnmanagedJob
+	}
+	err := s.cfg.SAM.StopPE(pe)
+	s.recordActuation("StopPE", pe.String(), err)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if g, ok := s.graphs[job]; ok {
+		g.SetPEState(pe, "stopped")
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// KillPE injects a crash into a managed job's PE (fault injection for
+// tests and experiments).
+func (s *Service) KillPE(pe ids.PEID, reason string) error {
+	if _, ok := s.jobOfPE(pe); !ok {
+		s.recordActuation("KillPE", pe.String(), ErrUnmanagedJob)
+		return ErrUnmanagedJob
+	}
+	err := s.cfg.SAM.KillPE(pe, reason)
+	s.recordActuation("KillPE", pe.String(), err)
+	return err
+}
+
+// ControlOperator sends a control command to an operator of a managed
+// job.
+func (s *Service) ControlOperator(job ids.JobID, opName, cmd string, args map[string]string) error {
+	s.mu.Lock()
+	_, ok := s.managed[job]
+	s.mu.Unlock()
+	if !ok {
+		s.recordActuation("ControlOperator", opName, ErrUnmanagedJob)
+		return ErrUnmanagedJob
+	}
+	err := s.cfg.SAM.ControlOperator(job, opName, cmd, args)
+	s.recordActuation("ControlOperator", opName, err)
+	return err
+}
+
+// MakeExclusiveHostPools rewrites the registered application's host pools
+// to exclusive, so its future submissions run on hosts no other
+// application can use (§4.3). It must be called before submission; jobs
+// already running are unaffected.
+func (s *Service) MakeExclusiveHostPools(appName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	app, ok := s.apps[appName]
+	if !ok {
+		err := fmt.Errorf("core: application %q is not registered", appName)
+		s.journal.record(s.currentTx.Load(), "MakeExclusiveHostPools", appName, err, s.clock.Now())
+		return err
+	}
+	app.MakeExclusive()
+	s.journal.record(s.currentTx.Load(), "MakeExclusiveHostPools", appName, nil, s.clock.Now())
+	return nil
+}
+
+// RepartitionApplication recompiles the registered application's PE
+// partitioning with the given fusion options — the §4.3 extension the
+// paper describes (annotate and recompile) but does not implement. Like
+// MakeExclusiveHostPools, it rewrites the registered artifact and only
+// affects future submissions.
+func (s *Service) RepartitionApplication(appName string, opts compiler.Options) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	app, ok := s.apps[appName]
+	if !ok {
+		err := fmt.Errorf("core: application %q is not registered", appName)
+		s.journal.record(s.currentTx.Load(), "RepartitionApplication", appName, err, s.clock.Now())
+		return err
+	}
+	rewritten, err := compiler.Repartition(app, opts)
+	s.journal.record(s.currentTx.Load(), "RepartitionApplication", appName, err, s.clock.Now())
+	if err != nil {
+		return err
+	}
+	s.apps[appName] = rewritten
+	return nil
+}
+
+// RegisteredApplication returns a copy of the registered (possibly
+// rewritten) ADL.
+func (s *Service) RegisteredApplication(appName string) (*adl.Application, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	app, ok := s.apps[appName]
+	if !ok {
+		return nil, false
+	}
+	return app.Clone(), true
+}
+
+// Graph returns the stream graph representation of a managed job (§4.2's
+// inspection entry point).
+func (s *Service) Graph(job ids.JobID) (*graph.Graph, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.graphs[job]
+	return g, ok
+}
+
+// ManagedJobs lists the jobs this orchestrator started, ordered by id.
+func (s *Service) ManagedJobs() []JobSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobSummary, 0, len(s.managed))
+	for job, app := range s.managed {
+		out = append(out, JobSummary{Job: job, App: app})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Job < out[j].Job })
+	return out
+}
+
+// JobsOfApp lists the managed jobs running a given application (replicas
+// of the same application are distinct jobs, §5.2).
+func (s *Service) JobsOfApp(appName string) []ids.JobID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ids.JobID
+	for job, app := range s.managed {
+		if app == appName {
+			out = append(out, job)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OperatorsInPE answers "which stream operators reside in PE x?" across
+// all managed jobs (§4.2).
+func (s *Service) OperatorsInPE(pe ids.PEID) []graph.OperatorInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, g := range s.graphs {
+		if ops := g.OperatorsInPE(pe); ops != nil {
+			return ops
+		}
+	}
+	return nil
+}
+
+// CompositesInPE answers "which composites reside in PE x?".
+func (s *Service) CompositesInPE(pe ids.PEID) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, g := range s.graphs {
+		if _, ok := g.PE(pe); ok {
+			return g.CompositesInPE(pe)
+		}
+	}
+	return nil
+}
+
+// EnclosingComposite answers "what is the enclosing composite operator
+// instance name for operator y?" within a managed job.
+func (s *Service) EnclosingComposite(job ids.JobID, opName string) (string, bool) {
+	s.mu.Lock()
+	g, ok := s.graphs[job]
+	s.mu.Unlock()
+	if !ok {
+		return "", false
+	}
+	return g.EnclosingComposite(opName)
+}
+
+// PEOfOperator answers "what is the PE id for operator instance y?".
+func (s *Service) PEOfOperator(job ids.JobID, opName string) (ids.PEID, bool) {
+	s.mu.Lock()
+	g, ok := s.graphs[job]
+	s.mu.Unlock()
+	if !ok {
+		return ids.InvalidPE, false
+	}
+	return g.PEOfOperator(opName)
+}
+
+// HostOfPE returns the host a managed PE runs on.
+func (s *Service) HostOfPE(pe ids.PEID) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, g := range s.graphs {
+		if h, ok := g.HostOfPE(pe); ok {
+			return h, true
+		}
+	}
+	return "", false
+}
+
+func (s *Service) jobOfPE(pe ids.PEID) (ids.JobID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for job, g := range s.graphs {
+		if _, ok := g.PE(pe); ok {
+			return job, true
+		}
+	}
+	return ids.InvalidJob, false
+}

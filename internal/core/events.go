@@ -1,0 +1,289 @@
+// Package core implements the paper's contribution: the orchestrator.
+//
+// An orchestrator has two halves (§3). The ORCA logic is user code — a
+// type implementing Orchestrator — that registers event scopes and reacts
+// to delivered events by invoking actuation APIs. The ORCA service is the
+// runtime half: it maintains an in-memory stream graph for every managed
+// application, pulls metrics from SRM on a configurable interval, receives
+// failure notifications pushed by SAM, matches everything against the
+// registered subscopes, and delivers events one at a time with a context
+// rich enough to disambiguate the logical and physical views of the
+// application. The service also manages application sets with dependency
+// relations (§4.4): automatic submission with uptime requirements,
+// starvation-safe cancellation, and garbage collection of unused jobs.
+package core
+
+import (
+	"time"
+
+	"streamorca/internal/ids"
+	"streamorca/internal/metrics"
+)
+
+// EventKind enumerates the event types the ORCA service can deliver.
+type EventKind int
+
+// Event kinds (§4.1: service-generated events — start, job submission,
+// job cancellation, timer — plus events sourced from the platform:
+// metrics, failures, and user events raised through the command tool).
+const (
+	KindOrcaStart EventKind = iota + 1
+	KindOperatorMetric
+	KindPEMetric
+	KindPortMetric
+	KindPEFailure
+	KindHostFailure
+	KindJobSubmitted
+	KindJobCancelled
+	KindTimer
+	KindUserEvent
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case KindOrcaStart:
+		return "orcaStart"
+	case KindOperatorMetric:
+		return "operatorMetric"
+	case KindPEMetric:
+		return "peMetric"
+	case KindPortMetric:
+		return "portMetric"
+	case KindPEFailure:
+		return "peFailure"
+	case KindHostFailure:
+		return "hostFailure"
+	case KindJobSubmitted:
+		return "jobSubmitted"
+	case KindJobCancelled:
+		return "jobCancelled"
+	case KindTimer:
+		return "timer"
+	case KindUserEvent:
+		return "userEvent"
+	default:
+		return "unknown"
+	}
+}
+
+// OrcaStartContext accompanies the start notification — the only event
+// that is always in scope (§4.1).
+type OrcaStartContext struct {
+	// Name is the orchestrator's registered name.
+	Name string
+	// At is the service start time.
+	At time.Time
+	// TxID is the event's delivery transaction id — a per-service,
+	// monotonically increasing sequence assigned at delivery (§7's
+	// reliable-delivery extension). Actuations invoked from the handler
+	// are journalled under this id.
+	TxID uint64
+}
+
+// OperatorMetricContext describes one operator metric observation. Epoch
+// is the logical clock shared by all metrics of one SRM pull round
+// (§4.2), letting handlers decide whether two metrics were measured
+// together.
+type OperatorMetricContext struct {
+	Job          ids.JobID
+	App          string
+	InstanceName string // fully qualified operator instance name
+	OperatorKind string
+	PE           ids.PEID
+	Metric       string
+	Custom       bool
+	Value        int64
+	Epoch        uint64
+	At           time.Time
+	// TxID is the event's delivery transaction id — a per-service,
+	// monotonically increasing sequence assigned at delivery (§7's
+	// reliable-delivery extension). Actuations invoked from the handler
+	// are journalled under this id.
+	TxID uint64
+}
+
+// PEMetricContext describes one PE-scoped metric observation.
+type PEMetricContext struct {
+	Job    ids.JobID
+	App    string
+	PE     ids.PEID
+	Metric string
+	Value  int64
+	Epoch  uint64
+	At     time.Time
+	// TxID is the event's delivery transaction id — a per-service,
+	// monotonically increasing sequence assigned at delivery (§7's
+	// reliable-delivery extension). Actuations invoked from the handler
+	// are journalled under this id.
+	TxID uint64
+}
+
+// PortMetricContext describes one operator-port metric observation.
+type PortMetricContext struct {
+	Job          ids.JobID
+	App          string
+	InstanceName string
+	OperatorKind string
+	PE           ids.PEID
+	Port         int
+	Dir          metrics.Direction
+	Metric       string
+	Value        int64
+	Epoch        uint64
+	At           time.Time
+	// TxID is the event's delivery transaction id — a per-service,
+	// monotonically increasing sequence assigned at delivery (§7's
+	// reliable-delivery extension). Actuations invoked from the handler
+	// are journalled under this id.
+	TxID uint64
+}
+
+// PEFailureContext describes a PE crash pushed from SAM. All failures
+// sharing a cause and detection timestamp (e.g. one host failure killing
+// several PEs) carry the same Epoch (§4.2).
+type PEFailureContext struct {
+	PE        ids.PEID
+	Job       ids.JobID
+	App       string
+	Host      string
+	Reason    string
+	Operators []string // fused operators resident in the failed PE
+	Epoch     uint64
+	At        time.Time
+	// TxID is the event's delivery transaction id — a per-service,
+	// monotonically increasing sequence assigned at delivery (§7's
+	// reliable-delivery extension). Actuations invoked from the handler
+	// are journalled under this id.
+	TxID uint64
+}
+
+// HostFailureContext describes a detected host failure. Its Epoch matches
+// the epoch of the PE failure events the same incident produced.
+type HostFailureContext struct {
+	Host  string
+	Epoch uint64
+	At    time.Time
+	// TxID is the event's delivery transaction id — a per-service,
+	// monotonically increasing sequence assigned at delivery (§7's
+	// reliable-delivery extension). Actuations invoked from the handler
+	// are journalled under this id.
+	TxID uint64
+}
+
+// JobContext accompanies job submission and cancellation events. ConfigID
+// names the application configuration (§4.4) when the job was managed by
+// the dependency manager; it is empty for direct submissions.
+type JobContext struct {
+	Job      ids.JobID
+	App      string
+	ConfigID string
+	At       time.Time
+	// TxID is the event's delivery transaction id — a per-service,
+	// monotonically increasing sequence assigned at delivery (§7's
+	// reliable-delivery extension). Actuations invoked from the handler
+	// are journalled under this id.
+	TxID uint64
+}
+
+// TimerContext accompanies timer-expiration events.
+type TimerContext struct {
+	Name string
+	At   time.Time
+	// TxID is the event's delivery transaction id — a per-service,
+	// monotonically increasing sequence assigned at delivery (§7's
+	// reliable-delivery extension). Actuations invoked from the handler
+	// are journalled under this id.
+	TxID uint64
+}
+
+// UserEventContext accompanies user-generated events raised through the
+// command interface (§4.1).
+type UserEventContext struct {
+	Name    string
+	Payload map[string]string
+	At      time.Time
+	// TxID is the event's delivery transaction id — a per-service,
+	// monotonically increasing sequence assigned at delivery (§7's
+	// reliable-delivery extension). Actuations invoked from the handler
+	// are journalled under this id.
+	TxID uint64
+}
+
+// Orchestrator is the interface ORCA logic implements (the Go analogue of
+// inheriting the paper's Orchestrator C++ class). Embed Base to only
+// specialise the handlers of interest. The service serialises handler
+// invocations: at most one handler runs at a time, and events arriving
+// meanwhile queue in arrival order (§4.2).
+//
+// The scopes argument carries the keys of every registered subscope the
+// event matched, so one handler can serve multiple registrations.
+type Orchestrator interface {
+	HandleOrcaStart(svc *Service, ctx *OrcaStartContext)
+	HandleOperatorMetric(svc *Service, ctx *OperatorMetricContext, scopes []string)
+	HandlePEMetric(svc *Service, ctx *PEMetricContext, scopes []string)
+	HandlePortMetric(svc *Service, ctx *PortMetricContext, scopes []string)
+	HandlePEFailure(svc *Service, ctx *PEFailureContext, scopes []string)
+	HandleHostFailure(svc *Service, ctx *HostFailureContext, scopes []string)
+	HandleJobSubmitted(svc *Service, ctx *JobContext, scopes []string)
+	HandleJobCancelled(svc *Service, ctx *JobContext, scopes []string)
+	HandleTimer(svc *Service, ctx *TimerContext, scopes []string)
+	HandleUserEvent(svc *Service, ctx *UserEventContext, scopes []string)
+}
+
+// Base provides no-op defaults for every handler.
+type Base struct{}
+
+// HandleOrcaStart implements Orchestrator.
+func (Base) HandleOrcaStart(*Service, *OrcaStartContext) {}
+
+// HandleOperatorMetric implements Orchestrator.
+func (Base) HandleOperatorMetric(*Service, *OperatorMetricContext, []string) {}
+
+// HandlePEMetric implements Orchestrator.
+func (Base) HandlePEMetric(*Service, *PEMetricContext, []string) {}
+
+// HandlePortMetric implements Orchestrator.
+func (Base) HandlePortMetric(*Service, *PortMetricContext, []string) {}
+
+// HandlePEFailure implements Orchestrator.
+func (Base) HandlePEFailure(*Service, *PEFailureContext, []string) {}
+
+// HandleHostFailure implements Orchestrator.
+func (Base) HandleHostFailure(*Service, *HostFailureContext, []string) {}
+
+// HandleJobSubmitted implements Orchestrator.
+func (Base) HandleJobSubmitted(*Service, *JobContext, []string) {}
+
+// HandleJobCancelled implements Orchestrator.
+func (Base) HandleJobCancelled(*Service, *JobContext, []string) {}
+
+// HandleTimer implements Orchestrator.
+func (Base) HandleTimer(*Service, *TimerContext, []string) {}
+
+// HandleUserEvent implements Orchestrator.
+func (Base) HandleUserEvent(*Service, *UserEventContext, []string) {}
+
+// eventData is the neutral representation the scope matcher operates on;
+// ctx holds the typed context delivered to the handler.
+type eventData struct {
+	kind         EventKind
+	job          ids.JobID
+	app          string
+	operator     string
+	operatorKind string
+	pe           ids.PEID
+	host         string
+	port         int
+	dir          metrics.Direction
+	metric       string
+	custom       bool
+	name         string // timer or user event name
+	ctx          any
+}
+
+// delivered is one queued event with the subscope keys it matched.
+type delivered struct {
+	data   *eventData
+	scopes []string
+}

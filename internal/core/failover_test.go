@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"streamorca/internal/adl"
+	"streamorca/internal/compiler"
+	"streamorca/internal/ids"
+	"streamorca/internal/ops"
+)
+
+// TestHostFailureRestartRelocatesPE: when a PE's host dies, RestartPE
+// re-places the PE onto a surviving host of the pool and the stream graph
+// reflects the new placement.
+func TestHostFailureRestartRelocatesPE(t *testing.T) {
+	h := newHarness(t, "h1", "h2")
+	ops.ResetCollector("rel")
+	app := simpleApp(t, "Rel", "rel", "0")
+	// Pin both PEs to h1 initially via an explicit pool listing both
+	// hosts but ordered so h1 wins the first placements.
+	app.HostPools = []adl.HostPool{{Name: "pool", Hosts: []string{"h1", "h2"}}}
+	for i := range app.PEs {
+		app.PEs[i].Pool = "pool"
+	}
+	if err := h.svc.RegisterApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	h.rec.onStart = func(svc *Service) {
+		_ = svc.RegisterEventScope(NewPEFailureScope("pf").AddApplicationFilter("Rel"))
+		_ = svc.RegisterEventScope(NewHostFailureScope("hf"))
+	}
+	h.start(t)
+	job, err := h.svc.SubmitApplication("Rel", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "flow", func() bool { return ops.Collector("rel").Len() > 2 })
+	g, _ := h.svc.Graph(job)
+
+	// Find a PE on h1 (placement spreads, so at least one is there).
+	var victim ids.PEID
+	var victimHost string
+	for _, pe := range g.PEIDs() {
+		host, _ := g.HostOfPE(pe)
+		if host == "h1" {
+			victim, victimHost = pe, host
+			break
+		}
+	}
+	if victim == ids.InvalidPE {
+		t.Fatalf("no PE on h1; placement: %v", g.PEIDs())
+	}
+	_ = victimHost
+
+	if err := h.inst.Cluster.KillHost("h1"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "failure events", func() bool { return h.rec.countKind(KindPEFailure) >= 1 })
+
+	// Restart: must land on h2, the only surviving host.
+	if err := h.svc.RestartPE(victim); err != nil {
+		t.Fatal(err)
+	}
+	host, ok := g.HostOfPE(victim)
+	if !ok || host != "h2" {
+		t.Fatalf("relocated host = %q, %v", host, ok)
+	}
+	info, _ := g.PE(victim)
+	if info.State != "running" {
+		t.Fatalf("state = %q", info.State)
+	}
+	// Traffic resumes once every crashed PE is restarted.
+	for _, pe := range g.PEIDs() {
+		if inf, _ := g.PE(pe); inf.State == "crashed" {
+			if err := h.svc.RestartPE(pe); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	n := ops.Collector("rel").Len()
+	waitFor(t, "flow after relocation", func() bool { return ops.Collector("rel").Len() > n })
+}
+
+// TestRestartUnderTraffic hammers restart while tuples flow to catch
+// wiring races: the pipeline must keep making progress after each of
+// several rapid restarts of the middle PE.
+func TestRestartUnderTraffic(t *testing.T) {
+	h := newHarness(t)
+	ops.ResetCollector("rut")
+	app := pipelineApp(t, "RUT", "rut")
+	if err := h.svc.RegisterApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	h.start(t)
+	job, err := h.svc.SubmitApplication("RUT", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := h.svc.Graph(job)
+	midPE, ok := g.PEOfOperator("mid")
+	if !ok {
+		t.Fatal("no mid PE")
+	}
+	waitFor(t, "initial flow", func() bool { return ops.Collector("rut").Len() > 5 })
+	for i := 0; i < 5; i++ {
+		if err := h.svc.KillPE(midPE, "stress"); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, "crash observed", func() bool {
+			info, _ := g.PE(midPE)
+			return info.State == "crashed"
+		})
+		if err := h.svc.RestartPE(midPE); err != nil {
+			t.Fatal(err)
+		}
+		n := ops.Collector("rut").Len()
+		waitFor(t, "flow resumed", func() bool { return ops.Collector("rut").Len() > n })
+	}
+}
+
+// pipelineApp builds src -> mid -> sink across three PEs with an
+// unbounded source.
+func pipelineApp(t *testing.T, name, collector string) *adl.Application {
+	t.Helper()
+	b := compiler.NewApp(name)
+	// No period: the harness clock is manual, so a sleeping source would
+	// stall; the bounded queues provide backpressure instead.
+	src := b.AddOperator("src", ops.KindBeacon).Out(intS).Param("count", "0")
+	mid := b.AddOperator("mid", ops.KindFunctor).In(intS).Out(intS).Param("addInt", "seq:1")
+	sink := b.AddOperator("sink", ops.KindCollectSink).In(intS).Param("collectorId", collector)
+	b.Connect(src, 0, mid, 0)
+	b.Connect(mid, 0, sink, 0)
+	app, err := b.Build(compiler.Options{Fusion: compiler.FuseNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"streamorca/internal/adl"
+	"streamorca/internal/compiler"
+	"streamorca/internal/ops"
+	"streamorca/internal/platform"
+	"streamorca/internal/tuple"
+	"streamorca/internal/vclock"
+)
+
+var (
+	testEpoch = time.Date(2012, 8, 27, 0, 0, 0, 0, time.UTC)
+	intS      = tuple.MustSchema(tuple.Attribute{Name: "seq", Type: tuple.Int})
+)
+
+// recorder is an Orchestrator capturing every delivered event in order.
+type recorder struct {
+	Base
+	mu      sync.Mutex
+	started int
+	events  []recordedEvent
+	onStart func(svc *Service)
+	onEvent func(svc *Service, kind EventKind, ctx any, scopes []string)
+}
+
+type recordedEvent struct {
+	kind   EventKind
+	ctx    any
+	scopes []string
+}
+
+func (r *recorder) record(svc *Service, kind EventKind, ctx any, scopes []string) {
+	r.mu.Lock()
+	r.events = append(r.events, recordedEvent{kind: kind, ctx: ctx, scopes: scopes})
+	cb := r.onEvent
+	r.mu.Unlock()
+	if cb != nil {
+		cb(svc, kind, ctx, scopes)
+	}
+}
+
+func (r *recorder) HandleOrcaStart(svc *Service, ctx *OrcaStartContext) {
+	r.mu.Lock()
+	r.started++
+	r.events = append(r.events, recordedEvent{kind: KindOrcaStart, ctx: ctx})
+	cb := r.onStart
+	r.mu.Unlock()
+	if cb != nil {
+		cb(svc)
+	}
+}
+
+func (r *recorder) HandleOperatorMetric(svc *Service, ctx *OperatorMetricContext, scopes []string) {
+	r.record(svc, KindOperatorMetric, ctx, scopes)
+}
+
+func (r *recorder) HandlePEMetric(svc *Service, ctx *PEMetricContext, scopes []string) {
+	r.record(svc, KindPEMetric, ctx, scopes)
+}
+
+func (r *recorder) HandlePortMetric(svc *Service, ctx *PortMetricContext, scopes []string) {
+	r.record(svc, KindPortMetric, ctx, scopes)
+}
+
+func (r *recorder) HandlePEFailure(svc *Service, ctx *PEFailureContext, scopes []string) {
+	r.record(svc, KindPEFailure, ctx, scopes)
+}
+
+func (r *recorder) HandleHostFailure(svc *Service, ctx *HostFailureContext, scopes []string) {
+	r.record(svc, KindHostFailure, ctx, scopes)
+}
+
+func (r *recorder) HandleJobSubmitted(svc *Service, ctx *JobContext, scopes []string) {
+	r.record(svc, KindJobSubmitted, ctx, scopes)
+}
+
+func (r *recorder) HandleJobCancelled(svc *Service, ctx *JobContext, scopes []string) {
+	r.record(svc, KindJobCancelled, ctx, scopes)
+}
+
+func (r *recorder) HandleTimer(svc *Service, ctx *TimerContext, scopes []string) {
+	r.record(svc, KindTimer, ctx, scopes)
+}
+
+func (r *recorder) HandleUserEvent(svc *Service, ctx *UserEventContext, scopes []string) {
+	r.record(svc, KindUserEvent, ctx, scopes)
+}
+
+// snapshot returns a copy of the recorded events.
+func (r *recorder) snapshot() []recordedEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]recordedEvent(nil), r.events...)
+}
+
+// countKind returns how many events of a kind were recorded.
+func (r *recorder) countKind(k EventKind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// harness bundles a platform, a manual clock, a service, and a recorder.
+type harness struct {
+	inst  *platform.Instance
+	clock *vclock.Manual
+	svc   *Service
+	rec   *recorder
+}
+
+func newHarness(t *testing.T, hostNames ...string) *harness {
+	t.Helper()
+	if len(hostNames) == 0 {
+		hostNames = []string{"h1"}
+	}
+	clock := vclock.NewManual(testEpoch)
+	specs := make([]platform.HostSpec, len(hostNames))
+	for i, n := range hostNames {
+		specs[i] = platform.HostSpec{Name: n}
+	}
+	inst, err := platform.NewInstance(platform.Options{
+		Clock:           clock,
+		Hosts:           specs,
+		MetricsInterval: time.Hour, // tests flush explicitly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Close)
+	rec := &recorder{}
+	svc, err := NewService(Config{
+		Name:         "testOrca",
+		SAM:          inst.SAM,
+		SRM:          inst.SRM,
+		Clock:        clock,
+		PullInterval: time.Hour, // tests pull explicitly
+	}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Stop)
+	return &harness{inst: inst, clock: clock, svc: svc, rec: rec}
+}
+
+func (h *harness) start(t *testing.T) {
+	t.Helper()
+	if err := h.svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "start event", func() bool {
+		h.rec.mu.Lock()
+		defer h.rec.mu.Unlock()
+		return h.rec.started == 1
+	})
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// figure2App builds the paper's Figure 2 application with real operators:
+// two beacons feeding two split-and-merge composite1 instances, each
+// ending in a collect sink, partitioned into 3 PEs as in Figure 3.
+func figure2App(t *testing.T, name string) *adl.Application {
+	t.Helper()
+	b := compiler.NewApp(name)
+	op1 := b.AddOperator("op1", ops.KindBeacon).Out(intS).Param("count", "10").Colocate("srcs")
+	op2 := b.AddOperator("op2", ops.KindBeacon).Out(intS).Param("count", "10").Colocate("srcs")
+	mkComp := func(inst string) (*compiler.OpHandle, *compiler.OpHandle) {
+		var op3, op6 *compiler.OpHandle
+		b.Composite("composite1", inst, func() {
+			op3 = b.AddOperator("op3", ops.KindSplit).In(intS).Out(intS, intS).Colocate("srcs")
+			op4 := b.AddOperator("op4", ops.KindFunctor).In(intS).Out(intS).Colocate("mid")
+			op5 := b.AddOperator("op5", ops.KindFunctor).In(intS).Out(intS).Colocate("mid")
+			op6 = b.AddOperator("op6", ops.KindMerge).In(intS, intS).Out(intS).Colocate("mid")
+			b.Connect(op3, 0, op4, 0)
+			b.Connect(op3, 1, op5, 0)
+			b.Connect(op4, 0, op6, 0)
+			b.Connect(op5, 0, op6, 1)
+		})
+		return op3, op6
+	}
+	in1, out1 := mkComp("c1")
+	in2, out2 := mkComp("c2")
+	sink1 := b.AddOperator("op7", ops.KindCollectSink).In(intS).
+		Param("collectorId", name+"-sink1").Colocate("sinks")
+	sink2 := b.AddOperator("op8", ops.KindCollectSink).In(intS).
+		Param("collectorId", name+"-sink2").Colocate("sinks")
+	b.Connect(op1, 0, in1, 0)
+	b.Connect(op2, 0, in2, 0)
+	b.Connect(out1, 0, sink1, 0)
+	b.Connect(out2, 0, sink2, 0)
+	app, err := b.Build(compiler.Options{Fusion: compiler.FuseByTag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+// simpleApp builds Beacon -> CollectSink in two PEs.
+func simpleApp(t *testing.T, name, collector, count string) *adl.Application {
+	t.Helper()
+	b := compiler.NewApp(name)
+	src := b.AddOperator("src", ops.KindBeacon).Out(intS).Param("count", count)
+	sink := b.AddOperator("sink", ops.KindCollectSink).In(intS).Param("collectorId", collector)
+	b.Connect(src, 0, sink, 0)
+	app, err := b.Build(compiler.Options{Fusion: compiler.FuseNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file implements the paper's §7 fault-tolerance extension: every
+// delivered event carries a transaction id, and every actuation performed
+// through the ORCA service is journalled together with the transaction id
+// of the event whose handler issued it. With the journal, event delivery
+// becomes auditable and actuations become replayable: after an
+// orchestrator restart, the last journalled transaction id tells exactly
+// which event handling completed its side effects.
+
+// ActuationRecord is one journalled actuation.
+type ActuationRecord struct {
+	// Seq is the journal position (1-based, monotonically increasing).
+	Seq uint64
+	// TxID is the transaction id of the event being handled when the
+	// actuation was issued; 0 when the actuation came from outside a
+	// handler (e.g. a background submission thread).
+	TxID uint64
+	// Action names the actuation (e.g. "SubmitApplication").
+	Action string
+	// Target describes what was acted on (application, job, PE...).
+	Target string
+	// Err is the actuation's error message, "" on success.
+	Err string
+	// At is the actuation time.
+	At time.Time
+}
+
+// journal stores actuation records; it keeps the most recent maxJournal
+// entries.
+type journal struct {
+	mu      sync.Mutex
+	seq     uint64
+	entries []ActuationRecord
+	limit   int
+}
+
+// maxJournal bounds in-memory journal growth.
+const maxJournal = 4096
+
+func newJournal() *journal { return &journal{limit: maxJournal} }
+
+func (j *journal) record(txID uint64, action, target string, err error, at time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	rec := ActuationRecord{Seq: j.seq, TxID: txID, Action: action, Target: target, At: at}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	j.entries = append(j.entries, rec)
+	if len(j.entries) > j.limit {
+		j.entries = j.entries[len(j.entries)-j.limit:]
+	}
+}
+
+func (j *journal) snapshot() []ActuationRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]ActuationRecord(nil), j.entries...)
+}
+
+// ActuationJournal returns the recorded actuations, oldest first (up to
+// the retention limit).
+func (s *Service) ActuationJournal() []ActuationRecord {
+	return s.journal.snapshot()
+}
+
+// CurrentTxID returns the transaction id of the event currently being
+// handled, or 0 outside a handler. ORCA logic can persist it alongside
+// its own state to make adaptation decisions replay-safe.
+func (s *Service) CurrentTxID() uint64 { return s.currentTx.Load() }
+
+// recordActuation journals one actuation under the current transaction.
+func (s *Service) recordActuation(action, target string, err error) {
+	s.journal.record(s.currentTx.Load(), action, target, err, s.clock.Now())
+}
+
+// assignTx stamps the event's context with the next transaction id and
+// returns it.
+func (s *Service) assignTx(d *eventData) uint64 {
+	tx := s.nextTx.Add(1)
+	switch ctx := d.ctx.(type) {
+	case *OrcaStartContext:
+		ctx.TxID = tx
+	case *OperatorMetricContext:
+		ctx.TxID = tx
+	case *PEMetricContext:
+		ctx.TxID = tx
+	case *PortMetricContext:
+		ctx.TxID = tx
+	case *PEFailureContext:
+		ctx.TxID = tx
+	case *HostFailureContext:
+		ctx.TxID = tx
+	case *JobContext:
+		ctx.TxID = tx
+	case *TimerContext:
+		ctx.TxID = tx
+	case *UserEventContext:
+		ctx.TxID = tx
+	default:
+		panic(fmt.Sprintf("core: unknown context type %T", d.ctx))
+	}
+	return tx
+}

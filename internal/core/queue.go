@@ -1,0 +1,62 @@
+package core
+
+import "sync"
+
+// eventQueue is the service's unbounded FIFO. Events are queued in the
+// order they were received and handed to the dispatch goroutine one at a
+// time, implementing §4.2's delivery discipline.
+type eventQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*delivered
+	closed bool
+}
+
+func newEventQueue() *eventQueue {
+	q := &eventQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends an event; pushing to a closed queue drops the event.
+func (q *eventQueue) push(d *delivered) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, d)
+	q.cond.Signal()
+}
+
+// pop blocks until an event is available or the queue is closed and
+// drained; ok is false in the latter case.
+func (q *eventQueue) pop() (*delivered, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	d := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return d, true
+}
+
+// depth returns the number of queued events.
+func (q *eventQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// close wakes the dispatcher; queued events are still drained.
+func (q *eventQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

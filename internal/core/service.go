@@ -1,0 +1,519 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamorca/internal/adl"
+	"streamorca/internal/cluster"
+	"streamorca/internal/graph"
+	"streamorca/internal/ids"
+	"streamorca/internal/metrics"
+	"streamorca/internal/sam"
+	"streamorca/internal/srm"
+	"streamorca/internal/vclock"
+)
+
+// DefaultPullInterval is the ORCA service's metric pull period against
+// SRM (paper default: 15 seconds, §4.2).
+const DefaultPullInterval = 15 * time.Second
+
+// ErrUnmanagedJob is returned when the ORCA logic attempts to act on a job
+// the service did not start (§3).
+var ErrUnmanagedJob = errors.New("core: job is not managed by this orchestrator")
+
+// Config assembles an ORCA service.
+type Config struct {
+	// Name identifies the orchestrator to the platform (SAM tracks
+	// orchestrators as manageable entities, §3).
+	Name string
+	// SAM and SRM are the platform daemons the service proxies.
+	SAM *sam.SAM
+	SRM *srm.SRM
+	// Clock drives pull intervals, timers, uptime requirements, and GC
+	// timeouts; nil means the wall clock.
+	Clock vclock.Clock
+	// PullInterval overrides DefaultPullInterval.
+	PullInterval time.Duration
+	// Logf receives service diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Stats exposes service counters for monitoring and the experiments.
+type Stats struct {
+	QueueDepth     int
+	Delivered      uint64
+	MatchedEvents  uint64
+	DroppedEvents  uint64 // events matching no subscope
+	HandlerPanics  uint64
+	MetricEpoch    uint64
+	FailureEpoch   uint64
+	ManagedJobs    int
+	RegisteredApps int
+}
+
+// JobSummary identifies one managed job.
+type JobSummary struct {
+	Job ids.JobID
+	App string
+}
+
+// Service is the ORCA service: the runtime half of an orchestrator.
+type Service struct {
+	cfg   Config
+	logic Orchestrator
+	clock vclock.Clock
+
+	mu        sync.Mutex
+	apps      map[string]*adl.Application // registered, by name
+	scopes    []Scope
+	scopeKeys map[string]bool
+	graphs    map[ids.JobID]*graph.Graph
+	managed   map[ids.JobID]string // job -> app name
+	timers    map[string]vclock.Timer
+
+	metricEpoch  uint64
+	failEpochs   map[string]uint64
+	nextFailure  uint64
+	pullInterval atomic.Int64
+
+	queue     *eventQueue
+	stopCh    chan struct{}
+	done      sync.WaitGroup
+	started   atomic.Bool
+	startSeen atomic.Bool // OrcaStart handled; metric pulls gate on this
+
+	delivered uint64
+	matched   uint64
+	dropped   uint64
+	panics    uint64
+
+	nextTx    atomic.Uint64
+	currentTx atomic.Uint64
+	journal   *journal
+
+	deps *depManager
+}
+
+// NewService builds a service around the given ORCA logic.
+func NewService(cfg Config, logic Orchestrator) (*Service, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("core: orchestrator needs a name")
+	}
+	if cfg.SAM == nil || cfg.SRM == nil {
+		return nil, fmt.Errorf("core: orchestrator %q needs SAM and SRM", cfg.Name)
+	}
+	if logic == nil {
+		return nil, fmt.Errorf("core: orchestrator %q has no logic", cfg.Name)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real()
+	}
+	if cfg.PullInterval <= 0 {
+		cfg.PullInterval = DefaultPullInterval
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Service{
+		cfg:        cfg,
+		logic:      logic,
+		clock:      cfg.Clock,
+		apps:       make(map[string]*adl.Application),
+		scopeKeys:  make(map[string]bool),
+		graphs:     make(map[ids.JobID]*graph.Graph),
+		managed:    make(map[ids.JobID]string),
+		timers:     make(map[string]vclock.Timer),
+		failEpochs: make(map[string]uint64),
+		queue:      newEventQueue(),
+		stopCh:     make(chan struct{}),
+	}
+	s.pullInterval.Store(int64(cfg.PullInterval))
+	s.journal = newJournal()
+	s.deps = newDepManager(s)
+	return s, nil
+}
+
+// Name returns the orchestrator's name.
+func (s *Service) Name() string { return s.cfg.Name }
+
+// Clock returns the service clock (useful to ORCA logic for timestamps).
+func (s *Service) Clock() vclock.Clock { return s.clock }
+
+// RegisterApplication makes an application controllable from this
+// orchestrator — the Go equivalent of listing an ADL path in the
+// orchestrator's description file (§3).
+func (s *Service) RegisterApplication(app *adl.Application) error {
+	if err := app.Validate(); err != nil {
+		return fmt.Errorf("core: register %q: %w", app.Name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.apps[app.Name]; dup {
+		return fmt.Errorf("core: application %q already registered", app.Name)
+	}
+	s.apps[app.Name] = app.Clone()
+	return nil
+}
+
+// Start launches the service: it registers with SAM as the owner of its
+// jobs, subscribes to host failures, starts the dispatch and metric-pull
+// goroutines, and delivers the start notification (§3).
+func (s *Service) Start() error {
+	if !s.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("core: orchestrator %q started twice", s.cfg.Name)
+	}
+	s.cfg.SAM.AddListener(s.cfg.Name, sam.Listener{PEFailed: s.onPEFailure})
+	s.cfg.SRM.OnHostDown(s.onHostDown)
+	s.queue.push(&delivered{data: &eventData{
+		kind: KindOrcaStart,
+		ctx:  &OrcaStartContext{Name: s.cfg.Name, At: s.clock.Now()},
+	}})
+	s.done.Add(2)
+	go s.dispatchLoop()
+	go s.pullLoop()
+	return nil
+}
+
+// Stop shuts down event delivery and timers. Managed jobs keep running;
+// cancel them first if the policy requires it.
+func (s *Service) Stop() {
+	if !s.started.Load() {
+		return
+	}
+	select {
+	case <-s.stopCh:
+		return // already stopped
+	default:
+	}
+	close(s.stopCh)
+	s.queue.close()
+	s.mu.Lock()
+	for name, t := range s.timers {
+		t.Stop()
+		delete(s.timers, name)
+	}
+	s.mu.Unlock()
+	s.cfg.SAM.RemoveListener(s.cfg.Name)
+	s.done.Wait()
+}
+
+// RegisterEventScope adds a subscope to the service's event scope (§4.1).
+// Multiple subscopes of the same type may be registered; keys must be
+// unique.
+func (s *Service) RegisterEventScope(sc Scope) error {
+	if err := sc.validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.scopeKeys[sc.Key()] {
+		return fmt.Errorf("core: subscope key %q already registered", sc.Key())
+	}
+	s.scopeKeys[sc.Key()] = true
+	s.scopes = append(s.scopes, sc)
+	return nil
+}
+
+// UnregisterEventScope removes a subscope by key.
+func (s *Service) UnregisterEventScope(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.scopeKeys[key] {
+		return
+	}
+	delete(s.scopeKeys, key)
+	for i, sc := range s.scopes {
+		if sc.Key() == key {
+			s.scopes = append(s.scopes[:i], s.scopes[i+1:]...)
+			break
+		}
+	}
+}
+
+// SetMetricPullInterval changes the SRM pull period; the change applies
+// from the next pull (§4.2: developers can change the frequency at any
+// point of the execution).
+func (s *Service) SetMetricPullInterval(d time.Duration) {
+	if d > 0 {
+		s.pullInterval.Store(int64(d))
+	}
+}
+
+// dispatchLoop is the single delivery goroutine: one event, one handler,
+// run to completion (§4.2).
+func (s *Service) dispatchLoop() {
+	defer s.done.Done()
+	for {
+		d, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.deliver(d)
+	}
+}
+
+func (s *Service) deliver(d *delivered) {
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.AddUint64(&s.panics, 1)
+			s.cfg.Logf("orca %s: handler panic on %s event: %v", s.cfg.Name, d.data.kind, r)
+		}
+	}()
+	atomic.AddUint64(&s.delivered, 1)
+	tx := s.assignTx(d.data)
+	s.currentTx.Store(tx)
+	defer s.currentTx.Store(0)
+	switch d.data.kind {
+	case KindOrcaStart:
+		s.logic.HandleOrcaStart(s, d.data.ctx.(*OrcaStartContext))
+		s.startSeen.Store(true)
+	case KindOperatorMetric:
+		s.logic.HandleOperatorMetric(s, d.data.ctx.(*OperatorMetricContext), d.scopes)
+	case KindPEMetric:
+		s.logic.HandlePEMetric(s, d.data.ctx.(*PEMetricContext), d.scopes)
+	case KindPortMetric:
+		s.logic.HandlePortMetric(s, d.data.ctx.(*PortMetricContext), d.scopes)
+	case KindPEFailure:
+		s.logic.HandlePEFailure(s, d.data.ctx.(*PEFailureContext), d.scopes)
+	case KindHostFailure:
+		s.logic.HandleHostFailure(s, d.data.ctx.(*HostFailureContext), d.scopes)
+	case KindJobSubmitted:
+		s.logic.HandleJobSubmitted(s, d.data.ctx.(*JobContext), d.scopes)
+	case KindJobCancelled:
+		s.logic.HandleJobCancelled(s, d.data.ctx.(*JobContext), d.scopes)
+	case KindTimer:
+		s.logic.HandleTimer(s, d.data.ctx.(*TimerContext), d.scopes)
+	case KindUserEvent:
+		s.logic.HandleUserEvent(s, d.data.ctx.(*UserEventContext), d.scopes)
+	}
+}
+
+// enqueue matches an event against the registered subscopes and queues it
+// with the matched keys; events matching nothing are dropped (§4.1).
+func (s *Service) enqueue(d *eventData) {
+	s.mu.Lock()
+	g := s.graphs[d.job]
+	var keys []string
+	for _, sc := range s.scopes {
+		if sc.matches(d, g) {
+			keys = append(keys, sc.Key())
+		}
+	}
+	s.mu.Unlock()
+	if len(keys) == 0 {
+		atomic.AddUint64(&s.dropped, 1)
+		return
+	}
+	atomic.AddUint64(&s.matched, 1)
+	s.queue.push(&delivered{data: d, scopes: keys})
+}
+
+// pullLoop periodically queries SRM for all managed jobs' metrics.
+func (s *Service) pullLoop() {
+	defer s.done.Done()
+	for {
+		d := time.Duration(s.pullInterval.Load())
+		select {
+		case <-s.stopCh:
+			return
+		case <-s.clock.After(d):
+			if s.startSeen.Load() {
+				s.PullMetricsNow()
+			}
+		}
+	}
+}
+
+// PullMetricsNow performs one SRM metric pull immediately: all samples of
+// the managed jobs are fetched in one round, stamped with a fresh shared
+// epoch, matched, and enqueued. Experiment drivers call it directly for
+// deterministic rounds.
+func (s *Service) PullMetricsNow() {
+	s.mu.Lock()
+	jobs := make([]ids.JobID, 0, len(s.managed))
+	for j := range s.managed {
+		jobs = append(jobs, j)
+	}
+	s.metricEpoch++
+	epoch := s.metricEpoch
+	s.mu.Unlock()
+	if len(jobs) == 0 {
+		return
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i] < jobs[j] })
+	for _, m := range s.cfg.SRM.Query(jobs) {
+		s.enqueue(sampleToEvent(m, epoch))
+	}
+}
+
+func sampleToEvent(m metrics.Sample, epoch uint64) *eventData {
+	d := &eventData{
+		job: m.Job, app: m.App, pe: m.PE,
+		operator: m.Operator, operatorKind: m.OperatorKind,
+		port: m.Port, dir: m.Dir, metric: m.Name, custom: m.Custom,
+	}
+	switch m.Scope {
+	case metrics.OperatorScope:
+		d.kind = KindOperatorMetric
+		d.ctx = &OperatorMetricContext{
+			Job: m.Job, App: m.App, InstanceName: m.Operator, OperatorKind: m.OperatorKind,
+			PE: m.PE, Metric: m.Name, Custom: m.Custom, Value: m.Value, Epoch: epoch, At: m.At,
+		}
+	case metrics.PEScope:
+		d.kind = KindPEMetric
+		d.ctx = &PEMetricContext{
+			Job: m.Job, App: m.App, PE: m.PE, Metric: m.Name, Value: m.Value, Epoch: epoch, At: m.At,
+		}
+	case metrics.PortScope:
+		d.kind = KindPortMetric
+		d.ctx = &PortMetricContext{
+			Job: m.Job, App: m.App, InstanceName: m.Operator, OperatorKind: m.OperatorKind,
+			PE: m.PE, Port: m.Port, Dir: m.Dir, Metric: m.Name, Value: m.Value, Epoch: epoch, At: m.At,
+		}
+	}
+	return d
+}
+
+// onPEFailure receives SAM's push notification (§4.2): it assigns an
+// epoch derived from the crash reason and detection timestamp, updates
+// the graph, and enqueues the event.
+func (s *Service) onPEFailure(f sam.PEFailure) {
+	epoch := s.failureEpoch(f.Reason, f.At)
+	s.mu.Lock()
+	if g, ok := s.graphs[f.Job]; ok {
+		g.SetPEState(f.PE, "crashed")
+	}
+	s.mu.Unlock()
+	s.enqueue(&eventData{
+		kind: KindPEFailure, job: f.Job, app: f.App, pe: f.PE, host: f.Host,
+		ctx: &PEFailureContext{
+			PE: f.PE, Job: f.Job, App: f.App, Host: f.Host, Reason: f.Reason,
+			Operators: f.Operators, Epoch: epoch, At: f.At,
+		},
+	})
+}
+
+// onHostDown receives SRM's host failure notification. Reconstructing the
+// same reason string the host's PE kills carried aligns the epochs.
+func (s *Service) onHostDown(h srm.HostDown) {
+	epoch := s.failureEpoch(cluster.HostFailureReason(h.Host, h.At), h.At)
+	s.enqueue(&eventData{
+		kind: KindHostFailure, host: h.Host,
+		ctx: &HostFailureContext{Host: h.Host, Epoch: epoch, At: h.At},
+	})
+}
+
+func (s *Service) failureEpoch(reason string, at time.Time) uint64 {
+	key := fmt.Sprintf("%s@%d", reason, at.UnixNano())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.failEpochs[key]; ok {
+		return e
+	}
+	s.nextFailure++
+	s.failEpochs[key] = s.nextFailure
+	return s.nextFailure
+}
+
+// StartTimer schedules a named one-shot timer event after d. Re-using a
+// name replaces the pending timer.
+func (s *Service) StartTimer(name string, d time.Duration) error {
+	if name == "" {
+		return fmt.Errorf("core: timer needs a name")
+	}
+	s.mu.Lock()
+	if old, ok := s.timers[name]; ok {
+		old.Stop()
+	}
+	s.timers[name] = s.clock.AfterFunc(d, func() {
+		s.mu.Lock()
+		delete(s.timers, name)
+		s.mu.Unlock()
+		s.enqueue(&eventData{
+			kind: KindTimer, name: name,
+			ctx: &TimerContext{Name: name, At: s.clock.Now()},
+		})
+	})
+	s.mu.Unlock()
+	return nil
+}
+
+// StartPeriodicTimer schedules a recurring timer event every interval.
+func (s *Service) StartPeriodicTimer(name string, every time.Duration) error {
+	if name == "" {
+		return fmt.Errorf("core: timer needs a name")
+	}
+	if every <= 0 {
+		return fmt.Errorf("core: periodic timer %q needs a positive interval", name)
+	}
+	var arm func()
+	arm = func() {
+		s.mu.Lock()
+		select {
+		case <-s.stopCh:
+			s.mu.Unlock()
+			return
+		default:
+		}
+		s.timers[name] = s.clock.AfterFunc(every, func() {
+			s.enqueue(&eventData{
+				kind: KindTimer, name: name,
+				ctx: &TimerContext{Name: name, At: s.clock.Now()},
+			})
+			arm()
+		})
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	if old, ok := s.timers[name]; ok {
+		old.Stop()
+	}
+	s.mu.Unlock()
+	arm()
+	return nil
+}
+
+// CancelTimer stops a pending (or periodic) timer.
+func (s *Service) CancelTimer(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.timers[name]; ok {
+		t.Stop()
+		delete(s.timers, name)
+	}
+}
+
+// RaiseUserEvent injects a user-generated event, as the paper's command
+// tool does with a direct call into the ORCA service (§3).
+func (s *Service) RaiseUserEvent(name string, payload map[string]string) {
+	s.enqueue(&eventData{
+		kind: KindUserEvent, name: name,
+		ctx: &UserEventContext{Name: name, Payload: payload, At: s.clock.Now()},
+	})
+}
+
+// Stats returns service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	managed := len(s.managed)
+	apps := len(s.apps)
+	me := s.metricEpoch
+	fe := s.nextFailure
+	s.mu.Unlock()
+	return Stats{
+		QueueDepth:     s.queue.depth(),
+		Delivered:      atomic.LoadUint64(&s.delivered),
+		MatchedEvents:  atomic.LoadUint64(&s.matched),
+		DroppedEvents:  atomic.LoadUint64(&s.dropped),
+		HandlerPanics:  atomic.LoadUint64(&s.panics),
+		MetricEpoch:    me,
+		FailureEpoch:   fe,
+		ManagedJobs:    managed,
+		RegisteredApps: apps,
+	}
+}

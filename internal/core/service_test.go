@@ -1,0 +1,815 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"streamorca/internal/adl"
+	"streamorca/internal/ids"
+	"streamorca/internal/metrics"
+	"streamorca/internal/ops"
+	"streamorca/internal/sam"
+)
+
+func TestNewServiceValidation(t *testing.T) {
+	h := newHarness(t)
+	if _, err := NewService(Config{SAM: h.inst.SAM, SRM: h.inst.SRM}, &recorder{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewService(Config{Name: "x"}, &recorder{}); err == nil {
+		t.Fatal("missing daemons accepted")
+	}
+	if _, err := NewService(Config{Name: "x", SAM: h.inst.SAM, SRM: h.inst.SRM}, nil); err == nil {
+		t.Fatal("nil logic accepted")
+	}
+}
+
+func TestStartDeliversOrcaStartFirstAndOnce(t *testing.T) {
+	h := newHarness(t)
+	h.start(t)
+	evs := h.rec.snapshot()
+	if len(evs) == 0 || evs[0].kind != KindOrcaStart {
+		t.Fatalf("first event = %+v", evs)
+	}
+	if err := h.svc.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	ctx := evs[0].ctx.(*OrcaStartContext)
+	if ctx.Name != "testOrca" {
+		t.Fatalf("start context = %+v", ctx)
+	}
+}
+
+func TestRegisterApplication(t *testing.T) {
+	h := newHarness(t)
+	app := simpleApp(t, "A", "ra", "1")
+	if err := h.svc.RegisterApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.svc.RegisterApplication(app); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	bad := simpleApp(t, "B", "rb", "1")
+	bad.PEs = nil
+	if err := h.svc.RegisterApplication(bad); err == nil {
+		t.Fatal("invalid ADL registered")
+	}
+	// Registered ADL is cloned: mutating the original must not affect it.
+	app.Name = "mutated"
+	if _, ok := h.svc.RegisteredApplication("A"); !ok {
+		t.Fatal("registered app lost after caller mutation")
+	}
+}
+
+func TestSubmitApplicationBuildsGraphAndManages(t *testing.T) {
+	h := newHarness(t)
+	h.start(t)
+	ops.ResetCollector("sub1")
+	if err := h.svc.RegisterApplication(simpleApp(t, "Sub", "sub1", "5")); err != nil {
+		t.Fatal(err)
+	}
+	job, err := h.svc.SubmitApplication("Sub", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "tuples", func() bool { return ops.Collector("sub1").Len() == 5 })
+	g, ok := h.svc.Graph(job)
+	if !ok {
+		t.Fatal("no graph for managed job")
+	}
+	if g.App() != "Sub" || len(g.OperatorNames()) != 2 || len(g.PEIDs()) != 2 {
+		t.Fatalf("graph: app=%s ops=%v pes=%v", g.App(), g.OperatorNames(), g.PEIDs())
+	}
+	pe, ok := g.PEOfOperator("sink")
+	if !ok {
+		t.Fatal("sink has no PE")
+	}
+	if host, ok := h.svc.HostOfPE(pe); !ok || host != "h1" {
+		t.Fatalf("HostOfPE = %q, %v", host, ok)
+	}
+	managed := h.svc.ManagedJobs()
+	if len(managed) != 1 || managed[0].Job != job || managed[0].App != "Sub" {
+		t.Fatalf("ManagedJobs = %+v", managed)
+	}
+	if jobs := h.svc.JobsOfApp("Sub"); len(jobs) != 1 || jobs[0] != job {
+		t.Fatalf("JobsOfApp = %v", jobs)
+	}
+	if _, err := h.svc.SubmitApplication("Ghost", nil); err == nil {
+		t.Fatal("unregistered app submitted")
+	}
+}
+
+func TestJobEventsRequireScope(t *testing.T) {
+	h := newHarness(t)
+	h.start(t)
+	ops.ResetCollector("je")
+	if err := h.svc.RegisterApplication(simpleApp(t, "JE", "je", "1")); err != nil {
+		t.Fatal(err)
+	}
+	// No scope: submission event dropped.
+	job, err := h.svc.SubmitApplication("JE", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "drop counted", func() bool { return h.svc.Stats().DroppedEvents >= 1 })
+	if h.rec.countKind(KindJobSubmitted) != 0 {
+		t.Fatal("unscoped job event delivered")
+	}
+	// With a scope, both cancel of this job and future submissions flow.
+	if err := h.svc.RegisterEventScope(NewJobEventScope("jobs").AddApplicationFilter("JE")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.svc.CancelJob(job); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "cancel event", func() bool { return h.rec.countKind(KindJobCancelled) == 1 })
+	evs := h.rec.snapshot()
+	last := evs[len(evs)-1]
+	jc := last.ctx.(*JobContext)
+	if jc.Job != job || jc.App != "JE" || jc.ConfigID != "" {
+		t.Fatalf("cancel context = %+v", jc)
+	}
+	if len(last.scopes) != 1 || last.scopes[0] != "jobs" {
+		t.Fatalf("scopes = %v", last.scopes)
+	}
+}
+
+func TestActingOnUnmanagedJobFails(t *testing.T) {
+	h := newHarness(t)
+	h.start(t)
+	ops.ResetCollector("um")
+	// Submit directly through SAM: the orchestrator did not start it.
+	app := simpleApp(t, "Um", "um", "0")
+	job, err := h.inst.SAM.SubmitJob(app, sam.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.svc.CancelJob(job); !errors.Is(err, ErrUnmanagedJob) {
+		t.Fatalf("CancelJob err = %v", err)
+	}
+	info, _ := h.inst.SAM.Job(job)
+	pe := info.PEs[0].ID
+	if err := h.svc.RestartPE(pe); !errors.Is(err, ErrUnmanagedJob) {
+		t.Fatalf("RestartPE err = %v", err)
+	}
+	if err := h.svc.StopPE(pe); !errors.Is(err, ErrUnmanagedJob) {
+		t.Fatalf("StopPE err = %v", err)
+	}
+	if err := h.svc.KillPE(pe, "x"); !errors.Is(err, ErrUnmanagedJob) {
+		t.Fatalf("KillPE err = %v", err)
+	}
+	if err := h.svc.ControlOperator(job, "src", "x", nil); !errors.Is(err, ErrUnmanagedJob) {
+		t.Fatalf("ControlOperator err = %v", err)
+	}
+}
+
+// TestFigure5ScopeMatching reproduces the paper's Figure 5/6 example: an
+// operator metric subscope selecting queueSize events from Split/Merge
+// operators inside composite1 instances, plus a PE failure subscope with
+// an application filter.
+func TestFigure5ScopeMatching(t *testing.T) {
+	h := newHarness(t)
+	app := figure2App(t, "Figure2")
+	if err := h.svc.RegisterApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	h.rec.onStart = func(svc *Service) {
+		oms := NewOperatorMetricScope("opMetricScope").
+			AddCompositeTypeFilter("composite1").
+			AddOperatorTypeFilter(ops.KindSplit, ops.KindMerge).
+			AddOperatorMetric(metrics.OpQueueSize)
+		pfs := NewPEFailureScope("failureScope").AddApplicationFilter("Figure2")
+		if err := svc.RegisterEventScope(oms); err != nil {
+			panic(err)
+		}
+		if err := svc.RegisterEventScope(pfs); err != nil {
+			panic(err)
+		}
+	}
+	h.start(t)
+	ops.ResetCollector("Figure2-sink1")
+	ops.ResetCollector("Figure2-sink2")
+	if _, err := h.svc.SubmitApplication("Figure2", nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pipeline output", func() bool {
+		return ops.Collector("Figure2-sink1").Finals() == 1 && ops.Collector("Figure2-sink2").Finals() == 1
+	})
+	h.inst.FlushMetrics()
+	h.svc.PullMetricsNow()
+	waitFor(t, "metric events", func() bool { return h.rec.countKind(KindOperatorMetric) >= 4 })
+	got := map[string]bool{}
+	var epoch uint64
+	for _, e := range h.rec.snapshot() {
+		if e.kind != KindOperatorMetric {
+			continue
+		}
+		ctx := e.ctx.(*OperatorMetricContext)
+		// Only queueSize from Split/Merge inside composite1 instances.
+		if ctx.Metric != metrics.OpQueueSize {
+			t.Fatalf("unexpected metric %q delivered", ctx.Metric)
+		}
+		if ctx.OperatorKind != ops.KindSplit && ctx.OperatorKind != ops.KindMerge {
+			t.Fatalf("unexpected operator kind %q", ctx.OperatorKind)
+		}
+		if len(e.scopes) != 1 || e.scopes[0] != "opMetricScope" {
+			t.Fatalf("scopes = %v", e.scopes)
+		}
+		if epoch == 0 {
+			epoch = ctx.Epoch
+		} else if ctx.Epoch != epoch {
+			t.Fatalf("epochs differ within one pull: %d vs %d", ctx.Epoch, epoch)
+		}
+		got[ctx.InstanceName] = true
+	}
+	for _, want := range []string{"c1.op3", "c1.op6", "c2.op3", "c2.op6"} {
+		if !got[want] {
+			t.Fatalf("missing metric event for %s (got %v)", want, got)
+		}
+	}
+	// A second pull increments the epoch.
+	h.svc.PullMetricsNow()
+	waitFor(t, "second round", func() bool {
+		for _, e := range h.rec.snapshot() {
+			if e.kind == KindOperatorMetric && e.ctx.(*OperatorMetricContext).Epoch == epoch+1 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func TestEventDeliveredOnceWithAllMatchingScopeKeys(t *testing.T) {
+	h := newHarness(t)
+	if err := h.svc.RegisterApplication(simpleApp(t, "Multi", "multi", "3")); err != nil {
+		t.Fatal(err)
+	}
+	h.rec.onStart = func(svc *Service) {
+		_ = svc.RegisterEventScope(NewOperatorMetricScope("byName").
+			AddOperatorNameFilter("src").AddOperatorMetric(metrics.OpTuplesSubmitted))
+		_ = svc.RegisterEventScope(NewOperatorMetricScope("byKind").
+			AddOperatorTypeFilter(ops.KindBeacon).AddOperatorMetric(metrics.OpTuplesSubmitted))
+	}
+	h.start(t)
+	ops.ResetCollector("multi")
+	if _, err := h.svc.SubmitApplication("Multi", nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "done", func() bool { return ops.Collector("multi").Finals() == 1 })
+	h.inst.FlushMetrics()
+	h.svc.PullMetricsNow()
+	waitFor(t, "metric event", func() bool { return h.rec.countKind(KindOperatorMetric) >= 1 })
+	n := 0
+	for _, e := range h.rec.snapshot() {
+		if e.kind != KindOperatorMetric {
+			continue
+		}
+		n++
+		if len(e.scopes) != 2 || e.scopes[0] != "byName" || e.scopes[1] != "byKind" {
+			t.Fatalf("scopes = %v", e.scopes)
+		}
+	}
+	if n != 1 {
+		t.Fatalf("event delivered %d times", n)
+	}
+}
+
+func TestScopeRegistrationErrors(t *testing.T) {
+	h := newHarness(t)
+	if err := h.svc.RegisterEventScope(NewOperatorMetricScope("")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := h.svc.RegisterEventScope(NewOperatorMetricScope("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.svc.RegisterEventScope(NewPEFailureScope("k")); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	h.svc.UnregisterEventScope("k")
+	if err := h.svc.RegisterEventScope(NewPEFailureScope("k")); err != nil {
+		t.Fatalf("re-register after unregister: %v", err)
+	}
+	h.svc.UnregisterEventScope("never-registered") // no-op
+}
+
+func TestPEFailureEventAndEpochGrouping(t *testing.T) {
+	h := newHarness(t, "h1", "h2")
+	if err := h.svc.RegisterApplication(simpleApp(t, "F", "f1", "0")); err != nil {
+		t.Fatal(err)
+	}
+	h.rec.onStart = func(svc *Service) {
+		_ = svc.RegisterEventScope(NewPEFailureScope("pf").AddApplicationFilter("F"))
+		_ = svc.RegisterEventScope(NewHostFailureScope("hf"))
+	}
+	h.start(t)
+	ops.ResetCollector("f1")
+	job, err := h.svc.SubmitApplication("F", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := h.svc.Graph(job)
+	sinkPE, _ := g.PEOfOperator("sink")
+
+	// Single PE kill: one event, its own epoch.
+	if err := h.svc.KillPE(sinkPE, "injected"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pe failure event", func() bool { return h.rec.countKind(KindPEFailure) == 1 })
+	var first *PEFailureContext
+	for _, e := range h.rec.snapshot() {
+		if e.kind == KindPEFailure {
+			first = e.ctx.(*PEFailureContext)
+		}
+	}
+	if first.PE != sinkPE || first.Job != job || first.App != "F" || first.Reason != "injected" {
+		t.Fatalf("failure ctx = %+v", first)
+	}
+	if len(first.Operators) != 1 || first.Operators[0] != "sink" {
+		t.Fatalf("failure operators = %v", first.Operators)
+	}
+	if g2, _ := h.svc.Graph(job); g2 != nil {
+		if info, _ := g2.PE(sinkPE); info.State != "crashed" {
+			t.Fatalf("graph PE state = %q", info.State)
+		}
+	}
+
+	// Host failure kills both PEs of a second job placed on one host:
+	// both PE failure events and the host failure event share an epoch.
+	app2 := simpleApp(t, "F2", "f2", "0")
+	app2.HostPools = []adl.HostPool{{Name: "only-h2", Hosts: []string{"h2"}}}
+	for i := range app2.PEs {
+		app2.PEs[i].Pool = "only-h2"
+	}
+	if err := h.svc.RegisterApplication(app2); err != nil {
+		t.Fatal(err)
+	}
+	_ = h.svc.RegisterEventScope(NewPEFailureScope("pf2").AddApplicationFilter("F2"))
+	ops.ResetCollector("f2")
+	if _, err := h.svc.SubmitApplication("F2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.inst.Cluster.KillHost("h2"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "host failure fan-out", func() bool {
+		return h.rec.countKind(KindPEFailure) == 3 && h.rec.countKind(KindHostFailure) == 1
+	})
+	var hostEpoch uint64
+	for _, e := range h.rec.snapshot() {
+		if e.kind == KindHostFailure {
+			hostEpoch = e.ctx.(*HostFailureContext).Epoch
+		}
+	}
+	shared := 0
+	for _, e := range h.rec.snapshot() {
+		if e.kind != KindPEFailure {
+			continue
+		}
+		ctx := e.ctx.(*PEFailureContext)
+		if ctx.App == "F2" {
+			if ctx.Epoch != hostEpoch {
+				t.Fatalf("PE failure epoch %d != host epoch %d", ctx.Epoch, hostEpoch)
+			}
+			if ctx.Host != "h2" {
+				t.Fatalf("failure host = %q", ctx.Host)
+			}
+			shared++
+		} else if ctx.Epoch == hostEpoch {
+			t.Fatal("unrelated failure shares the host epoch")
+		}
+	}
+	if shared != 2 {
+		t.Fatalf("host failure produced %d PE events for F2", shared)
+	}
+}
+
+func TestTimers(t *testing.T) {
+	h := newHarness(t)
+	h.rec.onStart = func(svc *Service) {
+		_ = svc.RegisterEventScope(NewTimerScope("timers").AddTimerFilter("once", "tick"))
+	}
+	h.start(t)
+	if err := h.svc.StartTimer("", time.Second); err == nil {
+		t.Fatal("empty timer name accepted")
+	}
+	if err := h.svc.StartTimer("once", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h.clock.Advance(10 * time.Second)
+	waitFor(t, "one-shot timer", func() bool { return h.rec.countKind(KindTimer) == 1 })
+
+	if err := h.svc.StartPeriodicTimer("tick", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h.clock.Advance(5 * time.Second)
+	waitFor(t, "tick 1", func() bool { return h.rec.countKind(KindTimer) == 2 })
+	h.clock.Advance(5 * time.Second)
+	waitFor(t, "tick 2", func() bool { return h.rec.countKind(KindTimer) == 3 })
+	h.svc.CancelTimer("tick")
+	h.clock.Advance(20 * time.Second)
+	time.Sleep(10 * time.Millisecond)
+	if h.rec.countKind(KindTimer) != 3 {
+		t.Fatal("cancelled timer fired")
+	}
+	if err := h.svc.StartPeriodicTimer("bad", 0); err == nil {
+		t.Fatal("non-positive period accepted")
+	}
+	// An unscoped timer is dropped.
+	if err := h.svc.StartTimer("unscoped", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h.clock.Advance(time.Second)
+	time.Sleep(10 * time.Millisecond)
+	if h.rec.countKind(KindTimer) != 3 {
+		t.Fatal("unscoped timer delivered")
+	}
+}
+
+func TestUserEvents(t *testing.T) {
+	h := newHarness(t)
+	h.rec.onStart = func(svc *Service) {
+		_ = svc.RegisterEventScope(NewUserEventScope("user").AddNameFilter("reload"))
+	}
+	h.start(t)
+	h.svc.RaiseUserEvent("reload", map[string]string{"model": "v2"})
+	h.svc.RaiseUserEvent("ignored", nil)
+	waitFor(t, "user event", func() bool { return h.rec.countKind(KindUserEvent) == 1 })
+	for _, e := range h.rec.snapshot() {
+		if e.kind == KindUserEvent {
+			ctx := e.ctx.(*UserEventContext)
+			if ctx.Name != "reload" || ctx.Payload["model"] != "v2" {
+				t.Fatalf("user ctx = %+v", ctx)
+			}
+		}
+	}
+}
+
+func TestEventsDeliveredInOrderOneAtATime(t *testing.T) {
+	h := newHarness(t)
+	seen := make(chan string, 64)
+	h.rec.onEvent = func(svc *Service, kind EventKind, ctx any, scopes []string) {
+		if kind == KindUserEvent {
+			seen <- ctx.(*UserEventContext).Name
+			time.Sleep(2 * time.Millisecond) // hold the dispatcher
+		}
+	}
+	h.rec.onStart = func(svc *Service) {
+		_ = svc.RegisterEventScope(NewUserEventScope("all"))
+	}
+	h.start(t)
+	names := []string{"e1", "e2", "e3", "e4", "e5"}
+	for _, n := range names {
+		h.svc.RaiseUserEvent(n, nil)
+	}
+	for _, want := range names {
+		select {
+		case got := <-seen:
+			if got != want {
+				t.Fatalf("out of order: got %s want %s", got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("event never delivered")
+		}
+	}
+}
+
+func TestRestartStopControlOnManagedJob(t *testing.T) {
+	h := newHarness(t)
+	h.start(t)
+	ops.ResetCollector("act")
+	app := simpleApp(t, "Act", "act", "0")
+	if err := h.svc.RegisterApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	job, err := h.svc.SubmitApplication("Act", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "flow", func() bool { return ops.Collector("act").Len() > 2 })
+	g, _ := h.svc.Graph(job)
+	sinkPE, _ := g.PEOfOperator("sink")
+	if err := h.svc.KillPE(sinkPE, "fault"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "crashed in graph", func() bool {
+		info, _ := g.PE(sinkPE)
+		return info.State == "crashed"
+	})
+	if err := h.svc.RestartPE(sinkPE); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := g.PE(sinkPE)
+	if info.State != "running" {
+		t.Fatalf("PE state after restart = %q", info.State)
+	}
+	n := ops.Collector("act").Len()
+	waitFor(t, "flow after restart", func() bool { return ops.Collector("act").Len() > n })
+	if err := h.svc.StopPE(sinkPE); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = g.PE(sinkPE)
+	if info.State != "stopped" {
+		t.Fatalf("PE state after stop = %q", info.State)
+	}
+}
+
+func TestMakeExclusiveHostPools(t *testing.T) {
+	h := newHarness(t)
+	if err := h.svc.MakeExclusiveHostPools("ghost"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if err := h.svc.RegisterApplication(simpleApp(t, "Ex", "ex", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.svc.MakeExclusiveHostPools("Ex"); err != nil {
+		t.Fatal(err)
+	}
+	app, _ := h.svc.RegisteredApplication("Ex")
+	if len(app.HostPools) == 0 || !app.HostPools[0].Exclusive {
+		t.Fatalf("pools = %+v", app.HostPools)
+	}
+}
+
+func TestInspectionQueries(t *testing.T) {
+	h := newHarness(t)
+	h.start(t)
+	app := figure2App(t, "Insp")
+	if err := h.svc.RegisterApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	ops.ResetCollector("Insp-sink1")
+	ops.ResetCollector("Insp-sink2")
+	job, err := h.svc.SubmitApplication("Insp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	midPE, ok := h.svc.PEOfOperator(job, "c1.op4")
+	if !ok {
+		t.Fatal("PEOfOperator failed")
+	}
+	opsIn := h.svc.OperatorsInPE(midPE)
+	if len(opsIn) != 6 {
+		t.Fatalf("OperatorsInPE = %d ops", len(opsIn))
+	}
+	comps := h.svc.CompositesInPE(midPE)
+	if len(comps) != 2 || comps[0] != "c1" || comps[1] != "c2" {
+		t.Fatalf("CompositesInPE = %v", comps)
+	}
+	encl, ok := h.svc.EnclosingComposite(job, "c2.op5")
+	if !ok || encl != "c2" {
+		t.Fatalf("EnclosingComposite = %q, %v", encl, ok)
+	}
+	if _, ok := h.svc.EnclosingComposite(999, "x"); ok {
+		t.Fatal("inspection on unknown job succeeded")
+	}
+	if h.svc.OperatorsInPE(9999) != nil || h.svc.CompositesInPE(9999) != nil {
+		t.Fatal("inspection on unknown PE returned data")
+	}
+	if _, ok := h.svc.HostOfPE(9999); ok {
+		t.Fatal("HostOfPE on unknown PE succeeded")
+	}
+}
+
+func TestHandlerPanicIsRecovered(t *testing.T) {
+	h := newHarness(t)
+	h.rec.onStart = func(svc *Service) {
+		_ = svc.RegisterEventScope(NewUserEventScope("all"))
+	}
+	h.rec.onEvent = func(svc *Service, kind EventKind, ctx any, scopes []string) {
+		if kind == KindUserEvent && ctx.(*UserEventContext).Name == "boom" {
+			panic("handler bug")
+		}
+	}
+	h.start(t)
+	h.svc.RaiseUserEvent("boom", nil)
+	h.svc.RaiseUserEvent("after", nil)
+	waitFor(t, "delivery continues after panic", func() bool { return h.rec.countKind(KindUserEvent) == 2 })
+	if h.svc.Stats().HandlerPanics != 1 {
+		t.Fatalf("panics = %d", h.svc.Stats().HandlerPanics)
+	}
+}
+
+func TestStatsAndPullInterval(t *testing.T) {
+	h := newHarness(t)
+	h.rec.onStart = func(svc *Service) {
+		_ = svc.RegisterEventScope(NewOperatorMetricScope("m").AddOperatorMetric(metrics.OpTuplesSubmitted))
+	}
+	h.start(t)
+	ops.ResetCollector("st")
+	if err := h.svc.RegisterApplication(simpleApp(t, "St", "st", "4")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.svc.SubmitApplication("St", nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "done", func() bool { return ops.Collector("st").Finals() == 1 })
+	h.inst.FlushMetrics()
+	// The pull loop runs on the manual clock: shorten the interval and
+	// advance to trigger a pull.
+	h.svc.SetMetricPullInterval(time.Second)
+	waitFor(t, "pull fires", func() bool {
+		h.clock.Advance(time.Second)
+		return h.rec.countKind(KindOperatorMetric) >= 1
+	})
+	st := h.svc.Stats()
+	if st.ManagedJobs != 1 || st.RegisteredApps != 1 || st.MetricEpoch == 0 || st.Delivered == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStopIsIdempotentAndStopsDelivery(t *testing.T) {
+	h := newHarness(t)
+	h.rec.onStart = func(svc *Service) {
+		_ = svc.RegisterEventScope(NewUserEventScope("all"))
+	}
+	h.start(t)
+	h.svc.Stop()
+	h.svc.Stop()
+	h.svc.RaiseUserEvent("late", nil)
+	time.Sleep(10 * time.Millisecond)
+	if h.rec.countKind(KindUserEvent) != 0 {
+		t.Fatal("event delivered after Stop")
+	}
+}
+
+func TestScopeFilterSemanticsTable(t *testing.T) {
+	// Pure matching-semantics checks on eventData, no platform needed.
+	d := &eventData{
+		kind: KindOperatorMetric, app: "A", operator: "x.op", operatorKind: "Split",
+		pe: 7, metric: "queueSize", custom: false,
+	}
+	cases := []struct {
+		name  string
+		scope Scope
+		want  bool
+	}{
+		{"no filters matches", NewOperatorMetricScope("k"), true},
+		{"same attr disjunctive", NewOperatorMetricScope("k").AddApplicationFilter("B", "A"), true},
+		{"wrong app", NewOperatorMetricScope("k").AddApplicationFilter("B"), false},
+		{"cross attr conjunctive", NewOperatorMetricScope("k").AddApplicationFilter("A").AddOperatorTypeFilter("Merge"), false},
+		{"kind and app", NewOperatorMetricScope("k").AddApplicationFilter("A").AddOperatorTypeFilter("Split"), true},
+		{"metric name", NewOperatorMetricScope("k").AddOperatorMetric("queueSize"), true},
+		{"wrong metric", NewOperatorMetricScope("k").AddOperatorMetric("nTuplesProcessed"), false},
+		{"custom only rejects builtin", NewOperatorMetricScope("k").CustomMetricsOnly(), false},
+		{"pe filter", NewOperatorMetricScope("k").AddPEFilter(7, 9), true},
+		{"wrong pe", NewOperatorMetricScope("k").AddPEFilter(9), false},
+		{"operator name", NewOperatorMetricScope("k").AddOperatorNameFilter("x.op"), true},
+		{"wrong kind scope", NewPEFailureScope("k"), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.scope.matches(d, nil); got != tc.want {
+				t.Fatalf("matches = %v, want %v", got, tc.want)
+			}
+		})
+	}
+	// Composite filters require a graph; absent graph means no match.
+	if NewOperatorMetricScope("k").AddCompositeTypeFilter("c").matches(d, nil) {
+		t.Fatal("composite filter matched without graph")
+	}
+}
+
+func TestPortMetricScopeSemantics(t *testing.T) {
+	d := &eventData{
+		kind: KindPortMetric, app: "A", operator: "sink", operatorKind: "CollectSink",
+		pe: 3, port: 0, dir: metrics.Input, metric: metrics.PortFinalPunctsQueued,
+	}
+	if !NewPortMetricScope("k").AddPortMetric(metrics.PortFinalPunctsQueued).matches(d, nil) {
+		t.Fatal("port metric scope failed")
+	}
+	if NewPortMetricScope("k").SetDirection(metrics.Output).matches(d, nil) {
+		t.Fatal("direction filter failed")
+	}
+	if NewPortMetricScope("k").AddPortFilter(1, 2).matches(d, nil) {
+		t.Fatal("port filter failed")
+	}
+	if !NewPortMetricScope("k").AddPortFilter(0).AddOperatorNameFilter("sink").matches(d, nil) {
+		t.Fatal("combined port scope failed")
+	}
+}
+
+func TestJobEventScopeDirections(t *testing.T) {
+	sub := &eventData{kind: KindJobSubmitted, app: "A"}
+	can := &eventData{kind: KindJobCancelled, app: "A"}
+	both := NewJobEventScope("k")
+	if !both.matches(sub, nil) || !both.matches(can, nil) {
+		t.Fatal("default job scope misses events")
+	}
+	if NewJobEventScope("k").SubmissionsOnly().matches(can, nil) {
+		t.Fatal("SubmissionsOnly matched a cancel")
+	}
+	if NewJobEventScope("k").CancellationsOnly().matches(sub, nil) {
+		t.Fatal("CancellationsOnly matched a submit")
+	}
+	if NewJobEventScope("k").AddApplicationFilter("B").matches(sub, nil) {
+		t.Fatal("app filter failed")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []EventKind{KindOrcaStart, KindOperatorMetric, KindPEMetric, KindPortMetric,
+		KindPEFailure, KindHostFailure, KindJobSubmitted, KindJobCancelled, KindTimer, KindUserEvent}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("kind %d has bad name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if EventKind(0).String() != "unknown" {
+		t.Fatal("zero kind not unknown")
+	}
+	if !strings.Contains(ids.PEID(3).String(), "3") {
+		t.Fatal("PEID string")
+	}
+}
+
+// TestPEMetricScopeDeliversByteCounters covers the PE-scoped metric path
+// (the §1 example of a built-in metric: connection/byte throughput).
+func TestPEMetricScopeDeliversByteCounters(t *testing.T) {
+	h := newHarness(t)
+	ops.ResetCollector("pm")
+	if err := h.svc.RegisterApplication(simpleApp(t, "PM", "pm", "50")); err != nil {
+		t.Fatal(err)
+	}
+	h.rec.onStart = func(svc *Service) {
+		_ = svc.RegisterEventScope(NewPEMetricScope("bytes").
+			AddApplicationFilter("PM").
+			AddPEMetric(metrics.PETupleBytesProcessed, metrics.PETupleBytesSubmitted))
+	}
+	h.start(t)
+	if _, err := h.svc.SubmitApplication("PM", nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "done", func() bool { return ops.Collector("pm").Finals() == 1 })
+	h.inst.FlushMetrics()
+	h.svc.PullMetricsNow()
+	waitFor(t, "pe metric events", func() bool { return h.rec.countKind(KindPEMetric) >= 2 })
+	var sawBytes bool
+	for _, e := range h.rec.snapshot() {
+		if e.kind != KindPEMetric {
+			continue
+		}
+		ctx := e.ctx.(*PEMetricContext)
+		if ctx.Metric != metrics.PETupleBytesProcessed && ctx.Metric != metrics.PETupleBytesSubmitted {
+			t.Fatalf("unexpected PE metric %q", ctx.Metric)
+		}
+		if ctx.Value > 0 {
+			sawBytes = true
+		}
+	}
+	if !sawBytes {
+		t.Fatal("no non-zero byte counters: cross-PE link not serializing?")
+	}
+}
+
+// TestPEFailureScopeHostFilter: host-attribute filtering on failure
+// scopes (conjunctive with the application filter).
+func TestPEFailureScopeHostFilter(t *testing.T) {
+	h := newHarness(t, "h1", "h2")
+	ops.ResetCollector("hf1")
+	app := simpleApp(t, "HF", "hf1", "0")
+	if err := h.svc.RegisterApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	h.rec.onStart = func(svc *Service) {
+		_ = svc.RegisterEventScope(NewPEFailureScope("onlyH2").
+			AddApplicationFilter("HF").AddHostFilter("h2"))
+	}
+	h.start(t)
+	job, err := h.svc.SubmitApplication("HF", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := h.svc.Graph(job)
+	var onH1, onH2 ids.PEID
+	for _, pe := range g.PEIDs() {
+		if host, _ := g.HostOfPE(pe); host == "h1" {
+			onH1 = pe
+		} else {
+			onH2 = pe
+		}
+	}
+	if onH1 == ids.InvalidPE || onH2 == ids.InvalidPE {
+		t.Fatalf("placement not spread: %v", g.PEIDs())
+	}
+	// Failure on h1 is filtered out; failure on h2 is delivered.
+	if err := h.svc.KillPE(onH1, "filtered"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.svc.KillPE(onH2, "delivered"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "h2 failure", func() bool { return h.rec.countKind(KindPEFailure) >= 1 })
+	for _, e := range h.rec.snapshot() {
+		if e.kind == KindPEFailure {
+			ctx := e.ctx.(*PEFailureContext)
+			if ctx.Host != "h2" || ctx.Reason != "delivered" {
+				t.Fatalf("filtered failure delivered: %+v", ctx)
+			}
+		}
+	}
+}

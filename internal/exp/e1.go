@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"streamorca/internal/apps"
+	"streamorca/internal/core"
+	"streamorca/internal/extjob"
+	"streamorca/internal/policies"
+)
+
+// E1Config parameterises experiment E1 (Figure 8): adaptation to the
+// incoming data distribution via external model recomputation (§5.1).
+type E1Config struct {
+	// TweetPeriod is the inter-tweet emission delay.
+	TweetPeriod time.Duration
+	// ShiftAt is the tweet index where complaints shift to the unknown
+	// cause (the paper's "around epoch 250" moment).
+	ShiftAt int64
+	// RecentWindow sizes the cause matcher's sliding ratio window.
+	RecentWindow int64
+	// Threshold is the actuation ratio (paper: 1.0).
+	Threshold float64
+	// JobLatency is the simulated batch-job duration.
+	JobLatency time.Duration
+	// Suppression bounds re-trigger frequency (paper: 10 minutes,
+	// scaled).
+	Suppression time.Duration
+	// PullEvery is the experiment's metric pull cadence.
+	PullEvery time.Duration
+	// MaxDuration bounds the run.
+	MaxDuration time.Duration
+}
+
+// DefaultE1 returns the scaled-down default configuration.
+func DefaultE1() E1Config {
+	return E1Config{
+		TweetPeriod:  100 * time.Microsecond,
+		ShiftAt:      4000,
+		RecentWindow: 400,
+		Threshold:    1.0,
+		JobLatency:   30 * time.Millisecond,
+		Suppression:  300 * time.Millisecond,
+		PullEvery:    4 * time.Millisecond,
+		MaxDuration:  30 * time.Second,
+	}
+}
+
+// E1Result captures the Figure 8 curve and its milestones.
+type E1Result struct {
+	// Series is the unknown/known ratio per metric epoch.
+	Series []policies.RatioPoint
+	// CrossEpoch is the first epoch where the ratio exceeded the
+	// threshold (0 if never).
+	CrossEpoch uint64
+	// RecoverEpoch is the first post-adaptation epoch back below 1.0
+	// (0 if never).
+	RecoverEpoch uint64
+	// Triggers counts launched batch jobs.
+	Triggers int
+	// ModelVersion is the cause model's final version (2 after one
+	// recomputation).
+	ModelVersion int64
+	// FinalCauses is the recomputed cause vocabulary.
+	FinalCauses []string
+}
+
+// RunE1 executes the experiment: start the sentiment application under a
+// ModelRecompute orchestrator, shift the complaint distribution
+// mid-stream, and observe threshold crossing, batch-job triggering, and
+// ratio recovery.
+func RunE1(cfg E1Config) (*E1Result, error) {
+	inst, err := newPlatform("h1", "h2")
+	if err != nil {
+		return nil, err
+	}
+	defer inst.Close()
+
+	modelID := uniq("e1-model")
+	storeID := uniq("e1-store")
+	collector := uniq("e1-display")
+	extjob.SetModel(modelID, extjob.NewModel("flash", "screen"))
+
+	app, err := apps.SentimentApp(apps.SentimentConfig{
+		Name: "Sentiment", Collector: collector,
+		ModelID: modelID, StoreID: storeID,
+		Product: "iPhone", Seed: 42,
+		Count: 0, Period: cfg.TweetPeriod,
+		Causes: "flash,screen", ShiftAt: cfg.ShiftAt, CausesAfter: "antenna",
+		RecentWindow: cfg.RecentWindow,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	runner := extjob.NewRunner(nil, cfg.JobLatency)
+	policy := &policies.ModelRecompute{
+		App: "Sentiment", MatcherOp: apps.MatcherOp,
+		ModelID: modelID, StoreID: storeID,
+		Threshold: cfg.Threshold, Suppression: cfg.Suppression,
+		Runner: runner, MinSupport: 10,
+	}
+	svc, err := core.NewService(core.Config{
+		Name: "sentimentOrca", SAM: inst.SAM, SRM: inst.SRM,
+		PullInterval: time.Hour, // driven explicitly below
+	}, policy)
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.RegisterApplication(app); err != nil {
+		return nil, err
+	}
+	if err := svc.Start(); err != nil {
+		return nil, err
+	}
+	defer svc.Stop()
+
+	model := extjob.GetModel(modelID)
+	res := &E1Result{}
+	deadline := time.Now().Add(cfg.MaxDuration)
+	for time.Now().Before(deadline) {
+		time.Sleep(cfg.PullEvery)
+		inst.FlushMetrics()
+		svc.PullMetricsNow()
+		series := policy.Series()
+		res.Series = series
+		if res.CrossEpoch == 0 {
+			for _, p := range series {
+				if p.Ratio > cfg.Threshold {
+					res.CrossEpoch = p.Epoch
+					break
+				}
+			}
+		}
+		if res.CrossEpoch != 0 && model.Version() >= 2 && res.RecoverEpoch == 0 {
+			for _, p := range series {
+				if p.Epoch > res.CrossEpoch && p.Ratio < 1.0 {
+					res.RecoverEpoch = p.Epoch
+					break
+				}
+			}
+		}
+		if res.RecoverEpoch != 0 {
+			// Let a few more epochs accumulate for the plot's tail.
+			for i := 0; i < 10; i++ {
+				time.Sleep(cfg.PullEvery)
+				inst.FlushMetrics()
+				svc.PullMetricsNow()
+			}
+			res.Series = policy.Series()
+			break
+		}
+	}
+	res.Triggers = policy.Triggers()
+	res.ModelVersion = model.Version()
+	res.FinalCauses = model.Causes()
+	if res.CrossEpoch == 0 {
+		return res, fmt.Errorf("e1: ratio never crossed the threshold")
+	}
+	if res.Triggers == 0 {
+		return res, fmt.Errorf("e1: orchestrator never triggered the batch job")
+	}
+	if res.RecoverEpoch == 0 {
+		return res, fmt.Errorf("e1: ratio never recovered below 1.0")
+	}
+	return res, nil
+}

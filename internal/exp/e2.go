@@ -1,0 +1,214 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"streamorca/internal/apps"
+	"streamorca/internal/core"
+	"streamorca/internal/ids"
+	"streamorca/internal/ops"
+	"streamorca/internal/policies"
+)
+
+// E2Config parameterises experiment E2 (Figure 9): replica failover on
+// PE failure (§5.2). The paper's 600-second sliding window maps to
+// Window; a tick plays the role of one second of market data.
+type E2Config struct {
+	// Window is the aggregation window (paper: 600 s).
+	Window time.Duration
+	// TickPeriod is the inter-tick delay; Window/TickPeriod ticks fill a
+	// window.
+	TickPeriod time.Duration
+	// Sample is the output sampling cadence for the result series.
+	Sample time.Duration
+	// MaxDuration bounds the run.
+	MaxDuration time.Duration
+}
+
+// DefaultE2 returns the scaled-down default configuration: a 600 ms
+// window over 1 ms ticks — the same 600-sample window as the paper.
+func DefaultE2() E2Config {
+	return E2Config{
+		Window:      600 * time.Millisecond,
+		TickPeriod:  time.Millisecond,
+		Sample:      25 * time.Millisecond,
+		MaxDuration: 30 * time.Second,
+	}
+}
+
+// E2Sample is one row of the Figure 9 series: the replicas' latest
+// window fill and output volume at a point in time.
+type E2Sample struct {
+	Elapsed time.Duration
+	Active  int // replica index
+	// WindowCounts is each replica's most recent window size (the
+	// "count" attribute of its last output tuple); -1 when no output yet.
+	WindowCounts []int64
+	// Outputs is each replica's cumulative output tuple count.
+	Outputs []int
+}
+
+// E2Result captures the failover experiment.
+type E2Result struct {
+	Replicas        int
+	Hosts           []string // host of each replica's aggregation PE
+	ActiveBefore    int
+	ActiveAfter     int
+	KilledReplica   int
+	FailoverLatency time.Duration // kill -> promotion observed
+	OutputGap       time.Duration // kill -> first post-restart output from the failed replica
+	RefillTime      time.Duration // kill -> failed replica's window back to >=95% of a healthy one
+	FullWindow      int64         // healthy window size at kill time
+	Series          []E2Sample
+	Failovers       int
+	Restarts        int
+}
+
+// RunE2 executes the failover experiment: three Trend Calculator
+// replicas in exclusive host pools, kill the active replica's
+// stateful aggregation PE, observe promotion of the oldest backup, the
+// failed replica's output gap, and its slow window refill.
+func RunE2(cfg E2Config) (*E2Result, error) {
+	inst, err := newPlatform("h1", "h2", "h3", "h4")
+	if err != nil {
+		return nil, err
+	}
+	defer inst.Close()
+
+	app, err := apps.TrendApp(apps.TrendConfig{
+		Name: "TrendCalculator", Symbols: "IBM", Seed: 7,
+		Count: 0, Period: cfg.TickPeriod, Window: cfg.Window,
+	})
+	if err != nil {
+		return nil, err
+	}
+	collPrefix := uniq("e2")
+	collName := func(i int) string { return fmt.Sprintf("%s-replica-%d", collPrefix, i) }
+	policy := &policies.Failover{
+		App: "TrendCalculator", Replicas: 3,
+		SubmitParams: func(i int) map[string]string {
+			return map[string]string{"collector": collName(i)}
+		},
+	}
+	svc, err := core.NewService(core.Config{
+		Name: "trendOrca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
+	}, policy)
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.RegisterApplication(app); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 3; i++ {
+		ops.ResetCollector(collName(i))
+	}
+	if err := svc.Start(); err != nil {
+		return nil, err
+	}
+	defer svc.Stop()
+
+	if !waitUntil(cfg.MaxDuration/3, time.Millisecond, func() bool { return len(policy.Jobs()) == 3 }) {
+		return nil, fmt.Errorf("e2: replicas never came up")
+	}
+	jobs := policy.Jobs()
+	res := &E2Result{Replicas: 3}
+
+	// Exclusive pools must have separated the replicas' hosts.
+	hostSet := map[string]bool{}
+	for _, j := range jobs {
+		pe, ok := svc.PEOfOperator(j, apps.TrendAggregateOp)
+		if !ok {
+			return nil, fmt.Errorf("e2: replica %s has no aggregation PE", j)
+		}
+		host, _ := svc.HostOfPE(pe)
+		res.Hosts = append(res.Hosts, host)
+		hostSet[host] = true
+	}
+	if len(hostSet) != 3 {
+		return nil, fmt.Errorf("e2: replicas share hosts: %v", res.Hosts)
+	}
+
+	lastCount := func(i int) int64 {
+		t, ok := ops.Collector(collName(i)).Last()
+		if !ok {
+			return -1
+		}
+		return t.Int("count")
+	}
+	fullWindow := int64(cfg.Window / cfg.TickPeriod)
+	// Warm up: wait until every replica's window is ~full.
+	warm := waitUntil(cfg.MaxDuration/2, time.Millisecond, func() bool {
+		for i := 0; i < 3; i++ {
+			if lastCount(i) < fullWindow*8/10 {
+				return false
+			}
+		}
+		return true
+	})
+	if !warm {
+		return nil, fmt.Errorf("e2: windows never filled (counts %d %d %d, want ~%d)",
+			lastCount(0), lastCount(1), lastCount(2), fullWindow)
+	}
+	res.FullWindow = lastCount(0)
+
+	activeJob := policy.Active()
+	res.ActiveBefore = policy.ReplicaIndex(activeJob)
+	res.KilledReplica = res.ActiveBefore
+	aggPE, _ := svc.PEOfOperator(activeJob, apps.TrendAggregateOp)
+	killedLen := ops.Collector(collName(res.KilledReplica)).Len()
+
+	sampleTicker := time.NewTicker(cfg.Sample)
+	defer sampleTicker.Stop()
+	start := time.Now()
+	record := func() {
+		s := E2Sample{Elapsed: time.Since(start), Active: policy.ReplicaIndex(policy.Active())}
+		for i := 0; i < 3; i++ {
+			s.WindowCounts = append(s.WindowCounts, lastCount(i))
+			s.Outputs = append(s.Outputs, ops.Collector(collName(i)).Len())
+		}
+		res.Series = append(res.Series, s)
+	}
+	record()
+	if err := svc.KillPE(aggPE, "injected failure of active replica"); err != nil {
+		return nil, err
+	}
+
+	// Failover latency: until the policy promotes a backup.
+	if !waitUntil(cfg.MaxDuration/3, 100*time.Microsecond, func() bool { return policy.Failovers() >= 1 }) {
+		return nil, fmt.Errorf("e2: failover never happened")
+	}
+	res.FailoverLatency = time.Since(start)
+	res.ActiveAfter = policy.ReplicaIndex(policy.Active())
+
+	// Output gap: until the failed replica produces output again.
+	if !waitUntil(cfg.MaxDuration/3, 100*time.Microsecond, func() bool {
+		return ops.Collector(collName(res.KilledReplica)).Len() > killedLen
+	}) {
+		return nil, fmt.Errorf("e2: failed replica never resumed output")
+	}
+	res.OutputGap = time.Since(start)
+
+	// Refill: sample the series until the failed replica's window count
+	// is back to >=95% of a healthy replica's.
+	healthy := res.ActiveAfter
+	deadline := time.Now().Add(cfg.MaxDuration / 2)
+	for time.Now().Before(deadline) {
+		<-sampleTicker.C
+		record()
+		kc, hc := lastCount(res.KilledReplica), lastCount(healthy)
+		if kc >= 0 && hc > 0 && kc*100 >= hc*95 {
+			res.RefillTime = time.Since(start)
+			break
+		}
+	}
+	if res.RefillTime == 0 {
+		return nil, fmt.Errorf("e2: window never refilled")
+	}
+	record()
+	res.Failovers = policy.Failovers()
+	res.Restarts = policy.Restarts()
+	return res, nil
+}
+
+var _ = ids.InvalidJob

@@ -1,0 +1,199 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"streamorca/internal/apps"
+	"streamorca/internal/core"
+	"streamorca/internal/policies"
+)
+
+// E3Config parameterises experiment E3 (Figure 10): on-demand dynamic
+// application composition (§5.3).
+type E3Config struct {
+	// ProfilePeriod is each C1 reader's emission delay.
+	ProfilePeriod time.Duration
+	// Threshold is the new-profile count that spawns a C3 job (paper
+	// example: 1500).
+	Threshold int64
+	// PullEvery is the metric pull cadence.
+	PullEvery time.Duration
+	// MaxDuration bounds the run.
+	MaxDuration time.Duration
+}
+
+// DefaultE3 returns the scaled default configuration.
+func DefaultE3() E3Config {
+	return E3Config{
+		ProfilePeriod: 100 * time.Microsecond,
+		Threshold:     1500,
+		PullEvery:     4 * time.Millisecond,
+		MaxDuration:   30 * time.Second,
+	}
+}
+
+// E3Sample is one row of the job-count timeline (the expansion and
+// contraction of Figure 10's application graph).
+type E3Sample struct {
+	Elapsed time.Duration
+	Jobs    int
+}
+
+// E3Result captures the composition experiment.
+type E3Result struct {
+	// BaseJobs is the steady-state job count (2 C1 + 3 C2 = 5).
+	BaseJobs int
+	// MaxJobs is the peak concurrent job count (base + C3 jobs).
+	MaxJobs int
+	// FinalJobs is the job count after contraction.
+	FinalJobs int
+	// Submissions and Cancellations list C3 attributes in event order.
+	Submissions   []string
+	Cancellations []string
+	// StoreProfiles is the deduplicated profile-store size at the end.
+	StoreProfiles int
+	// Timeline is the sampled job count.
+	Timeline []E3Sample
+}
+
+// RunE3 executes the composition experiment: C2 query applications are
+// started through the dependency manager (bringing their C1 readers up
+// automatically); profile-discovery metrics spawn C3 segmentation jobs
+// per attribute; final punctuations contract the graph again.
+func RunE3(cfg E3Config) (*E3Result, error) {
+	inst, err := newPlatform("h1", "h2", "h3")
+	if err != nil {
+		return nil, err
+	}
+	defer inst.Close()
+
+	storeID := uniq("e3-profiles")
+	social := apps.SocialConfig{StoreID: storeID, Seed: 11, Period: cfg.ProfilePeriod}
+
+	c1 := map[string]string{"TwitterStreamReader": "twitter", "MySpaceStreamReader": "myspace"}
+	c2Names := []string{"TwitterQuery", "BlogQuery", "FacebookQuery"}
+
+	collPrefix := uniq("e3-seg")
+	policy := &policies.Composition{
+		C2Configs: []string{"cfg-TwitterQuery", "cfg-BlogQuery", "cfg-FacebookQuery"},
+		C3App:     "AttributeAggregator",
+		C3Collector: func(attr string) string {
+			return fmt.Sprintf("%s-%s", collPrefix, attr)
+		},
+		Threshold: cfg.Threshold,
+	}
+	svc, err := core.NewService(core.Config{
+		Name: "socialOrca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
+	}, policy)
+	if err != nil {
+		return nil, err
+	}
+
+	// Register applications and dependency configurations before start.
+	for name, source := range c1 {
+		app, err := apps.C1App(name, source, social)
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.RegisterApplication(app); err != nil {
+			return nil, err
+		}
+		if err := svc.RegisterAppConfig(core.AppConfig{
+			ID: "cfg-" + name, AppName: name,
+			GarbageCollectable: true, GCTimeout: 50 * time.Millisecond,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range c2Names {
+		app, err := apps.C2App(name, social)
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.RegisterApplication(app); err != nil {
+			return nil, err
+		}
+		if err := svc.RegisterAppConfig(core.AppConfig{ID: "cfg-" + name, AppName: name}); err != nil {
+			return nil, err
+		}
+		// None of the C1 applications build internal state, so all
+		// uptime requirements are zero (§5.3).
+		for c1name := range c1 {
+			if err := svc.RegisterDependency("cfg-"+name, "cfg-"+c1name, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c3, err := apps.C3App("AttributeAggregator", social)
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.RegisterApplication(c3); err != nil {
+		return nil, err
+	}
+
+	if err := svc.Start(); err != nil {
+		return nil, err
+	}
+	defer svc.Stop()
+
+	res := &E3Result{}
+	if !waitUntil(cfg.MaxDuration/3, time.Millisecond, func() bool {
+		return len(inst.SAM.Jobs()) == 5
+	}) {
+		return nil, fmt.Errorf("e3: C1/C2 set never came up (%d jobs)", len(inst.SAM.Jobs()))
+	}
+	res.BaseJobs = 5
+
+	start := time.Now()
+	deadline := start.Add(cfg.MaxDuration)
+	wantAttrs := map[string]bool{"age": true, "gender": true, "location": true}
+	for time.Now().Before(deadline) {
+		time.Sleep(cfg.PullEvery)
+		inst.FlushMetrics()
+		svc.PullMetricsNow()
+		n := len(inst.SAM.Jobs())
+		res.Timeline = append(res.Timeline, E3Sample{Elapsed: time.Since(start), Jobs: n})
+		if n > res.MaxJobs {
+			res.MaxJobs = n
+		}
+		done := true
+		cancelled := map[string]bool{}
+		for _, a := range policy.Cancellations() {
+			cancelled[a] = true
+		}
+		for a := range wantAttrs {
+			if !cancelled[a] {
+				done = false
+			}
+		}
+		if done && len(inst.SAM.Jobs()) == res.BaseJobs {
+			break
+		}
+	}
+	res.Submissions = policy.Submissions()
+	res.Cancellations = policy.Cancellations()
+	res.FinalJobs = len(inst.SAM.Jobs())
+	res.StoreProfiles = apps.GetProfileStore(storeID).Len()
+
+	got := map[string]bool{}
+	for _, a := range res.Submissions {
+		got[a] = true
+	}
+	for a := range wantAttrs {
+		if !got[a] {
+			return res, fmt.Errorf("e3: no C3 submission for attribute %q (subs %v)", a, res.Submissions)
+		}
+	}
+	if len(res.Cancellations) < 3 {
+		return res, fmt.Errorf("e3: contraction incomplete: cancellations %v", res.Cancellations)
+	}
+	if res.MaxJobs <= res.BaseJobs {
+		return res, fmt.Errorf("e3: graph never expanded (max %d)", res.MaxJobs)
+	}
+	if res.FinalJobs != res.BaseJobs {
+		return res, fmt.Errorf("e3: graph did not contract (final %d)", res.FinalJobs)
+	}
+	return res, nil
+}

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"streamorca/internal/compiler"
+	"streamorca/internal/core"
+	"streamorca/internal/metrics"
+	"streamorca/internal/ops"
+	"streamorca/internal/sam"
+	"streamorca/internal/tuple"
+)
+
+// E5Result captures the hot-path overhead experiment (§3's claim that
+// orchestrator metric delivery never touches the tuple path: the ORCA
+// service pulls SRM, and HC→SRM pushes happen regardless).
+type E5Result struct {
+	Tuples          int64
+	BaselineTPS     float64
+	WithOrcaTPS     float64
+	OverheadPercent float64 // positive = orchestrator made it slower
+	MetricEvents    uint64  // events the orchestrator consumed meanwhile
+}
+
+var e5Schema = tuple.MustSchema(tuple.Attribute{Name: "seq", Type: tuple.Int})
+
+// RunE5 measures pipeline throughput for n tuples across three PEs, with
+// and without an orchestrator aggressively pulling broad metric scopes.
+func RunE5(n int64) (*E5Result, error) {
+	res := &E5Result{Tuples: n}
+
+	runOnce := func(withOrca bool) (float64, uint64, error) {
+		inst, err := newPlatform("h1")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer inst.Close()
+		collector := uniq("e5")
+		ops.ResetCollector(collector)
+		b := compiler.NewApp("E5")
+		src := b.AddOperator("src", ops.KindBeacon).Out(e5Schema).Param("count", fmt.Sprint(n))
+		fn := b.AddOperator("fn", ops.KindFunctor).In(e5Schema).Out(e5Schema).Param("addInt", "seq:1")
+		sink := b.AddOperator("sink", ops.KindCollectSink).In(e5Schema).
+			Param("collectorId", collector).Param("limit", "1")
+		b.Connect(src, 0, fn, 0)
+		b.Connect(fn, 0, sink, 0)
+		app, err := b.Build(compiler.Options{Fusion: compiler.FuseNone})
+		if err != nil {
+			return 0, 0, err
+		}
+
+		var svc *core.Service
+		var events uint64
+		stopPull := make(chan struct{})
+		pullDone := make(chan struct{})
+		if withOrca {
+			svc, err = core.NewService(core.Config{
+				Name: "e5orca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
+			}, &e5Logic{})
+			if err != nil {
+				return 0, 0, err
+			}
+			if err := svc.RegisterApplication(app); err != nil {
+				return 0, 0, err
+			}
+			if err := svc.Start(); err != nil {
+				return 0, 0, err
+			}
+			defer svc.Stop()
+			scope := core.NewOperatorMetricScope("all")
+			if err := svc.RegisterEventScope(scope); err != nil {
+				return 0, 0, err
+			}
+			go func() {
+				defer close(pullDone)
+				for {
+					select {
+					case <-stopPull:
+						return
+					case <-time.After(2 * time.Millisecond):
+						inst.FlushMetrics()
+						svc.PullMetricsNow()
+					}
+				}
+			}()
+		} else {
+			close(pullDone)
+		}
+
+		start := time.Now()
+		if withOrca {
+			if _, err := svc.SubmitApplication("E5", nil); err != nil {
+				return 0, 0, err
+			}
+		} else {
+			if _, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{}); err != nil {
+				return 0, 0, err
+			}
+		}
+		if !waitUntil(5*time.Minute, 200*time.Microsecond, func() bool {
+			return ops.Collector(collector).Finals() == 1
+		}) {
+			return 0, 0, fmt.Errorf("e5: pipeline never finished")
+		}
+		elapsed := time.Since(start)
+		close(stopPull)
+		<-pullDone
+		if withOrca {
+			events = svc.Stats().MatchedEvents
+		}
+		return float64(n) / elapsed.Seconds(), events, nil
+	}
+
+	tps, _, err := runOnce(false)
+	if err != nil {
+		return nil, err
+	}
+	res.BaselineTPS = tps
+	tps, events, err := runOnce(true)
+	if err != nil {
+		return nil, err
+	}
+	res.WithOrcaTPS = tps
+	res.MetricEvents = events
+	res.OverheadPercent = (res.BaselineTPS - res.WithOrcaTPS) / res.BaselineTPS * 100
+	return res, nil
+}
+
+// e5Logic consumes metric events without acting, to measure pure
+// delivery cost.
+type e5Logic struct{ core.Base }
+
+func (e *e5Logic) HandleOperatorMetric(*core.Service, *core.OperatorMetricContext, []string) {}
+
+var _ = metrics.OpQueueSize

@@ -1,0 +1,55 @@
+package exp
+
+import "testing"
+
+// TestExperimentE5 asserts the §3 hot-path claim's shape: attaching an
+// aggressively pulling orchestrator costs little pipeline throughput
+// (well under 2x; typically a few percent — the assertion is generous to
+// absorb CI noise).
+func TestExperimentE5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput experiment")
+	}
+	res, err := RunE5(200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineTPS <= 0 || res.WithOrcaTPS <= 0 {
+		t.Fatalf("throughputs: %f / %f", res.BaselineTPS, res.WithOrcaTPS)
+	}
+	if res.WithOrcaTPS < res.BaselineTPS/2 {
+		t.Fatalf("orchestrator halved throughput: %.0f -> %.0f tps (%.1f%%)",
+			res.BaselineTPS, res.WithOrcaTPS, res.OverheadPercent)
+	}
+	if res.MetricEvents == 0 {
+		t.Fatal("orchestrator consumed no metric events; measurement invalid")
+	}
+}
+
+// TestExperimentE6 asserts the failure-reaction ordering: platform
+// auto-restart <= orchestrated restart <= orchestrated restart with a
+// slow handler, and the slow-handler penalty reflects the injected 5 ms.
+func TestExperimentE6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency experiment")
+	}
+	res, err := RunE6(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AutoRestart <= 0 || res.OrcaRestart <= 0 || res.OrcaSlowHandler <= 0 {
+		t.Fatalf("latencies: %+v", res)
+	}
+	// The slow handler must cost at least most of its injected delay over
+	// the no-op orchestrated path.
+	if res.OrcaSlowHandler < res.OrcaRestart+res.HandlerDelay/2 {
+		t.Fatalf("handler delay not reflected: noop=%v slow=%v (injected %v)",
+			res.OrcaRestart, res.OrcaSlowHandler, res.HandlerDelay)
+	}
+	// Orchestrated recovery should be the same order of magnitude as
+	// auto-restart (one extra in-process hop), not 10x.
+	if res.OrcaRestart > res.AutoRestart*10+res.HandlerDelay {
+		t.Fatalf("orchestrated restart implausibly slow: auto=%v orca=%v",
+			res.AutoRestart, res.OrcaRestart)
+	}
+}

@@ -1,0 +1,218 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"streamorca/internal/compiler"
+	"streamorca/internal/core"
+	"streamorca/internal/ids"
+	"streamorca/internal/ops"
+	"streamorca/internal/sam"
+)
+
+// E6Result quantifies §3's failure-reaction claim: orchestrated recovery
+// costs the platform's own detection plus one extra hop (SAM → ORCA
+// service) plus whatever the user handler does.
+type E6Result struct {
+	Trials int
+	// AutoRestart is the median kill→running latency under SAM's own
+	// restart flag (no orchestrator involved).
+	AutoRestart time.Duration
+	// OrcaRestart is the median latency with a no-op ORCA failure
+	// handler calling RestartPE.
+	OrcaRestart time.Duration
+	// OrcaSlowHandler adds a deliberate 5 ms of user handler work.
+	OrcaSlowHandler time.Duration
+	// HandlerDelay is the injected user-handler latency.
+	HandlerDelay time.Duration
+}
+
+// e6Policy restarts failed PEs, optionally simulating user handler work.
+type e6Policy struct {
+	core.Base
+	app   string
+	delay time.Duration
+	done  chan ids.PEID
+}
+
+func (p *e6Policy) HandleOrcaStart(svc *core.Service, ctx *core.OrcaStartContext) {
+	if err := svc.RegisterEventScope(core.NewPEFailureScope("f").AddApplicationFilter(p.app)); err != nil {
+		panic(err)
+	}
+}
+
+func (p *e6Policy) HandlePEFailure(svc *core.Service, ctx *core.PEFailureContext, scopes []string) {
+	if p.delay > 0 {
+		time.Sleep(p.delay) // the user-specific failure handling routine
+	}
+	if err := svc.RestartPE(ctx.PE); err == nil {
+		p.done <- ctx.PE
+	}
+}
+
+// RunE6 measures kill→recovered latency over several trials for three
+// recovery paths and reports medians.
+func RunE6(trials int) (*E6Result, error) {
+	if trials <= 0 {
+		trials = 5
+	}
+	res := &E6Result{Trials: trials, HandlerDelay: 5 * time.Millisecond}
+
+	mkApp := func(name, collector string, auto bool) (*compiler.AppBuilder, error) {
+		b := compiler.NewApp(name)
+		src := b.AddOperator("src", ops.KindBeacon).Out(e5Schema).
+			Param("count", "0").Param("period", "500us")
+		sink := b.AddOperator("sink", ops.KindCollectSink).In(e5Schema).
+			Param("collectorId", collector).Param("limit", "10")
+		b.Connect(src, 0, sink, 0)
+		return b, nil
+	}
+
+	sinkPEOf := func(inst interface {
+		Job(ids.JobID) (sam.JobInfo, bool)
+	}, job ids.JobID) ids.PEID {
+		info, _ := inst.Job(job)
+		for _, p := range info.PEs {
+			if len(p.Operators) == 1 && p.Operators[0] == "sink" {
+				return p.ID
+			}
+		}
+		return ids.InvalidPE
+	}
+
+	waitRunning := func(s *sam.SAM, job ids.JobID, pe ids.PEID, restarts int) bool {
+		return waitUntil(10*time.Second, 50*time.Microsecond, func() bool {
+			info, ok := s.Job(job)
+			if !ok {
+				return false
+			}
+			for _, p := range info.PEs {
+				if p.ID == pe {
+					return p.State == "running" && p.Restarts >= restarts
+				}
+			}
+			return false
+		})
+	}
+
+	median := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+
+	// (a) platform auto-restart. SAM notifies the owner's listener after
+	// performing the auto-restart inside its failure handler, so the
+	// notification timestamp marks restart completion without polling
+	// (sleep-based polling would swamp the µs-scale latencies with timer
+	// granularity).
+	var autos []time.Duration
+	{
+		inst, err := newPlatform("h1")
+		if err != nil {
+			return nil, err
+		}
+		collector := uniq("e6a")
+		ops.ResetCollector(collector)
+		b, _ := mkApp("E6auto", collector, true)
+		app, err := b.Build(compiler.Options{Fusion: compiler.FuseNone})
+		if err != nil {
+			inst.Close()
+			return nil, err
+		}
+		for i := range app.PEs {
+			app.PEs[i].Restart = true
+		}
+		restarted := make(chan time.Time, trials)
+		inst.SAM.AddListener("e6probe", sam.Listener{
+			PEFailed: func(sam.PEFailure) { restarted <- time.Now() },
+		})
+		job, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{Owner: "e6probe"})
+		if err != nil {
+			inst.Close()
+			return nil, err
+		}
+		pe := sinkPEOf(inst.SAM, job)
+		for i := 1; i <= trials; i++ {
+			start := time.Now()
+			if err := inst.SAM.KillPE(pe, "e6"); err != nil {
+				inst.Close()
+				return nil, err
+			}
+			select {
+			case at := <-restarted:
+				autos = append(autos, at.Sub(start))
+			case <-time.After(10 * time.Second):
+				inst.Close()
+				return nil, fmt.Errorf("e6: auto-restart trial %d never recovered", i)
+			}
+			if !waitRunning(inst.SAM, job, pe, i) {
+				inst.Close()
+				return nil, fmt.Errorf("e6: auto-restart trial %d inconsistent state", i)
+			}
+		}
+		inst.Close()
+	}
+	res.AutoRestart = median(autos)
+
+	// (b, c) orchestrated restart, with and without handler work.
+	orcaRun := func(delay time.Duration) (time.Duration, error) {
+		inst, err := newPlatform("h1")
+		if err != nil {
+			return 0, err
+		}
+		defer inst.Close()
+		collector := uniq("e6o")
+		ops.ResetCollector(collector)
+		b, _ := mkApp("E6orca", collector, false)
+		app, err := b.Build(compiler.Options{Fusion: compiler.FuseNone})
+		if err != nil {
+			return 0, err
+		}
+		policy := &e6Policy{app: "E6orca", delay: delay, done: make(chan ids.PEID, trials)}
+		svc, err := core.NewService(core.Config{
+			Name: "e6orca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
+		}, policy)
+		if err != nil {
+			return 0, err
+		}
+		if err := svc.RegisterApplication(app); err != nil {
+			return 0, err
+		}
+		if err := svc.Start(); err != nil {
+			return 0, err
+		}
+		defer svc.Stop()
+		job, err := svc.SubmitApplication("E6orca", nil)
+		if err != nil {
+			return 0, err
+		}
+		pe := sinkPEOf(inst.SAM, job)
+		var ds []time.Duration
+		for i := 1; i <= trials; i++ {
+			start := time.Now()
+			if err := svc.KillPE(pe, "e6"); err != nil {
+				return 0, err
+			}
+			select {
+			case <-policy.done:
+				ds = append(ds, time.Since(start))
+			case <-time.After(10 * time.Second):
+				return 0, fmt.Errorf("e6: orca trial %d never recovered", i)
+			}
+			if !waitRunning(inst.SAM, job, pe, i) {
+				return 0, fmt.Errorf("e6: orca trial %d PE not running", i)
+			}
+		}
+		return median(ds), nil
+	}
+	var err error
+	if res.OrcaRestart, err = orcaRun(0); err != nil {
+		return nil, err
+	}
+	if res.OrcaSlowHandler, err = orcaRun(res.HandlerDelay); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

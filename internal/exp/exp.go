@@ -1,0 +1,51 @@
+// Package exp implements the paper's experiments as runnable,
+// self-contained functions returning structured results. Integration
+// tests assert the *shape* of each result (who wins, where crossings
+// fall); cmd/expdriver prints the same results as CSV series for
+// EXPERIMENTS.md. Scales are configurable: the defaults compress the
+// paper's wall-clock scales (600 s windows, 15 s pulls) by three orders
+// of magnitude while preserving every ratio that matters.
+package exp
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"streamorca/internal/platform"
+)
+
+// runSeq uniquifies the shared-registry ids (models, stores, collectors)
+// across experiment runs within one process.
+var runSeq atomic.Int64
+
+func uniq(prefix string) string {
+	return fmt.Sprintf("%s-%d", prefix, runSeq.Add(1))
+}
+
+// newPlatform boots a real-clock instance with the given hosts and a
+// long HC metric push interval — experiments flush metrics explicitly so
+// each orchestrator pull round sees fresh values.
+func newPlatform(hosts ...string) (*platform.Instance, error) {
+	specs := make([]platform.HostSpec, len(hosts))
+	for i, h := range hosts {
+		specs[i] = platform.HostSpec{Name: h}
+	}
+	return platform.NewInstance(platform.Options{
+		Hosts:           specs,
+		MetricsInterval: time.Hour,
+	})
+}
+
+// waitUntil polls cond every step until it holds or the deadline passes;
+// it reports whether the condition held.
+func waitUntil(timeout, step time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(step)
+	}
+	return cond()
+}

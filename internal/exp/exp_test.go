@@ -1,0 +1,139 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestExperimentE1 asserts Figure 8's shape: the unknown/known ratio
+// starts below the threshold, crosses it after the cause-distribution
+// shift, the orchestrator triggers exactly enough batch jobs, and after
+// the model refresh the ratio stabilises below 1.0 with the new cause in
+// the model.
+func TestExperimentE1(t *testing.T) {
+	res, err := RunE1(DefaultE1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrossEpoch == 0 || res.RecoverEpoch <= res.CrossEpoch {
+		t.Fatalf("milestones: cross=%d recover=%d", res.CrossEpoch, res.RecoverEpoch)
+	}
+	// Early epochs (before the shift propagates) sit below the threshold.
+	var sawLowBeforeCross bool
+	for _, p := range res.Series {
+		if p.Epoch < res.CrossEpoch && p.Ratio < 1.0 {
+			sawLowBeforeCross = true
+			break
+		}
+	}
+	if !sawLowBeforeCross {
+		t.Fatalf("no pre-shift low-ratio measurements: %+v", res.Series[:min(5, len(res.Series))])
+	}
+	if res.Triggers < 1 {
+		t.Fatalf("triggers = %d", res.Triggers)
+	}
+	if res.ModelVersion < 2 {
+		t.Fatalf("model version = %d", res.ModelVersion)
+	}
+	found := false
+	for _, c := range res.FinalCauses {
+		if c == "antenna" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recomputed model misses the new cause: %v", res.FinalCauses)
+	}
+	// The tail of the series (post-recovery) stays below 1.0.
+	tail := res.Series[len(res.Series)-1]
+	if tail.Ratio >= 1.0 {
+		t.Fatalf("tail ratio = %f", tail.Ratio)
+	}
+}
+
+// TestExperimentE2 asserts Figure 9's shape: replicas on distinct hosts,
+// failover to the oldest backup, an output gap for the failed replica,
+// and a window refill that takes on the order of the window duration.
+func TestExperimentE2(t *testing.T) {
+	cfg := DefaultE2()
+	res, err := RunE2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ActiveBefore == res.ActiveAfter {
+		t.Fatalf("active replica unchanged: %d", res.ActiveBefore)
+	}
+	// The promoted replica is the oldest healthy one: replica 1 when 0
+	// was active and killed (submission order ties broken by age).
+	if res.ActiveBefore == 0 && res.ActiveAfter != 1 {
+		t.Fatalf("promoted replica %d, want the oldest backup (1)", res.ActiveAfter)
+	}
+	if res.Failovers != 1 || res.Restarts != 1 {
+		t.Fatalf("failovers=%d restarts=%d", res.Failovers, res.Restarts)
+	}
+	if res.FailoverLatency <= 0 || res.FailoverLatency > cfg.Window {
+		t.Fatalf("failover latency %v out of range", res.FailoverLatency)
+	}
+	// Refill takes roughly a window: at least half of it, definitely
+	// longer than the failover itself.
+	if res.RefillTime < cfg.Window/2 {
+		t.Fatalf("window refilled implausibly fast: %v (window %v)", res.RefillTime, cfg.Window)
+	}
+	if res.RefillTime <= res.FailoverLatency {
+		t.Fatal("refill faster than failover")
+	}
+	// Right after restart the failed replica's window must have been
+	// observed smaller than the healthy one's (the Figure 9b dashed box).
+	sawSmall := false
+	for _, s := range res.Series {
+		kc := s.WindowCounts[res.KilledReplica]
+		hc := s.WindowCounts[res.ActiveAfter]
+		if kc >= 0 && hc > 0 && kc < hc/2 {
+			sawSmall = true
+			break
+		}
+	}
+	if !sawSmall {
+		t.Fatal("never observed the refilling window below half of healthy")
+	}
+}
+
+// TestExperimentE3 asserts Figure 10's shape: the application graph
+// expands with C3 jobs per attribute and contracts back to the base set.
+func TestExperimentE3(t *testing.T) {
+	res, err := RunE3(DefaultE3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseJobs != 5 || res.MaxJobs < 6 || res.FinalJobs != 5 {
+		t.Fatalf("jobs: base=%d max=%d final=%d", res.BaseJobs, res.MaxJobs, res.FinalJobs)
+	}
+	if len(res.Submissions) < 3 || len(res.Cancellations) < 3 {
+		t.Fatalf("subs=%v cancels=%v", res.Submissions, res.Cancellations)
+	}
+	if res.StoreProfiles == 0 {
+		t.Fatal("profile store empty")
+	}
+	// The timeline must actually show expansion and contraction.
+	var expanded, contracted bool
+	for _, s := range res.Timeline {
+		if s.Jobs > res.BaseJobs {
+			expanded = true
+		}
+		if expanded && s.Jobs == res.BaseJobs {
+			contracted = true
+		}
+	}
+	if !expanded || !contracted {
+		t.Fatalf("timeline lacks expansion/contraction: %+v", res.Timeline)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+var _ = time.Second

@@ -1,0 +1,26 @@
+// Package ids defines the small shared identifier types used across the
+// platform daemons and the orchestrator. Keeping them in one leaf package
+// avoids import cycles between the runtime components that exchange them.
+package ids
+
+import "fmt"
+
+// JobID identifies a submitted application instance (a "job"). IDs are
+// assigned by SAM and are unique for the lifetime of a platform instance.
+type JobID int64
+
+// String renders the id as SAM reports it.
+func (j JobID) String() string { return fmt.Sprintf("job-%d", int64(j)) }
+
+// InvalidJob is the zero, never-assigned job id.
+const InvalidJob JobID = 0
+
+// PEID identifies a processing element. PE ids are globally unique across
+// jobs, as in System S, so a PE failure event alone pins down the job.
+type PEID int64
+
+// String renders the id as the platform tools print it.
+func (p PEID) String() string { return fmt.Sprintf("pe-%d", int64(p)) }
+
+// InvalidPE is the zero, never-assigned PE id.
+const InvalidPE PEID = 0

@@ -1,0 +1,15 @@
+package ids
+
+import "testing"
+
+func TestStrings(t *testing.T) {
+	if JobID(7).String() != "job-7" {
+		t.Fatalf("JobID string = %q", JobID(7).String())
+	}
+	if PEID(12).String() != "pe-12" {
+		t.Fatalf("PEID string = %q", PEID(12).String())
+	}
+	if InvalidJob != 0 || InvalidPE != 0 {
+		t.Fatal("invalid sentinels non-zero")
+	}
+}

@@ -1,0 +1,239 @@
+// Package opapi defines the operator SPI: the interfaces an operator
+// implements, the context the PE runtime hands it, parameter access, and
+// the operator-kind registry the compiler and runtime resolve kinds
+// against (the equivalent of SPL's operator model).
+package opapi
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"streamorca/internal/metrics"
+	"streamorca/internal/tuple"
+	"streamorca/internal/vclock"
+)
+
+// Params are operator configuration values from the ADL (merged from the
+// application builder and submission-time parameters).
+type Params map[string]string
+
+// Get returns the value for key, or def when absent.
+func (p Params) Get(key, def string) string {
+	if v, ok := p[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Int returns the integer value for key, or def when absent or malformed.
+func (p Params) Int(key string, def int64) int64 {
+	if v, ok := p[key]; ok {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// Float returns the float value for key, or def when absent or malformed.
+func (p Params) Float(key string, def float64) float64 {
+	if v, ok := p[key]; ok {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return def
+}
+
+// Bool returns the boolean value for key, or def when absent or malformed.
+func (p Params) Bool(key string, def bool) bool {
+	if v, ok := p[key]; ok {
+		if b, err := strconv.ParseBool(v); err == nil {
+			return b
+		}
+	}
+	return def
+}
+
+// Duration returns the duration value for key, or def.
+func (p Params) Duration(key string, def time.Duration) time.Duration {
+	if v, ok := p[key]; ok {
+		if d, err := time.ParseDuration(v); err == nil {
+			return d
+		}
+	}
+	return def
+}
+
+// Clone returns an independent copy of the parameter map.
+func (p Params) Clone() Params {
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Context is the runtime environment the PE provides to an operator
+// instance. All methods are safe to call from the operator's processing
+// goroutine; Submit may be called from a Source's Run goroutine.
+type Context interface {
+	// Name returns the fully qualified logical instance name.
+	Name() string
+	// Kind returns the operator type name.
+	Kind() string
+	// App returns the application name.
+	App() string
+	// Params returns the operator's configuration.
+	Params() Params
+	// NumInputs returns the number of input ports.
+	NumInputs() int
+	// NumOutputs returns the number of output ports.
+	NumOutputs() int
+	// InputSchema returns the schema of input port i.
+	InputSchema(i int) *tuple.Schema
+	// OutputSchema returns the schema of output port i.
+	OutputSchema(i int) *tuple.Schema
+	// Submit sends a tuple on output port i.
+	Submit(i int, t tuple.Tuple) error
+	// SubmitMark sends a punctuation on output port i. Final marks are
+	// normally managed by the runtime; sources emit them via Run's return.
+	SubmitMark(i int, m tuple.Mark) error
+	// CustomMetric returns (creating if needed) a custom metric counter,
+	// visible to SRM and hence to orchestrator metric scopes (§2.1).
+	CustomMetric(name string) *metrics.Counter
+	// Clock returns the platform clock (virtual in tests).
+	Clock() vclock.Clock
+	// Done is closed when the containing PE stops or crashes. Operators
+	// performing long waits must select on it (or use Sleep) so shutdown
+	// is never blocked behind a pending clock wait.
+	Done() <-chan struct{}
+	// Logf writes to the PE's log.
+	Logf(format string, args ...any)
+}
+
+// Sleep waits d on the clock, returning early with false when stop
+// closes first. Operators use it instead of Clock().Sleep so that PE
+// shutdown (and tests driving a manual clock) never deadlock behind an
+// uninterruptible wait.
+func Sleep(clock vclock.Clock, d time.Duration, stop <-chan struct{}) bool {
+	if d <= 0 {
+		return true
+	}
+	select {
+	case <-clock.After(d):
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// Operator is a stream operator instance. The PE runtime serialises all
+// Process/ProcessMark calls for one instance, so implementations need no
+// internal locking unless they share state elsewhere.
+//
+// A returned error is treated as an uncaught exception: it crashes the
+// containing PE (as in the paper's PE failure scenarios). Recoverable
+// conditions should be handled internally and, if worth surfacing,
+// reflected in a custom metric.
+type Operator interface {
+	// Open is called once before any tuple delivery.
+	Open(ctx Context) error
+	// Process handles one tuple arriving on an input port.
+	Process(port int, t tuple.Tuple) error
+	// ProcessMark handles a punctuation arriving on an input port. Final
+	// marks are delivered once per port; forwarding is the runtime's job.
+	ProcessMark(port int, m tuple.Mark) error
+	// Close is called once when the PE shuts down cleanly.
+	Close() error
+}
+
+// Source is implemented by operators with no input ports. The runtime
+// calls Run on a dedicated goroutine; it should emit tuples via the
+// context until stop is closed or the stream is exhausted. Returning nil
+// after exhaustion emits a final punctuation downstream.
+type Source interface {
+	Operator
+	Run(stop <-chan struct{}) error
+}
+
+// Controllable is implemented by operators that accept orchestrator
+// control commands (e.g. a dynamic filter changing its predicate at
+// runtime, §3). Control calls arrive on the processing goroutine.
+type Controllable interface {
+	Control(cmd string, args map[string]string) error
+}
+
+// Base provides no-op defaults so operators only implement what they
+// need.
+type Base struct{}
+
+// Open implements Operator.
+func (Base) Open(Context) error { return nil }
+
+// Process implements Operator.
+func (Base) Process(int, tuple.Tuple) error { return nil }
+
+// ProcessMark implements Operator.
+func (Base) ProcessMark(int, tuple.Mark) error { return nil }
+
+// Close implements Operator.
+func (Base) Close() error { return nil }
+
+// Factory constructs a fresh operator instance of some kind.
+type Factory func() Operator
+
+// Registry maps operator kinds to factories. The platform uses Default;
+// tests may build private registries.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{factories: make(map[string]Factory)} }
+
+// Register adds a kind; registering a duplicate kind panics, since kind
+// registration happens at init time and a collision is a programming
+// error.
+func (r *Registry) Register(kind string, f Factory) {
+	if kind == "" || f == nil {
+		panic("opapi: empty kind or nil factory")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[kind]; dup {
+		panic(fmt.Sprintf("opapi: operator kind %q registered twice", kind))
+	}
+	r.factories[kind] = f
+}
+
+// New instantiates an operator of the given kind.
+func (r *Registry) New(kind string) (Operator, error) {
+	r.mu.RLock()
+	f, ok := r.factories[kind]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("opapi: unknown operator kind %q", kind)
+	}
+	return f(), nil
+}
+
+// Kinds returns the registered kind names, sorted.
+func (r *Registry) Kinds() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	kinds := make([]string, 0, len(r.factories))
+	for k := range r.factories {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// Default is the process-wide registry the built-in operator library
+// registers into.
+var Default = NewRegistry()

@@ -1,0 +1,136 @@
+package opapi
+
+import (
+	"testing"
+	"time"
+
+	"streamorca/internal/tuple"
+	"streamorca/internal/vclock"
+)
+
+func TestParamsAccessors(t *testing.T) {
+	p := Params{
+		"s": "hello", "i": "42", "f": "2.5", "b": "true", "d": "3s",
+		"badi": "x", "badf": "x", "badb": "x", "badd": "x",
+	}
+	if p.Get("s", "d") != "hello" || p.Get("missing", "d") != "d" {
+		t.Fatal("Get wrong")
+	}
+	if p.Int("i", 0) != 42 || p.Int("badi", 7) != 7 || p.Int("missing", 7) != 7 {
+		t.Fatal("Int wrong")
+	}
+	if p.Float("f", 0) != 2.5 || p.Float("badf", 1.5) != 1.5 {
+		t.Fatal("Float wrong")
+	}
+	if !p.Bool("b", false) || p.Bool("badb", true) != true || p.Bool("missing", false) {
+		t.Fatal("Bool wrong")
+	}
+	if p.Duration("d", 0) != 3*time.Second || p.Duration("badd", time.Minute) != time.Minute {
+		t.Fatal("Duration wrong")
+	}
+}
+
+func TestParamsClone(t *testing.T) {
+	p := Params{"k": "v"}
+	c := p.Clone()
+	c["k"] = "other"
+	if p["k"] != "v" {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+type dummyOp struct {
+	Base
+	id int // non-zero size so distinct instances get distinct addresses
+}
+
+func TestRegistryRegisterAndNew(t *testing.T) {
+	r := NewRegistry()
+	r.Register("Dummy", func() Operator { return &dummyOp{} })
+	op, err := r.New("Dummy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*dummyOp); !ok {
+		t.Fatalf("New returned %T", op)
+	}
+	op2, _ := r.New("Dummy")
+	if op == op2 {
+		t.Fatal("factory returned a shared instance")
+	}
+	if _, err := r.New("Ghost"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Register("Dup", func() Operator { return &dummyOp{} })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Register("Dup", func() Operator { return &dummyOp{} })
+}
+
+func TestRegistryEmptyKindPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty kind did not panic")
+		}
+	}()
+	r.Register("", func() Operator { return &dummyOp{} })
+}
+
+func TestRegistryKindsSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, k := range []string{"Zeta", "Alpha", "Mid"} {
+		r.Register(k, func() Operator { return &dummyOp{} })
+	}
+	kinds := r.Kinds()
+	if len(kinds) != 3 || kinds[0] != "Alpha" || kinds[2] != "Zeta" {
+		t.Fatalf("Kinds() = %v", kinds)
+	}
+}
+
+func TestBaseDefaults(t *testing.T) {
+	var b Base
+	if err := b.Open(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Process(0, tuple.Tuple{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ProcessMark(0, tuple.FinalMark); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSleepInterruptible(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	stop := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() { done <- Sleep(clock, time.Minute, stop) }()
+	clock.BlockUntilWaiters(1)
+	close(stop)
+	if slept := <-done; slept {
+		t.Fatal("Sleep reported completion after interrupt")
+	}
+	// Completed sleep returns true. The interrupted waiter above is
+	// still registered on the manual clock, so wait for a second one.
+	go func() { done <- Sleep(clock, time.Second, make(chan struct{})) }()
+	clock.BlockUntilWaiters(2)
+	clock.Advance(time.Second)
+	if slept := <-done; !slept {
+		t.Fatal("Sleep reported interrupt after completion")
+	}
+	// Non-positive duration returns immediately.
+	if !Sleep(clock, 0, nil) {
+		t.Fatal("zero Sleep reported interrupt")
+	}
+}

@@ -1,0 +1,120 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"streamorca/internal/opapi"
+	"streamorca/internal/tuple"
+)
+
+// aggregate maintains a per-group sliding time window over one numeric
+// attribute and emits summary statistics for the group on every input
+// tuple — the windowed analytics shape of the paper's Trend Calculator
+// (§5.2): min/max/average price and Bollinger bands over a 600-second
+// window per stock symbol.
+//
+// Output attributes are filled by name when the output schema declares
+// them: the group attribute (copied), "min", "max", "avg", "stddev",
+// "bbUpper", "bbLower" (avg ± 2σ), and "count" (int64 window size).
+//
+// The window is processing-time based on the platform clock, so
+// experiments on a virtual clock control window motion exactly. A crash
+// loses the window — rebuilding it takes a full window duration of fresh
+// tuples, which is precisely the recovery gap Figure 9 shows.
+//
+// Parameters:
+//
+//	window    string  Go duration of the sliding window (required)
+//	groupBy   string  grouping attribute (optional: one global group)
+//	valueAttr string  numeric attribute to aggregate (required, float64)
+type aggregate struct {
+	opapi.Base
+	ctx       opapi.Context
+	window    time.Duration
+	groupBy   string
+	valueAttr string
+	groups    map[string][]sample
+}
+
+type sample struct {
+	at time.Time
+	v  float64
+}
+
+func (a *aggregate) Open(ctx opapi.Context) error {
+	a.ctx = ctx
+	p := ctx.Params()
+	a.window = p.Duration("window", 0)
+	if a.window <= 0 {
+		return fmt.Errorf("Aggregate %s: window parameter required", ctx.Name())
+	}
+	a.valueAttr = p.Get("valueAttr", "")
+	if a.valueAttr == "" {
+		return fmt.Errorf("Aggregate %s: valueAttr parameter required", ctx.Name())
+	}
+	if idx := ctx.InputSchema(0).Index(a.valueAttr); idx < 0 || ctx.InputSchema(0).Attr(idx).Type != tuple.Float {
+		return fmt.Errorf("Aggregate %s: valueAttr %q must be a float64 input attribute", ctx.Name(), a.valueAttr)
+	}
+	a.groupBy = p.Get("groupBy", "")
+	a.groups = make(map[string][]sample)
+	return nil
+}
+
+func (a *aggregate) Process(port int, t tuple.Tuple) error {
+	key := ""
+	if a.groupBy != "" {
+		key = t.String(a.groupBy)
+	}
+	now := a.ctx.Clock().Now()
+	win := append(a.groups[key], sample{at: now, v: t.Float(a.valueAttr)})
+	cut := now.Add(-a.window)
+	drop := 0
+	for drop < len(win) && !win[drop].at.After(cut) {
+		drop++
+	}
+	win = win[drop:]
+	a.groups[key] = win
+
+	var sum, sumSq float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range win {
+		sum += s.v
+		sumSq += s.v * s.v
+		if s.v < lo {
+			lo = s.v
+		}
+		if s.v > hi {
+			hi = s.v
+		}
+	}
+	n := float64(len(win))
+	avg := sum / n
+	variance := sumSq/n - avg*avg
+	if variance < 0 {
+		variance = 0
+	}
+	sd := math.Sqrt(variance)
+
+	out := tuple.New(a.ctx.OutputSchema(0))
+	schema := a.ctx.OutputSchema(0)
+	if a.groupBy != "" && schema.Index(a.groupBy) >= 0 {
+		_ = out.SetString(a.groupBy, key)
+	}
+	setIf := func(name string, v float64) {
+		if schema.Index(name) >= 0 {
+			_ = out.SetFloat(name, v)
+		}
+	}
+	setIf("min", lo)
+	setIf("max", hi)
+	setIf("avg", avg)
+	setIf("stddev", sd)
+	setIf("bbUpper", avg+2*sd)
+	setIf("bbLower", avg-2*sd)
+	if schema.Index("count") >= 0 {
+		_ = out.SetInt("count", int64(len(win)))
+	}
+	return a.ctx.Submit(0, out)
+}

@@ -1,0 +1,37 @@
+// Package ops provides the built-in operator library (the equivalent of
+// the SPL standard toolkit): sources, relational operators, windowed
+// aggregation, throttling, and sinks. Every kind registers into
+// opapi.Default at init, so the compiler and runtime resolve them by
+// name.
+package ops
+
+import "streamorca/internal/opapi"
+
+// Registered operator kind names.
+const (
+	KindBeacon        = "Beacon"
+	KindFilter        = "Filter"
+	KindDynamicFilter = "DynamicFilter"
+	KindFunctor       = "Functor"
+	KindSplit         = "Split"
+	KindMerge         = "Merge"
+	KindThrottle      = "Throttle"
+	KindAggregate     = "Aggregate"
+	KindCollectSink   = "CollectSink"
+	KindFileSink      = "FileSink"
+	KindCountSink     = "CountSink"
+)
+
+func init() {
+	opapi.Default.Register(KindBeacon, func() opapi.Operator { return &beacon{} })
+	opapi.Default.Register(KindFilter, func() opapi.Operator { return &filter{} })
+	opapi.Default.Register(KindDynamicFilter, func() opapi.Operator { return &dynamicFilter{} })
+	opapi.Default.Register(KindFunctor, func() opapi.Operator { return &functor{} })
+	opapi.Default.Register(KindSplit, func() opapi.Operator { return &split{} })
+	opapi.Default.Register(KindMerge, func() opapi.Operator { return &merge{} })
+	opapi.Default.Register(KindThrottle, func() opapi.Operator { return &throttle{} })
+	opapi.Default.Register(KindAggregate, func() opapi.Operator { return &aggregate{} })
+	opapi.Default.Register(KindCollectSink, func() opapi.Operator { return &collectSink{} })
+	opapi.Default.Register(KindFileSink, func() opapi.Operator { return &fileSink{} })
+	opapi.Default.Register(KindCountSink, func() opapi.Operator { return &countSink{} })
+}

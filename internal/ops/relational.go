@@ -1,0 +1,351 @@
+package ops
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"sync"
+
+	"streamorca/internal/opapi"
+	"streamorca/internal/tuple"
+)
+
+// filter passes tuples matching a single-attribute predicate and counts
+// discards in the custom metric "nTuplesDropped" — the paper's example of
+// an operator-specific custom metric (§2.1).
+//
+// Parameters:
+//
+//	attr  string  attribute to test
+//	op    string  eq | ne | lt | le | gt | ge | contains (default eq)
+//	value string  comparison value (parsed per attribute type)
+type filter struct {
+	opapi.Base
+	ctx  opapi.Context
+	pred func(tuple.Tuple) bool
+}
+
+func (f *filter) Open(ctx opapi.Context) error {
+	f.ctx = ctx
+	p := ctx.Params()
+	pred, err := buildPredicate(ctx.InputSchema(0), p.Get("attr", ""), p.Get("op", "eq"), p.Get("value", ""))
+	if err != nil {
+		return fmt.Errorf("Filter %s: %w", ctx.Name(), err)
+	}
+	f.pred = pred
+	return nil
+}
+
+func (f *filter) Process(port int, t tuple.Tuple) error {
+	if f.pred(t) {
+		return f.ctx.Submit(0, t)
+	}
+	f.ctx.CustomMetric("nTuplesDropped").Inc()
+	return nil
+}
+
+// dynamicFilter is a filter whose predicate can be replaced at runtime by
+// an orchestrator control command — the paper's example of a local,
+// operator-level adaptation the orchestrator complements rather than
+// replaces (§3). Command "setPredicate" takes args attr/op/value.
+type dynamicFilter struct {
+	opapi.Base
+	ctx  opapi.Context
+	mu   sync.Mutex
+	pred func(tuple.Tuple) bool
+}
+
+func (f *dynamicFilter) Open(ctx opapi.Context) error {
+	f.ctx = ctx
+	p := ctx.Params()
+	pred, err := buildPredicate(ctx.InputSchema(0), p.Get("attr", ""), p.Get("op", "eq"), p.Get("value", ""))
+	if err != nil {
+		return fmt.Errorf("DynamicFilter %s: %w", ctx.Name(), err)
+	}
+	f.pred = pred
+	return nil
+}
+
+func (f *dynamicFilter) Process(port int, t tuple.Tuple) error {
+	f.mu.Lock()
+	pass := f.pred(t)
+	f.mu.Unlock()
+	if pass {
+		return f.ctx.Submit(0, t)
+	}
+	f.ctx.CustomMetric("nTuplesDropped").Inc()
+	return nil
+}
+
+func (f *dynamicFilter) Control(cmd string, args map[string]string) error {
+	if cmd != "setPredicate" {
+		return fmt.Errorf("DynamicFilter: unknown command %q", cmd)
+	}
+	pred, err := buildPredicate(f.ctx.InputSchema(0), args["attr"], args["op"], args["value"])
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.pred = pred
+	f.mu.Unlock()
+	return nil
+}
+
+// buildPredicate compiles a simple typed comparison. An empty attr yields
+// an always-true predicate.
+func buildPredicate(schema *tuple.Schema, attr, op, value string) (func(tuple.Tuple) bool, error) {
+	if attr == "" {
+		return func(tuple.Tuple) bool { return true }, nil
+	}
+	idx := schema.Index(attr)
+	if idx < 0 {
+		return nil, fmt.Errorf("no attribute %q in %s", attr, schema)
+	}
+	switch schema.Attr(idx).Type {
+	case tuple.Int:
+		want, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("attribute %q: bad int value %q", attr, value)
+		}
+		cmp, err := intCmp(op)
+		if err != nil {
+			return nil, err
+		}
+		return func(t tuple.Tuple) bool { return cmp(t.Int(attr), want) }, nil
+	case tuple.Float:
+		want, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("attribute %q: bad float value %q", attr, value)
+		}
+		cmp, err := floatCmp(op)
+		if err != nil {
+			return nil, err
+		}
+		return func(t tuple.Tuple) bool { return cmp(t.Float(attr), want) }, nil
+	case tuple.String:
+		switch op {
+		case "eq":
+			return func(t tuple.Tuple) bool { return t.String(attr) == value }, nil
+		case "ne":
+			return func(t tuple.Tuple) bool { return t.String(attr) != value }, nil
+		case "contains":
+			return func(t tuple.Tuple) bool { return strings.Contains(t.String(attr), value) }, nil
+		default:
+			return nil, fmt.Errorf("operator %q unsupported for strings", op)
+		}
+	case tuple.Bool:
+		want, err := strconv.ParseBool(value)
+		if err != nil {
+			return nil, fmt.Errorf("attribute %q: bad bool value %q", attr, value)
+		}
+		switch op {
+		case "eq":
+			return func(t tuple.Tuple) bool { return t.Bool(attr) == want }, nil
+		case "ne":
+			return func(t tuple.Tuple) bool { return t.Bool(attr) != want }, nil
+		default:
+			return nil, fmt.Errorf("operator %q unsupported for bools", op)
+		}
+	default:
+		return nil, fmt.Errorf("attribute %q: unsupported type for filtering", attr)
+	}
+}
+
+func intCmp(op string) (func(a, b int64) bool, error) {
+	switch op {
+	case "eq":
+		return func(a, b int64) bool { return a == b }, nil
+	case "ne":
+		return func(a, b int64) bool { return a != b }, nil
+	case "lt":
+		return func(a, b int64) bool { return a < b }, nil
+	case "le":
+		return func(a, b int64) bool { return a <= b }, nil
+	case "gt":
+		return func(a, b int64) bool { return a > b }, nil
+	case "ge":
+		return func(a, b int64) bool { return a >= b }, nil
+	default:
+		return nil, fmt.Errorf("unknown comparison %q", op)
+	}
+}
+
+func floatCmp(op string) (func(a, b float64) bool, error) {
+	switch op {
+	case "eq":
+		return func(a, b float64) bool { return a == b }, nil
+	case "ne":
+		return func(a, b float64) bool { return a != b }, nil
+	case "lt":
+		return func(a, b float64) bool { return a < b }, nil
+	case "le":
+		return func(a, b float64) bool { return a <= b }, nil
+	case "gt":
+		return func(a, b float64) bool { return a > b }, nil
+	case "ge":
+		return func(a, b float64) bool { return a >= b }, nil
+	default:
+		return nil, fmt.Errorf("unknown comparison %q", op)
+	}
+}
+
+// functor projects each input tuple onto the output schema (matching
+// attribute names copy over) and optionally applies arithmetic to one
+// attribute.
+//
+// Parameters:
+//
+//	addInt   string  "attr:delta"  add delta to an int64 attribute
+//	scale    string  "attr:factor" multiply a float64 attribute
+//	setStr   string  "attr:value"  overwrite a string attribute
+type functor struct {
+	opapi.Base
+	ctx             opapi.Context
+	addAttr         string
+	addDelta        int64
+	scaleAttr       string
+	scaleBy         float64
+	setAttr, setVal string
+	copyIdx         [][2]int // input index -> output index
+}
+
+func (f *functor) Open(ctx opapi.Context) error {
+	f.ctx = ctx
+	p := ctx.Params()
+	if spec := p.Get("addInt", ""); spec != "" {
+		attr, val, err := splitSpec(spec)
+		if err != nil {
+			return fmt.Errorf("Functor %s: addInt: %w", ctx.Name(), err)
+		}
+		f.addAttr = attr
+		if f.addDelta, err = strconv.ParseInt(val, 10, 64); err != nil {
+			return fmt.Errorf("Functor %s: addInt: %w", ctx.Name(), err)
+		}
+	}
+	if spec := p.Get("scale", ""); spec != "" {
+		attr, val, err := splitSpec(spec)
+		if err != nil {
+			return fmt.Errorf("Functor %s: scale: %w", ctx.Name(), err)
+		}
+		f.scaleAttr = attr
+		if f.scaleBy, err = strconv.ParseFloat(val, 64); err != nil {
+			return fmt.Errorf("Functor %s: scale: %w", ctx.Name(), err)
+		}
+	}
+	if spec := p.Get("setStr", ""); spec != "" {
+		attr, val, err := splitSpec(spec)
+		if err != nil {
+			return fmt.Errorf("Functor %s: setStr: %w", ctx.Name(), err)
+		}
+		f.setAttr, f.setVal = attr, val
+	}
+	in, out := ctx.InputSchema(0), ctx.OutputSchema(0)
+	for i := 0; i < in.NumAttrs(); i++ {
+		a := in.Attr(i)
+		if j := out.Index(a.Name); j >= 0 && out.Attr(j).Type == a.Type {
+			f.copyIdx = append(f.copyIdx, [2]int{i, j})
+		}
+	}
+	return nil
+}
+
+func splitSpec(spec string) (attr, value string, err error) {
+	i := strings.IndexByte(spec, ':')
+	if i <= 0 {
+		return "", "", fmt.Errorf("malformed spec %q (want attr:value)", spec)
+	}
+	return spec[:i], spec[i+1:], nil
+}
+
+func (f *functor) Process(port int, t tuple.Tuple) error {
+	in := f.ctx.InputSchema(0)
+	out := tuple.New(f.ctx.OutputSchema(0))
+	for _, pair := range f.copyIdx {
+		a := in.Attr(pair[0])
+		switch a.Type {
+		case tuple.Int:
+			_ = out.SetInt(a.Name, t.Int(a.Name))
+		case tuple.Float:
+			_ = out.SetFloat(a.Name, t.Float(a.Name))
+		case tuple.String:
+			_ = out.SetString(a.Name, t.String(a.Name))
+		case tuple.Bool:
+			_ = out.SetBool(a.Name, t.Bool(a.Name))
+		case tuple.Timestamp:
+			_ = out.SetTime(a.Name, t.Time(a.Name))
+		}
+	}
+	if f.addAttr != "" {
+		_ = out.SetInt(f.addAttr, out.Int(f.addAttr)+f.addDelta)
+	}
+	if f.scaleAttr != "" {
+		_ = out.SetFloat(f.scaleAttr, out.Float(f.scaleAttr)*f.scaleBy)
+	}
+	if f.setAttr != "" {
+		_ = out.SetString(f.setAttr, f.setVal)
+	}
+	return f.ctx.Submit(0, out)
+}
+
+// split routes each input tuple to one (or all) of its output ports.
+//
+// Parameters:
+//
+//	mode string  roundrobin (default) | duplicate | hash
+//	attr string  hashing attribute for mode=hash
+type split struct {
+	opapi.Base
+	ctx  opapi.Context
+	mode string
+	attr string
+	next int
+}
+
+func (s *split) Open(ctx opapi.Context) error {
+	s.ctx = ctx
+	s.mode = ctx.Params().Get("mode", "roundrobin")
+	s.attr = ctx.Params().Get("attr", "")
+	switch s.mode {
+	case "roundrobin", "duplicate":
+	case "hash":
+		if s.attr == "" {
+			return fmt.Errorf("Split %s: mode=hash needs attr", ctx.Name())
+		}
+	default:
+		return fmt.Errorf("Split %s: unknown mode %q", ctx.Name(), s.mode)
+	}
+	return nil
+}
+
+func (s *split) Process(port int, t tuple.Tuple) error {
+	n := s.ctx.NumOutputs()
+	switch s.mode {
+	case "duplicate":
+		for i := 0; i < n; i++ {
+			if err := s.ctx.Submit(i, t.Clone()); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "hash":
+		h := fnv.New32a()
+		fmt.Fprintf(h, "%s|%d", t.String(s.attr), t.Int(s.attr))
+		return s.ctx.Submit(int(h.Sum32())%n, t)
+	default: // roundrobin
+		i := s.next % n
+		s.next++
+		return s.ctx.Submit(i, t)
+	}
+}
+
+// merge forwards tuples from all input ports to output port 0, preserving
+// per-port arrival order.
+type merge struct {
+	opapi.Base
+	ctx opapi.Context
+}
+
+func (m *merge) Open(ctx opapi.Context) error { m.ctx = ctx; return nil }
+
+func (m *merge) Process(port int, t tuple.Tuple) error { return m.ctx.Submit(0, t) }

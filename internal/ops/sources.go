@@ -1,0 +1,87 @@
+package ops
+
+import (
+	"fmt"
+	"time"
+
+	"streamorca/internal/opapi"
+	"streamorca/internal/tuple"
+)
+
+// beacon is the standard test/demo source: it emits sequentially numbered
+// tuples on output port 0.
+//
+// Parameters:
+//
+//	count   int     number of tuples to emit; 0 or absent = unbounded
+//	period  string  inter-tuple delay as a Go duration; absent = none
+//	seqAttr string  int64 attribute receiving the sequence number
+//	                (default "seq"; skipped if the schema lacks it)
+type beacon struct {
+	opapi.Base
+	ctx     opapi.Context
+	count   int64
+	period  time.Duration
+	seqAttr string
+}
+
+func (b *beacon) Open(ctx opapi.Context) error {
+	b.ctx = ctx
+	if ctx.NumOutputs() != 1 {
+		return fmt.Errorf("Beacon %s: needs exactly 1 output port", ctx.Name())
+	}
+	p := ctx.Params()
+	b.count = p.Int("count", 0)
+	b.period = p.Duration("period", 0)
+	b.seqAttr = p.Get("seqAttr", "seq")
+	return nil
+}
+
+func (b *beacon) Run(stop <-chan struct{}) error {
+	schema := b.ctx.OutputSchema(0)
+	hasSeq := schema.Index(b.seqAttr) >= 0
+	for i := int64(0); b.count == 0 || i < b.count; i++ {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		t := tuple.New(schema)
+		if hasSeq {
+			if err := t.SetInt(b.seqAttr, i); err != nil {
+				return err
+			}
+		}
+		if err := b.ctx.Submit(0, t); err != nil {
+			return err
+		}
+		if !opapi.Sleep(b.ctx.Clock(), b.period, stop) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// throttle delays each tuple by a fixed period, shaping downstream rates.
+//
+// Parameters:
+//
+//	period string  Go duration to sleep per tuple (default 0)
+type throttle struct {
+	opapi.Base
+	ctx    opapi.Context
+	period time.Duration
+}
+
+func (t *throttle) Open(ctx opapi.Context) error {
+	t.ctx = ctx
+	t.period = ctx.Params().Duration("period", 0)
+	return nil
+}
+
+func (t *throttle) Process(port int, tp tuple.Tuple) error {
+	if !opapi.Sleep(t.ctx.Clock(), t.period, t.ctx.Done()) {
+		return nil // shutting down: drop
+	}
+	return t.ctx.Submit(0, tp)
+}

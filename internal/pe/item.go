@@ -1,0 +1,36 @@
+package pe
+
+import "streamorca/internal/tuple"
+
+// Item is one unit travelling on a stream connection: either a tuple
+// (Mark == NoMark) or a punctuation. Items cross PE boundaries through the
+// transport package, which serialises the tuple payload.
+type Item struct {
+	T    tuple.Tuple
+	Mark tuple.Mark
+}
+
+// TupleItem wraps a tuple.
+func TupleItem(t tuple.Tuple) Item { return Item{T: t} }
+
+// MarkItem wraps a punctuation.
+func MarkItem(m tuple.Mark) Item { return Item{Mark: m} }
+
+// IsMark reports whether the item is a punctuation.
+func (it Item) IsMark() bool { return it.Mark != tuple.NoMark }
+
+// controlMsg is an in-band orchestrator control command delivered to a
+// Controllable operator on its processing goroutine, so control actions
+// are serialised with tuple processing.
+type controlMsg struct {
+	cmd  string
+	args map[string]string
+	done chan error
+}
+
+// queued is what sits in an operator's input queue.
+type queued struct {
+	port int
+	item Item
+	ctl  *controlMsg
+}

@@ -1,0 +1,619 @@
+// Package pe implements the processing element: the runtime container
+// that executes a fused partition of operators. In System S a PE is an
+// operating-system process; here it is a goroutine container with the
+// same observable behaviour — bounded input queues, serialised operator
+// execution, built-in metrics, final-punctuation propagation, and
+// crash-with-state-loss failure semantics (an operator error or panic
+// kills the whole container, §2.2/§5.2).
+package pe
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"streamorca/internal/ids"
+	"streamorca/internal/metrics"
+	"streamorca/internal/opapi"
+	"streamorca/internal/tuple"
+	"streamorca/internal/vclock"
+)
+
+// State is the PE lifecycle state.
+type State int32
+
+// PE lifecycle states.
+const (
+	Created State = iota
+	Running
+	Stopped
+	Crashed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Created:
+		return "created"
+	case Running:
+		return "running"
+	case Stopped:
+		return "stopped"
+	case Crashed:
+		return "crashed"
+	default:
+		return "unknown"
+	}
+}
+
+// OpSpec describes one operator instance to run inside the PE.
+type OpSpec struct {
+	Name    string
+	Kind    string
+	Params  opapi.Params
+	Inputs  []*tuple.Schema
+	Outputs []*tuple.Schema
+}
+
+// Wire is an intra-PE stream connection between two fused operators.
+type Wire struct {
+	FromOp   string
+	FromPort int
+	ToOp     string
+	ToPort   int
+}
+
+// Config assembles a PE.
+type Config struct {
+	ID       ids.PEID
+	Job      ids.JobID
+	App      string
+	Host     string
+	Ops      []OpSpec
+	Wires    []Wire
+	Clock    vclock.Clock
+	Registry *opapi.Registry
+	QueueCap int // per-operator input queue capacity; default 256
+	Logf     func(format string, args ...any)
+	// OnExit is invoked exactly once, from the PE's own goroutine, when
+	// the container leaves the Running state. crashed is false for a
+	// clean Stop.
+	OnExit func(id ids.PEID, crashed bool, reason string)
+}
+
+// Outlet receives items leaving the PE on a cross-PE or cross-job link.
+type Outlet func(Item)
+
+// PE is a running processing element.
+type PE struct {
+	cfg   Config
+	state atomic.Int32
+
+	ops    []*opRuntime
+	byName map[string]*opRuntime
+
+	peMetrics *metrics.Set
+
+	kill     chan struct{} // closed on crash or stop
+	stopSrc  chan struct{} // closed to ask sources to finish
+	killOnce sync.Once
+	exitOnce sync.Once
+	wg       sync.WaitGroup
+
+	reason string
+	mu     sync.Mutex
+}
+
+type opRuntime struct {
+	pe    *PE
+	spec  OpSpec
+	op    opapi.Operator
+	in    chan queued
+	om    *metrics.OpMetrics
+	inPM  []*metrics.Set // per input port
+	outPM []*metrics.Set // per output port
+
+	// routing per output port
+	intra   [][]intraTarget
+	outlets []*outletSet
+
+	finalSeen []bool
+	finals    int
+	ctx       *opContext
+}
+
+type intraTarget struct {
+	op   *opRuntime
+	port int
+}
+
+// outletSet is the mutable fan-out of one output port across PE
+// boundaries; import/export links attach and detach at runtime.
+type outletSet struct {
+	mu   sync.RWMutex
+	fns  map[string]Outlet
+	next []Outlet // cached snapshot
+}
+
+func (s *outletSet) add(id string, fn Outlet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fns == nil {
+		s.fns = make(map[string]Outlet)
+	}
+	s.fns[id] = fn
+	s.rebuild()
+}
+
+func (s *outletSet) remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.fns, id)
+	s.rebuild()
+}
+
+// rebuild replaces the snapshot with a freshly allocated slice: each()
+// iterates its copy of the old snapshot outside the lock, so the backing
+// array must never be reused.
+func (s *outletSet) rebuild() {
+	next := make([]Outlet, 0, len(s.fns))
+	for _, fn := range s.fns {
+		next = append(next, fn)
+	}
+	s.next = next
+}
+
+func (s *outletSet) each(it Item) {
+	s.mu.RLock()
+	outs := s.next
+	s.mu.RUnlock()
+	for _, fn := range outs {
+		fn(it)
+	}
+}
+
+// New assembles a PE from its configuration; Start launches it.
+func New(cfg Config) (*PE, error) {
+	if cfg.Registry == nil {
+		cfg.Registry = opapi.Default
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real()
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	p := &PE{
+		cfg:       cfg,
+		byName:    make(map[string]*opRuntime, len(cfg.Ops)),
+		peMetrics: metrics.NewSet(),
+		kill:      make(chan struct{}),
+		stopSrc:   make(chan struct{}),
+	}
+	for _, n := range []string{metrics.PETupleBytesProcessed, metrics.PETupleBytesSubmitted,
+		metrics.PETuplesProcessed, metrics.PETuplesSubmitted, metrics.PERestarts} {
+		p.peMetrics.Counter(n)
+	}
+	for _, spec := range cfg.Ops {
+		op, err := cfg.Registry.New(spec.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("pe %s: operator %q: %w", cfg.ID, spec.Name, err)
+		}
+		rt := &opRuntime{
+			pe:        p,
+			spec:      spec,
+			op:        op,
+			in:        make(chan queued, cfg.QueueCap),
+			om:        metrics.NewOpMetrics(),
+			intra:     make([][]intraTarget, len(spec.Outputs)),
+			outlets:   make([]*outletSet, len(spec.Outputs)),
+			finalSeen: make([]bool, len(spec.Inputs)),
+		}
+		for i := range rt.outlets {
+			rt.outlets[i] = &outletSet{}
+		}
+		for range spec.Inputs {
+			s := metrics.NewSet()
+			s.Counter(metrics.PortTuplesProcessed)
+			s.Counter(metrics.PortFinalPunctsQueued)
+			rt.inPM = append(rt.inPM, s)
+		}
+		for range spec.Outputs {
+			s := metrics.NewSet()
+			s.Counter(metrics.PortTuplesSubmitted)
+			rt.outPM = append(rt.outPM, s)
+		}
+		rt.ctx = newOpContext(rt)
+		if _, dup := p.byName[spec.Name]; dup {
+			return nil, fmt.Errorf("pe %s: duplicate operator %q", cfg.ID, spec.Name)
+		}
+		p.byName[spec.Name] = rt
+		p.ops = append(p.ops, rt)
+	}
+	for _, w := range cfg.Wires {
+		from, ok := p.byName[w.FromOp]
+		if !ok {
+			return nil, fmt.Errorf("pe %s: wire from unknown operator %q", cfg.ID, w.FromOp)
+		}
+		to, ok := p.byName[w.ToOp]
+		if !ok {
+			return nil, fmt.Errorf("pe %s: wire to unknown operator %q", cfg.ID, w.ToOp)
+		}
+		if w.FromPort < 0 || w.FromPort >= len(from.spec.Outputs) || w.ToPort < 0 || w.ToPort >= len(to.spec.Inputs) {
+			return nil, fmt.Errorf("pe %s: wire %v port out of range", cfg.ID, w)
+		}
+		from.intra[w.FromPort] = append(from.intra[w.FromPort], intraTarget{op: to, port: w.ToPort})
+	}
+	return p, nil
+}
+
+// ID returns the PE id.
+func (p *PE) ID() ids.PEID { return p.cfg.ID }
+
+// Job returns the owning job id.
+func (p *PE) Job() ids.JobID { return p.cfg.Job }
+
+// Host returns the host the PE is placed on.
+func (p *PE) Host() string { return p.cfg.Host }
+
+// State returns the current lifecycle state.
+func (p *PE) State() State { return State(p.state.Load()) }
+
+// CrashReason returns the recorded failure cause, if any.
+func (p *PE) CrashReason() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reason
+}
+
+// OperatorNames lists the fused operators.
+func (p *PE) OperatorNames() []string {
+	names := make([]string, len(p.ops))
+	for i, rt := range p.ops {
+		names[i] = rt.spec.Name
+	}
+	return names
+}
+
+// Start opens every operator and launches the processing goroutines.
+func (p *PE) Start() error {
+	if !p.state.CompareAndSwap(int32(Created), int32(Running)) {
+		return fmt.Errorf("pe %s: started twice", p.cfg.ID)
+	}
+	for _, rt := range p.ops {
+		if err := rt.op.Open(rt.ctx); err != nil {
+			p.crash(fmt.Sprintf("operator %s failed to open: %v", rt.spec.Name, err))
+			return fmt.Errorf("pe %s: open %s: %w", p.cfg.ID, rt.spec.Name, err)
+		}
+	}
+	for _, rt := range p.ops {
+		rt := rt
+		if len(rt.spec.Inputs) > 0 {
+			p.wg.Add(1)
+			go rt.consumeLoop()
+		}
+		if src, ok := rt.op.(opapi.Source); ok && len(rt.spec.Inputs) == 0 {
+			p.wg.Add(1)
+			go rt.sourceLoop(src)
+		}
+	}
+	return nil
+}
+
+// Stop shuts the PE down cleanly (job cancellation path).
+func (p *PE) Stop() {
+	if !p.state.CompareAndSwap(int32(Running), int32(Stopped)) {
+		return
+	}
+	close(p.stopSrc)
+	p.killOnce.Do(func() { close(p.kill) })
+	p.wg.Wait()
+	for _, rt := range p.ops {
+		if err := rt.op.Close(); err != nil {
+			p.cfg.Logf("pe %s: close %s: %v", p.cfg.ID, rt.spec.Name, err)
+		}
+	}
+	p.fireExit(false, "stopped")
+}
+
+// Kill simulates a crash failure (the fault-injection path used by the
+// failure experiments): the container dies immediately, queued items and
+// operator state are lost, and Close is never called.
+func (p *PE) Kill(reason string) {
+	if !p.state.CompareAndSwap(int32(Running), int32(Crashed)) {
+		return
+	}
+	p.mu.Lock()
+	p.reason = reason
+	p.mu.Unlock()
+	p.killOnce.Do(func() { close(p.kill) })
+	go func() {
+		p.wg.Wait()
+		p.fireExit(true, reason)
+	}()
+}
+
+// crash is the internal failure path for operator errors and panics.
+func (p *PE) crash(reason string) {
+	if !p.state.CompareAndSwap(int32(Running), int32(Crashed)) {
+		// Crash during Start before Running: record and fire.
+		if p.state.CompareAndSwap(int32(Created), int32(Crashed)) {
+			p.mu.Lock()
+			p.reason = reason
+			p.mu.Unlock()
+			p.killOnce.Do(func() { close(p.kill) })
+			p.fireExit(true, reason)
+		}
+		return
+	}
+	p.mu.Lock()
+	p.reason = reason
+	p.mu.Unlock()
+	p.cfg.Logf("pe %s: crash: %s", p.cfg.ID, reason)
+	p.killOnce.Do(func() { close(p.kill) })
+	go func() {
+		p.wg.Wait()
+		p.fireExit(true, reason)
+	}()
+}
+
+func (p *PE) fireExit(crashed bool, reason string) {
+	p.exitOnce.Do(func() {
+		if p.cfg.OnExit != nil {
+			p.cfg.OnExit(p.cfg.ID, crashed, reason)
+		}
+	})
+}
+
+// ExternalInlet returns a function that feeds items into the named
+// operator's input port from outside the PE (cross-PE transport or a
+// cross-job import link). Items arriving after the PE died are dropped —
+// tuple loss on failure, as the paper's §5.2 scenario requires.
+func (p *PE) ExternalInlet(opName string, port int) (func(Item), error) {
+	rt, ok := p.byName[opName]
+	if !ok {
+		return nil, fmt.Errorf("pe %s: no operator %q", p.cfg.ID, opName)
+	}
+	if port < 0 || port >= len(rt.spec.Inputs) {
+		return nil, fmt.Errorf("pe %s: operator %q has no input port %d", p.cfg.ID, opName, port)
+	}
+	return func(it Item) { rt.enqueue(port, it) }, nil
+}
+
+// InputSchema returns the schema of an operator input port, for link
+// compatibility checks.
+func (p *PE) InputSchema(opName string, port int) (*tuple.Schema, error) {
+	rt, ok := p.byName[opName]
+	if !ok || port < 0 || port >= len(rt.spec.Inputs) {
+		return nil, fmt.Errorf("pe %s: no input %s:%d", p.cfg.ID, opName, port)
+	}
+	return rt.spec.Inputs[port], nil
+}
+
+// OutputSchema returns the schema of an operator output port.
+func (p *PE) OutputSchema(opName string, port int) (*tuple.Schema, error) {
+	rt, ok := p.byName[opName]
+	if !ok || port < 0 || port >= len(rt.spec.Outputs) {
+		return nil, fmt.Errorf("pe %s: no output %s:%d", p.cfg.ID, opName, port)
+	}
+	return rt.spec.Outputs[port], nil
+}
+
+// AddOutlet attaches an external consumer to an operator output port under
+// a link id; RemoveOutlet detaches it.
+func (p *PE) AddOutlet(opName string, port int, linkID string, out Outlet) error {
+	rt, ok := p.byName[opName]
+	if !ok || port < 0 || port >= len(rt.spec.Outputs) {
+		return fmt.Errorf("pe %s: no output %s:%d", p.cfg.ID, opName, port)
+	}
+	rt.outlets[port].add(linkID, out)
+	return nil
+}
+
+// RemoveOutlet detaches a previously added external consumer.
+func (p *PE) RemoveOutlet(opName string, port int, linkID string) error {
+	rt, ok := p.byName[opName]
+	if !ok || port < 0 || port >= len(rt.spec.Outputs) {
+		return fmt.Errorf("pe %s: no output %s:%d", p.cfg.ID, opName, port)
+	}
+	rt.outlets[port].remove(linkID)
+	return nil
+}
+
+// Control delivers a control command to a Controllable operator, returning
+// the operator's response. The call is serialised with tuple processing.
+func (p *PE) Control(opName, cmd string, args map[string]string) error {
+	rt, ok := p.byName[opName]
+	if !ok {
+		return fmt.Errorf("pe %s: no operator %q", p.cfg.ID, opName)
+	}
+	if _, ok := rt.op.(opapi.Controllable); !ok {
+		return fmt.Errorf("pe %s: operator %q is not controllable", p.cfg.ID, opName)
+	}
+	msg := &controlMsg{cmd: cmd, args: args, done: make(chan error, 1)}
+	if len(rt.spec.Inputs) == 0 {
+		// Sources have no consume loop; execute inline (the Run goroutine
+		// must tolerate concurrent Control, documented on Controllable).
+		return rt.op.(opapi.Controllable).Control(cmd, args)
+	}
+	select {
+	case rt.in <- queued{ctl: msg}:
+	case <-p.kill:
+		return fmt.Errorf("pe %s: not running", p.cfg.ID)
+	}
+	select {
+	case err := <-msg.done:
+		return err
+	case <-p.kill:
+		return fmt.Errorf("pe %s: died during control", p.cfg.ID)
+	}
+}
+
+// PEMetrics returns the PE-level metric set.
+func (p *PE) PEMetrics() *metrics.Set { return p.peMetrics }
+
+// MetricsSnapshot renders every metric of the container as samples tagged
+// with full identity, ready for the host controller to push to SRM.
+func (p *PE) MetricsSnapshot() []metrics.Sample {
+	at := p.cfg.Clock.Now()
+	var out []metrics.Sample
+	for name, v := range p.peMetrics.Snapshot() {
+		out = append(out, metrics.Sample{
+			Scope: metrics.PEScope, Job: p.cfg.Job, App: p.cfg.App, PE: p.cfg.ID,
+			Name: name, Value: v, At: at,
+		})
+	}
+	for _, rt := range p.ops {
+		base := metrics.Sample{
+			Job: p.cfg.Job, App: p.cfg.App, PE: p.cfg.ID,
+			Operator: rt.spec.Name, OperatorKind: rt.spec.Kind, At: at,
+		}
+		// Refresh the queue gauge at snapshot time.
+		rt.om.Builtin.Counter(metrics.OpQueueSize).Set(int64(len(rt.in)))
+		for name, v := range rt.om.Builtin.Snapshot() {
+			s := base
+			s.Scope, s.Name, s.Value = metrics.OperatorScope, name, v
+			out = append(out, s)
+		}
+		for name, v := range rt.om.Custom.Snapshot() {
+			s := base
+			s.Scope, s.Name, s.Value, s.Custom = metrics.OperatorScope, name, v, true
+			out = append(out, s)
+		}
+		for port, pm := range rt.inPM {
+			for name, v := range pm.Snapshot() {
+				s := base
+				s.Scope, s.Port, s.Dir, s.Name, s.Value = metrics.PortScope, port, metrics.Input, name, v
+				out = append(out, s)
+			}
+		}
+		for port, pm := range rt.outPM {
+			for name, v := range pm.Snapshot() {
+				s := base
+				s.Scope, s.Port, s.Dir, s.Name, s.Value = metrics.PortScope, port, metrics.Output, name, v
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// enqueue places an item on an operator's input queue, blocking for
+// backpressure, and dropping the item if the PE has died.
+func (rt *opRuntime) enqueue(port int, it Item) {
+	select {
+	case rt.in <- queued{port: port, item: it}:
+	case <-rt.pe.kill:
+	}
+}
+
+// consumeLoop is the single processing goroutine of an operator with
+// inputs. All Process/ProcessMark/Control calls happen here.
+func (rt *opRuntime) consumeLoop() {
+	defer rt.pe.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			rt.pe.crash(fmt.Sprintf("operator %s panicked: %v", rt.spec.Name, r))
+		}
+	}()
+	for {
+		select {
+		case q := <-rt.in:
+			if q.ctl != nil {
+				q.ctl.done <- rt.op.(opapi.Controllable).Control(q.ctl.cmd, q.ctl.args)
+				continue
+			}
+			if rt.deliver(q) {
+				return // all inputs finalised
+			}
+		case <-rt.pe.kill:
+			return
+		}
+	}
+}
+
+// deliver processes one queued item; it reports whether the operator has
+// now seen final punctuation on every input port.
+func (rt *opRuntime) deliver(q queued) bool {
+	if q.item.IsMark() {
+		rt.om.Builtin.Counter(metrics.OpPunctsProcessed).Inc()
+		if q.item.Mark == tuple.FinalMark {
+			if rt.finalSeen[q.port] {
+				return false // duplicate final on a port: ignore
+			}
+			rt.finalSeen[q.port] = true
+			rt.finals++
+			rt.inPM[q.port].Counter(metrics.PortFinalPunctsQueued).Inc()
+		}
+		if err := rt.op.ProcessMark(q.port, q.item.Mark); err != nil {
+			rt.pe.crash(fmt.Sprintf("operator %s: %v", rt.spec.Name, err))
+			return true
+		}
+		if q.item.Mark == tuple.FinalMark && rt.finals == len(rt.spec.Inputs) {
+			rt.forwardFinal()
+			return true
+		}
+		return false
+	}
+	rt.om.Builtin.Counter(metrics.OpTuplesProcessed).Inc()
+	rt.inPM[q.port].Counter(metrics.PortTuplesProcessed).Inc()
+	rt.pe.peMetrics.Counter(metrics.PETuplesProcessed).Inc()
+	if err := rt.op.Process(q.port, q.item.T); err != nil {
+		rt.pe.crash(fmt.Sprintf("operator %s: %v", rt.spec.Name, err))
+		return true
+	}
+	return false
+}
+
+// sourceLoop drives a source operator; a nil return from Run emits final
+// punctuation downstream.
+func (rt *opRuntime) sourceLoop(src opapi.Source) {
+	defer rt.pe.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			rt.pe.crash(fmt.Sprintf("source %s panicked: %v", rt.spec.Name, r))
+		}
+	}()
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-rt.pe.stopSrc:
+		case <-rt.pe.kill:
+		}
+		close(stop)
+	}()
+	if err := src.Run(stop); err != nil {
+		rt.pe.crash(fmt.Sprintf("source %s: %v", rt.spec.Name, err))
+		return
+	}
+	select {
+	case <-rt.pe.kill:
+		return // stopped or crashed: no final punctuation
+	default:
+	}
+	rt.forwardFinal()
+}
+
+// forwardFinal emits FinalMark on every output port.
+func (rt *opRuntime) forwardFinal() {
+	for port := range rt.spec.Outputs {
+		rt.emit(port, MarkItem(tuple.FinalMark))
+	}
+}
+
+// emit routes an item leaving an output port to fused neighbours and
+// external outlets, maintaining submission metrics.
+func (rt *opRuntime) emit(port int, it Item) {
+	if !it.IsMark() {
+		rt.om.Builtin.Counter(metrics.OpTuplesSubmitted).Inc()
+		rt.outPM[port].Counter(metrics.PortTuplesSubmitted).Inc()
+		rt.pe.peMetrics.Counter(metrics.PETuplesSubmitted).Inc()
+	}
+	for _, tgt := range rt.intra[port] {
+		tgt.op.enqueue(tgt.port, it)
+	}
+	rt.outlets[port].each(it)
+}

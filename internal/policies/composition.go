@@ -1,0 +1,166 @@
+package policies
+
+import (
+	"sync"
+
+	"streamorca/internal/core"
+	"streamorca/internal/ids"
+	"streamorca/internal/metrics"
+)
+
+// Composition is the §5.3 ORCA logic: it starts the C2 applications
+// (their C1 dependencies come up automatically through the dependency
+// manager), watches the aggregate per-attribute profile-discovery custom
+// metrics across all C2 applications, spawns a C3 segmentation job when
+// enough *new* profiles with an attribute accumulated, and cancels each
+// C3 job when its sink reports a final punctuation.
+type Composition struct {
+	core.Base
+
+	// C2Configs are the dependency-manager configuration ids of the C2
+	// applications to start (their C1 dependencies follow automatically).
+	C2Configs []string
+	// C3App names the registered segmentation application
+	// (AttributeAggregator); it is submitted with an "attribute"
+	// parameter.
+	C3App string
+	// C3Collector produces the collector id parameter per attribute.
+	C3Collector func(attr string) string
+	// Threshold is the number of newly discovered profiles with an
+	// attribute that triggers a C3 submission (paper example: 1500).
+	Threshold int64
+
+	mu        sync.Mutex
+	perApp    map[string]map[string]int64 // attr -> app -> latest count
+	lastSub   map[string]int64            // attr -> aggregate count at last submission
+	activeC3  map[string]ids.JobID        // attr -> running C3 job
+	jobToAttr map[ids.JobID]string
+	subs      []string // attributes, in submission order
+	cancels   []string // attributes, in cancellation order
+}
+
+// metricToAttr maps the enricher's custom metric names to attributes.
+var metricToAttr = map[string]string{
+	"profilesWithAge":      "age",
+	"profilesWithGender":   "gender",
+	"profilesWithLocation": "location",
+}
+
+// HandleOrcaStart registers the two metric scopes and starts the C2
+// applications (C1 readers come up as dependencies, §5.3's actuation).
+func (p *Composition) HandleOrcaStart(svc *core.Service, ctx *core.OrcaStartContext) {
+	p.mu.Lock()
+	p.perApp = make(map[string]map[string]int64)
+	p.lastSub = make(map[string]int64)
+	p.activeC3 = make(map[string]ids.JobID)
+	p.jobToAttr = make(map[ids.JobID]string)
+	p.mu.Unlock()
+
+	c2scope := core.NewOperatorMetricScope("c2profiles").
+		CustomMetricsOnly().
+		AddOperatorMetric("profilesWithAge", "profilesWithGender", "profilesWithLocation")
+	if err := svc.RegisterEventScope(c2scope); err != nil {
+		panic(err)
+	}
+	finalScope := core.NewPortMetricScope("c3final").
+		AddApplicationFilter(p.C3App).
+		AddPortMetric(metrics.PortFinalPunctsQueued).
+		SetDirection(metrics.Input)
+	if err := svc.RegisterEventScope(finalScope); err != nil {
+		panic(err)
+	}
+	for _, id := range p.C2Configs {
+		if err := svc.StartApp(id); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// HandleOperatorMetric aggregates per-attribute discovery counts across
+// all C2 applications (duplicates included, as the paper notes) and
+// submits a C3 job when the number of new profiles since the last
+// submission reaches the threshold.
+func (p *Composition) HandleOperatorMetric(svc *core.Service, ctx *core.OperatorMetricContext, scopes []string) {
+	attr, ok := metricToAttr[ctx.Metric]
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	if p.perApp[attr] == nil {
+		p.perApp[attr] = make(map[string]int64)
+	}
+	p.perApp[attr][ctx.App] = ctx.Value
+	var total int64
+	for _, v := range p.perApp[attr] {
+		total += v
+	}
+	_, busy := p.activeC3[attr]
+	trigger := !busy && total-p.lastSub[attr] >= p.Threshold
+	p.mu.Unlock()
+	if !trigger {
+		return
+	}
+	params := map[string]string{"attribute": attr}
+	if p.C3Collector != nil {
+		params["collector"] = p.C3Collector(attr)
+	} else {
+		params["collector"] = "segment-" + attr
+	}
+	job, err := svc.SubmitApplication(p.C3App, params)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	p.activeC3[attr] = job
+	p.jobToAttr[job] = attr
+	p.lastSub[attr] = total
+	p.subs = append(p.subs, attr)
+	p.mu.Unlock()
+}
+
+// HandlePortMetric cancels a C3 job once its sink saw the final
+// punctuation — the application has processed all of its tuples (§5.3).
+func (p *Composition) HandlePortMetric(svc *core.Service, ctx *core.PortMetricContext, scopes []string) {
+	if ctx.Metric != metrics.PortFinalPunctsQueued || ctx.Value < 1 {
+		return
+	}
+	p.mu.Lock()
+	attr, ok := p.jobToAttr[ctx.Job]
+	if ok {
+		delete(p.jobToAttr, ctx.Job)
+		delete(p.activeC3, attr)
+		p.cancels = append(p.cancels, attr)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return
+	}
+	_ = svc.CancelJob(ctx.Job)
+}
+
+// Submissions returns the attributes for which C3 jobs were submitted,
+// in order.
+func (p *Composition) Submissions() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.subs...)
+}
+
+// Cancellations returns the attributes whose C3 jobs were cancelled, in
+// order.
+func (p *Composition) Cancellations() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.cancels...)
+}
+
+// ActiveC3 returns the attribute → job map of running C3 jobs.
+func (p *Composition) ActiveC3() map[string]ids.JobID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]ids.JobID, len(p.activeC3))
+	for a, j := range p.activeC3 {
+		out[a] = j
+	}
+	return out
+}

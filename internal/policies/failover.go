@@ -1,0 +1,194 @@
+package policies
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"streamorca/internal/core"
+	"streamorca/internal/ids"
+)
+
+// StatusChange records one active-replica transition (the status file
+// updates a GUI would poll in the paper's Figure 9 demo).
+type StatusChange struct {
+	At        time.Time
+	NewActive ids.JobID
+	OldActive ids.JobID
+	Reason    string
+}
+
+// Failover is the §5.2 ORCA logic: it runs N replicas of the Trend
+// Calculator in exclusive host pools, tracks which replica is active, and
+// on a PE failure of the active replica promotes the oldest healthy
+// replica (the one with the longest history, hence the fullest sliding
+// windows) before restarting the failed PE.
+type Failover struct {
+	core.Base
+
+	// App names the registered application to replicate.
+	App string
+	// Replicas is the number of copies to run (paper: 3).
+	Replicas int
+	// SubmitParams produces per-replica submission parameters (e.g. a
+	// distinct display collector per replica).
+	SubmitParams func(replica int) map[string]string
+	// StatusPath, when non-empty, receives the replica status file.
+	StatusPath string
+
+	mu        sync.Mutex
+	jobs      []ids.JobID
+	birth     map[ids.JobID]time.Time // submit or last restart time
+	active    ids.JobID
+	failovers int
+	restarts  int
+	log       []StatusChange
+}
+
+// HandleOrcaStart configures exclusive host pools, submits the replicas,
+// assigns initial active/backup status, and subscribes to PE failures of
+// the application (§5.2's actuation description).
+func (p *Failover) HandleOrcaStart(svc *core.Service, ctx *core.OrcaStartContext) {
+	if p.Replicas <= 0 {
+		p.Replicas = 3
+	}
+	if err := svc.MakeExclusiveHostPools(p.App); err != nil {
+		panic(err)
+	}
+	p.mu.Lock()
+	p.birth = make(map[ids.JobID]time.Time)
+	p.mu.Unlock()
+	for i := 0; i < p.Replicas; i++ {
+		var params map[string]string
+		if p.SubmitParams != nil {
+			params = p.SubmitParams(i)
+		}
+		job, err := svc.SubmitApplication(p.App, params)
+		if err != nil {
+			panic(fmt.Sprintf("failover: submit replica %d: %v", i, err))
+		}
+		p.mu.Lock()
+		p.jobs = append(p.jobs, job)
+		p.birth[job] = svc.Clock().Now()
+		p.mu.Unlock()
+	}
+	p.mu.Lock()
+	p.active = p.jobs[0]
+	p.mu.Unlock()
+	p.writeStatus(svc)
+	scope := core.NewPEFailureScope("replicaFailures").AddApplicationFilter(p.App)
+	if err := svc.RegisterEventScope(scope); err != nil {
+		panic(err)
+	}
+}
+
+// HandlePEFailure promotes the oldest healthy replica when the active one
+// fails, then restarts the failed PE (which rejoins as a backup with an
+// empty window).
+func (p *Failover) HandlePEFailure(svc *core.Service, ctx *core.PEFailureContext, scopes []string) {
+	p.mu.Lock()
+	wasActive := ctx.Job == p.active
+	if wasActive {
+		oldActive := p.active
+		best := ids.InvalidJob
+		var bestBirth time.Time
+		for _, j := range p.jobs {
+			if j == ctx.Job {
+				continue
+			}
+			if best == ids.InvalidJob || p.birth[j].Before(bestBirth) {
+				best, bestBirth = j, p.birth[j]
+			}
+		}
+		if best != ids.InvalidJob {
+			p.active = best
+			p.failovers++
+			p.log = append(p.log, StatusChange{
+				At: ctx.At, NewActive: best, OldActive: oldActive, Reason: ctx.Reason,
+			})
+		}
+	}
+	p.mu.Unlock()
+	if wasActive {
+		p.writeStatus(svc)
+	}
+	// Restart the failed PE; the replica's window state is gone, so it
+	// rejoins as the youngest replica.
+	if err := svc.RestartPE(ctx.PE); err == nil {
+		p.mu.Lock()
+		p.birth[ctx.Job] = svc.Clock().Now()
+		p.restarts++
+		p.mu.Unlock()
+	}
+}
+
+// writeStatus renders the replica table to StatusPath (if configured),
+// the file the paper's GUI polls for the "active" highlight.
+func (p *Failover) writeStatus(svc *core.Service) {
+	if p.StatusPath == "" {
+		return
+	}
+	p.mu.Lock()
+	var b strings.Builder
+	for i, j := range p.jobs {
+		status := "backup"
+		if j == p.active {
+			status = "active"
+		}
+		fmt.Fprintf(&b, "replica %d (%s): %s\n", i, j, status)
+	}
+	p.mu.Unlock()
+	_ = os.WriteFile(p.StatusPath, []byte(b.String()), 0o644)
+}
+
+// Active returns the currently active replica's job id.
+func (p *Failover) Active() ids.JobID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active
+}
+
+// Jobs returns the replica job ids in submission order.
+func (p *Failover) Jobs() []ids.JobID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]ids.JobID(nil), p.jobs...)
+}
+
+// ReplicaIndex maps a job id back to its replica index, or -1.
+func (p *Failover) ReplicaIndex(job ids.JobID) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, j := range p.jobs {
+		if j == job {
+			return i
+		}
+	}
+	return -1
+}
+
+// Failovers returns how many active-replica promotions happened.
+func (p *Failover) Failovers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failovers
+}
+
+// Restarts returns how many failed PEs the policy restarted.
+func (p *Failover) Restarts() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.restarts
+}
+
+// Log returns the status-change history, oldest first.
+func (p *Failover) Log() []StatusChange {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := append([]StatusChange(nil), p.log...)
+	sort.Slice(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}

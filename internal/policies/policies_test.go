@@ -1,0 +1,278 @@
+package policies
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"streamorca/internal/apps"
+	"streamorca/internal/core"
+	"streamorca/internal/extjob"
+	"streamorca/internal/ids"
+	"streamorca/internal/ops"
+	"streamorca/internal/platform"
+	"streamorca/internal/vclock"
+)
+
+func newInst(t *testing.T, hosts ...string) *platform.Instance {
+	t.Helper()
+	specs := make([]platform.HostSpec, len(hosts))
+	for i, h := range hosts {
+		specs[i] = platform.HostSpec{Name: h}
+	}
+	inst, err := platform.NewInstance(platform.Options{Hosts: specs, MetricsInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Close)
+	return inst
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// --- ModelRecompute unit behaviour (driven with synthetic contexts) ---
+
+func recomputeFixture(t *testing.T) (*ModelRecompute, *core.Service, *vclock.Manual) {
+	t.Helper()
+	inst := newInst(t, "h1")
+	clock := vclock.NewManual(time.Unix(0, 0))
+	modelID, storeID := "pol-model-"+t.Name(), "pol-store-"+t.Name()
+	extjob.SetModel(modelID, extjob.NewModel("flash"))
+	store := extjob.GetStore(storeID)
+	store.Reset()
+	for i := 0; i < 20; i++ {
+		store.Append("I hate my phone because of the antenna")
+	}
+	p := &ModelRecompute{
+		App: "X", MatcherOp: "m", ModelID: modelID, StoreID: storeID,
+		Threshold: 1.0, Suppression: 10 * time.Minute,
+		Runner: extjob.NewRunner(clock, time.Minute), MinSupport: 5,
+	}
+	svc, err := core.NewService(core.Config{
+		Name: "t", SAM: inst.SAM, SRM: inst.SRM, Clock: clock, PullInterval: time.Hour,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, svc, clock
+}
+
+func metricCtx(name string, value int64, epoch uint64) *core.OperatorMetricContext {
+	return &core.OperatorMetricContext{
+		Job: 1, App: "X", InstanceName: "m", Metric: name,
+		Custom: true, Value: value, Epoch: epoch,
+	}
+}
+
+func TestModelRecomputeWaitsForMatchingEpochs(t *testing.T) {
+	p, svc, _ := recomputeFixture(t)
+	// Known from epoch 1, unknown from epoch 2: no evaluation yet.
+	p.HandleOperatorMetric(svc, metricCtx("recentKnownCauses", 10, 1), nil)
+	p.HandleOperatorMetric(svc, metricCtx("recentUnknownCauses", 50, 2), nil)
+	if len(p.Series()) != 0 {
+		t.Fatalf("evaluated across epochs: %v", p.Series())
+	}
+	// Matching epochs: evaluated and triggered.
+	p.HandleOperatorMetric(svc, metricCtx("recentKnownCauses", 10, 2), nil)
+	if got := p.Series(); len(got) != 1 || got[0].Ratio != 5.0 {
+		t.Fatalf("series = %v", got)
+	}
+	if p.Triggers() != 1 {
+		t.Fatalf("triggers = %d", p.Triggers())
+	}
+}
+
+func TestModelRecomputeBelowThresholdNoTrigger(t *testing.T) {
+	p, svc, _ := recomputeFixture(t)
+	p.HandleOperatorMetric(svc, metricCtx("recentKnownCauses", 100, 1), nil)
+	p.HandleOperatorMetric(svc, metricCtx("recentUnknownCauses", 10, 1), nil)
+	if p.Triggers() != 0 {
+		t.Fatal("triggered below threshold")
+	}
+	if len(p.Series()) != 1 {
+		t.Fatal("series not recorded")
+	}
+}
+
+func TestModelRecomputeSuppression(t *testing.T) {
+	p, svc, clock := recomputeFixture(t)
+	p.HandleOperatorMetric(svc, metricCtx("recentKnownCauses", 1, 1), nil)
+	p.HandleOperatorMetric(svc, metricCtx("recentUnknownCauses", 50, 1), nil)
+	if p.Triggers() != 1 {
+		t.Fatalf("triggers = %d", p.Triggers())
+	}
+	// Let the job finish so Runner.Running() is false again.
+	clock.BlockUntilWaiters(1)
+	clock.Advance(time.Minute)
+	waitFor(t, "job completion", func() bool { return !p.Runner.Running() })
+	// Still crossing within the suppression window: no second job.
+	p.HandleOperatorMetric(svc, metricCtx("recentKnownCauses", 1, 2), nil)
+	p.HandleOperatorMetric(svc, metricCtx("recentUnknownCauses", 60, 2), nil)
+	if p.Triggers() != 1 {
+		t.Fatalf("re-triggered within suppression: %d", p.Triggers())
+	}
+	// After the suppression interval elapses, it may trigger again.
+	clock.Advance(10 * time.Minute)
+	p.HandleOperatorMetric(svc, metricCtx("recentKnownCauses", 1, 3), nil)
+	p.HandleOperatorMetric(svc, metricCtx("recentUnknownCauses", 60, 3), nil)
+	if p.Triggers() != 2 {
+		t.Fatalf("triggers after suppression = %d", p.Triggers())
+	}
+}
+
+func TestModelRecomputeIgnoresOtherMetrics(t *testing.T) {
+	p, svc, _ := recomputeFixture(t)
+	p.HandleOperatorMetric(svc, metricCtx("somethingElse", 9, 1), nil)
+	if len(p.Series()) != 0 || p.Triggers() != 0 {
+		t.Fatal("foreign metric processed")
+	}
+}
+
+// --- Failover end-to-end behaviour ---
+
+func failoverFixture(t *testing.T) (*Failover, *core.Service, *platform.Instance) {
+	t.Helper()
+	inst := newInst(t, "h1", "h2", "h3", "h4")
+	app, err := apps.TrendApp(apps.TrendConfig{
+		Name: "TC", Symbols: "IBM", Seed: 1, Count: 0,
+		Period: 500 * time.Microsecond, Window: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := "pol-fo-" + t.Name()
+	p := &Failover{
+		App: "TC", Replicas: 3,
+		SubmitParams: func(i int) map[string]string {
+			id := apps.ReplicaCollector(prefix, i)
+			ops.ResetCollector(id)
+			return map[string]string{"collector": id}
+		},
+	}
+	svc, err := core.NewService(core.Config{
+		Name: "foOrca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.RegisterApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Stop)
+	waitFor(t, "replicas", func() bool { return len(p.Jobs()) == 3 })
+	return p, svc, inst
+}
+
+func TestFailoverActiveFailurePromotesOldestBackup(t *testing.T) {
+	p, svc, _ := failoverFixture(t)
+	jobs := p.Jobs()
+	if p.Active() != jobs[0] {
+		t.Fatalf("initial active = %v", p.Active())
+	}
+	pe, ok := svc.PEOfOperator(jobs[0], apps.TrendAggregateOp)
+	if !ok {
+		t.Fatal("no aggregate PE")
+	}
+	if err := svc.KillPE(pe, "test"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "failover", func() bool { return p.Failovers() == 1 })
+	if p.Active() != jobs[1] {
+		t.Fatalf("promoted %v, want oldest backup %v", p.Active(), jobs[1])
+	}
+	waitFor(t, "restart", func() bool { return p.Restarts() == 1 })
+	log := p.Log()
+	if len(log) != 1 || log[0].OldActive != jobs[0] || log[0].NewActive != jobs[1] {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestFailoverBackupFailureKeepsActive(t *testing.T) {
+	p, svc, _ := failoverFixture(t)
+	jobs := p.Jobs()
+	pe, _ := svc.PEOfOperator(jobs[2], apps.TrendAggregateOp)
+	if err := svc.KillPE(pe, "test"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "restart", func() bool { return p.Restarts() == 1 })
+	if p.Failovers() != 0 || p.Active() != jobs[0] {
+		t.Fatalf("backup failure changed active: failovers=%d active=%v", p.Failovers(), p.Active())
+	}
+}
+
+func TestFailoverRestartedReplicaIsYoungest(t *testing.T) {
+	p, svc, _ := failoverFixture(t)
+	jobs := p.Jobs()
+	// Kill replica 0 (active): replica 1 promoted; replica 0 restarts and
+	// becomes youngest. Kill replica 1 next: replica 2 (not the freshly
+	// restarted 0) must be promoted.
+	pe0, _ := svc.PEOfOperator(jobs[0], apps.TrendAggregateOp)
+	if err := svc.KillPE(pe0, "t1"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first failover", func() bool { return p.Failovers() == 1 && p.Restarts() == 1 })
+	pe1, _ := svc.PEOfOperator(jobs[1], apps.TrendAggregateOp)
+	if err := svc.KillPE(pe1, "t2"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "second failover", func() bool { return p.Failovers() == 2 })
+	if p.Active() != jobs[2] {
+		t.Fatalf("promoted %v (replica %d), want oldest healthy %v",
+			p.Active(), p.ReplicaIndex(p.Active()), jobs[2])
+	}
+}
+
+func TestFailoverStatusFile(t *testing.T) {
+	inst := newInst(t, "h1", "h2", "h3", "h4")
+	app, err := apps.TrendApp(apps.TrendConfig{
+		Name: "TC", Symbols: "IBM", Seed: 1, Count: 0,
+		Period: time.Millisecond, Window: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/status.txt"
+	prefix := "pol-sf"
+	p := &Failover{
+		App: "TC", Replicas: 3, StatusPath: path,
+		SubmitParams: func(i int) map[string]string {
+			id := apps.ReplicaCollector(prefix, i)
+			ops.ResetCollector(id)
+			return map[string]string{"collector": id}
+		},
+	}
+	svc, err := core.NewService(core.Config{
+		Name: "sfOrca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.RegisterApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+	waitFor(t, "status file", func() bool {
+		data, err := os.ReadFile(path)
+		return err == nil && strings.Contains(string(data), "replica 0") &&
+			strings.Contains(string(data), "active")
+	})
+}
+
+var _ = ids.InvalidJob

@@ -1,0 +1,143 @@
+// Package policies implements the paper's three use-case ORCA logics
+// (§5): adaptation to incoming data distribution via external model
+// recomputation (§5.1), replica failover on PE failures (§5.2), and
+// on-demand dynamic application composition (§5.3). Each policy is pure
+// control logic against the orchestrator API — the applications they
+// manage live in internal/apps, keeping control and data processing code
+// separate, which is the paper's central design argument.
+package policies
+
+import (
+	"sync"
+	"time"
+
+	"streamorca/internal/core"
+	"streamorca/internal/extjob"
+	"streamorca/internal/ids"
+)
+
+// RatioPoint is one observation of the unknown/known cause ratio at a
+// metric epoch — a point on Figure 8's curve.
+type RatioPoint struct {
+	Epoch uint64
+	Ratio float64
+}
+
+// ModelRecompute is the §5.1 ORCA logic: it watches the cause matcher's
+// custom metrics and, when the unknown/known ratio exceeds the actuation
+// threshold, launches the external model-recomputation job (suppressing
+// re-triggers for a configurable interval).
+type ModelRecompute struct {
+	core.Base
+
+	// App names the registered sentiment application; the policy submits
+	// it on start with SubmitParams.
+	App          string
+	SubmitParams map[string]string
+	// MatcherOp is the cause matcher's instance name.
+	MatcherOp string
+	// ModelID and StoreID address the shared model and corpus.
+	ModelID string
+	StoreID string
+	// Threshold is the actuation ratio (paper: 1.0).
+	Threshold float64
+	// Suppression bounds re-trigger frequency (paper: 10 minutes).
+	Suppression time.Duration
+	// Runner executes the batch job.
+	Runner *extjob.Runner
+	// MinSupport is the batch job's cause-frequency threshold.
+	MinSupport int
+
+	mu           sync.Mutex
+	job          ids.JobID
+	known        int64
+	unknown      int64
+	knownEpoch   uint64
+	unknownEpoch uint64
+	lastTrigger  time.Time
+	hasTriggered bool
+	triggers     int
+	series       []RatioPoint
+}
+
+// HandleOrcaStart registers the custom-metric scope and submits the
+// application.
+func (p *ModelRecompute) HandleOrcaStart(svc *core.Service, ctx *core.OrcaStartContext) {
+	scope := core.NewOperatorMetricScope("causeMetrics").
+		AddApplicationFilter(p.App).
+		AddOperatorNameFilter(p.MatcherOp).
+		AddOperatorMetric("recentKnownCauses", "recentUnknownCauses").
+		CustomMetricsOnly()
+	if err := svc.RegisterEventScope(scope); err != nil {
+		panic(err)
+	}
+	job, err := svc.SubmitApplication(p.App, p.SubmitParams)
+	if err != nil {
+		panic(err)
+	}
+	p.mu.Lock()
+	p.job = job
+	p.mu.Unlock()
+}
+
+// HandleOperatorMetric implements the Figure 6 pattern: record each
+// metric with its epoch, and evaluate the actuation condition only when
+// both metrics come from the same measurement round.
+func (p *ModelRecompute) HandleOperatorMetric(svc *core.Service, ctx *core.OperatorMetricContext, scopes []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch ctx.Metric {
+	case "recentKnownCauses":
+		p.known, p.knownEpoch = ctx.Value, ctx.Epoch
+	case "recentUnknownCauses":
+		p.unknown, p.unknownEpoch = ctx.Value, ctx.Epoch
+	default:
+		return
+	}
+	if p.knownEpoch != p.unknownEpoch || p.known+p.unknown == 0 {
+		return
+	}
+	den := p.known
+	if den == 0 {
+		den = 1
+	}
+	ratio := float64(p.unknown) / float64(den)
+	p.series = append(p.series, RatioPoint{Epoch: ctx.Epoch, Ratio: ratio})
+	if ratio <= p.Threshold {
+		return
+	}
+	now := svc.Clock().Now()
+	if p.hasTriggered && now.Sub(p.lastTrigger) < p.Suppression {
+		return
+	}
+	if p.Runner.Running() {
+		return
+	}
+	if err := p.Runner.Submit(extjob.GetStore(p.StoreID), extjob.GetModel(p.ModelID), p.MinSupport, nil); err != nil {
+		return
+	}
+	p.lastTrigger = now
+	p.hasTriggered = true
+	p.triggers++
+}
+
+// Job returns the managed job id.
+func (p *ModelRecompute) Job() ids.JobID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.job
+}
+
+// Triggers returns how many batch jobs the policy launched.
+func (p *ModelRecompute) Triggers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.triggers
+}
+
+// Series returns the recorded ratio-per-epoch curve (Figure 8).
+func (p *ModelRecompute) Series() []RatioPoint {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]RatioPoint(nil), p.series...)
+}

@@ -1,0 +1,130 @@
+package sam
+
+import (
+	"fmt"
+	"sort"
+
+	"streamorca/internal/adl"
+	"streamorca/internal/cluster"
+)
+
+// place assigns each PE partition of the application to a host, honouring
+// host pools (explicit hosts, tags, size limits), pool exclusivity, and
+// per-PE host isolation. It returns the partition→host assignment and the
+// hosts to reserve exclusively for this job.
+//
+// Placement is deterministic: candidates are considered in name order and
+// ties break toward the lexicographically smaller host.
+func place(app *adl.Application, hosts []cluster.HostInfo, reservedByOther, occupiedByOther map[string]bool) (map[int]string, []string, error) {
+	alive := make([]cluster.HostInfo, 0, len(hosts))
+	for _, h := range hosts {
+		if h.Up && !reservedByOther[h.Name] {
+			alive = append(alive, h)
+		}
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i].Name < alive[j].Name })
+	if len(alive) == 0 {
+		return nil, nil, fmt.Errorf("no available hosts")
+	}
+
+	pools := make(map[string]adl.HostPool, len(app.HostPools)+1)
+	for _, p := range app.HostPools {
+		pools[p.Name] = p
+	}
+	if _, ok := pools[adl.DefaultPool]; !ok {
+		pools[adl.DefaultPool] = adl.HostPool{Name: adl.DefaultPool}
+	}
+
+	// Resolve each pool to its candidate hosts once.
+	candidates := make(map[string][]string)
+	var reserve []string
+	reserveSet := make(map[string]bool)
+	for name, p := range pools {
+		var cands []string
+		for _, h := range alive {
+			if !poolAdmits(p, h) {
+				continue
+			}
+			if p.Exclusive && occupiedByOther[h.Name] {
+				continue
+			}
+			cands = append(cands, h.Name)
+		}
+		sort.Strings(cands)
+		if p.Size > 0 && len(cands) > p.Size {
+			cands = cands[:p.Size]
+		}
+		candidates[name] = cands
+		if p.Exclusive {
+			for _, h := range cands {
+				if !reserveSet[h] {
+					reserveSet[h] = true
+					reserve = append(reserve, h)
+				}
+			}
+		}
+	}
+	sort.Strings(reserve)
+
+	baseLoad := make(map[string]int, len(alive))
+	for _, h := range alive {
+		baseLoad[h.Name] = h.PEs
+	}
+	assigned := make(map[string]int) // PEs of this job per host
+	out := make(map[int]string, len(app.PEs))
+
+	parts := append([]adl.PE(nil), app.PEs...)
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Index < parts[j].Index })
+	for _, part := range parts {
+		pool := part.Pool
+		if pool == "" {
+			pool = adl.DefaultPool
+		}
+		cands, ok := candidates[pool]
+		if !ok {
+			return nil, nil, fmt.Errorf("partition %d references unknown pool %q", part.Index, pool)
+		}
+		best := ""
+		bestLoad := 0
+		for _, h := range cands {
+			if part.IsolatePE && assigned[h] > 0 {
+				continue
+			}
+			load := baseLoad[h] + assigned[h]
+			if best == "" || load < bestLoad {
+				best, bestLoad = h, load
+			}
+		}
+		if best == "" {
+			return nil, nil, fmt.Errorf("no host available in pool %q for partition %d", pool, part.Index)
+		}
+		out[part.Index] = best
+		assigned[best]++
+	}
+	return out, reserve, nil
+}
+
+// poolAdmits reports whether a host belongs to a pool: explicit host
+// lists win, then tag matching, and a pool with neither admits every
+// host.
+func poolAdmits(p adl.HostPool, h cluster.HostInfo) bool {
+	if len(p.Hosts) > 0 {
+		for _, name := range p.Hosts {
+			if name == h.Name {
+				return true
+			}
+		}
+		return false
+	}
+	if len(p.Tags) > 0 {
+		for _, want := range p.Tags {
+			for _, got := range h.Tags {
+				if want == got {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,187 @@
+package sam
+
+import (
+	"strings"
+	"testing"
+
+	"streamorca/internal/adl"
+	"streamorca/internal/cluster"
+)
+
+func hosts(names ...string) []cluster.HostInfo {
+	out := make([]cluster.HostInfo, len(names))
+	for i, n := range names {
+		out[i] = cluster.HostInfo{Name: n, Up: true}
+	}
+	return out
+}
+
+func appWithPEs(pes ...adl.PE) *adl.Application {
+	return &adl.Application{Name: "X", PEs: pes}
+}
+
+func TestPlaceSpreadsByLoad(t *testing.T) {
+	app := appWithPEs(adl.PE{Index: 0}, adl.PE{Index: 1}, adl.PE{Index: 2}, adl.PE{Index: 3})
+	assign, reserve, err := place(app, hosts("h1", "h2"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reserve) != 0 {
+		t.Fatalf("reserved %v for non-exclusive pools", reserve)
+	}
+	counts := map[string]int{}
+	for _, h := range assign {
+		counts[h]++
+	}
+	if counts["h1"] != 2 || counts["h2"] != 2 {
+		t.Fatalf("assignment unbalanced: %v", assign)
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	app := appWithPEs(adl.PE{Index: 0}, adl.PE{Index: 1})
+	a1, _, err := place(app, hosts("h2", "h1"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := place(app, hosts("h1", "h2"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a1 {
+		if a1[k] != a2[k] {
+			t.Fatalf("placement differs: %v vs %v", a1, a2)
+		}
+	}
+}
+
+func TestPlaceExplicitHostPool(t *testing.T) {
+	app := appWithPEs(adl.PE{Index: 0, Pool: "special"})
+	app.HostPools = []adl.HostPool{{Name: "special", Hosts: []string{"h3"}}}
+	assign, _, err := place(app, hosts("h1", "h2", "h3"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != "h3" {
+		t.Fatalf("assign = %v", assign)
+	}
+}
+
+func TestPlaceTagPool(t *testing.T) {
+	app := appWithPEs(adl.PE{Index: 0, Pool: "gpu"})
+	app.HostPools = []adl.HostPool{{Name: "gpu", Tags: []string{"gpu"}}}
+	hs := hosts("h1", "h2")
+	hs[1].Tags = []string{"gpu"}
+	assign, _, err := place(app, hs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != "h2" {
+		t.Fatalf("assign = %v", assign)
+	}
+}
+
+func TestPlacePoolSizeLimit(t *testing.T) {
+	app := appWithPEs(adl.PE{Index: 0, Pool: "p"}, adl.PE{Index: 1, Pool: "p"})
+	app.HostPools = []adl.HostPool{{Name: "p", Size: 1}}
+	assign, _, err := place(app, hosts("h1", "h2", "h3"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != "h1" || assign[1] != "h1" {
+		t.Fatalf("size-limited pool spilled: %v", assign)
+	}
+}
+
+func TestPlaceExclusivePoolReservesAndExcludes(t *testing.T) {
+	app := appWithPEs(adl.PE{Index: 0, Pool: "ex"})
+	app.HostPools = []adl.HostPool{{Name: "ex", Size: 1, Exclusive: true}}
+	// h1 occupied by another job: exclusive pool must skip it.
+	assign, reserve, err := place(app, hosts("h1", "h2"), nil, map[string]bool{"h1": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != "h2" || len(reserve) != 1 || reserve[0] != "h2" {
+		t.Fatalf("assign=%v reserve=%v", assign, reserve)
+	}
+}
+
+func TestPlaceSkipsReservedHosts(t *testing.T) {
+	app := appWithPEs(adl.PE{Index: 0})
+	assign, _, err := place(app, hosts("h1", "h2"), map[string]bool{"h1": true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != "h2" {
+		t.Fatalf("assigned to reserved host: %v", assign)
+	}
+}
+
+func TestPlaceIsolatePE(t *testing.T) {
+	app := appWithPEs(adl.PE{Index: 0, IsolatePE: true}, adl.PE{Index: 1, IsolatePE: true})
+	assign, _, err := place(app, hosts("h1", "h2"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] == assign[1] {
+		t.Fatalf("isolated PEs share a host: %v", assign)
+	}
+	// Three isolated PEs on two hosts must fail.
+	app3 := appWithPEs(adl.PE{Index: 0, IsolatePE: true}, adl.PE{Index: 1, IsolatePE: true}, adl.PE{Index: 2, IsolatePE: true})
+	if _, _, err := place(app3, hosts("h1", "h2"), nil, nil); err == nil {
+		t.Fatal("over-constrained isolation placed")
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	app := appWithPEs(adl.PE{Index: 0})
+	if _, _, err := place(app, nil, nil, nil); err == nil || !strings.Contains(err.Error(), "no available hosts") {
+		t.Fatalf("err = %v", err)
+	}
+	down := hosts("h1")
+	down[0].Up = false
+	if _, _, err := place(app, down, nil, nil); err == nil {
+		t.Fatal("placed on a dead host")
+	}
+	appBad := appWithPEs(adl.PE{Index: 0, Pool: "ghost"})
+	if _, _, err := place(appBad, hosts("h1"), nil, nil); err == nil {
+		t.Fatal("unknown pool placed")
+	}
+}
+
+func TestPoolAdmits(t *testing.T) {
+	h := cluster.HostInfo{Name: "h1", Tags: []string{"ssd"}}
+	if !poolAdmits(adl.HostPool{}, h) {
+		t.Fatal("open pool rejected host")
+	}
+	if !poolAdmits(adl.HostPool{Hosts: []string{"h1"}}, h) {
+		t.Fatal("explicit pool rejected listed host")
+	}
+	if poolAdmits(adl.HostPool{Hosts: []string{"h2"}}, h) {
+		t.Fatal("explicit pool admitted unlisted host")
+	}
+	if !poolAdmits(adl.HostPool{Tags: []string{"ssd"}}, h) {
+		t.Fatal("tag pool rejected tagged host")
+	}
+	if poolAdmits(adl.HostPool{Tags: []string{"gpu"}}, h) {
+		t.Fatal("tag pool admitted untagged host")
+	}
+}
+
+func TestSubstituteParams(t *testing.T) {
+	app := &adl.Application{
+		Name: "X",
+		Operators: []adl.Operator{{
+			Name: "a", Kind: "Beacon",
+			Params: map[string]string{"rate": "{{rate}}", "fixed": "7", "pair": "{{a}}-{{b}}"},
+		}},
+		PEs: []adl.PE{{Index: 0, Operators: []string{"a"}}},
+	}
+	substituteParams(app, map[string]string{"rate": "100", "a": "x", "b": "y"})
+	p := app.Operators[0].Params
+	if p["rate"] != "100" || p["fixed"] != "7" || p["pair"] != "x-y" {
+		t.Fatalf("params = %v", p)
+	}
+	// No params: no-op.
+	substituteParams(app, nil)
+}

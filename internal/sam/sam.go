@@ -1,0 +1,648 @@
+// Package sam implements the Streams Application Manager daemon (§2.2):
+// it receives application submission and cancellation requests, spawns the
+// job's PEs on hosts according to placement constraints, stops and
+// restarts PEs, routes import/export stream connections between running
+// jobs, and — when SRM reports a PE crash — identifies the orchestrator
+// managing the job and pushes the failure notification to it (§4.2).
+package sam
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"streamorca/internal/adl"
+	"streamorca/internal/cluster"
+	"streamorca/internal/ids"
+	"streamorca/internal/metrics"
+	"streamorca/internal/opapi"
+	"streamorca/internal/pe"
+	"streamorca/internal/srm"
+	"streamorca/internal/vclock"
+)
+
+// Config assembles a SAM daemon.
+type Config struct {
+	Clock    vclock.Clock
+	Cluster  *cluster.Cluster
+	SRM      *srm.SRM
+	Registry *opapi.Registry
+	QueueCap int
+	Logf     func(format string, args ...any)
+}
+
+// SubmitOptions parameterise one job submission.
+type SubmitOptions struct {
+	// Params are submission-time values substituted into operator
+	// parameters: an operator parameter value "{{rate}}" becomes the
+	// submission value of key "rate".
+	Params map[string]string
+	// Owner names the orchestrator submitting the job; empty for external
+	// submissions. Failure and job events route to the owner's listener.
+	Owner string
+}
+
+// PEFailure is the notification SAM pushes to the owning orchestrator
+// when a PE crashes.
+type PEFailure struct {
+	PE        ids.PEID
+	Job       ids.JobID
+	App       string
+	Host      string
+	Reason    string
+	At        time.Time
+	Operators []string
+}
+
+// JobInfo is a point-in-time description of a job.
+type JobInfo struct {
+	ID          ids.JobID
+	App         string
+	Owner       string
+	SubmittedAt time.Time
+	PEs         []PERuntimeInfo
+}
+
+// PERuntimeInfo describes one PE of a job.
+type PERuntimeInfo struct {
+	ID        ids.PEID
+	Index     int
+	Host      string
+	State     string
+	Operators []string
+	Restarts  int
+}
+
+// Listener receives job lifecycle callbacks for one orchestrator. All
+// callbacks fire outside SAM locks; any may be nil.
+type Listener struct {
+	PEFailed     func(PEFailure)
+	JobSubmitted func(JobInfo)
+	JobCancelled func(JobInfo)
+}
+
+// SAM is the application manager daemon.
+type SAM struct {
+	cfg Config
+
+	mu        sync.Mutex
+	nextJob   int64
+	nextPE    int64
+	jobs      map[ids.JobID]*job
+	reserved  map[string]ids.JobID // exclusive host reservations
+	listeners map[string]Listener
+	links     map[string]*xlink
+	nextLink  int64
+}
+
+type job struct {
+	id          ids.JobID
+	app         *adl.Application
+	owner       string
+	submittedAt time.Time
+	pes         map[int]*jpe
+	byID        map[ids.PEID]*jpe
+	reservedHst []string
+	cancelling  bool
+}
+
+type jpe struct {
+	index     int
+	id        ids.PEID
+	host      string
+	container *pe.PE
+	state     string // running | stopping | stopped | crashed
+	restarts  int
+}
+
+// New builds a SAM daemon wired to the cluster and SRM; it subscribes to
+// SRM's PE exit notifications (the paper's SRM→SAM failure path).
+func New(cfg Config) *SAM {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = opapi.Default
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &SAM{
+		cfg:       cfg,
+		jobs:      make(map[ids.JobID]*job),
+		reserved:  make(map[string]ids.JobID),
+		listeners: make(map[string]Listener),
+		links:     make(map[string]*xlink),
+	}
+	if cfg.SRM != nil {
+		cfg.SRM.OnPEExit(s.handlePEExit)
+	}
+	return s
+}
+
+// AddListener registers an orchestrator's callback set under its name.
+func (s *SAM) AddListener(name string, l Listener) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.listeners[name] = l
+}
+
+// RemoveListener drops an orchestrator's callbacks.
+func (s *SAM) RemoveListener(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.listeners, name)
+}
+
+// SubmitJob instantiates an application: clones and parameterises the
+// ADL, places PEs onto hosts, starts the containers, wires intra-job
+// cross-PE connections, and connects matching import/export streams with
+// already-running jobs.
+func (s *SAM) SubmitJob(app *adl.Application, opts SubmitOptions) (ids.JobID, error) {
+	prepared := app.Clone()
+	substituteParams(prepared, opts.Params)
+	if err := prepared.Validate(); err != nil {
+		return ids.InvalidJob, fmt.Errorf("sam: submit %s: %w", app.Name, err)
+	}
+
+	s.mu.Lock()
+	s.nextJob++
+	jobID := ids.JobID(s.nextJob)
+	assign, reserve, err := place(prepared, s.cfg.Cluster.Hosts(), s.reservedByOther(jobID), s.occupiedByOther(jobID))
+	if err != nil {
+		s.nextJob--
+		s.mu.Unlock()
+		return ids.InvalidJob, fmt.Errorf("sam: place %s: %w", app.Name, err)
+	}
+	j := &job{
+		id: jobID, app: prepared, owner: opts.Owner,
+		submittedAt: s.cfg.Clock.Now(),
+		pes:         make(map[int]*jpe, len(prepared.PEs)),
+		byID:        make(map[ids.PEID]*jpe, len(prepared.PEs)),
+		reservedHst: reserve,
+	}
+	for _, hostName := range reserve {
+		s.reserved[hostName] = jobID
+	}
+	var toStart []*jpe
+	for _, part := range prepared.PEs {
+		s.nextPE++
+		rp := &jpe{index: part.Index, id: ids.PEID(s.nextPE), host: assign[part.Index], state: "running"}
+		j.pes[part.Index] = rp
+		j.byID[rp.id] = rp
+		toStart = append(toStart, rp)
+	}
+	s.jobs[jobID] = j
+	s.mu.Unlock()
+
+	for _, rp := range toStart {
+		cfg, err := s.peConfig(j, rp)
+		if err == nil {
+			rp.container, err = s.cfg.Cluster.StartPE(rp.host, cfg)
+		}
+		if err != nil {
+			s.rollbackSubmit(jobID)
+			return ids.InvalidJob, fmt.Errorf("sam: start PE %d of %s: %w", rp.index, app.Name, err)
+		}
+	}
+
+	s.mu.Lock()
+	var estFail error
+	for _, l := range s.staticLinks(j) {
+		s.links[l.id] = l
+		if err := s.establishLocked(l); err != nil && estFail == nil {
+			estFail = err
+		}
+	}
+	for _, l := range s.matchImportsLocked(j) {
+		s.links[l.id] = l
+		if err := s.establishLocked(l); err != nil && estFail == nil {
+			estFail = err
+		}
+	}
+	listener := s.listeners[j.owner]
+	info := s.jobInfoLocked(j)
+	s.mu.Unlock()
+	if estFail != nil {
+		_ = s.CancelJob(jobID)
+		return ids.InvalidJob, fmt.Errorf("sam: wire %s: %w", app.Name, estFail)
+	}
+	if listener.JobSubmitted != nil {
+		listener.JobSubmitted(info)
+	}
+	s.cfg.Logf("sam: submitted %s as %s", app.Name, jobID)
+	return jobID, nil
+}
+
+// rollbackSubmit tears down a half-started job.
+func (s *SAM) rollbackSubmit(jobID ids.JobID) {
+	s.mu.Lock()
+	j, ok := s.jobs[jobID]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	j.cancelling = true
+	var containers []*pe.PE
+	for _, rp := range j.pes {
+		rp.state = "stopping"
+		if rp.container != nil {
+			containers = append(containers, rp.container)
+		}
+	}
+	delete(s.jobs, jobID)
+	for _, h := range j.reservedHst {
+		delete(s.reserved, h)
+	}
+	s.mu.Unlock()
+	for _, c := range containers {
+		c.Stop()
+	}
+}
+
+// CancelJob stops a job's PEs, removes its stream links, and releases its
+// exclusive host reservations.
+func (s *SAM) CancelJob(id ids.JobID) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("sam: no job %s", id)
+	}
+	if j.cancelling {
+		s.mu.Unlock()
+		return fmt.Errorf("sam: job %s already cancelling", id)
+	}
+	j.cancelling = true
+	var containers []*pe.PE
+	for _, rp := range j.pes {
+		if rp.state == "running" {
+			rp.state = "stopping"
+		}
+		if rp.container != nil {
+			containers = append(containers, rp.container)
+		}
+	}
+	// Detach cross-job links feeding this job from their exporters, and
+	// drop every link touching the job.
+	type detach struct {
+		c      *pe.PE
+		op     string
+		port   int
+		linkID string
+	}
+	var detaches []detach
+	for lid, l := range s.links {
+		if l.fromJob != id && l.toJob != id {
+			continue
+		}
+		if l.toJob == id && l.fromJob != id {
+			if src, ok := s.jobs[l.fromJob]; ok {
+				if rp, ok := src.pes[l.fromIdx]; ok && rp.container != nil {
+					detaches = append(detaches, detach{rp.container, l.fromOp, l.fromPort, lid})
+				}
+			}
+		}
+		delete(s.links, lid)
+	}
+	info := s.jobInfoLocked(j)
+	listener := s.listeners[j.owner]
+	delete(s.jobs, id)
+	for _, h := range j.reservedHst {
+		delete(s.reserved, h)
+	}
+	s.mu.Unlock()
+
+	for _, d := range detaches {
+		_ = d.c.RemoveOutlet(d.op, d.port, d.linkID)
+	}
+	for _, c := range containers {
+		c.Stop()
+	}
+	if s.cfg.SRM != nil {
+		s.cfg.SRM.DropJob(id)
+	}
+	if listener.JobCancelled != nil {
+		listener.JobCancelled(info)
+	}
+	s.cfg.Logf("sam: cancelled %s (%s)", id, info.App)
+	return nil
+}
+
+// RestartPE restarts a PE (crashed, stopped, or running) with a fresh
+// container on the same host when possible, re-wiring every stream link
+// that touches it. The PE keeps its id, as in System S.
+func (s *SAM) RestartPE(id ids.PEID) error {
+	s.mu.Lock()
+	j, rp := s.findPELocked(id)
+	if rp == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("sam: no PE %s", id)
+	}
+	running := rp.state == "running" && rp.container != nil
+	container := rp.container
+	if running {
+		rp.state = "stopping"
+	}
+	s.mu.Unlock()
+	if running {
+		container.Stop()
+	}
+
+	s.mu.Lock()
+	if !s.cfg.Cluster.HostUp(rp.host) {
+		// Re-place onto a surviving host of the same pool.
+		assign, _, err := place(j.app, s.cfg.Cluster.Hosts(), s.reservedByOther(j.id), s.occupiedByOther(j.id))
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("sam: re-place PE %s: %w", id, err)
+		}
+		rp.host = assign[rp.index]
+	}
+	cfg, err := s.peConfig(j, rp)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	newC, err := s.cfg.Cluster.StartPE(rp.host, cfg)
+	if err != nil {
+		return fmt.Errorf("sam: restart PE %s: %w", id, err)
+	}
+
+	s.mu.Lock()
+	rp.container = newC
+	rp.state = "running"
+	rp.restarts++
+	newC.PEMetrics().Counter(metrics.PERestarts).Set(int64(rp.restarts))
+	var rewire []*xlink
+	for _, l := range s.links {
+		if (l.fromJob == j.id && l.fromIdx == rp.index) || (l.toJob == j.id && l.toIdx == rp.index) {
+			rewire = append(rewire, l)
+		}
+	}
+	for _, l := range rewire {
+		if err := s.establishLocked(l); err != nil {
+			s.cfg.Logf("sam: rewire %s: %v", l.id, err)
+		}
+	}
+	s.mu.Unlock()
+	s.cfg.Logf("sam: restarted %s on %s", id, rp.host)
+	return nil
+}
+
+// StopPE cleanly stops one PE without restarting it.
+func (s *SAM) StopPE(id ids.PEID) error {
+	s.mu.Lock()
+	_, rp := s.findPELocked(id)
+	if rp == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("sam: no PE %s", id)
+	}
+	if rp.state != "running" || rp.container == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("sam: PE %s is not running", id)
+	}
+	rp.state = "stopping"
+	c := rp.container
+	s.mu.Unlock()
+	c.Stop()
+	return nil
+}
+
+// KillPE injects a crash failure (fault injection / tests).
+func (s *SAM) KillPE(id ids.PEID, reason string) error {
+	return s.cfg.Cluster.KillPE(id, reason)
+}
+
+// ControlOperator delivers a control command to an operator of a running
+// job (the orchestrator actuation that adjusts operator behaviour without
+// redeployment, §3).
+func (s *SAM) ControlOperator(jobID ids.JobID, opName, cmd string, args map[string]string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[jobID]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("sam: no job %s", jobID)
+	}
+	idx := j.app.PEOfOperator(opName)
+	if idx < 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("sam: job %s has no operator %q", jobID, opName)
+	}
+	rp := j.pes[idx]
+	if rp == nil || rp.container == nil || rp.state != "running" {
+		s.mu.Unlock()
+		return fmt.Errorf("sam: PE hosting %q is not running", opName)
+	}
+	c := rp.container
+	s.mu.Unlock()
+	return c.Control(opName, cmd, args)
+}
+
+// Job returns a snapshot of one job.
+func (s *SAM) Job(id ids.JobID) (JobInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return s.jobInfoLocked(j), true
+}
+
+// Jobs returns snapshots of all running jobs, ordered by id.
+func (s *SAM) Jobs() []JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobInfo, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, s.jobInfoLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// JobADL returns the (parameterised) ADL a job runs, for graph building.
+func (s *SAM) JobADL(id ids.JobID) (*adl.Application, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.app, true
+}
+
+// PEPlacement returns partition-index → PE id and host maps for a job.
+func (s *SAM) PEPlacement(id ids.JobID) (map[int]ids.PEID, map[int]string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, false
+	}
+	peIDs := make(map[int]ids.PEID, len(j.pes))
+	hosts := make(map[int]string, len(j.pes))
+	for idx, rp := range j.pes {
+		peIDs[idx] = rp.id
+		hosts[idx] = rp.host
+	}
+	return peIDs, hosts, true
+}
+
+// handlePEExit is SAM's subscription to SRM's failure notifications.
+func (s *SAM) handlePEExit(e srm.PEExit) {
+	s.mu.Lock()
+	j, rp := s.findPELocked(e.PE)
+	if rp == nil || j.cancelling {
+		s.mu.Unlock()
+		return
+	}
+	if rp.state == "stopping" {
+		rp.state = "stopped"
+		s.mu.Unlock()
+		return
+	}
+	if !e.Crashed {
+		rp.state = "stopped"
+		s.mu.Unlock()
+		return
+	}
+	rp.state = "crashed"
+	autoRestart := false
+	for _, part := range j.app.PEs {
+		if part.Index == rp.index {
+			autoRestart = part.Restart
+		}
+	}
+	listener := s.listeners[j.owner]
+	failure := PEFailure{
+		PE: e.PE, Job: j.id, App: j.app.Name, Host: e.Host,
+		Reason: e.Reason, At: e.At,
+		Operators: append([]string(nil), j.app.OperatorsInPE(rp.index)...),
+	}
+	s.mu.Unlock()
+
+	if autoRestart {
+		if err := s.RestartPE(e.PE); err != nil {
+			s.cfg.Logf("sam: auto-restart %s: %v", e.PE, err)
+		}
+	}
+	if listener.PEFailed != nil {
+		listener.PEFailed(failure)
+	}
+}
+
+// peConfig assembles the container configuration for one partition.
+func (s *SAM) peConfig(j *job, rp *jpe) (pe.Config, error) {
+	var part *adl.PE
+	for i := range j.app.PEs {
+		if j.app.PEs[i].Index == rp.index {
+			part = &j.app.PEs[i]
+		}
+	}
+	if part == nil {
+		return pe.Config{}, fmt.Errorf("sam: job %s has no partition %d", j.id, rp.index)
+	}
+	inPart := make(map[string]bool, len(part.Operators))
+	cfg := pe.Config{
+		ID: rp.id, Job: j.id, App: j.app.Name,
+		Clock: s.cfg.Clock, Registry: s.cfg.Registry,
+		QueueCap: s.cfg.QueueCap, Logf: s.cfg.Logf,
+	}
+	for _, name := range part.Operators {
+		inPart[name] = true
+		src := j.app.OperatorByName(name)
+		spec := pe.OpSpec{Name: src.Name, Kind: src.Kind, Params: opapi.Params(src.Params)}
+		for _, p := range src.Inputs {
+			sc, err := p.SchemaOf()
+			if err != nil {
+				return pe.Config{}, err
+			}
+			spec.Inputs = append(spec.Inputs, sc)
+		}
+		for _, p := range src.Outputs {
+			sc, err := p.SchemaOf()
+			if err != nil {
+				return pe.Config{}, err
+			}
+			spec.Outputs = append(spec.Outputs, sc)
+		}
+		cfg.Ops = append(cfg.Ops, spec)
+	}
+	for _, c := range j.app.Connects {
+		if inPart[c.FromOp] && inPart[c.ToOp] {
+			cfg.Wires = append(cfg.Wires, pe.Wire{FromOp: c.FromOp, FromPort: c.FromPort, ToOp: c.ToOp, ToPort: c.ToPort})
+		}
+	}
+	return cfg, nil
+}
+
+func (s *SAM) findPELocked(id ids.PEID) (*job, *jpe) {
+	for _, j := range s.jobs {
+		if rp, ok := j.byID[id]; ok {
+			return j, rp
+		}
+	}
+	return nil, nil
+}
+
+func (s *SAM) jobInfoLocked(j *job) JobInfo {
+	info := JobInfo{ID: j.id, App: j.app.Name, Owner: j.owner, SubmittedAt: j.submittedAt}
+	for _, rp := range j.pes {
+		info.PEs = append(info.PEs, PERuntimeInfo{
+			ID: rp.id, Index: rp.index, Host: rp.host, State: rp.state,
+			Operators: append([]string(nil), j.app.OperatorsInPE(rp.index)...),
+			Restarts:  rp.restarts,
+		})
+	}
+	sort.Slice(info.PEs, func(a, b int) bool { return info.PEs[a].Index < info.PEs[b].Index })
+	return info
+}
+
+// reservedByOther lists hosts exclusively reserved by jobs other than self.
+func (s *SAM) reservedByOther(self ids.JobID) map[string]bool {
+	out := make(map[string]bool, len(s.reserved))
+	for h, owner := range s.reserved {
+		if owner != self {
+			out[h] = true
+		}
+	}
+	return out
+}
+
+// occupiedByOther lists hosts where jobs other than self have PEs.
+func (s *SAM) occupiedByOther(self ids.JobID) map[string]bool {
+	out := make(map[string]bool)
+	for _, j := range s.jobs {
+		if j.id == self {
+			continue
+		}
+		for _, rp := range j.pes {
+			out[rp.host] = true
+		}
+	}
+	return out
+}
+
+// substituteParams applies submission-time values to "{{key}}" references
+// in operator parameter values.
+func substituteParams(app *adl.Application, params map[string]string) {
+	if len(params) == 0 {
+		return
+	}
+	for i := range app.Operators {
+		for k, v := range app.Operators[i].Params {
+			if !strings.Contains(v, "{{") {
+				continue
+			}
+			for pk, pv := range params {
+				v = strings.ReplaceAll(v, "{{"+pk+"}}", pv)
+			}
+			app.Operators[i].Params[k] = v
+		}
+	}
+}

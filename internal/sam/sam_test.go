@@ -1,0 +1,478 @@
+package sam_test
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streamorca/internal/adl"
+	"streamorca/internal/compiler"
+	"streamorca/internal/ids"
+	"streamorca/internal/ops"
+	"streamorca/internal/platform"
+	"streamorca/internal/sam"
+	"streamorca/internal/tuple"
+)
+
+var intS = tuple.MustSchema(tuple.Attribute{Name: "seq", Type: tuple.Int})
+
+// pipelineApp builds Beacon -> Filter -> CollectSink as three PEs.
+func pipelineApp(t *testing.T, name, collector string, count int64) *adl.Application {
+	t.Helper()
+	b := compiler.NewApp(name)
+	src := b.AddOperator("src", ops.KindBeacon).Out(intS).
+		Param("count", itoa(count)).Param("period", "200us")
+	filt := b.AddOperator("filt", ops.KindFilter).In(intS).Out(intS).
+		Param("attr", "seq").Param("op", "ge").Param("value", "0")
+	sink := b.AddOperator("sink", ops.KindCollectSink).In(intS).
+		Param("collectorId", collector)
+	b.Connect(src, 0, filt, 0)
+	b.Connect(filt, 0, sink, 0)
+	app, err := b.Build(compiler.Options{Fusion: compiler.FuseNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+func newInstance(t *testing.T, hostNames ...string) *platform.Instance {
+	t.Helper()
+	specs := make([]platform.HostSpec, len(hostNames))
+	for i, n := range hostNames {
+		specs[i] = platform.HostSpec{Name: n}
+	}
+	inst, err := platform.NewInstance(platform.Options{
+		Hosts:           specs,
+		MetricsInterval: time.Hour, // tests flush explicitly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Close)
+	return inst
+}
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSubmitJobRunsPipelineAcrossPEs(t *testing.T) {
+	inst := newInstance(t, "h1", "h2")
+	ops.ResetCollector("p1")
+	app := pipelineApp(t, "Pipe", "p1", 20)
+	jobID, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "20 tuples at sink", func() bool { return ops.Collector("p1").Len() == 20 })
+	info, ok := inst.SAM.Job(jobID)
+	if !ok || info.App != "Pipe" || len(info.PEs) != 3 {
+		t.Fatalf("JobInfo = %+v", info)
+	}
+	hosts := map[string]bool{}
+	for _, pe := range info.PEs {
+		hosts[pe.Host] = true
+		if pe.State != "running" {
+			t.Fatalf("PE %v state %q", pe.ID, pe.State)
+		}
+	}
+	if len(hosts) != 2 {
+		t.Fatalf("PEs not spread over hosts: %+v", info.PEs)
+	}
+}
+
+func TestSubmitRejectsInvalidAndUnplaceable(t *testing.T) {
+	inst := newInstance(t, "h1")
+	bad := &adl.Application{Name: ""}
+	if _, err := inst.SAM.SubmitJob(bad, sam.SubmitOptions{}); err == nil {
+		t.Fatal("invalid ADL submitted")
+	}
+	app := pipelineApp(t, "Pool", "none", 1)
+	app.HostPools = []adl.HostPool{{Name: "ghostpool", Hosts: []string{"nosuchhost"}}}
+	for i := range app.PEs {
+		app.PEs[i].Pool = "ghostpool"
+	}
+	if _, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{}); err == nil {
+		t.Fatal("unplaceable app submitted")
+	}
+}
+
+func TestCancelJobStopsEverything(t *testing.T) {
+	inst := newInstance(t, "h1")
+	ops.ResetCollector("c2")
+	app := pipelineApp(t, "Cancel", "c2", 0) // unbounded source
+	jobID, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "some tuples", func() bool { return ops.Collector("c2").Len() > 3 })
+	inst.FlushMetrics()
+	if len(inst.SRM.Query([]ids.JobID{jobID})) == 0 {
+		t.Fatal("no SRM samples before cancel")
+	}
+	if err := inst.SAM.CancelJob(jobID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := inst.SAM.Job(jobID); ok {
+		t.Fatal("job still listed after cancel")
+	}
+	if got := inst.SRM.Query([]ids.JobID{jobID}); len(got) != 0 {
+		t.Fatalf("SRM kept %d samples after cancel", len(got))
+	}
+	n := ops.Collector("c2").Len()
+	time.Sleep(20 * time.Millisecond)
+	if ops.Collector("c2").Len() != n {
+		t.Fatal("tuples still flowing after cancel")
+	}
+	if err := inst.SAM.CancelJob(jobID); err == nil {
+		t.Fatal("double cancel succeeded")
+	}
+}
+
+func TestPEFailureNotifiesOwnerAndRestartResumes(t *testing.T) {
+	inst := newInstance(t, "h1")
+	ops.ResetCollector("c3")
+	var mu sync.Mutex
+	var failures []sam.PEFailure
+	inst.SAM.AddListener("orca1", sam.Listener{
+		PEFailed: func(f sam.PEFailure) {
+			mu.Lock()
+			failures = append(failures, f)
+			mu.Unlock()
+		},
+	})
+	app := pipelineApp(t, "Fail", "c3", 0)
+	jobID, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{Owner: "orca1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "flow", func() bool { return ops.Collector("c3").Len() > 3 })
+
+	info, _ := inst.SAM.Job(jobID)
+	var sinkPE ids.PEID
+	for _, p := range info.PEs {
+		if p.Operators[0] == "sink" {
+			sinkPE = p.ID
+		}
+	}
+	if err := inst.SAM.KillPE(sinkPE, "injected"); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "failure notification", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(failures) == 1
+	})
+	mu.Lock()
+	f := failures[0]
+	mu.Unlock()
+	if f.PE != sinkPE || f.Job != jobID || f.App != "Fail" || f.Reason != "injected" {
+		t.Fatalf("failure = %+v", f)
+	}
+	if len(f.Operators) != 1 || f.Operators[0] != "sink" {
+		t.Fatalf("failure operators = %v", f.Operators)
+	}
+
+	n := ops.Collector("c3").Len()
+	if err := inst.SAM.RestartPE(sinkPE); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "flow after restart", func() bool { return ops.Collector("c3").Len() > n })
+	info, _ = inst.SAM.Job(jobID)
+	for _, p := range info.PEs {
+		if p.ID == sinkPE && (p.Restarts != 1 || p.State != "running") {
+			t.Fatalf("restarted PE info = %+v", p)
+		}
+	}
+}
+
+func TestAutoRestartFlag(t *testing.T) {
+	inst := newInstance(t, "h1")
+	ops.ResetCollector("c4")
+	app := pipelineApp(t, "Auto", "c4", 0)
+	for i := range app.PEs {
+		app.PEs[i].Restart = true
+	}
+	jobID, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "flow", func() bool { return ops.Collector("c4").Len() > 3 })
+	info, _ := inst.SAM.Job(jobID)
+	var srcPE ids.PEID
+	for _, p := range info.PEs {
+		if p.Operators[0] == "src" {
+			srcPE = p.ID
+		}
+	}
+	if err := inst.SAM.KillPE(srcPE, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "auto restart", func() bool {
+		info, _ := inst.SAM.Job(jobID)
+		for _, p := range info.PEs {
+			if p.ID == srcPE {
+				return p.Restarts == 1 && p.State == "running"
+			}
+		}
+		return false
+	})
+	n := ops.Collector("c4").Len()
+	waitCond(t, "flow after auto restart", func() bool { return ops.Collector("c4").Len() > n })
+}
+
+func TestStopPE(t *testing.T) {
+	inst := newInstance(t, "h1")
+	ops.ResetCollector("c5")
+	app := pipelineApp(t, "Stop", "c5", 0)
+	jobID, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "flow", func() bool { return ops.Collector("c5").Len() > 0 })
+	info, _ := inst.SAM.Job(jobID)
+	var sinkPE ids.PEID
+	for _, p := range info.PEs {
+		if p.Operators[0] == "sink" {
+			sinkPE = p.ID
+		}
+	}
+	if err := inst.SAM.StopPE(sinkPE); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "stopped state", func() bool {
+		info, _ := inst.SAM.Job(jobID)
+		for _, p := range info.PEs {
+			if p.ID == sinkPE {
+				return p.State == "stopped"
+			}
+		}
+		return false
+	})
+	if err := inst.SAM.StopPE(sinkPE); err == nil {
+		t.Fatal("stopping a stopped PE succeeded")
+	}
+}
+
+func TestImportExportAcrossJobs(t *testing.T) {
+	inst := newInstance(t, "h1")
+	ops.ResetCollector("imp")
+
+	bx := compiler.NewApp("Exporter")
+	src := bx.AddOperator("src", ops.KindBeacon).Out(intS).Param("count", "0").Param("period", "200us")
+	bx.Export(src, 0, "numbers", map[string]string{"kind": "seq"})
+	exApp, err := bx.Build(compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bi := compiler.NewApp("Importer")
+	sink := bi.AddOperator("sink", ops.KindCollectSink).In(intS).Param("collectorId", "imp")
+	bi.Import(sink, 0, "", map[string]string{"kind": "seq"})
+	imApp, err := bi.Build(compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exJob, err := inst.SAM.SubmitJob(exApp, sam.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = inst.SAM.SubmitJob(imApp, sam.SubmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "imported tuples", func() bool { return ops.Collector("imp").Len() > 3 })
+
+	// Cancelling the exporter must stop the flow without killing the importer.
+	if err := inst.SAM.CancelJob(exJob); err != nil {
+		t.Fatal(err)
+	}
+	n := ops.Collector("imp").Len()
+	time.Sleep(20 * time.Millisecond)
+	if ops.Collector("imp").Len() != n {
+		t.Fatal("import flow continued after exporter cancel")
+	}
+
+	// Resubmitting the exporter reconnects automatically (§2.1).
+	if _, err := inst.SAM.SubmitJob(exApp, sam.SubmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "reconnected flow", func() bool { return ops.Collector("imp").Len() > n })
+}
+
+func TestExclusivePoolsSeparateReplicas(t *testing.T) {
+	inst := newInstance(t, "h1", "h2", "h3")
+	mk := func(name, coll string) *adl.Application {
+		app := pipelineApp(t, name, coll, 0)
+		app.MakeExclusive()
+		for i := range app.HostPools {
+			app.HostPools[i].Size = 1
+		}
+		return app
+	}
+	usedHosts := map[string]bool{}
+	for i, name := range []string{"R0", "R1", "R2"} {
+		ops.ResetCollector("ex" + name)
+		jobID, err := inst.SAM.SubmitJob(mk(name, "ex"+name), sam.SubmitOptions{})
+		if err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+		info, _ := inst.SAM.Job(jobID)
+		for _, p := range info.PEs {
+			usedHosts[p.Host] = true
+		}
+	}
+	if len(usedHosts) != 3 {
+		t.Fatalf("replicas share hosts: %v", usedHosts)
+	}
+	// A fourth exclusive replica must fail: no hosts left.
+	if _, err := inst.SAM.SubmitJob(mk("R3", "exR3"), sam.SubmitOptions{}); err == nil {
+		t.Fatal("fourth exclusive replica placed")
+	}
+}
+
+func TestSubmissionParamsReachOperators(t *testing.T) {
+	inst := newInstance(t, "h1")
+	ops.ResetCollector("par")
+	b := compiler.NewApp("Par")
+	src := b.AddOperator("src", ops.KindBeacon).Out(intS).Param("count", "{{n}}")
+	sink := b.AddOperator("sink", ops.KindCollectSink).In(intS).Param("collectorId", "par")
+	b.Connect(src, 0, sink, 0)
+	app, err := b.Build(compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{Params: map[string]string{"n": "7"}}); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "final", func() bool { return ops.Collector("par").Finals() == 1 })
+	if got := ops.Collector("par").Len(); got != 7 {
+		t.Fatalf("submission param ignored: %d tuples", got)
+	}
+}
+
+func TestControlOperator(t *testing.T) {
+	inst := newInstance(t, "h1")
+	ops.ResetCollector("ctl")
+	b := compiler.NewApp("Ctl")
+	src := b.AddOperator("src", ops.KindBeacon).Out(intS).Param("count", "0").Param("period", "200us")
+	filt := b.AddOperator("filt", ops.KindDynamicFilter).In(intS).Out(intS).
+		Param("attr", "seq").Param("op", "ge").Param("value", "0")
+	sink := b.AddOperator("sink", ops.KindCollectSink).In(intS).Param("collectorId", "ctl")
+	b.Connect(src, 0, filt, 0)
+	b.Connect(filt, 0, sink, 0)
+	app, err := b.Build(compiler.Options{Fusion: compiler.FuseAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobID, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "flow", func() bool { return ops.Collector("ctl").Len() > 0 })
+	if err := inst.SAM.ControlOperator(jobID, "filt", "setPredicate",
+		map[string]string{"attr": "seq", "op": "lt", "value": "0"}); err != nil {
+		t.Fatal(err)
+	}
+	n := ops.Collector("ctl").Len()
+	time.Sleep(20 * time.Millisecond)
+	if got := ops.Collector("ctl").Len(); got > n+2 {
+		t.Fatalf("control command did not throttle flow: %d -> %d", n, got)
+	}
+	if err := inst.SAM.ControlOperator(jobID, "ghost", "x", nil); err == nil {
+		t.Fatal("control on unknown operator succeeded")
+	}
+	if err := inst.SAM.ControlOperator(999, "filt", "x", nil); err == nil {
+		t.Fatal("control on unknown job succeeded")
+	}
+}
+
+func TestJobListenerLifecycleEvents(t *testing.T) {
+	inst := newInstance(t, "h1")
+	var mu sync.Mutex
+	var submitted, cancelled []string
+	inst.SAM.AddListener("o", sam.Listener{
+		JobSubmitted: func(j sam.JobInfo) {
+			mu.Lock()
+			submitted = append(submitted, j.App)
+			mu.Unlock()
+		},
+		JobCancelled: func(j sam.JobInfo) {
+			mu.Lock()
+			cancelled = append(cancelled, j.App)
+			mu.Unlock()
+		},
+	})
+	ops.ResetCollector("lst")
+	app := pipelineApp(t, "Listen", "lst", 0)
+	jobID, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{Owner: "o"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.SAM.CancelJob(jobID); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(submitted) != 1 || submitted[0] != "Listen" || len(cancelled) != 1 || cancelled[0] != "Listen" {
+		t.Fatalf("submitted=%v cancelled=%v", submitted, cancelled)
+	}
+}
+
+func TestJobsAndPlacementQueries(t *testing.T) {
+	inst := newInstance(t, "h1")
+	ops.ResetCollector("q")
+	app := pipelineApp(t, "Query", "q", 0)
+	jobID, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := inst.SAM.Jobs()
+	if len(jobs) != 1 || jobs[0].ID != jobID {
+		t.Fatalf("Jobs() = %+v", jobs)
+	}
+	peIDs, hosts, ok := inst.SAM.PEPlacement(jobID)
+	if !ok || len(peIDs) != 3 || len(hosts) != 3 {
+		t.Fatalf("PEPlacement: %v %v %v", peIDs, hosts, ok)
+	}
+	if _, ok := inst.SAM.JobADL(jobID); !ok {
+		t.Fatal("JobADL missing")
+	}
+	if _, _, ok := inst.SAM.PEPlacement(999); ok {
+		t.Fatal("placement for unknown job")
+	}
+	if strings.TrimSpace(jobs[0].App) == "" {
+		t.Fatal("empty app name in JobInfo")
+	}
+}
+
+func TestLinkCountTracksCancel(t *testing.T) {
+	inst := newInstance(t, "h1")
+	ops.ResetCollector("lc")
+	app := pipelineApp(t, "Links", "lc", 0) // 3 PEs -> 2 static links
+	jobID, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.SAM.LinkCount(); got != 2 {
+		t.Fatalf("LinkCount = %d", got)
+	}
+	if err := inst.SAM.CancelJob(jobID); err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.SAM.LinkCount(); got != 0 {
+		t.Fatalf("LinkCount after cancel = %d", got)
+	}
+}

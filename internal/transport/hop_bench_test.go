@@ -1,0 +1,94 @@
+package transport_test
+
+import (
+	"testing"
+
+	"streamorca/internal/metrics"
+	"streamorca/internal/opapi"
+	"streamorca/internal/pe"
+	"streamorca/internal/transport"
+	"streamorca/internal/tuple"
+)
+
+var intSchema = tuple.MustSchema(tuple.Attribute{Name: "v", Type: tuple.Int})
+
+// benchSink counts tuples and signals when n arrived.
+type benchSink struct {
+	opapi.Base
+	n    int
+	want int
+	done chan struct{}
+}
+
+func (s *benchSink) Process(int, tuple.Tuple) error {
+	s.n++
+	if s.n == s.want {
+		close(s.done)
+	}
+	return nil
+}
+
+// BenchmarkIntraPEHop measures one fused hop: enqueue into a neighbour
+// operator's channel, no serialization.
+func BenchmarkIntraPEHop(b *testing.B) {
+	sink := &benchSink{want: b.N, done: make(chan struct{})}
+	reg := opapi.NewRegistry()
+	reg.Register("BenchSink", func() opapi.Operator { return sink })
+	p, err := pe.New(pe.Config{
+		ID: 1, Job: 1, App: "bench",
+		Ops:      []pe.OpSpec{{Name: "sink", Kind: "BenchSink", Inputs: []*tuple.Schema{intSchema}}},
+		Registry: reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer p.Stop()
+	inlet, err := p.ExternalInlet("sink", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := tuple.Build(intSchema).Int("v", 42).Done()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inlet(pe.TupleItem(t))
+	}
+	<-sink.done
+}
+
+// BenchmarkCrossPEHop measures the same hop through the serializing
+// transport (encode + decode + byte accounting), the cost every unfused
+// connection pays.
+func BenchmarkCrossPEHop(b *testing.B) {
+	sink := &benchSink{want: b.N, done: make(chan struct{})}
+	reg := opapi.NewRegistry()
+	reg.Register("BenchSink", func() opapi.Operator { return sink })
+	p, err := pe.New(pe.Config{
+		ID: 1, Job: 1, App: "bench",
+		Ops:      []pe.OpSpec{{Name: "sink", Kind: "BenchSink", Inputs: []*tuple.Schema{intSchema}}},
+		Registry: reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer p.Stop()
+	inlet, err := p.ExternalInlet("sink", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sent, recv metrics.Counter
+	link := transport.NewLink(intSchema, inlet, &sent, &recv, nil)
+	t := tuple.Build(intSchema).Int("v", 42).Done()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		link(pe.TupleItem(t))
+	}
+	<-sink.done
+}

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+
+	"streamorca/internal/metrics"
+	"streamorca/internal/pe"
+	"streamorca/internal/tuple"
+)
+
+var schema = tuple.MustSchema(
+	tuple.Attribute{Name: "v", Type: tuple.Int},
+	tuple.Attribute{Name: "s", Type: tuple.String},
+)
+
+func TestLinkDeliversDecodedCopy(t *testing.T) {
+	var got []pe.Item
+	var sent, recv metrics.Counter
+	link := NewLink(schema, func(it pe.Item) { got = append(got, it) }, &sent, &recv, nil)
+	in := tuple.Build(schema).Int("v", 42).Str("s", "hello").Done()
+	link(pe.TupleItem(in))
+	if len(got) != 1 {
+		t.Fatalf("delivered %d items", len(got))
+	}
+	out := got[0].T
+	if out.Int("v") != 42 || out.String("s") != "hello" {
+		t.Fatalf("delivered %s", out.Format())
+	}
+	// Mutating the original must not affect the delivered copy.
+	if err := in.SetInt("v", 7); err != nil {
+		t.Fatal(err)
+	}
+	if out.Int("v") != 42 {
+		t.Fatal("link shared tuple storage across the boundary")
+	}
+	want := int64(tuple.EncodedSize(in))
+	if sent.Value() != want || recv.Value() != want {
+		t.Fatalf("bytes sent=%d recv=%d want %d", sent.Value(), recv.Value(), want)
+	}
+}
+
+func TestLinkMarksCountOverhead(t *testing.T) {
+	var got []pe.Item
+	var sent, recv metrics.Counter
+	link := NewLink(schema, func(it pe.Item) { got = append(got, it) }, &sent, &recv, nil)
+	link(pe.MarkItem(tuple.FinalMark))
+	if len(got) != 1 || got[0].Mark != tuple.FinalMark {
+		t.Fatalf("marks not forwarded: %+v", got)
+	}
+	if sent.Value() != markOverhead || recv.Value() != markOverhead {
+		t.Fatalf("mark bytes sent=%d recv=%d", sent.Value(), recv.Value())
+	}
+}
+
+func TestLinkNilCountersTolerated(t *testing.T) {
+	var n int
+	link := NewLink(schema, func(pe.Item) { n++ }, nil, nil, nil)
+	link(pe.TupleItem(tuple.New(schema)))
+	link(pe.MarkItem(tuple.WindowMark))
+	if n != 2 {
+		t.Fatalf("delivered %d", n)
+	}
+}
+
+func TestLinkEncodeErrorDropped(t *testing.T) {
+	var delivered int
+	var errs []error
+	link := NewLink(schema, func(pe.Item) { delivered++ }, nil, nil, func(err error) { errs = append(errs, err) })
+	link(pe.TupleItem(tuple.Tuple{})) // invalid tuple fails to encode
+	if delivered != 0 {
+		t.Fatal("invalid tuple delivered")
+	}
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "encode") {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestLinkSchemaMismatchDropped(t *testing.T) {
+	other := tuple.MustSchema(tuple.Attribute{Name: "x", Type: tuple.Float})
+	var delivered int
+	var errs []error
+	// Link decodes with a schema narrower than the sender's, so leftover
+	// bytes signal a mismatch.
+	link := NewLink(other, func(pe.Item) { delivered++ }, nil, nil, func(err error) { errs = append(errs, err) })
+	big := tuple.Build(schema).Int("v", 1).Str("s", "aaaaaaaaaaaaaaaa").Done()
+	link(pe.TupleItem(big))
+	if delivered != 0 {
+		t.Fatal("mismatched tuple delivered")
+	}
+	if len(errs) != 1 {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestLinkID(t *testing.T) {
+	a := LinkID(1, "op1", 0, 2, "op2", 1, 0)
+	b := LinkID(1, "op1", 0, 2, "op2", 1, 1)
+	if a == b {
+		t.Fatal("incarnation not reflected in link id")
+	}
+	if !strings.Contains(a, "op1") || !strings.Contains(a, "op2") {
+		t.Fatalf("link id %q", a)
+	}
+}

@@ -1,0 +1,400 @@
+// Package tuple defines the data items flowing through stream connections:
+// typed schemas, tuples, punctuation marks, and a binary codec used by the
+// inter-PE transport (which is also where the platform's byte-count metrics
+// come from).
+package tuple
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Type enumerates attribute types supported by the platform.
+type Type uint8
+
+// Supported attribute types.
+const (
+	Int Type = iota + 1
+	Float
+	String
+	Bool
+	Timestamp
+)
+
+// String returns the SPL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "int64"
+	case Float:
+		return "float64"
+	case String:
+		return "rstring"
+	case Bool:
+		return "boolean"
+	case Timestamp:
+		return "timestamp"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+func (t Type) valid() bool { return t >= Int && t <= Timestamp }
+
+// Attribute is a named, typed slot in a schema.
+type Attribute struct {
+	Name string `json:"name"`
+	Type Type   `json:"type"`
+}
+
+// Schema is an ordered set of uniquely named attributes. Schemas are
+// immutable after construction and safe to share between goroutines.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given attributes. Attribute names must
+// be unique, non-empty, and every type must be valid.
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	s := &Schema{attrs: append([]Attribute(nil), attrs...), index: make(map[string]int, len(attrs))}
+	for i, a := range s.attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("tuple: attribute %d has an empty name", i)
+		}
+		if !a.Type.valid() {
+			return nil, fmt.Errorf("tuple: attribute %q has invalid type %d", a.Name, a.Type)
+		}
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("tuple: duplicate attribute name %q", a.Name)
+		}
+		s.index[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for statically
+// known schemas in application builders and tests.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumAttrs returns the number of attributes.
+func (s *Schema) NumAttrs() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Index returns the position of the named attribute, or -1 if absent.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Equal reports whether two schemas have identical attribute sequences.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == o {
+		return true
+	}
+	if s == nil || o == nil || len(s.attrs) != len(o.attrs) {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != o.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "<int64 id, rstring text>".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", a.Type, a.Name)
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// Names returns the attribute names in schema order.
+func (s *Schema) Names() []string {
+	names := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Tuple is a single data item conforming to a schema. The zero Tuple is
+// invalid; construct with New. Tuples are not safe for concurrent
+// mutation; Clone before sharing.
+type Tuple struct {
+	schema *Schema
+	vals   []any
+}
+
+// New returns a zero-valued tuple of the given schema.
+func New(s *Schema) Tuple {
+	vals := make([]any, s.NumAttrs())
+	for i := range vals {
+		switch s.Attr(i).Type {
+		case Int:
+			vals[i] = int64(0)
+		case Float:
+			vals[i] = float64(0)
+		case String:
+			vals[i] = ""
+		case Bool:
+			vals[i] = false
+		case Timestamp:
+			vals[i] = time.Time{}
+		}
+	}
+	return Tuple{schema: s, vals: vals}
+}
+
+// Schema returns the tuple's schema.
+func (t Tuple) Schema() *Schema { return t.schema }
+
+// Valid reports whether the tuple was properly constructed.
+func (t Tuple) Valid() bool { return t.schema != nil }
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	vals := make([]any, len(t.vals))
+	copy(vals, t.vals)
+	return Tuple{schema: t.schema, vals: vals}
+}
+
+func (t Tuple) slot(name string, want Type) (int, error) {
+	i := t.schema.Index(name)
+	if i < 0 {
+		return -1, fmt.Errorf("tuple: no attribute %q in %s", name, t.schema)
+	}
+	if got := t.schema.Attr(i).Type; got != want {
+		return -1, fmt.Errorf("tuple: attribute %q is %s, not %s", name, got, want)
+	}
+	return i, nil
+}
+
+// SetInt stores an int64 attribute.
+func (t Tuple) SetInt(name string, v int64) error {
+	i, err := t.slot(name, Int)
+	if err != nil {
+		return err
+	}
+	t.vals[i] = v
+	return nil
+}
+
+// SetFloat stores a float64 attribute.
+func (t Tuple) SetFloat(name string, v float64) error {
+	i, err := t.slot(name, Float)
+	if err != nil {
+		return err
+	}
+	t.vals[i] = v
+	return nil
+}
+
+// SetString stores a string attribute.
+func (t Tuple) SetString(name, v string) error {
+	i, err := t.slot(name, String)
+	if err != nil {
+		return err
+	}
+	t.vals[i] = v
+	return nil
+}
+
+// SetBool stores a bool attribute.
+func (t Tuple) SetBool(name string, v bool) error {
+	i, err := t.slot(name, Bool)
+	if err != nil {
+		return err
+	}
+	t.vals[i] = v
+	return nil
+}
+
+// SetTime stores a timestamp attribute.
+func (t Tuple) SetTime(name string, v time.Time) error {
+	i, err := t.slot(name, Timestamp)
+	if err != nil {
+		return err
+	}
+	t.vals[i] = v
+	return nil
+}
+
+// Int reads an int64 attribute, returning 0 if missing or mistyped.
+func (t Tuple) Int(name string) int64 {
+	if i, err := t.slot(name, Int); err == nil {
+		return t.vals[i].(int64)
+	}
+	return 0
+}
+
+// Float reads a float64 attribute, returning 0 if missing or mistyped.
+func (t Tuple) Float(name string) float64 {
+	if i, err := t.slot(name, Float); err == nil {
+		return t.vals[i].(float64)
+	}
+	return 0
+}
+
+// String reads a string attribute, returning "" if missing or mistyped.
+func (t Tuple) String(name string) string {
+	if i, err := t.slot(name, String); err == nil {
+		return t.vals[i].(string)
+	}
+	return ""
+}
+
+// Bool reads a bool attribute, returning false if missing or mistyped.
+func (t Tuple) Bool(name string) bool {
+	if i, err := t.slot(name, Bool); err == nil {
+		return t.vals[i].(bool)
+	}
+	return false
+}
+
+// Time reads a timestamp attribute, returning the zero time if missing or
+// mistyped.
+func (t Tuple) Time(name string) time.Time {
+	if i, err := t.slot(name, Timestamp); err == nil {
+		return t.vals[i].(time.Time)
+	}
+	return time.Time{}
+}
+
+// Format renders the tuple for logs and sinks as {a=1, b="x"}.
+func (t Tuple) Format() string {
+	if !t.Valid() {
+		return "{invalid}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := range t.vals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		a := t.schema.Attr(i)
+		switch a.Type {
+		case String:
+			fmt.Fprintf(&b, "%s=%q", a.Name, t.vals[i])
+		case Timestamp:
+			fmt.Fprintf(&b, "%s=%s", a.Name, t.vals[i].(time.Time).UTC().Format(time.RFC3339Nano))
+		default:
+			fmt.Fprintf(&b, "%s=%v", a.Name, t.vals[i])
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Builder provides chained tuple construction:
+//
+//	t := tuple.Build(schema).Int("id", 7).Str("text", "hi").Done()
+type Builder struct {
+	t   Tuple
+	err error
+}
+
+// Build starts a builder for schema s.
+func Build(s *Schema) *Builder { return &Builder{t: New(s)} }
+
+// Int sets an int64 attribute.
+func (b *Builder) Int(name string, v int64) *Builder {
+	if b.err == nil {
+		b.err = b.t.SetInt(name, v)
+	}
+	return b
+}
+
+// Float sets a float64 attribute.
+func (b *Builder) Float(name string, v float64) *Builder {
+	if b.err == nil {
+		b.err = b.t.SetFloat(name, v)
+	}
+	return b
+}
+
+// Str sets a string attribute.
+func (b *Builder) Str(name, v string) *Builder {
+	if b.err == nil {
+		b.err = b.t.SetString(name, v)
+	}
+	return b
+}
+
+// Bool sets a bool attribute.
+func (b *Builder) Bool(name string, v bool) *Builder {
+	if b.err == nil {
+		b.err = b.t.SetBool(name, v)
+	}
+	return b
+}
+
+// Time sets a timestamp attribute.
+func (b *Builder) Time(name string, v time.Time) *Builder {
+	if b.err == nil {
+		b.err = b.t.SetTime(name, v)
+	}
+	return b
+}
+
+// Done returns the built tuple, panicking if any set failed. Builders are
+// used with statically known schemas where a mismatch is a programming
+// error.
+func (b *Builder) Done() Tuple {
+	if b.err != nil {
+		panic(b.err)
+	}
+	return b.t
+}
+
+// Mark is a punctuation delivered in-band on a stream.
+type Mark uint8
+
+// Punctuation kinds. FinalMark indicates the producing port will never emit
+// another tuple; its propagation is managed by the PE runtime and surfaces
+// as the nFinalPunctsQueued built-in metric on sink ports.
+const (
+	NoMark Mark = iota
+	WindowMark
+	FinalMark
+)
+
+// String names the mark.
+func (m Mark) String() string {
+	switch m {
+	case NoMark:
+		return "none"
+	case WindowMark:
+		return "window"
+	case FinalMark:
+		return "final"
+	default:
+		return fmt.Sprintf("Mark(%d)", uint8(m))
+	}
+}
+
+// SortAttributes orders attributes by name; used by tools that need a
+// canonical rendering of schemas.
+func SortAttributes(attrs []Attribute) {
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+}

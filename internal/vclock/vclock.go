@@ -1,0 +1,284 @@
+// Package vclock provides a virtual clock abstraction so that every
+// time-dependent component of the system (metric collection intervals,
+// dependency uptime requirements, garbage-collection timeouts, sliding
+// windows) can run against either the real wall clock or a deterministic
+// manual clock driven by tests and experiments.
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the time source used throughout the platform and the
+// orchestrator. Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for d.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the clock's time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc schedules f to run in its own goroutine after d. The
+	// returned timer can cancel the call before it fires.
+	AfterFunc(d time.Duration, f func()) Timer
+	// NewTicker returns a ticker that delivers the clock's time every d.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Timer is a cancellable pending call created by AfterFunc.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call was prevented
+	// from firing.
+	Stop() bool
+}
+
+// Ticker delivers periodic time events until stopped.
+type Ticker interface {
+	// C returns the delivery channel.
+	C() <-chan time.Time
+	// Stop shuts down the ticker. It does not close the channel.
+	Stop()
+}
+
+// Real returns a Clock backed by the runtime wall clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (realClock) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+func (realClock) NewTicker(d time.Duration) Ticker {
+	return realTicker{time.NewTicker(d)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) Stop() bool { return t.t.Stop() }
+
+type realTicker struct{ t *time.Ticker }
+
+func (t realTicker) C() <-chan time.Time { return t.t.C }
+func (t realTicker) Stop()               { t.t.Stop() }
+
+// Manual is a deterministic clock advanced explicitly by tests. Goroutines
+// blocked in Sleep/After only resume when Advance moves the clock past
+// their deadline.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	pending timerHeap
+	seq     int64
+	waiters int // goroutines currently blocked on this clock
+	waitCh  chan struct{}
+}
+
+// NewManual returns a Manual clock positioned at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start, waitCh: make(chan struct{})}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Sleep implements Clock.
+func (m *Manual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-m.After(d)
+}
+
+// After implements Clock.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	m.mu.Lock()
+	m.addWaiterLocked()
+	m.scheduleLocked(m.now.Add(d), func(t time.Time) {
+		ch <- t
+		m.dropWaiter()
+	}, false, 0)
+	m.mu.Unlock()
+	return ch
+}
+
+// AfterFunc implements Clock. Unlike time.AfterFunc, on a Manual clock f
+// runs synchronously on the goroutine calling Advance, which makes timer
+// ordering deterministic for tests; f must not block on further clock
+// advancement.
+func (m *Manual) AfterFunc(d time.Duration, f func()) Timer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scheduleLocked(m.now.Add(d), func(time.Time) { f() }, false, 0)
+}
+
+// NewTicker implements Clock.
+func (m *Manual) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("vclock: non-positive ticker interval")
+	}
+	t := &manualTicker{m: m, ch: make(chan time.Time, 1), period: d}
+	m.mu.Lock()
+	t.entry = m.scheduleLocked(m.now.Add(d), t.fire, true, d)
+	m.mu.Unlock()
+	return t
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// falls within the interval, in deadline order. Callbacks run without the
+// clock lock held.
+func (m *Manual) Advance(d time.Duration) {
+	m.AdvanceTo(m.Now().Add(d))
+}
+
+// AdvanceTo moves the clock to target, firing due timers in order. Moving
+// backwards is a no-op.
+func (m *Manual) AdvanceTo(target time.Time) {
+	for {
+		m.mu.Lock()
+		if len(m.pending) == 0 || m.pending[0].when.After(target) {
+			if target.After(m.now) {
+				m.now = target
+			}
+			m.mu.Unlock()
+			return
+		}
+		e := heap.Pop(&m.pending).(*timerEntry)
+		if e.stopped {
+			m.mu.Unlock()
+			continue
+		}
+		if e.when.After(m.now) {
+			m.now = e.when
+		}
+		if e.periodic {
+			e.when = e.when.Add(e.period)
+			e.stopped = false
+			heap.Push(&m.pending, e)
+		}
+		fn, at := e.fn, m.now
+		m.mu.Unlock()
+		fn(at)
+	}
+}
+
+// Waiters reports how many goroutines are blocked in Sleep or After on
+// this clock. Tests use it to synchronise before advancing.
+func (m *Manual) Waiters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.waiters
+}
+
+// BlockUntilWaiters blocks until at least n goroutines are waiting on the
+// clock. It is intended for tests that must advance the clock only after a
+// component has gone to sleep.
+func (m *Manual) BlockUntilWaiters(n int) {
+	for {
+		m.mu.Lock()
+		if m.waiters >= n {
+			m.mu.Unlock()
+			return
+		}
+		ch := m.waitCh
+		m.mu.Unlock()
+		<-ch
+	}
+}
+
+func (m *Manual) addWaiterLocked() {
+	m.waiters++
+	close(m.waitCh)
+	m.waitCh = make(chan struct{})
+}
+
+func (m *Manual) dropWaiter() {
+	m.mu.Lock()
+	m.waiters--
+	m.mu.Unlock()
+}
+
+func (m *Manual) scheduleLocked(when time.Time, fn func(time.Time), periodic bool, period time.Duration) *timerEntry {
+	m.seq++
+	e := &timerEntry{m: m, when: when, seq: m.seq, fn: fn, periodic: periodic, period: period}
+	heap.Push(&m.pending, e)
+	return e
+}
+
+type timerEntry struct {
+	m        *Manual
+	when     time.Time
+	seq      int64
+	fn       func(time.Time)
+	periodic bool
+	period   time.Duration
+	stopped  bool
+	index    int
+}
+
+// Stop implements Timer.
+func (e *timerEntry) Stop() bool {
+	e.m.mu.Lock()
+	defer e.m.mu.Unlock()
+	was := e.stopped
+	e.stopped = true
+	return !was
+}
+
+type manualTicker struct {
+	m      *Manual
+	ch     chan time.Time
+	period time.Duration
+	entry  *timerEntry
+}
+
+func (t *manualTicker) C() <-chan time.Time { return t.ch }
+func (t *manualTicker) Stop()               { t.entry.Stop() }
+
+// fire delivers a tick, dropping it if the consumer has not drained the
+// previous one — matching time.Ticker semantics.
+func (t *manualTicker) fire(at time.Time) {
+	select {
+	case t.ch <- at:
+	default:
+	}
+}
+
+type timerHeap []*timerEntry
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *timerHeap) Push(x any) {
+	e := x.(*timerEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

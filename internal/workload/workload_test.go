@@ -1,0 +1,133 @@
+package workload
+
+import "testing"
+
+func TestTweetGenDeterministic(t *testing.T) {
+	a := NewTweetGen(TweetConfig{Seed: 7})
+	b := NewTweetGen(TweetConfig{Seed: 7})
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("divergence at tweet %d", i)
+		}
+	}
+	if a.Count() != 100 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+}
+
+func TestTweetGenShiftChangesCauses(t *testing.T) {
+	g := NewTweetGen(TweetConfig{
+		Seed: 1, NegativeRatio: 1,
+		Causes: []string{"flash", "screen"}, ShiftAt: 50, CausesAfter: []string{"antenna"},
+	})
+	before := map[string]int{}
+	for i := 0; i < 50; i++ {
+		before[g.Next().Cause]++
+	}
+	if before["antenna"] != 0 || before["flash"]+before["screen"] != 50 {
+		t.Fatalf("pre-shift causes: %v", before)
+	}
+	after := map[string]int{}
+	for i := 0; i < 50; i++ {
+		after[g.Next().Cause]++
+	}
+	if after["antenna"] != 50 {
+		t.Fatalf("post-shift causes: %v", after)
+	}
+}
+
+func TestTweetGenSentimentMix(t *testing.T) {
+	g := NewTweetGen(TweetConfig{Seed: 3, NegativeRatio: 0.5})
+	neg := 0
+	for i := 0; i < 1000; i++ {
+		tw := g.Next()
+		if tw.Negative {
+			neg++
+			if tw.Cause == "" {
+				t.Fatal("negative tweet without a cause")
+			}
+		} else if tw.Cause != "" {
+			t.Fatal("positive tweet with a cause")
+		}
+	}
+	if neg < 400 || neg > 600 {
+		t.Fatalf("negative ratio off: %d/1000", neg)
+	}
+}
+
+func TestTickGenRandomWalk(t *testing.T) {
+	g := NewTickGen(TickConfig{Seed: 5, Symbols: []string{"IBM", "AAPL"}, Start: 100, Step: 1})
+	last := map[string]float64{"IBM": 100, "AAPL": 100}
+	for i := 0; i < 200; i++ {
+		tk := g.Next()
+		if tk.Symbol != "IBM" && tk.Symbol != "AAPL" {
+			t.Fatalf("symbol %q", tk.Symbol)
+		}
+		d := tk.Price - last[tk.Symbol]
+		if d > 1.0001 || d < -1.0001 {
+			t.Fatalf("step too large: %f", d)
+		}
+		last[tk.Symbol] = tk.Price
+		if tk.Seq != int64(i+1) {
+			t.Fatalf("seq = %d at %d", tk.Seq, i)
+		}
+	}
+}
+
+func TestTickGenDeterministic(t *testing.T) {
+	a := NewTickGen(TickConfig{Seed: 11})
+	b := NewTickGen(TickConfig{Seed: 11})
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}
+
+func TestTickGenPriceFloor(t *testing.T) {
+	g := NewTickGen(TickConfig{Seed: 1, Start: 1.5, Step: 10})
+	for i := 0; i < 100; i++ {
+		if g.Next().Price < 1 {
+			t.Fatal("price fell below floor")
+		}
+	}
+}
+
+func TestProfileGenAttributesRoughlyMatchProbabilities(t *testing.T) {
+	g := NewProfileGen(ProfileConfig{Seed: 9, Source: "myspace", PAge: 0.9, PGender: 0.1, PLocation: 0.5})
+	var age, gen, loc int
+	for i := 0; i < 1000; i++ {
+		p := g.Next()
+		if p.Source != "myspace" {
+			t.Fatalf("source %q", p.Source)
+		}
+		if p.HasAge {
+			age++
+		}
+		if p.HasGen {
+			gen++
+		}
+		if p.HasLoc {
+			loc++
+		}
+	}
+	if age < 850 || gen > 150 || loc < 400 || loc > 600 {
+		t.Fatalf("attribute rates: age=%d gen=%d loc=%d", age, gen, loc)
+	}
+}
+
+func TestProfileGenUsersOverlap(t *testing.T) {
+	g := NewProfileGen(ProfileConfig{Seed: 2})
+	seen := map[string]bool{}
+	dups := 0
+	for i := 0; i < 5000; i++ {
+		u := g.Next().User
+		if seen[u] {
+			dups++
+		}
+		seen[u] = true
+	}
+	if dups == 0 {
+		t.Fatal("no duplicate users: dedup path never exercised")
+	}
+}

@@ -1,0 +1,174 @@
+// Package orca is the public API of the orchestrator — the paper's
+// contribution. Write ORCA logic by embedding orca.Base and overriding
+// the handlers of interest, register event scopes in HandleOrcaStart, and
+// actuate through the Service the handlers receive:
+//
+//	type myPolicy struct{ orca.Base }
+//
+//	func (p *myPolicy) HandleOrcaStart(svc *orca.Service, ctx *orca.OrcaStartContext) {
+//	    scope := orca.NewPEFailureScope("failures").AddApplicationFilter("MyApp")
+//	    svc.RegisterEventScope(scope)
+//	    svc.SubmitApplication("MyApp", nil)
+//	}
+//
+//	func (p *myPolicy) HandlePEFailure(svc *orca.Service, ctx *orca.PEFailureContext, scopes []string) {
+//	    svc.RestartPE(ctx.PE)
+//	}
+//
+//	svc, _ := orca.NewService(orca.Config{Name: "my", SAM: inst.SAM, SRM: inst.SRM}, &myPolicy{})
+//	svc.RegisterApplication(app)
+//	svc.Start()
+//
+// The service delivers events one at a time, in arrival order, each with
+// the keys of every registered subscope it matched and a context rich
+// enough to disambiguate the application's logical and physical views
+// (query further with svc.Graph, svc.OperatorsInPE, svc.PEOfOperator...).
+package orca
+
+import (
+	"streamorca/internal/compiler"
+	"streamorca/internal/core"
+	"streamorca/internal/graph"
+)
+
+// Orchestrator surface.
+type (
+	// Orchestrator is the ORCA-logic interface; embed Base for no-op
+	// defaults.
+	Orchestrator = core.Orchestrator
+	// Base provides no-op defaults for every handler.
+	Base = core.Base
+	// Service is the ORCA service: event delivery, inspection, and
+	// actuation.
+	Service = core.Service
+	// Config assembles a service.
+	Config = core.Config
+	// Stats exposes service counters.
+	Stats = core.Stats
+	// JobSummary identifies one managed job.
+	JobSummary = core.JobSummary
+)
+
+// Event kinds and contexts.
+type (
+	// EventKind enumerates deliverable event types.
+	EventKind = core.EventKind
+	// OrcaStartContext accompanies the start notification.
+	OrcaStartContext = core.OrcaStartContext
+	// OperatorMetricContext describes an operator metric observation.
+	OperatorMetricContext = core.OperatorMetricContext
+	// PEMetricContext describes a PE metric observation.
+	PEMetricContext = core.PEMetricContext
+	// PortMetricContext describes a port metric observation.
+	PortMetricContext = core.PortMetricContext
+	// PEFailureContext describes a PE crash.
+	PEFailureContext = core.PEFailureContext
+	// HostFailureContext describes a host failure.
+	HostFailureContext = core.HostFailureContext
+	// JobContext accompanies job submission/cancellation events.
+	JobContext = core.JobContext
+	// TimerContext accompanies timer events.
+	TimerContext = core.TimerContext
+	// UserEventContext accompanies user-raised events.
+	UserEventContext = core.UserEventContext
+)
+
+// Scopes.
+type (
+	// Scope is a registered subscope.
+	Scope = core.Scope
+	// OperatorMetricScope selects operator metric events.
+	OperatorMetricScope = core.OperatorMetricScope
+	// PEMetricScope selects PE metric events.
+	PEMetricScope = core.PEMetricScope
+	// PortMetricScope selects port metric events.
+	PortMetricScope = core.PortMetricScope
+	// PEFailureScope selects PE crash events.
+	PEFailureScope = core.PEFailureScope
+	// HostFailureScope selects host failure events.
+	HostFailureScope = core.HostFailureScope
+	// JobEventScope selects job submission/cancellation events.
+	JobEventScope = core.JobEventScope
+	// TimerScope selects timer events.
+	TimerScope = core.TimerScope
+	// UserEventScope selects user events.
+	UserEventScope = core.UserEventScope
+)
+
+// Application sets and dependencies (§4.4).
+type (
+	// AppConfig is one application configuration for the dependency
+	// manager.
+	AppConfig = core.AppConfig
+)
+
+// Extensions beyond the paper's implementation.
+type (
+	// ActuationRecord is one journalled actuation (§7's reliable-delivery
+	// extension: every actuation is tagged with the transaction id of the
+	// event whose handler issued it).
+	ActuationRecord = core.ActuationRecord
+	// RepartitionOptions selects the fusion strategy for
+	// Service.RepartitionApplication (§4.3's recompile extension). It is
+	// the same type as streams.BuildOptions.
+	RepartitionOptions = compiler.Options
+)
+
+// Fusion strategies for RepartitionOptions.
+const (
+	FuseByTag = compiler.FuseByTag
+	FuseNone  = compiler.FuseNone
+	FuseAll   = compiler.FuseAll
+	FuseAuto  = compiler.FuseAuto
+)
+
+// Stream graph inspection.
+type (
+	// Graph is the in-memory stream graph of one managed job.
+	Graph = graph.Graph
+	// OperatorInfo describes one operator instance.
+	OperatorInfo = graph.OperatorInfo
+	// CompositeInfo describes one composite instance.
+	CompositeInfo = graph.CompositeInfo
+	// PEInfo describes one processing element.
+	PEInfo = graph.PEInfo
+)
+
+// ErrUnmanagedJob is returned by actuations addressed to jobs this
+// orchestrator did not start.
+var ErrUnmanagedJob = core.ErrUnmanagedJob
+
+// NewService builds an ORCA service around the given logic.
+func NewService(cfg Config, logic Orchestrator) (*Service, error) {
+	return core.NewService(cfg, logic)
+}
+
+// Scope constructors.
+var (
+	NewOperatorMetricScope = core.NewOperatorMetricScope
+	NewPEMetricScope       = core.NewPEMetricScope
+	NewPortMetricScope     = core.NewPortMetricScope
+	NewPEFailureScope      = core.NewPEFailureScope
+	NewHostFailureScope    = core.NewHostFailureScope
+	NewJobEventScope       = core.NewJobEventScope
+	NewTimerScope          = core.NewTimerScope
+	NewUserEventScope      = core.NewUserEventScope
+)
+
+// Event kinds.
+const (
+	KindOrcaStart      = core.KindOrcaStart
+	KindOperatorMetric = core.KindOperatorMetric
+	KindPEMetric       = core.KindPEMetric
+	KindPortMetric     = core.KindPortMetric
+	KindPEFailure      = core.KindPEFailure
+	KindHostFailure    = core.KindHostFailure
+	KindJobSubmitted   = core.KindJobSubmitted
+	KindJobCancelled   = core.KindJobCancelled
+	KindTimer          = core.KindTimer
+	KindUserEvent      = core.KindUserEvent
+)
+
+// DefaultPullInterval is the default SRM metric pull period (15 s, as in
+// the paper).
+const DefaultPullInterval = core.DefaultPullInterval

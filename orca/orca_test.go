@@ -1,0 +1,226 @@
+package orca_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"streamorca/orca"
+	"streamorca/streams"
+)
+
+// publicPolicy exercises the full public orchestration surface: scopes,
+// timers, user events, actuation, inspection, and the dependency manager.
+type publicPolicy struct {
+	orca.Base
+	mu       sync.Mutex
+	started  bool
+	timers   int
+	users    []string
+	failures []orca.PEFailureContext
+}
+
+func (p *publicPolicy) HandleOrcaStart(svc *orca.Service, ctx *orca.OrcaStartContext) {
+	p.mu.Lock()
+	p.started = true
+	p.mu.Unlock()
+	must(svc.RegisterEventScope(orca.NewTimerScope("t")))
+	must(svc.RegisterEventScope(orca.NewUserEventScope("u")))
+	must(svc.RegisterEventScope(orca.NewPEFailureScope("f").AddApplicationFilter("papp")))
+}
+
+func (p *publicPolicy) HandleTimer(svc *orca.Service, ctx *orca.TimerContext, scopes []string) {
+	p.mu.Lock()
+	p.timers++
+	p.mu.Unlock()
+}
+
+func (p *publicPolicy) HandleUserEvent(svc *orca.Service, ctx *orca.UserEventContext, scopes []string) {
+	p.mu.Lock()
+	p.users = append(p.users, ctx.Name)
+	p.mu.Unlock()
+}
+
+func (p *publicPolicy) HandlePEFailure(svc *orca.Service, ctx *orca.PEFailureContext, scopes []string) {
+	p.mu.Lock()
+	p.failures = append(p.failures, *ctx)
+	p.mu.Unlock()
+	_ = svc.RestartPE(ctx.PE)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestPublicOrchestrationSurface(t *testing.T) {
+	inst, err := streams.NewInstance(streams.InstanceOptions{
+		Hosts:           []streams.HostSpec{{Name: "h1"}},
+		MetricsInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	schema := streams.MustSchema(streams.Attribute{Name: "seq", Type: streams.Int})
+	b := streams.NewApp("papp")
+	src := b.AddOperator("src", "Beacon").Out(schema).Param("count", "0").Param("period", "1ms")
+	sink := b.AddOperator("sink", "CollectSink").In(schema).Param("collectorId", "orca-public")
+	b.Connect(src, 0, sink, 0)
+	app, err := b.Build(streams.BuildOptions{Fusion: streams.FuseNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	policy := &publicPolicy{}
+	svc, err := orca.NewService(orca.Config{
+		Name: "publicOrca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
+	}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.RegisterApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+	waitFor(t, "start", func() bool {
+		policy.mu.Lock()
+		defer policy.mu.Unlock()
+		return policy.started
+	})
+
+	streams.Collector("orca-public").Reset()
+	job, err := svc.SubmitApplication("papp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "flow", func() bool { return streams.Collector("orca-public").Len() > 3 })
+
+	// Inspection through the facade.
+	g, ok := svc.Graph(job)
+	if !ok {
+		t.Fatal("no graph")
+	}
+	pe, ok := g.PEOfOperator("sink")
+	if !ok {
+		t.Fatal("no sink PE")
+	}
+	if ops := svc.OperatorsInPE(pe); len(ops) != 1 || ops[0].Name != "sink" {
+		t.Fatalf("OperatorsInPE = %+v", ops)
+	}
+
+	// Failure handling + actuation through the facade.
+	if err := svc.KillPE(pe, "public test"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "failure handled", func() bool {
+		policy.mu.Lock()
+		defer policy.mu.Unlock()
+		return len(policy.failures) == 1
+	})
+	policy.mu.Lock()
+	f := policy.failures[0]
+	policy.mu.Unlock()
+	if f.PE != pe || f.App != "papp" || f.Reason != "public test" {
+		t.Fatalf("failure ctx = %+v", f)
+	}
+
+	// Timers and user events.
+	if err := svc.StartTimer("tick", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "timer", func() bool {
+		policy.mu.Lock()
+		defer policy.mu.Unlock()
+		return policy.timers == 1
+	})
+	svc.RaiseUserEvent("hello", map[string]string{"k": "v"})
+	waitFor(t, "user event", func() bool {
+		policy.mu.Lock()
+		defer policy.mu.Unlock()
+		return len(policy.users) == 1 && policy.users[0] == "hello"
+	})
+
+	// ErrUnmanagedJob surfaces through the facade.
+	if err := svc.CancelJob(99999); err != orca.ErrUnmanagedJob {
+		t.Fatalf("CancelJob(unknown) = %v", err)
+	}
+	if st := svc.Stats(); st.ManagedJobs != 1 || st.Delivered == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPublicDependencyManager(t *testing.T) {
+	inst, err := streams.NewInstance(streams.InstanceOptions{
+		Hosts:           []streams.HostSpec{{Name: "h1"}},
+		MetricsInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	svc, err := orca.NewService(orca.Config{
+		Name: "depOrca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
+	}, &orca.Base{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+
+	schema := streams.MustSchema(streams.Attribute{Name: "seq", Type: streams.Int})
+	for _, name := range []string{"up", "down"} {
+		b := streams.NewApp(name)
+		src := b.AddOperator("src", "Beacon").Out(schema).Param("count", "0").Param("period", "1ms")
+		sink := b.AddOperator("sink", "CountSink").In(schema)
+		b.Connect(src, 0, sink, 0)
+		app, err := b.Build(streams.BuildOptions{Fusion: streams.FuseAll})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.RegisterApplication(app); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.RegisterAppConfig(orca.AppConfig{
+			ID: name, AppName: name, GarbageCollectable: true, GCTimeout: time.Millisecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.RegisterDependency("down", "up", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.StartApp("down"); err != nil {
+		t.Fatal(err)
+	}
+	running := svc.RunningConfigs()
+	if len(running) != 2 {
+		t.Fatalf("running = %v", running)
+	}
+	if err := svc.StopApp("up"); err == nil {
+		t.Fatal("starvation check missing through facade")
+	}
+	if err := svc.StopApp("down"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "GC of up", func() bool { return len(svc.RunningConfigs()) == 0 })
+}

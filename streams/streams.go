@@ -1,0 +1,162 @@
+// Package streams is the public API for building and running streaming
+// applications on the platform: the application builder (the SPL
+// analogue), the operator SPI for custom operators, the built-in operator
+// library, and the platform instance (SAM + SRM + simulated cluster).
+//
+// A minimal program:
+//
+//	inst, _ := streams.NewInstance(streams.InstanceOptions{
+//	    Hosts: []streams.HostSpec{{Name: "h1"}},
+//	})
+//	defer inst.Close()
+//	b := streams.NewApp("hello")
+//	src := b.AddOperator("src", "Beacon").Out(schema).Param("count", "10")
+//	sink := b.AddOperator("sink", "CollectSink").In(schema).Param("collectorId", "out")
+//	b.Connect(src, 0, sink, 0)
+//	app, _ := b.Build(streams.BuildOptions{})
+//	inst.SAM.SubmitJob(app, streams.SubmitOptions{})
+//
+// See package orca for writing runtime adaptation routines against
+// running applications.
+package streams
+
+import (
+	"time"
+
+	"streamorca/internal/adl"
+	"streamorca/internal/compiler"
+	"streamorca/internal/ids"
+	"streamorca/internal/metrics"
+	"streamorca/internal/opapi"
+	"streamorca/internal/ops"
+	"streamorca/internal/platform"
+	"streamorca/internal/sam"
+	"streamorca/internal/tuple"
+	"streamorca/internal/vclock"
+)
+
+// Application model.
+type (
+	// Application is a compiled ADL artifact ready for submission.
+	Application = adl.Application
+	// HostPool names a set of candidate hosts for placement.
+	HostPool = adl.HostPool
+	// AppBuilder assembles an application's logical graph.
+	AppBuilder = compiler.AppBuilder
+	// OpHandle is a fluent reference to an operator under construction.
+	OpHandle = compiler.OpHandle
+	// BuildOptions selects the fusion strategy.
+	BuildOptions = compiler.Options
+	// FusionMode enumerates partitioning strategies.
+	FusionMode = compiler.FusionMode
+)
+
+// Fusion strategies for BuildOptions.
+const (
+	FuseByTag = compiler.FuseByTag
+	FuseNone  = compiler.FuseNone
+	FuseAll   = compiler.FuseAll
+	FuseAuto  = compiler.FuseAuto
+)
+
+// NewApp starts building an application.
+func NewApp(name string) *AppBuilder { return compiler.NewApp(name) }
+
+// Data model.
+type (
+	// Schema is an ordered set of typed attributes.
+	Schema = tuple.Schema
+	// Attribute is one named, typed slot.
+	Attribute = tuple.Attribute
+	// Tuple is one data item.
+	Tuple = tuple.Tuple
+	// Type enumerates attribute types.
+	Type = tuple.Type
+)
+
+// Attribute types.
+const (
+	Int       = tuple.Int
+	Float     = tuple.Float
+	String    = tuple.String
+	Bool      = tuple.Bool
+	Timestamp = tuple.Timestamp
+)
+
+// NewSchema builds a schema, validating attribute names and types.
+func NewSchema(attrs ...Attribute) (*Schema, error) { return tuple.NewSchema(attrs...) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(attrs ...Attribute) *Schema { return tuple.MustSchema(attrs...) }
+
+// NewTuple returns a zero-valued tuple of the schema.
+func NewTuple(s *Schema) Tuple { return tuple.New(s) }
+
+// Operator SPI for custom operators.
+type (
+	// Operator is the stream-operator interface.
+	Operator = opapi.Operator
+	// Source is an operator with no inputs, driven by Run.
+	Source = opapi.Source
+	// Controllable receives orchestrator control commands.
+	Controllable = opapi.Controllable
+	// OpContext is the runtime environment handed to an operator.
+	OpContext = opapi.Context
+	// OperatorBase provides no-op defaults to embed.
+	OperatorBase = opapi.Base
+	// Params are operator configuration values.
+	Params = opapi.Params
+)
+
+// RegisterOperator adds a custom operator kind to the default registry.
+func RegisterOperator(kind string, factory func() Operator) {
+	opapi.Default.Register(kind, func() opapi.Operator { return factory() })
+}
+
+// OperatorKinds lists every registered operator kind.
+func OperatorKinds() []string { return opapi.Default.Kinds() }
+
+// Platform runtime.
+type (
+	// Instance is a running platform (SAM, SRM, simulated cluster).
+	Instance = platform.Instance
+	// InstanceOptions configures NewInstance.
+	InstanceOptions = platform.Options
+	// HostSpec declares one simulated host.
+	HostSpec = platform.HostSpec
+	// SubmitOptions parameterises a job submission.
+	SubmitOptions = sam.SubmitOptions
+	// JobInfo describes a running job.
+	JobInfo = sam.JobInfo
+	// JobID identifies a job.
+	JobID = ids.JobID
+	// PEID identifies a processing element.
+	PEID = ids.PEID
+	// Clock abstracts time for tests and experiments.
+	Clock = vclock.Clock
+)
+
+// NewInstance boots a platform.
+func NewInstance(opts InstanceOptions) (*Instance, error) { return platform.NewInstance(opts) }
+
+// ManualClock is a deterministic clock advanced explicitly by the
+// caller; pass it as InstanceOptions.Clock for fully controlled runs.
+type ManualClock = vclock.Manual
+
+// NewManualClock returns a deterministic clock positioned at start.
+func NewManualClock(start time.Time) *ManualClock { return vclock.NewManual(start) }
+
+// Collector returns the named output collection written by CollectSink
+// operators.
+func Collector(id string) *ops.Collection { return ops.Collector(id) }
+
+// Built-in metric names, re-exported for scope construction and metric
+// inspection.
+const (
+	MetricTuplesProcessed   = metrics.OpTuplesProcessed
+	MetricTuplesSubmitted   = metrics.OpTuplesSubmitted
+	MetricQueueSize         = metrics.OpQueueSize
+	MetricFinalPunctsQueued = metrics.PortFinalPunctsQueued
+	MetricTupleBytesIn      = metrics.PETupleBytesProcessed
+	MetricTupleBytesOut     = metrics.PETupleBytesSubmitted
+)

@@ -1,0 +1,138 @@
+package streams_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamorca/streams"
+)
+
+// counterOp is a user-defined operator registered through the public SPI.
+type counterOp struct {
+	streams.OperatorBase
+	ctx streams.OpContext
+	n   *atomic.Int64
+}
+
+var publicOpCount atomic.Int64
+
+func init() {
+	streams.RegisterOperator("PublicCounter", func() streams.Operator {
+		return &counterOp{n: &publicOpCount}
+	})
+}
+
+func (c *counterOp) Open(ctx streams.OpContext) error { c.ctx = ctx; return nil }
+
+func (c *counterOp) Process(port int, t streams.Tuple) error {
+	c.n.Add(1)
+	return c.ctx.Submit(0, t)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	inst, err := streams.NewInstance(streams.InstanceOptions{
+		Hosts:           []streams.HostSpec{{Name: "h1"}, {Name: "h2"}},
+		MetricsInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	schema := streams.MustSchema(streams.Attribute{Name: "seq", Type: streams.Int})
+	b := streams.NewApp("public")
+	src := b.AddOperator("src", "Beacon").Out(schema).Param("count", "25")
+	mid := b.AddOperator("mid", "PublicCounter").In(schema).Out(schema)
+	sink := b.AddOperator("sink", "CollectSink").In(schema).Param("collectorId", "public-out")
+	b.Connect(src, 0, mid, 0)
+	b.Connect(mid, 0, sink, 0)
+	app, err := b.Build(streams.BuildOptions{Fusion: streams.FuseAuto, TargetPEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.PEs) != 2 {
+		t.Fatalf("FuseAuto produced %d PEs", len(app.PEs))
+	}
+
+	streams.Collector("public-out").Reset()
+	publicOpCount.Store(0)
+	job, err := inst.SAM.SubmitJob(app, streams.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "completion", func() bool { return streams.Collector("public-out").Finals() == 1 })
+	if streams.Collector("public-out").Len() != 25 || publicOpCount.Load() != 25 {
+		t.Fatalf("tuples: sink=%d custom=%d", streams.Collector("public-out").Len(), publicOpCount.Load())
+	}
+	info, ok := inst.SAM.Job(job)
+	if !ok || info.App != "public" {
+		t.Fatalf("job info: %+v", info)
+	}
+	if err := inst.SAM.CancelJob(job); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManualClockExported(t *testing.T) {
+	start := time.Unix(500, 0)
+	clock := streams.NewManualClock(start)
+	if !clock.Now().Equal(start) {
+		t.Fatal("manual clock start wrong")
+	}
+	clock.Advance(time.Minute)
+	if !clock.Now().Equal(start.Add(time.Minute)) {
+		t.Fatal("manual clock advance wrong")
+	}
+	inst, err := streams.NewInstance(streams.InstanceOptions{
+		Clock: clock, Hosts: []streams.HostSpec{{Name: "h1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+}
+
+func TestOperatorKindsIncludeBuiltins(t *testing.T) {
+	kinds := streams.OperatorKinds()
+	want := map[string]bool{"Beacon": false, "Filter": false, "Aggregate": false, "CollectSink": false}
+	for _, k := range kinds {
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Fatalf("built-in kind %q missing from %v", k, kinds)
+		}
+	}
+}
+
+func TestSchemaAndTupleHelpers(t *testing.T) {
+	s, err := streams.NewSchema(streams.Attribute{Name: "x", Type: streams.Float})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := streams.NewTuple(s)
+	if err := tp.SetFloat("x", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Float("x") != 2.5 {
+		t.Fatal("tuple round trip failed")
+	}
+	if _, err := streams.NewSchema(streams.Attribute{Name: "", Type: streams.Int}); err == nil {
+		t.Fatal("invalid schema accepted")
+	}
+}
