@@ -12,6 +12,21 @@
 //   - package streams — build and run streaming applications
 //   - package orca    — write runtime adaptation routines (ORCA logic)
 //
+// # Dataplane
+//
+// The tuple dataplane is columnar and unboxed: a schema compiles each
+// attribute to a fixed slot in typed storage (int64s carry ints, float
+// bits, bools, and unix-nano timestamps; strings ride in their own
+// array), so no attribute value ever sits behind an interface. Operators
+// resolve attribute names once at setup into compiled FieldRefs and read
+// tuples with no per-tuple lookups; the name-based accessors remain as a
+// compatibility layer. Cross-PE stream connections frame tuples in small
+// batches through a zero-copy-reuse codec (encode buffers are pooled,
+// frames decode into per-frame tuple blocks, batches enter the remote PE
+// as one queue operation), which makes the steady-state cross-PE hop
+// allocation-free for fixed-width schemas. See internal/tuple and
+// internal/transport for the layout and framing contracts.
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for the
 // paper-vs-measured record. The root-level benchmarks (bench_test.go)

@@ -1,0 +1,3 @@
+module streamorca
+
+go 1.24

@@ -85,8 +85,9 @@ var (
 // causes (csv), shiftAt, causesAfter (csv).
 type tweetSource struct {
 	opapi.Base
-	ctx opapi.Context
-	gen *workload.TweetGen
+	ctx                      opapi.Context
+	gen                      *workload.TweetGen
+	user, text, product, neg tuple.FieldRef
 }
 
 func (s *tweetSource) Open(ctx opapi.Context) error {
@@ -105,6 +106,20 @@ func (s *tweetSource) Open(ctx opapi.Context) error {
 		cfg.CausesAfter = strings.Split(v, ",")
 	}
 	s.gen = workload.NewTweetGen(cfg)
+	out := ctx.OutputSchema(0)
+	var err error
+	if s.user, err = out.TypedRef("user", tuple.String); err != nil {
+		return fmt.Errorf("TweetSource %s: %w", ctx.Name(), err)
+	}
+	if s.text, err = out.TypedRef("text", tuple.String); err != nil {
+		return fmt.Errorf("TweetSource %s: %w", ctx.Name(), err)
+	}
+	if s.product, err = out.TypedRef("product", tuple.String); err != nil {
+		return fmt.Errorf("TweetSource %s: %w", ctx.Name(), err)
+	}
+	if s.neg, err = out.TypedRef("negative", tuple.Bool); err != nil {
+		return fmt.Errorf("TweetSource %s: %w", ctx.Name(), err)
+	}
 	return nil
 }
 
@@ -120,9 +135,11 @@ func (s *tweetSource) Run(stop <-chan struct{}) error {
 		default:
 		}
 		tw := s.gen.Next()
-		t := tuple.Build(schema).
-			Str("user", tw.User).Str("text", tw.Text).
-			Str("product", tw.Product).Bool("negative", tw.Negative).Done()
+		t := tuple.New(schema)
+		s.user.SetStr(t, tw.User)
+		s.text.SetStr(t, tw.Text)
+		s.product.SetStr(t, tw.Product)
+		s.neg.SetBool(t, tw.Negative)
 		if err := s.ctx.Submit(0, t); err != nil {
 			return err
 		}
@@ -137,16 +154,26 @@ func (s *tweetSource) Run(stop <-chan struct{}) error {
 // trusting the generator's flag), passing classified tweets through.
 type sentimentClassifier struct {
 	opapi.Base
-	ctx opapi.Context
+	ctx       opapi.Context
+	text, neg tuple.FieldRef
 }
 
-func (c *sentimentClassifier) Open(ctx opapi.Context) error { c.ctx = ctx; return nil }
+func (c *sentimentClassifier) Open(ctx opapi.Context) error {
+	c.ctx = ctx
+	in := ctx.InputSchema(0)
+	var err error
+	if c.text, err = in.TypedRef("text", tuple.String); err != nil {
+		return fmt.Errorf("SentimentClassifier %s: %w", ctx.Name(), err)
+	}
+	if c.neg, err = in.TypedRef("negative", tuple.Bool); err != nil {
+		return fmt.Errorf("SentimentClassifier %s: %w", ctx.Name(), err)
+	}
+	return nil
+}
 
 func (c *sentimentClassifier) Process(port int, t tuple.Tuple) error {
 	out := t.Clone()
-	if err := out.SetBool("negative", strings.Contains(t.String("text"), "hate")); err != nil {
-		return err
-	}
+	c.neg.SetBool(out, strings.Contains(c.text.Str(t), "hate"))
 	c.ctx.CustomMetric("nTweetsClassified").Inc()
 	return c.ctx.Submit(0, out)
 }
@@ -168,6 +195,9 @@ type causeMatcher struct {
 	window int
 	recent []bool // true = known
 	nKnown int
+
+	inNeg, inText, inUser       tuple.FieldRef
+	outUser, outCause, outKnown tuple.FieldRef
 }
 
 func (m *causeMatcher) Open(ctx opapi.Context) error {
@@ -184,14 +214,34 @@ func (m *causeMatcher) Open(ctx opapi.Context) error {
 	if m.window <= 0 {
 		m.window = 200
 	}
+	in, out := ctx.InputSchema(0), ctx.OutputSchema(0)
+	var err error
+	if m.inNeg, err = in.TypedRef("negative", tuple.Bool); err != nil {
+		return fmt.Errorf("CauseMatcher %s: %w", ctx.Name(), err)
+	}
+	if m.inText, err = in.TypedRef("text", tuple.String); err != nil {
+		return fmt.Errorf("CauseMatcher %s: %w", ctx.Name(), err)
+	}
+	if m.inUser, err = in.TypedRef("user", tuple.String); err != nil {
+		return fmt.Errorf("CauseMatcher %s: %w", ctx.Name(), err)
+	}
+	if m.outUser, err = out.TypedRef("user", tuple.String); err != nil {
+		return fmt.Errorf("CauseMatcher %s: %w", ctx.Name(), err)
+	}
+	if m.outCause, err = out.TypedRef("cause", tuple.String); err != nil {
+		return fmt.Errorf("CauseMatcher %s: %w", ctx.Name(), err)
+	}
+	if m.outKnown, err = out.TypedRef("known", tuple.Bool); err != nil {
+		return fmt.Errorf("CauseMatcher %s: %w", ctx.Name(), err)
+	}
 	return nil
 }
 
 func (m *causeMatcher) Process(port int, t tuple.Tuple) error {
-	if !t.Bool("negative") {
+	if !m.inNeg.Bool(t) {
 		return nil
 	}
-	text := t.String("text")
+	text := m.inText.Str(t)
 	m.store.Append(text)
 	cause := extjob.ExtractCause(text)
 	known := cause != "" && m.model.Contains(cause)
@@ -213,8 +263,10 @@ func (m *causeMatcher) Process(port int, t tuple.Tuple) error {
 	m.ctx.CustomMetric("recentKnownCauses").Set(int64(m.nKnown))
 	m.ctx.CustomMetric("recentUnknownCauses").Set(int64(len(m.recent) - m.nKnown))
 
-	out := tuple.Build(m.ctx.OutputSchema(0)).
-		Str("user", t.String("user")).Str("cause", cause).Bool("known", known).Done()
+	out := tuple.New(m.ctx.OutputSchema(0))
+	m.outUser.SetStr(out, m.inUser.Str(t))
+	m.outCause.SetStr(out, cause)
+	m.outKnown.SetBool(out, known)
 	return m.ctx.Submit(0, out)
 }
 
@@ -224,8 +276,9 @@ func (m *causeMatcher) Process(port int, t tuple.Tuple) error {
 // step.
 type tickSource struct {
 	opapi.Base
-	ctx opapi.Context
-	gen *workload.TickGen
+	ctx             opapi.Context
+	gen             *workload.TickGen
+	sym, price, seq tuple.FieldRef
 }
 
 func (s *tickSource) Open(ctx opapi.Context) error {
@@ -240,6 +293,17 @@ func (s *tickSource) Open(ctx opapi.Context) error {
 		cfg.Symbols = strings.Split(v, ",")
 	}
 	s.gen = workload.NewTickGen(cfg)
+	out := ctx.OutputSchema(0)
+	var err error
+	if s.sym, err = out.TypedRef("sym", tuple.String); err != nil {
+		return fmt.Errorf("TickSource %s: %w", ctx.Name(), err)
+	}
+	if s.price, err = out.TypedRef("price", tuple.Float); err != nil {
+		return fmt.Errorf("TickSource %s: %w", ctx.Name(), err)
+	}
+	if s.seq, err = out.TypedRef("seq", tuple.Int); err != nil {
+		return fmt.Errorf("TickSource %s: %w", ctx.Name(), err)
+	}
 	return nil
 }
 
@@ -255,8 +319,10 @@ func (s *tickSource) Run(stop <-chan struct{}) error {
 		default:
 		}
 		tk := s.gen.Next()
-		t := tuple.Build(schema).
-			Str("sym", tk.Symbol).Float("price", tk.Price).Int("seq", tk.Seq).Done()
+		t := tuple.New(schema)
+		s.sym.SetStr(t, tk.Symbol)
+		s.price.SetFloat(t, tk.Price)
+		s.seq.SetInt(t, tk.Seq)
 		if err := s.ctx.Submit(0, t); err != nil {
 			return err
 		}
@@ -274,8 +340,10 @@ func (s *tickSource) Run(stop <-chan struct{}) error {
 // pLoc.
 type profileSource struct {
 	opapi.Base
-	ctx opapi.Context
-	gen *workload.ProfileGen
+	ctx                   opapi.Context
+	gen                   *workload.ProfileGen
+	user, source          tuple.FieldRef
+	neg, hAge, hGen, hLoc tuple.FieldRef
 }
 
 func (s *profileSource) Open(ctx opapi.Context) error {
@@ -288,6 +356,26 @@ func (s *profileSource) Open(ctx opapi.Context) error {
 		PGender:   p.Float("pGen", 0.5),
 		PLocation: p.Float("pLoc", 0.5),
 	})
+	out := ctx.OutputSchema(0)
+	var err error
+	if s.user, err = out.TypedRef("user", tuple.String); err != nil {
+		return fmt.Errorf("ProfileSource %s: %w", ctx.Name(), err)
+	}
+	if s.source, err = out.TypedRef("source", tuple.String); err != nil {
+		return fmt.Errorf("ProfileSource %s: %w", ctx.Name(), err)
+	}
+	if s.neg, err = out.TypedRef("negative", tuple.Bool); err != nil {
+		return fmt.Errorf("ProfileSource %s: %w", ctx.Name(), err)
+	}
+	if s.hAge, err = out.TypedRef("hasAge", tuple.Bool); err != nil {
+		return fmt.Errorf("ProfileSource %s: %w", ctx.Name(), err)
+	}
+	if s.hGen, err = out.TypedRef("hasGen", tuple.Bool); err != nil {
+		return fmt.Errorf("ProfileSource %s: %w", ctx.Name(), err)
+	}
+	if s.hLoc, err = out.TypedRef("hasLoc", tuple.Bool); err != nil {
+		return fmt.Errorf("ProfileSource %s: %w", ctx.Name(), err)
+	}
 	return nil
 }
 
@@ -303,9 +391,13 @@ func (s *profileSource) Run(stop <-chan struct{}) error {
 		default:
 		}
 		pr := s.gen.Next()
-		t := tuple.Build(schema).
-			Str("user", pr.User).Str("source", pr.Source).Bool("negative", pr.Negative).
-			Bool("hasAge", pr.HasAge).Bool("hasGen", pr.HasGen).Bool("hasLoc", pr.HasLoc).Done()
+		t := tuple.New(schema)
+		s.user.SetStr(t, pr.User)
+		s.source.SetStr(t, pr.Source)
+		s.neg.SetBool(t, pr.Negative)
+		s.hAge.SetBool(t, pr.HasAge)
+		s.hGen.SetBool(t, pr.HasGen)
+		s.hLoc.SetBool(t, pr.HasLoc)
 		if err := s.ctx.Submit(0, t); err != nil {
 			return err
 		}
@@ -325,8 +417,10 @@ func (s *profileSource) Run(stop <-chan struct{}) error {
 // Parameters: storeId (required).
 type profileEnricher struct {
 	opapi.Base
-	ctx   opapi.Context
-	store *ProfileStore
+	ctx                   opapi.Context
+	store                 *ProfileStore
+	user                  tuple.FieldRef
+	neg, hAge, hGen, hLoc tuple.FieldRef
 }
 
 func (e *profileEnricher) Open(ctx opapi.Context) error {
@@ -336,16 +430,33 @@ func (e *profileEnricher) Open(ctx opapi.Context) error {
 		return fmt.Errorf("ProfileEnricher %s: storeId required", ctx.Name())
 	}
 	e.store = GetProfileStore(id)
+	in := ctx.InputSchema(0)
+	var err error
+	if e.user, err = in.TypedRef("user", tuple.String); err != nil {
+		return fmt.Errorf("ProfileEnricher %s: %w", ctx.Name(), err)
+	}
+	if e.neg, err = in.TypedRef("negative", tuple.Bool); err != nil {
+		return fmt.Errorf("ProfileEnricher %s: %w", ctx.Name(), err)
+	}
+	if e.hAge, err = in.TypedRef("hasAge", tuple.Bool); err != nil {
+		return fmt.Errorf("ProfileEnricher %s: %w", ctx.Name(), err)
+	}
+	if e.hGen, err = in.TypedRef("hasGen", tuple.Bool); err != nil {
+		return fmt.Errorf("ProfileEnricher %s: %w", ctx.Name(), err)
+	}
+	if e.hLoc, err = in.TypedRef("hasLoc", tuple.Bool); err != nil {
+		return fmt.Errorf("ProfileEnricher %s: %w", ctx.Name(), err)
+	}
 	return nil
 }
 
 func (e *profileEnricher) Process(port int, t tuple.Tuple) error {
 	rec := ProfileRecord{
-		User:     t.String("user"),
-		Negative: t.Bool("negative"),
-		HasAge:   t.Bool("hasAge"),
-		HasGen:   t.Bool("hasGen"),
-		HasLoc:   t.Bool("hasLoc"),
+		User:     e.user.Str(t),
+		Negative: e.neg.Bool(t),
+		HasAge:   e.hAge.Bool(t),
+		HasGen:   e.hGen.Bool(t),
+		HasLoc:   e.hLoc.Bool(t),
 	}
 	// The aggregate counts include duplicates across C2 applications,
 	// as the paper notes; only the data store is deduplicated.

@@ -31,11 +31,18 @@ import (
 //	valueAttr string  numeric attribute to aggregate (required, float64)
 type aggregate struct {
 	opapi.Base
-	ctx       opapi.Context
-	window    time.Duration
-	groupBy   string
-	valueAttr string
-	groups    map[string][]sample
+	ctx      opapi.Context
+	window   time.Duration
+	groupBy  string
+	valueRef tuple.FieldRef
+	groupRef tuple.FieldRef // valid only when groupBy is set and a string
+	groups   map[string][]sample
+
+	// Output refs compiled at Open: each stat is written only when the
+	// output schema declares the attribute.
+	outGroup                                      tuple.FieldRef
+	outMin, outMax, outAvg, outSD, outBBU, outBBL tuple.FieldRef
+	outCount                                      tuple.FieldRef
 }
 
 type sample struct {
@@ -50,25 +57,50 @@ func (a *aggregate) Open(ctx opapi.Context) error {
 	if a.window <= 0 {
 		return fmt.Errorf("Aggregate %s: window parameter required", ctx.Name())
 	}
-	a.valueAttr = p.Get("valueAttr", "")
-	if a.valueAttr == "" {
+	valueAttr := p.Get("valueAttr", "")
+	if valueAttr == "" {
 		return fmt.Errorf("Aggregate %s: valueAttr parameter required", ctx.Name())
 	}
-	if idx := ctx.InputSchema(0).Index(a.valueAttr); idx < 0 || ctx.InputSchema(0).Attr(idx).Type != tuple.Float {
-		return fmt.Errorf("Aggregate %s: valueAttr %q must be a float64 input attribute", ctx.Name(), a.valueAttr)
+	ref, err := ctx.InputSchema(0).TypedRef(valueAttr, tuple.Float)
+	if err != nil {
+		return fmt.Errorf("Aggregate %s: valueAttr %q must be a float64 input attribute", ctx.Name(), valueAttr)
 	}
+	a.valueRef = ref
 	a.groupBy = p.Get("groupBy", "")
+	if a.groupBy != "" {
+		if ref, err := ctx.InputSchema(0).TypedRef(a.groupBy, tuple.String); err == nil {
+			a.groupRef = ref
+		}
+	}
+	out := ctx.OutputSchema(0)
+	optFloat := func(name string) tuple.FieldRef {
+		ref, err := out.TypedRef(name, tuple.Float)
+		if err != nil {
+			return tuple.FieldRef{}
+		}
+		return ref
+	}
+	a.outMin, a.outMax, a.outAvg = optFloat("min"), optFloat("max"), optFloat("avg")
+	a.outSD, a.outBBU, a.outBBL = optFloat("stddev"), optFloat("bbUpper"), optFloat("bbLower")
+	if ref, err := out.TypedRef("count", tuple.Int); err == nil {
+		a.outCount = ref
+	}
+	if a.groupBy != "" {
+		if ref, err := out.TypedRef(a.groupBy, tuple.String); err == nil {
+			a.outGroup = ref
+		}
+	}
 	a.groups = make(map[string][]sample)
 	return nil
 }
 
 func (a *aggregate) Process(port int, t tuple.Tuple) error {
 	key := ""
-	if a.groupBy != "" {
-		key = t.String(a.groupBy)
+	if a.groupRef.Valid() {
+		key = a.groupRef.Str(t)
 	}
 	now := a.ctx.Clock().Now()
-	win := append(a.groups[key], sample{at: now, v: t.Float(a.valueAttr)})
+	win := append(a.groups[key], sample{at: now, v: a.valueRef.Float(t)})
 	cut := now.Add(-a.window)
 	drop := 0
 	for drop < len(win) && !win[drop].at.After(cut) {
@@ -98,23 +130,22 @@ func (a *aggregate) Process(port int, t tuple.Tuple) error {
 	sd := math.Sqrt(variance)
 
 	out := tuple.New(a.ctx.OutputSchema(0))
-	schema := a.ctx.OutputSchema(0)
-	if a.groupBy != "" && schema.Index(a.groupBy) >= 0 {
-		_ = out.SetString(a.groupBy, key)
+	if a.outGroup.Valid() {
+		a.outGroup.SetStr(out, key)
 	}
-	setIf := func(name string, v float64) {
-		if schema.Index(name) >= 0 {
-			_ = out.SetFloat(name, v)
+	setIf := func(ref tuple.FieldRef, v float64) {
+		if ref.Valid() {
+			ref.SetFloat(out, v)
 		}
 	}
-	setIf("min", lo)
-	setIf("max", hi)
-	setIf("avg", avg)
-	setIf("stddev", sd)
-	setIf("bbUpper", avg+2*sd)
-	setIf("bbLower", avg-2*sd)
-	if schema.Index("count") >= 0 {
-		_ = out.SetInt("count", int64(len(win)))
+	setIf(a.outMin, lo)
+	setIf(a.outMax, hi)
+	setIf(a.outAvg, avg)
+	setIf(a.outSD, sd)
+	setIf(a.outBBU, avg+2*sd)
+	setIf(a.outBBL, avg-2*sd)
+	if a.outCount.Valid() {
+		a.outCount.SetInt(out, int64(len(win)))
 	}
 	return a.ctx.Submit(0, out)
 }

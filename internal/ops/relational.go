@@ -92,17 +92,19 @@ func (f *dynamicFilter) Control(cmd string, args map[string]string) error {
 	return nil
 }
 
-// buildPredicate compiles a simple typed comparison. An empty attr yields
-// an always-true predicate.
+// buildPredicate compiles a simple typed comparison: the attribute name
+// resolves to a FieldRef once here, so the returned predicate reads the
+// tuple's typed storage directly with no per-tuple name lookup. An empty
+// attr yields an always-true predicate.
 func buildPredicate(schema *tuple.Schema, attr, op, value string) (func(tuple.Tuple) bool, error) {
 	if attr == "" {
 		return func(tuple.Tuple) bool { return true }, nil
 	}
-	idx := schema.Index(attr)
-	if idx < 0 {
+	ref, err := schema.Ref(attr)
+	if err != nil {
 		return nil, fmt.Errorf("no attribute %q in %s", attr, schema)
 	}
-	switch schema.Attr(idx).Type {
+	switch ref.Type() {
 	case tuple.Int:
 		want, err := strconv.ParseInt(value, 10, 64)
 		if err != nil {
@@ -112,7 +114,7 @@ func buildPredicate(schema *tuple.Schema, attr, op, value string) (func(tuple.Tu
 		if err != nil {
 			return nil, err
 		}
-		return func(t tuple.Tuple) bool { return cmp(t.Int(attr), want) }, nil
+		return func(t tuple.Tuple) bool { return cmp(ref.Int(t), want) }, nil
 	case tuple.Float:
 		want, err := strconv.ParseFloat(value, 64)
 		if err != nil {
@@ -122,15 +124,15 @@ func buildPredicate(schema *tuple.Schema, attr, op, value string) (func(tuple.Tu
 		if err != nil {
 			return nil, err
 		}
-		return func(t tuple.Tuple) bool { return cmp(t.Float(attr), want) }, nil
+		return func(t tuple.Tuple) bool { return cmp(ref.Float(t), want) }, nil
 	case tuple.String:
 		switch op {
 		case "eq":
-			return func(t tuple.Tuple) bool { return t.String(attr) == value }, nil
+			return func(t tuple.Tuple) bool { return ref.Str(t) == value }, nil
 		case "ne":
-			return func(t tuple.Tuple) bool { return t.String(attr) != value }, nil
+			return func(t tuple.Tuple) bool { return ref.Str(t) != value }, nil
 		case "contains":
-			return func(t tuple.Tuple) bool { return strings.Contains(t.String(attr), value) }, nil
+			return func(t tuple.Tuple) bool { return strings.Contains(ref.Str(t), value) }, nil
 		default:
 			return nil, fmt.Errorf("operator %q unsupported for strings", op)
 		}
@@ -141,9 +143,9 @@ func buildPredicate(schema *tuple.Schema, attr, op, value string) (func(tuple.Tu
 		}
 		switch op {
 		case "eq":
-			return func(t tuple.Tuple) bool { return t.Bool(attr) == want }, nil
+			return func(t tuple.Tuple) bool { return ref.Bool(t) == want }, nil
 		case "ne":
-			return func(t tuple.Tuple) bool { return t.Bool(attr) != want }, nil
+			return func(t tuple.Tuple) bool { return ref.Bool(t) != want }, nil
 		default:
 			return nil, fmt.Errorf("operator %q unsupported for bools", op)
 		}
@@ -201,24 +203,34 @@ func floatCmp(op string) (func(a, b float64) bool, error) {
 //	setStr   string  "attr:value"  overwrite a string attribute
 type functor struct {
 	opapi.Base
-	ctx             opapi.Context
-	addAttr         string
-	addDelta        int64
-	scaleAttr       string
-	scaleBy         float64
-	setAttr, setVal string
-	copyIdx         [][2]int // input index -> output index
+	ctx      opapi.Context
+	addRef   tuple.FieldRef
+	addDelta int64
+	scaleRef tuple.FieldRef
+	scaleBy  float64
+	setRef   tuple.FieldRef
+	setVal   string
+	copies   []fieldCopy // compiled input-ref -> output-ref pairs
+}
+
+// fieldCopy moves one attribute between schemas through refs resolved at
+// Open time, so Process does no name lookups.
+type fieldCopy struct {
+	in, out tuple.FieldRef
 }
 
 func (f *functor) Open(ctx opapi.Context) error {
 	f.ctx = ctx
 	p := ctx.Params()
+	in, out := ctx.InputSchema(0), ctx.OutputSchema(0)
 	if spec := p.Get("addInt", ""); spec != "" {
 		attr, val, err := splitSpec(spec)
 		if err != nil {
 			return fmt.Errorf("Functor %s: addInt: %w", ctx.Name(), err)
 		}
-		f.addAttr = attr
+		if f.addRef, err = out.TypedRef(attr, tuple.Int); err != nil {
+			return fmt.Errorf("Functor %s: addInt: %w", ctx.Name(), err)
+		}
 		if f.addDelta, err = strconv.ParseInt(val, 10, 64); err != nil {
 			return fmt.Errorf("Functor %s: addInt: %w", ctx.Name(), err)
 		}
@@ -228,7 +240,9 @@ func (f *functor) Open(ctx opapi.Context) error {
 		if err != nil {
 			return fmt.Errorf("Functor %s: scale: %w", ctx.Name(), err)
 		}
-		f.scaleAttr = attr
+		if f.scaleRef, err = out.TypedRef(attr, tuple.Float); err != nil {
+			return fmt.Errorf("Functor %s: scale: %w", ctx.Name(), err)
+		}
 		if f.scaleBy, err = strconv.ParseFloat(val, 64); err != nil {
 			return fmt.Errorf("Functor %s: scale: %w", ctx.Name(), err)
 		}
@@ -238,13 +252,15 @@ func (f *functor) Open(ctx opapi.Context) error {
 		if err != nil {
 			return fmt.Errorf("Functor %s: setStr: %w", ctx.Name(), err)
 		}
-		f.setAttr, f.setVal = attr, val
+		if f.setRef, err = out.TypedRef(attr, tuple.String); err != nil {
+			return fmt.Errorf("Functor %s: setStr: %w", ctx.Name(), err)
+		}
+		f.setVal = val
 	}
-	in, out := ctx.InputSchema(0), ctx.OutputSchema(0)
 	for i := 0; i < in.NumAttrs(); i++ {
 		a := in.Attr(i)
 		if j := out.Index(a.Name); j >= 0 && out.Attr(j).Type == a.Type {
-			f.copyIdx = append(f.copyIdx, [2]int{i, j})
+			f.copies = append(f.copies, fieldCopy{in: in.MustRef(a.Name), out: out.MustRef(a.Name)})
 		}
 	}
 	return nil
@@ -259,31 +275,29 @@ func splitSpec(spec string) (attr, value string, err error) {
 }
 
 func (f *functor) Process(port int, t tuple.Tuple) error {
-	in := f.ctx.InputSchema(0)
 	out := tuple.New(f.ctx.OutputSchema(0))
-	for _, pair := range f.copyIdx {
-		a := in.Attr(pair[0])
-		switch a.Type {
+	for _, c := range f.copies {
+		switch c.in.Type() {
 		case tuple.Int:
-			_ = out.SetInt(a.Name, t.Int(a.Name))
+			c.out.SetInt(out, c.in.Int(t))
 		case tuple.Float:
-			_ = out.SetFloat(a.Name, t.Float(a.Name))
+			c.out.SetFloat(out, c.in.Float(t))
 		case tuple.String:
-			_ = out.SetString(a.Name, t.String(a.Name))
+			c.out.SetStr(out, c.in.Str(t))
 		case tuple.Bool:
-			_ = out.SetBool(a.Name, t.Bool(a.Name))
+			c.out.SetBool(out, c.in.Bool(t))
 		case tuple.Timestamp:
-			_ = out.SetTime(a.Name, t.Time(a.Name))
+			c.out.SetTime(out, c.in.Time(t))
 		}
 	}
-	if f.addAttr != "" {
-		_ = out.SetInt(f.addAttr, out.Int(f.addAttr)+f.addDelta)
+	if f.addRef.Valid() {
+		f.addRef.SetInt(out, f.addRef.Int(out)+f.addDelta)
 	}
-	if f.scaleAttr != "" {
-		_ = out.SetFloat(f.scaleAttr, out.Float(f.scaleAttr)*f.scaleBy)
+	if f.scaleRef.Valid() {
+		f.scaleRef.SetFloat(out, f.scaleRef.Float(out)*f.scaleBy)
 	}
-	if f.setAttr != "" {
-		_ = out.SetString(f.setAttr, f.setVal)
+	if f.setRef.Valid() {
+		f.setRef.SetStr(out, f.setVal)
 	}
 	return f.ctx.Submit(0, out)
 }
@@ -296,10 +310,13 @@ func (f *functor) Process(port int, t tuple.Tuple) error {
 //	attr string  hashing attribute for mode=hash
 type split struct {
 	opapi.Base
-	ctx  opapi.Context
-	mode string
-	attr string
-	next int
+	ctx     opapi.Context
+	mode    string
+	attr    string
+	strRef  tuple.FieldRef // set when attr is a string attribute
+	intRef  tuple.FieldRef // set when attr is an int attribute
+	next    int
+	scratch []byte
 }
 
 func (s *split) Open(ctx opapi.Context) error {
@@ -311,6 +328,14 @@ func (s *split) Open(ctx opapi.Context) error {
 	case "hash":
 		if s.attr == "" {
 			return fmt.Errorf("Split %s: mode=hash needs attr", ctx.Name())
+		}
+		// Resolve the hashing attribute once; mistyped or missing slots
+		// hash as zero values, as the name-based API used to.
+		if ref, err := ctx.InputSchema(0).TypedRef(s.attr, tuple.String); err == nil {
+			s.strRef = ref
+		}
+		if ref, err := ctx.InputSchema(0).TypedRef(s.attr, tuple.Int); err == nil {
+			s.intRef = ref
 		}
 	default:
 		return fmt.Errorf("Split %s: unknown mode %q", ctx.Name(), s.mode)
@@ -329,8 +354,20 @@ func (s *split) Process(port int, t tuple.Tuple) error {
 		}
 		return nil
 	case "hash":
+		// Same key bytes as the old fmt.Fprintf("%s|%d") rendering, built
+		// without formatting or allocation.
+		var sv string
+		var iv int64
+		if s.strRef.Valid() {
+			sv = s.strRef.Str(t)
+		}
+		if s.intRef.Valid() {
+			iv = s.intRef.Int(t)
+		}
+		s.scratch = append(append(s.scratch[:0], sv...), '|')
+		s.scratch = strconv.AppendInt(s.scratch, iv, 10)
 		h := fnv.New32a()
-		fmt.Fprintf(h, "%s|%d", t.String(s.attr), t.Int(s.attr))
+		_, _ = h.Write(s.scratch)
 		return s.ctx.Submit(int(h.Sum32())%n, t)
 	default: // roundrobin
 		i := s.next % n

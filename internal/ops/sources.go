@@ -39,7 +39,14 @@ func (b *beacon) Open(ctx opapi.Context) error {
 
 func (b *beacon) Run(stop <-chan struct{}) error {
 	schema := b.ctx.OutputSchema(0)
-	hasSeq := schema.Index(b.seqAttr) >= 0
+	var seqRef tuple.FieldRef
+	if schema.Index(b.seqAttr) >= 0 {
+		ref, err := schema.TypedRef(b.seqAttr, tuple.Int)
+		if err != nil {
+			return err
+		}
+		seqRef = ref
+	}
 	for i := int64(0); b.count == 0 || i < b.count; i++ {
 		select {
 		case <-stop:
@@ -47,10 +54,8 @@ func (b *beacon) Run(stop <-chan struct{}) error {
 		default:
 		}
 		t := tuple.New(schema)
-		if hasSeq {
-			if err := t.SetInt(b.seqAttr, i); err != nil {
-				return err
-			}
+		if seqRef.Valid() {
+			seqRef.SetInt(t, i)
 		}
 		if err := b.ctx.Submit(0, t); err != nil {
 			return err

@@ -1,6 +1,10 @@
 package pe
 
-import "streamorca/internal/tuple"
+import (
+	"sync"
+
+	"streamorca/internal/tuple"
+)
 
 // Item is one unit travelling on a stream connection: either a tuple
 // (Mark == NoMark) or a punctuation. Items cross PE boundaries through the
@@ -19,6 +23,35 @@ func MarkItem(m tuple.Mark) Item { return Item{Mark: m} }
 // IsMark reports whether the item is a punctuation.
 func (it Item) IsMark() bool { return it.Mark != tuple.NoMark }
 
+// Batch is a reusable group of items delivered through a batch inlet as
+// one queue operation, amortising channel synchronisation across a whole
+// transport frame. Obtain with GetBatch; handing it to a batch inlet
+// transfers ownership to the receiving PE, which recycles it after the
+// items have been delivered.
+type Batch struct {
+	Items []Item
+}
+
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// GetBatch returns an empty pooled batch.
+func GetBatch() *Batch {
+	b := batchPool.Get().(*Batch)
+	b.Items = b.Items[:0]
+	return b
+}
+
+// PutBatch recycles a batch whose items have been fully delivered (or
+// dropped). The item slots are cleared so recycled batches do not pin
+// tuple storage.
+func PutBatch(b *Batch) {
+	for i := range b.Items {
+		b.Items[i] = Item{}
+	}
+	b.Items = b.Items[:0]
+	batchPool.Put(b)
+}
+
 // controlMsg is an in-band orchestrator control command delivered to a
 // Controllable operator on its processing goroutine, so control actions
 // are serialised with tuple processing.
@@ -28,9 +61,11 @@ type controlMsg struct {
 	done chan error
 }
 
-// queued is what sits in an operator's input queue.
+// queued is what sits in an operator's input queue: a single item, a
+// whole transport batch, or a control command.
 type queued struct {
-	port int
-	item Item
-	ctl  *controlMsg
+	port  int
+	item  Item
+	batch *Batch
+	ctl   *controlMsg
 }

@@ -383,6 +383,22 @@ func (p *PE) ExternalInlet(opName string, port int) (func(Item), error) {
 	return func(it Item) { rt.enqueue(port, it) }, nil
 }
 
+// ExternalBatchInlet returns a function that feeds whole item batches into
+// the named operator's input port as a single queue operation — the
+// delivery side of the transport's small-batch framing. Ownership of the
+// batch transfers to the PE, which recycles it once its items have been
+// delivered (or immediately, if the PE has died and the batch is dropped).
+func (p *PE) ExternalBatchInlet(opName string, port int) (func(*Batch), error) {
+	rt, ok := p.byName[opName]
+	if !ok {
+		return nil, fmt.Errorf("pe %s: no operator %q", p.cfg.ID, opName)
+	}
+	if port < 0 || port >= len(rt.spec.Inputs) {
+		return nil, fmt.Errorf("pe %s: operator %q has no input port %d", p.cfg.ID, opName, port)
+	}
+	return func(b *Batch) { rt.enqueueBatch(port, b) }, nil
+}
+
 // InputSchema returns the schema of an operator input port, for link
 // compatibility checks.
 func (p *PE) InputSchema(opName string, port int) (*tuple.Schema, error) {
@@ -510,6 +526,16 @@ func (rt *opRuntime) enqueue(port int, it Item) {
 	}
 }
 
+// enqueueBatch places a whole batch on the queue as one element, blocking
+// for backpressure; a batch dropped on PE death is recycled here.
+func (rt *opRuntime) enqueueBatch(port int, b *Batch) {
+	select {
+	case rt.in <- queued{port: port, batch: b}:
+	case <-rt.pe.kill:
+		PutBatch(b)
+	}
+}
+
 // consumeLoop is the single processing goroutine of an operator with
 // inputs. All Process/ProcessMark/Control calls happen here.
 func (rt *opRuntime) consumeLoop() {
@@ -524,6 +550,20 @@ func (rt *opRuntime) consumeLoop() {
 		case q := <-rt.in:
 			if q.ctl != nil {
 				q.ctl.done <- rt.op.(opapi.Controllable).Control(q.ctl.cmd, q.ctl.args)
+				continue
+			}
+			if q.batch != nil {
+				done := false
+				for _, it := range q.batch.Items {
+					if rt.deliver(queued{port: q.port, item: it}) {
+						done = true
+						break
+					}
+				}
+				PutBatch(q.batch)
+				if done {
+					return // all inputs finalised (or crashed)
+				}
 				continue
 			}
 			if rt.deliver(q) {

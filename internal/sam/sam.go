@@ -305,6 +305,13 @@ func (s *SAM) CancelJob(id ids.JobID) error {
 				}
 			}
 		}
+		if l.link != nil {
+			// Dropping the link severs the connection: pending and
+			// in-flight tuples are lost, so cancelled flows stop
+			// promptly (Discard never blocks).
+			l.link.Discard()
+			l.link = nil
+		}
 		delete(s.links, lid)
 	}
 	info := s.jobInfoLocked(j)

@@ -22,6 +22,10 @@ type xlink struct {
 	toIdx    int
 	toOp     string
 	toPort   int
+	// link is the live transport for the current incarnation; replaced on
+	// re-establishment and discarded (dropping in-flight items, as a
+	// severed TCP connection would) when the xlink is dropped or replaced.
+	link *transport.Link
 }
 
 // staticLinks derives the cross-PE links implied by a job's own ADL
@@ -131,7 +135,7 @@ func (s *SAM) establishLocked(l *xlink) error {
 	if err != nil {
 		return err
 	}
-	inlet, err := dstPE.container.ExternalInlet(l.toOp, l.toPort)
+	inlet, err := dstPE.container.ExternalBatchInlet(l.toOp, l.toPort)
 	if err != nil {
 		return err
 	}
@@ -141,7 +145,19 @@ func (s *SAM) establishLocked(l *xlink) error {
 		dstPE.container.PEMetrics().Counter(metrics.PETupleBytesProcessed),
 		func(err error) { s.cfg.Logf("sam: link %s: %v", l.id, err) },
 	)
-	return srcPE.container.AddOutlet(l.fromOp, l.fromPort, l.id, link)
+	if err := srcPE.container.AddOutlet(l.fromOp, l.fromPort, l.id, link.Send); err != nil {
+		link.Discard()
+		return err
+	}
+	if old := l.link; old != nil {
+		// The previous incarnation's in-flight tuples are lost, exactly as
+		// a severed TCP connection would lose them (crash-restart
+		// semantics); Discard never blocks, so holding the SAM lock here
+		// is fine.
+		old.Discard()
+	}
+	l.link = link
+	return nil
 }
 
 // LinkCount reports the number of live stream links (for tests and the

@@ -2,6 +2,7 @@ package transport_test
 
 import (
 	"testing"
+	"time"
 
 	"streamorca/internal/metrics"
 	"streamorca/internal/opapi"
@@ -61,14 +62,36 @@ func BenchmarkIntraPEHop(b *testing.B) {
 
 // BenchmarkCrossPEHop measures the same hop through the serializing
 // transport (encode + decode + byte accounting), the cost every unfused
-// connection pays.
+// connection pays. Under load the link frames tuples, so channel
+// synchronisation, codec buffers, and decoded tuple storage amortise
+// across the batch.
 func BenchmarkCrossPEHop(b *testing.B) {
+	benchCrossPE(b, intSchema, tuple.Build(intSchema).Int("v", 42).Done())
+}
+
+// BenchmarkCrossPEHopMixed is the same hop with a realistic mixed
+// int/string/timestamp schema; string attributes copy on decode, so this
+// is the upper end of per-hop cost.
+func BenchmarkCrossPEHopMixed(b *testing.B) {
+	mixed := tuple.MustSchema(
+		tuple.Attribute{Name: "sym", Type: tuple.String},
+		tuple.Attribute{Name: "price", Type: tuple.Float},
+		tuple.Attribute{Name: "seq", Type: tuple.Int},
+		tuple.Attribute{Name: "at", Type: tuple.Timestamp},
+	)
+	t := tuple.Build(mixed).
+		Str("sym", "IBM").Float("price", 101.25).Int("seq", 7).
+		Time("at", time.Unix(0, 1345999999123456789).UTC()).Done()
+	benchCrossPE(b, mixed, t)
+}
+
+func benchCrossPE(b *testing.B, schema *tuple.Schema, t tuple.Tuple) {
 	sink := &benchSink{want: b.N, done: make(chan struct{})}
 	reg := opapi.NewRegistry()
 	reg.Register("BenchSink", func() opapi.Operator { return sink })
 	p, err := pe.New(pe.Config{
 		ID: 1, Job: 1, App: "bench",
-		Ops:      []pe.OpSpec{{Name: "sink", Kind: "BenchSink", Inputs: []*tuple.Schema{intSchema}}},
+		Ops:      []pe.OpSpec{{Name: "sink", Kind: "BenchSink", Inputs: []*tuple.Schema{schema}}},
 		Registry: reg,
 	})
 	if err != nil {
@@ -78,17 +101,17 @@ func BenchmarkCrossPEHop(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer p.Stop()
-	inlet, err := p.ExternalInlet("sink", 0)
+	inlet, err := p.ExternalBatchInlet("sink", 0)
 	if err != nil {
 		b.Fatal(err)
 	}
 	var sent, recv metrics.Counter
-	link := transport.NewLink(intSchema, inlet, &sent, &recv, nil)
-	t := tuple.Build(intSchema).Int("v", 42).Done()
+	link := transport.NewLink(schema, inlet, &sent, &recv, nil)
+	defer link.Close()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		link(pe.TupleItem(t))
+		link.Send(pe.TupleItem(t))
 	}
 	<-sink.done
 }

@@ -14,12 +14,23 @@ var schema = tuple.MustSchema(
 	tuple.Attribute{Name: "s", Type: tuple.String},
 )
 
+// collectRemote gathers delivered items; safe because the link's flusher
+// is the only goroutine calling it and tests read after Flush/Close.
+func collectRemote(got *[]pe.Item) func(*pe.Batch) {
+	return func(b *pe.Batch) {
+		*got = append(*got, b.Items...)
+		pe.PutBatch(b)
+	}
+}
+
 func TestLinkDeliversDecodedCopy(t *testing.T) {
 	var got []pe.Item
 	var sent, recv metrics.Counter
-	link := NewLink(schema, func(it pe.Item) { got = append(got, it) }, &sent, &recv, nil)
+	link := NewLink(schema, collectRemote(&got), &sent, &recv, nil)
+	defer link.Close()
 	in := tuple.Build(schema).Int("v", 42).Str("s", "hello").Done()
-	link(pe.TupleItem(in))
+	link.Send(pe.TupleItem(in))
+	link.Flush()
 	if len(got) != 1 {
 		t.Fatalf("delivered %d items", len(got))
 	}
@@ -43,8 +54,10 @@ func TestLinkDeliversDecodedCopy(t *testing.T) {
 func TestLinkMarksCountOverhead(t *testing.T) {
 	var got []pe.Item
 	var sent, recv metrics.Counter
-	link := NewLink(schema, func(it pe.Item) { got = append(got, it) }, &sent, &recv, nil)
-	link(pe.MarkItem(tuple.FinalMark))
+	link := NewLink(schema, collectRemote(&got), &sent, &recv, nil)
+	defer link.Close()
+	link.Send(pe.MarkItem(tuple.FinalMark))
+	link.Flush()
 	if len(got) != 1 || got[0].Mark != tuple.FinalMark {
 		t.Fatalf("marks not forwarded: %+v", got)
 	}
@@ -54,26 +67,33 @@ func TestLinkMarksCountOverhead(t *testing.T) {
 }
 
 func TestLinkNilCountersTolerated(t *testing.T) {
-	var n int
-	link := NewLink(schema, func(pe.Item) { n++ }, nil, nil, nil)
-	link(pe.TupleItem(tuple.New(schema)))
-	link(pe.MarkItem(tuple.WindowMark))
-	if n != 2 {
-		t.Fatalf("delivered %d", n)
+	var got []pe.Item
+	link := NewLink(schema, collectRemote(&got), nil, nil, nil)
+	link.Send(pe.TupleItem(tuple.New(schema)))
+	link.Send(pe.MarkItem(tuple.WindowMark))
+	link.Close() // Close drains everything still pending
+	if len(got) != 2 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	if got[0].IsMark() || got[1].Mark != tuple.WindowMark {
+		t.Fatalf("order not preserved: %+v", got)
 	}
 }
 
 func TestLinkEncodeErrorDropped(t *testing.T) {
 	var delivered int
 	var errs []error
-	link := NewLink(schema, func(pe.Item) { delivered++ }, nil, nil, func(err error) { errs = append(errs, err) })
-	link(pe.TupleItem(tuple.Tuple{})) // invalid tuple fails to encode
+	link := NewLink(schema, func(b *pe.Batch) { delivered += len(b.Items); pe.PutBatch(b) },
+		nil, nil, func(err error) { errs = append(errs, err) })
+	link.Send(pe.TupleItem(tuple.Tuple{})) // invalid tuple fails to encode
+	link.Flush()
 	if delivered != 0 {
 		t.Fatal("invalid tuple delivered")
 	}
 	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "encode") {
 		t.Fatalf("errs = %v", errs)
 	}
+	link.Close()
 }
 
 func TestLinkSchemaMismatchDropped(t *testing.T) {
@@ -82,15 +102,70 @@ func TestLinkSchemaMismatchDropped(t *testing.T) {
 	var errs []error
 	// Link decodes with a schema narrower than the sender's, so leftover
 	// bytes signal a mismatch.
-	link := NewLink(other, func(pe.Item) { delivered++ }, nil, nil, func(err error) { errs = append(errs, err) })
+	link := NewLink(other, func(b *pe.Batch) { delivered += len(b.Items); pe.PutBatch(b) },
+		nil, nil, func(err error) { errs = append(errs, err) })
 	big := tuple.Build(schema).Int("v", 1).Str("s", "aaaaaaaaaaaaaaaa").Done()
-	link(pe.TupleItem(big))
+	link.Send(pe.TupleItem(big))
+	link.Flush()
 	if delivered != 0 {
 		t.Fatal("mismatched tuple delivered")
 	}
 	if len(errs) != 1 {
 		t.Fatalf("errs = %v", errs)
 	}
+	link.Close()
+}
+
+// TestLinkBatchesUnderLoad checks that many queued tuples arrive intact,
+// in order, and with exact byte accounting through the framed path.
+func TestLinkBatchesUnderLoad(t *testing.T) {
+	var got []pe.Item
+	var sent, recv metrics.Counter
+	link := NewLink(schema, collectRemote(&got), &sent, &recv, nil)
+	const n = 10 * MaxFrameTuples
+	var wantBytes int64
+	for i := 0; i < n; i++ {
+		tp := tuple.Build(schema).Int("v", int64(i)).Str("s", "payload").Done()
+		wantBytes += int64(tuple.EncodedSize(tp))
+		link.Send(pe.TupleItem(tp))
+		if i == n/2 {
+			link.Send(pe.MarkItem(tuple.WindowMark))
+		}
+	}
+	link.Close()
+	if len(got) != n+1 {
+		t.Fatalf("delivered %d items, want %d", len(got), n+1)
+	}
+	seq := int64(0)
+	marks := 0
+	for _, it := range got {
+		if it.IsMark() {
+			marks++
+			continue
+		}
+		if it.T.Int("v") != seq {
+			t.Fatalf("out of order: got %d want %d", it.T.Int("v"), seq)
+		}
+		seq++
+	}
+	if marks != 1 {
+		t.Fatalf("marks = %d", marks)
+	}
+	wantBytes += markOverhead
+	if sent.Value() != wantBytes || recv.Value() != wantBytes {
+		t.Fatalf("bytes sent=%d recv=%d want %d", sent.Value(), recv.Value(), wantBytes)
+	}
+}
+
+func TestLinkSendAfterCloseDropped(t *testing.T) {
+	var got []pe.Item
+	link := NewLink(schema, collectRemote(&got), nil, nil, nil)
+	link.Close()
+	link.Send(pe.TupleItem(tuple.New(schema)))
+	if len(got) != 0 {
+		t.Fatalf("delivered %d after close", len(got))
+	}
+	link.Close() // idempotent
 }
 
 func TestLinkID(t *testing.T) {

@@ -2,49 +2,88 @@ package tuple
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
-	"time"
+	"sync"
 )
 
 // Codec errors are wrapped with this prefix so transport code can log a
 // recognisable failure source.
 const codecPrefix = "tuple codec"
 
+// ErrTruncated is the typed cause of every decode failure on short,
+// overlong, or otherwise malformed input; transports match it with
+// errors.Is instead of parsing error strings.
+var ErrTruncated = errors.New(codecPrefix + ": truncated or malformed input")
+
+// bufPool recycles encode buffers so steady-state framing on the hop path
+// allocates nothing.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// GetBuf returns a pooled encode buffer (length 0) behind a stable
+// pointer; write appends back through the pointer and return it with
+// PutBuf when the frame has been consumed. The pointer indirection keeps
+// the get/put cycle itself allocation-free.
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// maxPooledBuf bounds what PutBuf keeps: one pathological frame (e.g. a
+// multi-megabyte string attribute) must not permanently inflate the pool.
+const maxPooledBuf = 64 << 10
+
+// PutBuf returns a buffer obtained from GetBuf (possibly regrown by
+// appends) to the pool; oversized outliers are dropped for the GC.
+func PutBuf(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b)
+}
+
 // Encode appends the binary representation of t to dst and returns the
 // extended slice. The layout is schema-relative: the receiver must know the
 // schema (both ends of a stream connection share the compiled schema, as in
 // System S where the ADL fixes port schemas at compile time).
 //
-// Wire format per attribute:
+// Wire format per attribute, in schema order:
 //
 //	Int       varint (zig-zag)
 //	Float     8 bytes IEEE-754 big endian
 //	String    uvarint length + bytes
 //	Bool      1 byte
-//	Timestamp varint unix-nanos
+//	Timestamp varint unix-nanos (math.MinInt64 encodes the zero time)
+//
+// Encoding reads straight out of the tuple's typed storage, so it performs
+// no per-attribute boxing or allocation.
 func Encode(dst []byte, t Tuple) ([]byte, error) {
 	if !t.Valid() {
 		return dst, fmt.Errorf("%s: encoding invalid tuple", codecPrefix)
 	}
-	for i := range t.vals {
-		switch t.schema.Attr(i).Type {
-		case Int:
-			dst = binary.AppendVarint(dst, t.vals[i].(int64))
+	ni, si := 0, 0
+	for _, a := range t.schema.attrs {
+		switch a.Type {
+		case Int, Timestamp:
+			dst = binary.AppendVarint(dst, t.nums[ni])
+			ni++
 		case Float:
-			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(t.vals[i].(float64)))
+			dst = binary.BigEndian.AppendUint64(dst, uint64(t.nums[ni]))
+			ni++
 		case String:
-			s := t.vals[i].(string)
+			s := t.strs[si]
 			dst = binary.AppendUvarint(dst, uint64(len(s)))
 			dst = append(dst, s...)
+			si++
 		case Bool:
-			if t.vals[i].(bool) {
+			if t.nums[ni] != 0 {
 				dst = append(dst, 1)
 			} else {
 				dst = append(dst, 0)
 			}
-		case Timestamp:
-			dst = binary.AppendVarint(dst, t.vals[i].(time.Time).UnixNano())
+			ni++
 		}
 	}
 	return dst, nil
@@ -59,66 +98,100 @@ func EncodedSize(t Tuple) int {
 	}
 	n := 0
 	var scratch [binary.MaxVarintLen64]byte
-	for i := range t.vals {
-		switch t.schema.Attr(i).Type {
-		case Int:
-			n += binary.PutVarint(scratch[:], t.vals[i].(int64))
+	ni, si := 0, 0
+	for _, a := range t.schema.attrs {
+		switch a.Type {
+		case Int, Timestamp:
+			n += binary.PutVarint(scratch[:], t.nums[ni])
+			ni++
 		case Float:
 			n += 8
+			ni++
 		case String:
-			l := len(t.vals[i].(string))
+			l := len(t.strs[si])
 			n += binary.PutUvarint(scratch[:], uint64(l)) + l
+			si++
 		case Bool:
 			n++
-		case Timestamp:
-			n += binary.PutVarint(scratch[:], t.vals[i].(time.Time).UnixNano())
+			ni++
 		}
 	}
 	return n
 }
 
 // Decode parses one tuple of schema s from data, returning the tuple and
-// the number of bytes consumed.
+// the number of bytes consumed. It allocates fresh storage; hot paths that
+// own a reusable tuple should call DecodeInto instead.
 func Decode(s *Schema, data []byte) (Tuple, int, error) {
 	t := New(s)
+	n, err := DecodeInto(&t, data)
+	if err != nil {
+		return Tuple{}, 0, err
+	}
+	return t, n, nil
+}
+
+// DecodeInto parses one tuple of t's schema from data into t's existing
+// storage, returning the number of bytes consumed. The tuple keeps its
+// storage across calls, so decoding fixed-width attributes allocates
+// nothing; string attributes copy their bytes out of data (one allocation
+// per string), which is what makes retaining a decoded string safe.
+//
+// All malformed-input failures wrap ErrTruncated; passing an invalid
+// tuple is a programming error reported separately. On error the tuple's
+// contents are unspecified but its storage is intact for the next call.
+func DecodeInto(t *Tuple, data []byte) (int, error) {
+	if !t.Valid() {
+		// A caller-side programming error, not malformed wire input: do
+		// not classify it as ErrTruncated.
+		return 0, fmt.Errorf("%s: decode into invalid tuple", codecPrefix)
+	}
+	s := t.schema
+	ni, si := 0, 0
 	off := 0
-	for i := 0; i < s.NumAttrs(); i++ {
-		switch s.Attr(i).Type {
-		case Int:
+	for i := range s.attrs {
+		switch s.attrs[i].Type {
+		case Int, Timestamp:
 			v, n := binary.Varint(data[off:])
 			if n <= 0 {
-				return Tuple{}, 0, fmt.Errorf("%s: truncated varint for %q", codecPrefix, s.Attr(i).Name)
+				return 0, fmt.Errorf("%w: varint for %q", ErrTruncated, s.attrs[i].Name)
 			}
-			t.vals[i] = v
+			t.nums[ni] = v
+			ni++
 			off += n
 		case Float:
-			if len(data[off:]) < 8 {
-				return Tuple{}, 0, fmt.Errorf("%s: truncated float for %q", codecPrefix, s.Attr(i).Name)
+			if len(data)-off < 8 {
+				return 0, fmt.Errorf("%w: float for %q", ErrTruncated, s.attrs[i].Name)
 			}
-			t.vals[i] = math.Float64frombits(binary.BigEndian.Uint64(data[off:]))
+			t.nums[ni] = int64(binary.BigEndian.Uint64(data[off:]))
+			ni++
 			off += 8
 		case String:
 			l, n := binary.Uvarint(data[off:])
-			if n <= 0 || uint64(len(data[off+n:])) < l {
-				return Tuple{}, 0, fmt.Errorf("%s: truncated string for %q", codecPrefix, s.Attr(i).Name)
+			if n <= 0 {
+				return 0, fmt.Errorf("%w: string length for %q", ErrTruncated, s.attrs[i].Name)
+			}
+			// Reject lengths that cannot index a slice before converting,
+			// so a hostile length never wraps around or over-slices.
+			if l > uint64(math.MaxInt) || uint64(len(data)-off-n) < l {
+				return 0, fmt.Errorf("%w: string of %d bytes for %q exceeds input", ErrTruncated, l, s.attrs[i].Name)
 			}
 			off += n
-			t.vals[i] = string(data[off : off+int(l)])
+			t.strs[si] = string(data[off : off+int(l)])
+			si++
 			off += int(l)
 		case Bool:
-			if len(data[off:]) < 1 {
-				return Tuple{}, 0, fmt.Errorf("%s: truncated bool for %q", codecPrefix, s.Attr(i).Name)
+			if len(data)-off < 1 {
+				return 0, fmt.Errorf("%w: bool for %q", ErrTruncated, s.attrs[i].Name)
 			}
-			t.vals[i] = data[off] != 0
+			if data[off] != 0 {
+				t.nums[ni] = 1
+			} else {
+				t.nums[ni] = 0
+			}
+			ni++
 			off++
-		case Timestamp:
-			v, n := binary.Varint(data[off:])
-			if n <= 0 {
-				return Tuple{}, 0, fmt.Errorf("%s: truncated timestamp for %q", codecPrefix, s.Attr(i).Name)
-			}
-			t.vals[i] = time.Unix(0, v).UTC()
-			off += n
 		}
 	}
-	return t, off, nil
+	return off, nil
 }

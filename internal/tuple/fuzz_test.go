@@ -1,0 +1,96 @@
+package tuple
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fuzzSchema mixes every wire shape: varints, fixed-width, length-prefixed.
+var fuzzSchema = MustSchema(
+	Attribute{"id", Int},
+	Attribute{"price", Float},
+	Attribute{"sym", String},
+	Attribute{"live", Bool},
+	Attribute{"at", Timestamp},
+	Attribute{"note", String},
+)
+
+// FuzzEncodeDecode drives the codec from both ends: structured values must
+// round-trip exactly, and arbitrary bytes must never panic, over-read, or
+// decode without accounting for every byte consumed.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(int64(0), 0.0, "", false, int64(0), "", []byte(nil))
+	f.Add(int64(-123456789), 3.14, "hello", true, int64(1345999999123456789), "world", []byte{0x80})
+	f.Add(int64(1)<<62, -1e300, "\x00\xff", true, int64(-1), string(make([]byte, 300)), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, id int64, price float64, sym string, live bool, nanos int64, note string, raw []byte) {
+		// Property 1: value round-trip through Encode/DecodeInto.
+		in := New(fuzzSchema)
+		_ = in.SetInt("id", id)
+		_ = in.SetFloat("price", price)
+		_ = in.SetString("sym", sym)
+		_ = in.SetBool("live", live)
+		_ = in.SetTime("at", time.Unix(0, nanos).UTC())
+		_ = in.SetString("note", note)
+		buf, err := Encode(nil, in)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if len(buf) != EncodedSize(in) {
+			t.Fatalf("EncodedSize %d != encoded %d", EncodedSize(in), len(buf))
+		}
+		out := New(fuzzSchema)
+		n, err := DecodeInto(&out, buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(buf) {
+			t.Fatalf("decode consumed %d of %d", n, len(buf))
+		}
+		sameFloat := out.Float("price") == price || (price != price && out.Float("price") != out.Float("price"))
+		if out.Int("id") != id || !sameFloat || out.String("sym") != sym ||
+			out.Bool("live") != live || !out.Time("at").Equal(in.Time("at")) ||
+			out.String("note") != note {
+			t.Fatalf("round trip mismatch: %s vs %s", out.Format(), in.Format())
+		}
+
+		// Property 2: arbitrary input never panics; failures are typed; a
+		// success consumes no more than the input.
+		got, used, err := Decode(fuzzSchema, raw)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("decode error not ErrTruncated: %v", err)
+			}
+			return
+		}
+		if used > len(raw) {
+			t.Fatalf("decode consumed %d of %d input bytes", used, len(raw))
+		}
+		// A successful decode re-encodes to something decodable (varint
+		// paddings may shrink, so only re-decode, not byte-compare).
+		re, err := Encode(nil, got)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if _, _, err := Decode(fuzzSchema, re); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+	})
+}
+
+// TestDecodeRejectsOverlongString covers the hostile-length guard: a
+// declared string length larger than the input (or than int) must fail
+// with ErrTruncated instead of slicing out of range.
+func TestDecodeRejectsOverlongString(t *testing.T) {
+	s := MustSchema(Attribute{"s", String})
+	cases := [][]byte{
+		{0x05},      // declares 5 bytes, provides none
+		{0x05, 'a'}, // declares 5 bytes, provides one
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, // ~MaxUint64
+	}
+	for _, data := range cases {
+		if _, _, err := Decode(s, data); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("Decode(%x) = %v, want ErrTruncated", data, err)
+		}
+	}
+}

@@ -2,10 +2,38 @@
 // typed schemas, tuples, punctuation marks, and a binary codec used by the
 // inter-PE transport (which is also where the platform's byte-count metrics
 // come from).
+//
+// # Columnar storage layout
+//
+// Tuples are unboxed: a Schema compiles, at construction time, every
+// attribute to a fixed slot in one of two typed arrays, and a Tuple is just
+// those arrays plus the schema pointer:
+//
+//	nums []int64   Int (value), Float (IEEE-754 bits), Bool (0/1),
+//	               Timestamp (unix-nanos; math.MinInt64 = the zero time)
+//	strs []string  String
+//
+// No attribute value is ever stored behind an interface, so building,
+// copying, encoding, and decoding a tuple of fixed-width attributes does
+// not allocate per attribute. Timestamps carry nanosecond precision over
+// the unix-nano range (years 1678–2262); the zero time round-trips exactly
+// via the sentinel.
+//
+// # FieldRef resolution contract
+//
+// Name-based accessors (Int, SetFloat, ...) look the attribute up by name
+// on every call and re-check its type; they are the compatibility layer.
+// Hot paths resolve a FieldRef once at setup time — Schema.Ref /
+// Schema.TypedRef validate the name and type at resolution — and then use
+// the ref's unchecked accessors per tuple. A FieldRef is only meaningful
+// for tuples of the schema that resolved it; using it with another schema,
+// or using an accessor of the wrong type class, is a programming error
+// (the accessors perform no per-call checks, that is the point).
 package tuple
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -49,17 +77,34 @@ type Attribute struct {
 	Type Type   `json:"type"`
 }
 
-// Schema is an ordered set of uniquely named attributes. Schemas are
-// immutable after construction and safe to share between goroutines.
+// zeroTimeNanos is the nums-slot sentinel for the zero time.Time, which
+// has no meaningful unix-nano representation.
+const zeroTimeNanos = math.MinInt64
+
+// Schema is an ordered set of uniquely named attributes. Construction
+// compiles each attribute to a slot offset in the tuple's typed storage
+// (see the package comment), so per-tuple access never re-derives layout.
+// Schemas are immutable after construction and safe to share between
+// goroutines.
 type Schema struct {
 	attrs []Attribute
 	index map[string]int
+	slot  []int // per attribute: offset into nums or strs
+	nNums int
+	nStrs int
+	// tsSlots lists the nums offsets holding timestamps, so New can plant
+	// the zero-time sentinel without rescanning the attribute list.
+	tsSlots []int
 }
 
 // NewSchema builds a schema from the given attributes. Attribute names must
 // be unique, non-empty, and every type must be valid.
 func NewSchema(attrs ...Attribute) (*Schema, error) {
-	s := &Schema{attrs: append([]Attribute(nil), attrs...), index: make(map[string]int, len(attrs))}
+	s := &Schema{
+		attrs: append([]Attribute(nil), attrs...),
+		index: make(map[string]int, len(attrs)),
+		slot:  make([]int, len(attrs)),
+	}
 	for i, a := range s.attrs {
 		if a.Name == "" {
 			return nil, fmt.Errorf("tuple: attribute %d has an empty name", i)
@@ -71,6 +116,17 @@ func NewSchema(attrs ...Attribute) (*Schema, error) {
 			return nil, fmt.Errorf("tuple: duplicate attribute name %q", a.Name)
 		}
 		s.index[a.Name] = i
+		switch a.Type {
+		case String:
+			s.slot[i] = s.nStrs
+			s.nStrs++
+		default: // Int, Float, Bool, Timestamp
+			s.slot[i] = s.nNums
+			if a.Type == Timestamp {
+				s.tsSlots = append(s.tsSlots, s.nNums)
+			}
+			s.nNums++
+		}
 	}
 	return s, nil
 }
@@ -138,32 +194,162 @@ func (s *Schema) Names() []string {
 	return names
 }
 
-// Tuple is a single data item conforming to a schema. The zero Tuple is
-// invalid; construct with New. Tuples are not safe for concurrent
-// mutation; Clone before sharing.
+// FieldRef is a compiled reference to one attribute of one schema: the
+// result of resolving an attribute name (and checking its type) once at
+// setup time. Its accessors index straight into the tuple's typed storage
+// with no name lookup and no per-call type check — see the package comment
+// for the resolution contract. The zero FieldRef is invalid.
+type FieldRef struct {
+	slot int
+	typ  Type
+}
+
+// Ref resolves the named attribute to a FieldRef carrying its type, or an
+// error when the schema has no such attribute.
+func (s *Schema) Ref(name string) (FieldRef, error) {
+	i := s.Index(name)
+	if i < 0 {
+		return FieldRef{}, fmt.Errorf("tuple: no attribute %q in %s", name, s)
+	}
+	return FieldRef{slot: s.slot[i], typ: s.attrs[i].Type}, nil
+}
+
+// TypedRef resolves the named attribute and verifies it has the wanted
+// type, so the ref's unchecked accessors of that type class are safe.
+func (s *Schema) TypedRef(name string, want Type) (FieldRef, error) {
+	i := s.Index(name)
+	if i < 0 {
+		return FieldRef{}, fmt.Errorf("tuple: no attribute %q in %s", name, s)
+	}
+	if got := s.attrs[i].Type; got != want {
+		return FieldRef{}, fmt.Errorf("tuple: attribute %q is %s, not %s", name, got, want)
+	}
+	return FieldRef{slot: s.slot[i], typ: want}, nil
+}
+
+// MustRef is Ref that panics on error; for statically known attributes.
+func (s *Schema) MustRef(name string) FieldRef {
+	r, err := s.Ref(name)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Valid reports whether the ref was resolved (the zero FieldRef is not).
+func (r FieldRef) Valid() bool { return r.typ.valid() }
+
+// Type returns the referenced attribute's type.
+func (r FieldRef) Type() Type { return r.typ }
+
+// Int reads the referenced int64 attribute.
+func (r FieldRef) Int(t Tuple) int64 { return t.nums[r.slot] }
+
+// Float reads the referenced float64 attribute.
+func (r FieldRef) Float(t Tuple) float64 { return math.Float64frombits(uint64(t.nums[r.slot])) }
+
+// Str reads the referenced string attribute.
+func (r FieldRef) Str(t Tuple) string { return t.strs[r.slot] }
+
+// Bool reads the referenced bool attribute.
+func (r FieldRef) Bool(t Tuple) bool { return t.nums[r.slot] != 0 }
+
+// Time reads the referenced timestamp attribute.
+func (r FieldRef) Time(t Tuple) time.Time { return timeFromNanos(t.nums[r.slot]) }
+
+// SetInt stores an int64 through the ref.
+func (r FieldRef) SetInt(t Tuple, v int64) { t.nums[r.slot] = v }
+
+// SetFloat stores a float64 through the ref.
+func (r FieldRef) SetFloat(t Tuple, v float64) { t.nums[r.slot] = int64(math.Float64bits(v)) }
+
+// SetStr stores a string through the ref.
+func (r FieldRef) SetStr(t Tuple, v string) { t.strs[r.slot] = v }
+
+// SetBool stores a bool through the ref.
+func (r FieldRef) SetBool(t Tuple, v bool) {
+	if v {
+		t.nums[r.slot] = 1
+	} else {
+		t.nums[r.slot] = 0
+	}
+}
+
+// SetTime stores a timestamp through the ref.
+func (r FieldRef) SetTime(t Tuple, v time.Time) { t.nums[r.slot] = nanosFromTime(v) }
+
+func timeFromNanos(n int64) time.Time {
+	if n == zeroTimeNanos {
+		return time.Time{}
+	}
+	return time.Unix(0, n).UTC()
+}
+
+func nanosFromTime(v time.Time) int64 {
+	if v.IsZero() {
+		return zeroTimeNanos
+	}
+	return v.UnixNano()
+}
+
+// Tuple is a single data item conforming to a schema, stored unboxed in
+// two typed arrays (see the package comment). The zero Tuple is invalid;
+// construct with New. Tuples are not safe for concurrent mutation; Clone
+// before sharing. Tuples decoded from a transport frame share one backing
+// allocation per frame (NewBlock); retaining one pins its frame, so
+// long-lived holders should Clone.
 type Tuple struct {
 	schema *Schema
-	vals   []any
+	nums   []int64
+	strs   []string
 }
 
 // New returns a zero-valued tuple of the given schema.
 func New(s *Schema) Tuple {
-	vals := make([]any, s.NumAttrs())
-	for i := range vals {
-		switch s.Attr(i).Type {
-		case Int:
-			vals[i] = int64(0)
-		case Float:
-			vals[i] = float64(0)
-		case String:
-			vals[i] = ""
-		case Bool:
-			vals[i] = false
-		case Timestamp:
-			vals[i] = time.Time{}
+	t := Tuple{schema: s}
+	if s.nNums > 0 {
+		t.nums = make([]int64, s.nNums)
+		for _, k := range s.tsSlots {
+			t.nums[k] = zeroTimeNanos
 		}
 	}
-	return Tuple{schema: s, vals: vals}
+	if s.nStrs > 0 {
+		t.strs = make([]string, s.nStrs)
+	}
+	return t
+}
+
+// NewBlock returns count zero-valued tuples of the schema sharing one
+// backing allocation per typed array — the frame arena the transport
+// decodes batches into, so per-tuple storage costs amortise to near zero.
+// The tuples are independent (non-overlapping slots) but all pin the same
+// blocks for the garbage collector.
+func NewBlock(s *Schema, count int) []Tuple {
+	if count <= 0 {
+		return nil
+	}
+	ts := make([]Tuple, count)
+	var nums []int64
+	if s.nNums > 0 {
+		nums = make([]int64, count*s.nNums)
+	}
+	var strs []string
+	if s.nStrs > 0 {
+		strs = make([]string, count*s.nStrs)
+	}
+	for i := range ts {
+		ts[i].schema = s
+		if s.nNums > 0 {
+			ts[i].nums = nums[i*s.nNums : (i+1)*s.nNums : (i+1)*s.nNums]
+			for _, k := range s.tsSlots {
+				ts[i].nums[k] = zeroTimeNanos
+			}
+		}
+		if s.nStrs > 0 {
+			ts[i].strs = strs[i*s.nStrs : (i+1)*s.nStrs : (i+1)*s.nStrs]
+		}
+	}
+	return ts
 }
 
 // Schema returns the tuple's schema.
@@ -174,100 +360,152 @@ func (t Tuple) Valid() bool { return t.schema != nil }
 
 // Clone returns an independent copy of the tuple.
 func (t Tuple) Clone() Tuple {
-	vals := make([]any, len(t.vals))
-	copy(vals, t.vals)
-	return Tuple{schema: t.schema, vals: vals}
+	out := Tuple{schema: t.schema}
+	if len(t.nums) > 0 {
+		out.nums = append(make([]int64, 0, len(t.nums)), t.nums...)
+	}
+	if len(t.strs) > 0 {
+		out.strs = append(make([]string, 0, len(t.strs)), t.strs...)
+	}
+	return out
 }
 
-func (t Tuple) slot(name string, want Type) (int, error) {
+// slotOf resolves a name to its storage slot, enforcing the wanted type;
+// the error-reporting core of the name-based compatibility layer.
+func (t Tuple) slotOf(name string, want Type) (int, error) {
 	i := t.schema.Index(name)
 	if i < 0 {
 		return -1, fmt.Errorf("tuple: no attribute %q in %s", name, t.schema)
 	}
-	if got := t.schema.Attr(i).Type; got != want {
+	if got := t.schema.attrs[i].Type; got != want {
 		return -1, fmt.Errorf("tuple: attribute %q is %s, not %s", name, got, want)
 	}
-	return i, nil
+	return t.schema.slot[i], nil
 }
+
+// Index-based accessors: i is the attribute index in schema order, mapped
+// through the schema's compiled slot table. The caller is responsible for
+// matching the accessor to Attr(i).Type (no per-call type check); note
+// that IntAt on a Timestamp attribute reads the raw unix-nanos.
+
+// IntAt reads the i-th attribute as int64.
+func (t Tuple) IntAt(i int) int64 { return t.nums[t.schema.slot[i]] }
+
+// FloatAt reads the i-th attribute as float64.
+func (t Tuple) FloatAt(i int) float64 { return math.Float64frombits(uint64(t.nums[t.schema.slot[i]])) }
+
+// StringAt reads the i-th attribute as string.
+func (t Tuple) StringAt(i int) string { return t.strs[t.schema.slot[i]] }
+
+// BoolAt reads the i-th attribute as bool.
+func (t Tuple) BoolAt(i int) bool { return t.nums[t.schema.slot[i]] != 0 }
+
+// TimeAt reads the i-th attribute as a timestamp.
+func (t Tuple) TimeAt(i int) time.Time { return timeFromNanos(t.nums[t.schema.slot[i]]) }
+
+// SetIntAt stores an int64 into the i-th attribute.
+func (t Tuple) SetIntAt(i int, v int64) { t.nums[t.schema.slot[i]] = v }
+
+// SetFloatAt stores a float64 into the i-th attribute.
+func (t Tuple) SetFloatAt(i int, v float64) { t.nums[t.schema.slot[i]] = int64(math.Float64bits(v)) }
+
+// SetStringAt stores a string into the i-th attribute.
+func (t Tuple) SetStringAt(i int, v string) { t.strs[t.schema.slot[i]] = v }
+
+// SetBoolAt stores a bool into the i-th attribute.
+func (t Tuple) SetBoolAt(i int, v bool) {
+	if v {
+		t.nums[t.schema.slot[i]] = 1
+	} else {
+		t.nums[t.schema.slot[i]] = 0
+	}
+}
+
+// SetTimeAt stores a timestamp into the i-th attribute.
+func (t Tuple) SetTimeAt(i int, v time.Time) { t.nums[t.schema.slot[i]] = nanosFromTime(v) }
 
 // SetInt stores an int64 attribute.
 func (t Tuple) SetInt(name string, v int64) error {
-	i, err := t.slot(name, Int)
+	k, err := t.slotOf(name, Int)
 	if err != nil {
 		return err
 	}
-	t.vals[i] = v
+	t.nums[k] = v
 	return nil
 }
 
 // SetFloat stores a float64 attribute.
 func (t Tuple) SetFloat(name string, v float64) error {
-	i, err := t.slot(name, Float)
+	k, err := t.slotOf(name, Float)
 	if err != nil {
 		return err
 	}
-	t.vals[i] = v
+	t.nums[k] = int64(math.Float64bits(v))
 	return nil
 }
 
 // SetString stores a string attribute.
 func (t Tuple) SetString(name, v string) error {
-	i, err := t.slot(name, String)
+	k, err := t.slotOf(name, String)
 	if err != nil {
 		return err
 	}
-	t.vals[i] = v
+	t.strs[k] = v
 	return nil
 }
 
 // SetBool stores a bool attribute.
 func (t Tuple) SetBool(name string, v bool) error {
-	i, err := t.slot(name, Bool)
+	k, err := t.slotOf(name, Bool)
 	if err != nil {
 		return err
 	}
-	t.vals[i] = v
+	if v {
+		t.nums[k] = 1
+	} else {
+		t.nums[k] = 0
+	}
 	return nil
 }
 
 // SetTime stores a timestamp attribute.
 func (t Tuple) SetTime(name string, v time.Time) error {
-	i, err := t.slot(name, Timestamp)
+	k, err := t.slotOf(name, Timestamp)
 	if err != nil {
 		return err
 	}
-	t.vals[i] = v
+	t.nums[k] = nanosFromTime(v)
 	return nil
 }
 
 // Int reads an int64 attribute, returning 0 if missing or mistyped.
 func (t Tuple) Int(name string) int64 {
-	if i, err := t.slot(name, Int); err == nil {
-		return t.vals[i].(int64)
+	if k, err := t.slotOf(name, Int); err == nil {
+		return t.nums[k]
 	}
 	return 0
 }
 
 // Float reads a float64 attribute, returning 0 if missing or mistyped.
 func (t Tuple) Float(name string) float64 {
-	if i, err := t.slot(name, Float); err == nil {
-		return t.vals[i].(float64)
+	if k, err := t.slotOf(name, Float); err == nil {
+		return math.Float64frombits(uint64(t.nums[k]))
 	}
 	return 0
 }
 
 // String reads a string attribute, returning "" if missing or mistyped.
 func (t Tuple) String(name string) string {
-	if i, err := t.slot(name, String); err == nil {
-		return t.vals[i].(string)
+	if k, err := t.slotOf(name, String); err == nil {
+		return t.strs[k]
 	}
 	return ""
 }
 
 // Bool reads a bool attribute, returning false if missing or mistyped.
 func (t Tuple) Bool(name string) bool {
-	if i, err := t.slot(name, Bool); err == nil {
-		return t.vals[i].(bool)
+	if k, err := t.slotOf(name, Bool); err == nil {
+		return t.nums[k] != 0
 	}
 	return false
 }
@@ -275,8 +513,8 @@ func (t Tuple) Bool(name string) bool {
 // Time reads a timestamp attribute, returning the zero time if missing or
 // mistyped.
 func (t Tuple) Time(name string) time.Time {
-	if i, err := t.slot(name, Timestamp); err == nil {
-		return t.vals[i].(time.Time)
+	if k, err := t.slotOf(name, Timestamp); err == nil {
+		return timeFromNanos(t.nums[k])
 	}
 	return time.Time{}
 }
@@ -288,18 +526,21 @@ func (t Tuple) Format() string {
 	}
 	var b strings.Builder
 	b.WriteByte('{')
-	for i := range t.vals {
+	for i, a := range t.schema.attrs {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		a := t.schema.Attr(i)
 		switch a.Type {
+		case Int:
+			fmt.Fprintf(&b, "%s=%d", a.Name, t.IntAt(i))
+		case Float:
+			fmt.Fprintf(&b, "%s=%v", a.Name, t.FloatAt(i))
 		case String:
-			fmt.Fprintf(&b, "%s=%q", a.Name, t.vals[i])
+			fmt.Fprintf(&b, "%s=%q", a.Name, t.StringAt(i))
+		case Bool:
+			fmt.Fprintf(&b, "%s=%v", a.Name, t.BoolAt(i))
 		case Timestamp:
-			fmt.Fprintf(&b, "%s=%s", a.Name, t.vals[i].(time.Time).UTC().Format(time.RFC3339Nano))
-		default:
-			fmt.Fprintf(&b, "%s=%v", a.Name, t.vals[i])
+			fmt.Fprintf(&b, "%s=%s", a.Name, t.TimeAt(i).UTC().Format(time.RFC3339Nano))
 		}
 	}
 	b.WriteByte('}')

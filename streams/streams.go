@@ -64,14 +64,20 @@ func NewApp(name string) *AppBuilder { return compiler.NewApp(name) }
 
 // Data model.
 type (
-	// Schema is an ordered set of typed attributes.
+	// Schema is an ordered set of typed attributes, compiled at
+	// construction to a columnar slot layout.
 	Schema = tuple.Schema
 	// Attribute is one named, typed slot.
 	Attribute = tuple.Attribute
-	// Tuple is one data item.
+	// Tuple is one data item, stored unboxed in typed arrays.
 	Tuple = tuple.Tuple
 	// Type enumerates attribute types.
 	Type = tuple.Type
+	// FieldRef is a compiled attribute reference: resolve once at operator
+	// setup (Schema.Ref / Schema.TypedRef / Schema.MustRef), then access
+	// tuples with no per-tuple name lookup. See the tuple package comment
+	// for the resolution contract.
+	FieldRef = tuple.FieldRef
 )
 
 // Attribute types.
