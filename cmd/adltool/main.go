@@ -1,6 +1,8 @@
-// Command adltool inspects ADL artifacts: it can emit the packaged
-// use-case applications as ADL JSON, validate an ADL file, and answer
-// the containment/partition queries the ORCA service offers at runtime.
+// Command adltool inspects ADL artifacts and the operator model: it can
+// emit the packaged use-case applications as ADL JSON, validate an ADL
+// file, answer the containment/partition queries the ORCA service
+// offers at runtime, and dump the operator-model catalog the compiler
+// validates applications against.
 //
 // Usage:
 //
@@ -8,6 +10,7 @@
 //	go run ./cmd/adltool validate sentiment.adl.json
 //	go run ./cmd/adltool query sentiment.adl.json -op analysis.causes
 //	go run ./cmd/adltool pemap sentiment.adl.json
+//	go run ./cmd/adltool catalog [-kind Beacon]
 package main
 
 import (
@@ -15,9 +18,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
 	"streamorca/internal/adl"
 	"streamorca/internal/apps"
+	"streamorca/internal/opapi"
+
+	// Register the embedded-adaptation baseline kinds so the catalog
+	// covers every operator the repository ships.
+	_ "streamorca/internal/baseline"
 )
 
 func main() {
@@ -33,14 +43,92 @@ func main() {
 		query(os.Args[2:])
 	case "pemap":
 		pemap(os.Args[2:])
+	case "catalog":
+		catalog(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: adltool emit|validate|query|pemap ...")
+	fmt.Fprintln(os.Stderr, "usage: adltool emit|validate|query|pemap|catalog ...")
 	os.Exit(2)
+}
+
+// catalog prints the registered operator models: every kind's ports and
+// declared parameters, or one kind in detail with -kind.
+func catalog(args []string) {
+	fs := flag.NewFlagSet("catalog", flag.ExitOnError)
+	kind := fs.String("kind", "", "print only this operator kind")
+	_ = fs.Parse(args)
+	kinds := opapi.Default.Kinds()
+	if *kind != "" {
+		if !opapi.Default.Registered(*kind) {
+			log.Fatalf("unknown operator kind %q", *kind)
+		}
+		kinds = []string{*kind}
+	}
+	for i, k := range kinds {
+		if i > 0 {
+			fmt.Println()
+		}
+		printModel(k, opapi.Default.Model(k))
+	}
+}
+
+func printModel(kind string, m *opapi.OpModel) {
+	if m == nil {
+		fmt.Printf("operator %s (no declared model)\n", kind)
+		return
+	}
+	fmt.Printf("operator %s — %s\n", kind, m.Doc)
+	fmt.Printf("  inputs:  %s%s\n", m.Inputs, attrList(m.Inputs))
+	fmt.Printf("  outputs: %s%s\n", m.Outputs, attrList(m.Outputs))
+	if len(m.Params) == 0 {
+		fmt.Println("  params:  none")
+		return
+	}
+	fmt.Println("  params:")
+	for _, p := range m.Params {
+		var notes []string
+		if p.Required {
+			notes = append(notes, "required")
+		} else if p.Default != "" {
+			notes = append(notes, "default "+p.Default)
+		}
+		if len(p.Enum) > 0 {
+			notes = append(notes, "one of "+strings.Join(p.Enum, "|"))
+		}
+		bound := func(v float64) string {
+			if p.Type == opapi.ParamDuration {
+				// Duration bounds are stored in seconds; show units.
+				return time.Duration(v * float64(time.Second)).String()
+			}
+			return fmt.Sprintf("%g", v)
+		}
+		if p.Min != nil {
+			notes = append(notes, "min "+bound(*p.Min))
+		}
+		if p.Max != nil {
+			notes = append(notes, "max "+bound(*p.Max))
+		}
+		note := ""
+		if len(notes) > 0 {
+			note = " (" + strings.Join(notes, ", ") + ")"
+		}
+		fmt.Printf("    %-14s %-9s%s — %s\n", p.Name, p.Type, note, p.Doc)
+	}
+}
+
+func attrList(ps opapi.PortSpec) string {
+	if len(ps.Attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(ps.Attrs))
+	for i, a := range ps.Attrs {
+		parts[i] = fmt.Sprintf("%s %s", a.Type, a.Name)
+	}
+	return " requiring <" + strings.Join(parts, ", ") + ">"
 }
 
 func emit(args []string) {

@@ -27,6 +27,22 @@
 // allocation-free for fixed-width schemas. See internal/tuple and
 // internal/transport for the layout and framing contracts.
 //
+// # Operator model
+//
+// Operator kinds register declarative descriptors (opapi.OpModel) —
+// typed parameter specs with required/default/range/enum constraints,
+// and port specs with arity and schema requirements — mirroring SPL's
+// operator model (§2.1). The compiler validates every application
+// against the registered descriptors at Build: unknown kinds,
+// missing/mistyped/out-of-range parameters, port-arity violations, and
+// connections between disagreeing schemas all accumulate into one
+// operator-qualified error before SAM ever places a PE. Operators bind
+// their configuration at Open through error-reporting accessors
+// (Params.BindInt, BindEnum, Binder), so malformed values that slip
+// past compile-time checks (e.g. substituted at submission time) fail
+// loudly instead of silently falling back to defaults. `adltool
+// catalog` dumps the full registered catalog.
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for the
 // paper-vs-measured record. The root-level benchmarks (bench_test.go)

@@ -1,7 +1,9 @@
 // Command quickstart is the smallest end-to-end orchestrator program:
-// it boots a two-host platform, submits a tiny pipeline, writes an ORCA
-// policy inline that restarts crashed PEs, injects a failure, and shows
-// the policy healing the application.
+// it boots a two-host platform, submits a tiny pipeline with a custom
+// operator (registered with a declarative descriptor, so the builder
+// validates its configuration at Build time), writes an ORCA policy
+// inline that restarts crashed PEs, injects a failure, and shows the
+// policy healing the application.
 package main
 
 import (
@@ -12,6 +14,46 @@ import (
 	"streamorca/orca"
 	"streamorca/streams"
 )
+
+// scaleOp is a custom operator: it adds "delta" to the "seq" attribute.
+// Its descriptor below declares the parameter and port shapes, so a
+// misconfigured application fails at Build, not at runtime.
+type scaleOp struct {
+	streams.OperatorBase
+	ctx   streams.OpContext
+	delta int64
+	seq   streams.FieldRef
+}
+
+func init() {
+	streams.RegisterOperatorModel("QuickScale", func() streams.Operator { return &scaleOp{} },
+		&streams.OpModel{
+			Doc:     "adds delta to the seq attribute",
+			Inputs:  streams.ExactlyPorts(1),
+			Outputs: streams.ExactlyPorts(1),
+			Params: []streams.ParamSpec{
+				{Name: "delta", Type: streams.ParamInt, Default: "1", Min: streams.Bound(0), Doc: "amount added to seq"},
+			},
+		})
+}
+
+func (o *scaleOp) Open(ctx streams.OpContext) error {
+	o.ctx = ctx
+	// Error-reporting bind: a malformed delta fails Open instead of
+	// silently running with the default.
+	delta, err := ctx.Params().BindInt("delta", 1)
+	if err != nil {
+		return err
+	}
+	o.delta = delta
+	o.seq, err = ctx.OutputSchema(0).TypedRef("seq", streams.Int)
+	return err
+}
+
+func (o *scaleOp) Process(port int, t streams.Tuple) error {
+	o.seq.SetInt(t, o.seq.Int(t)+o.delta)
+	return o.ctx.Submit(0, t)
+}
 
 // restartPolicy is a complete ORCA logic: subscribe to PE failures of the
 // managed application and restart whatever crashes.
@@ -49,15 +91,34 @@ func main() {
 	}
 	defer inst.Close()
 
-	// Build the application: an unbounded beacon feeding a collecting
-	// sink, one PE per operator so the failure hits a single stage.
+	// The operator model catches misconfiguration at Build time: an
+	// unknown kind, a mistyped parameter, and a bad port index all
+	// surface in one accumulated, operator-qualified error.
+	bad := streams.NewApp("broken")
+	badSrc := bad.AddOperator("src", "Beacn").Out( // typo'd kind
+		streams.MustSchema(streams.Attribute{Name: "seq", Type: streams.Int}))
+	badScale := bad.AddOperator("scale", "QuickScale").
+		In(streams.MustSchema(streams.Attribute{Name: "seq", Type: streams.Int})).
+		Out(streams.MustSchema(streams.Attribute{Name: "seq", Type: streams.Int})).
+		Param("delta", "ten") // not an int64
+	bad.Connect(badSrc, 2, badScale, 0) // no output port 2
+	if _, err := bad.Build(streams.BuildOptions{}); err != nil {
+		fmt.Printf("build-time validation caught the broken app:\n  %v\n\n", err)
+	}
+
+	// Build the real application: an unbounded beacon feeding the custom
+	// scaler and a collecting sink, one PE per operator so the failure
+	// hits a single stage.
 	schema := streams.MustSchema(streams.Attribute{Name: "seq", Type: streams.Int})
 	b := streams.NewApp("hello")
 	src := b.AddOperator("src", "Beacon").Out(schema).
 		Param("count", "0").Param("period", "1ms")
+	scale := b.AddOperator("scale", "QuickScale").In(schema).Out(schema).
+		Param("delta", "10")
 	sink := b.AddOperator("sink", "CollectSink").In(schema).
 		Param("collectorId", "quickstart")
-	b.Connect(src, 0, sink, 0)
+	b.Connect(src, 0, scale, 0)
+	b.Connect(scale, 0, sink, 0)
 	app, err := b.Build(streams.BuildOptions{Fusion: streams.FuseNone})
 	if err != nil {
 		log.Fatal(err)

@@ -6,6 +6,7 @@ import (
 
 	"streamorca/internal/extjob"
 	"streamorca/internal/ids"
+	"streamorca/internal/opapi"
 	"streamorca/internal/ops"
 	"streamorca/internal/platform"
 	"streamorca/internal/sam"
@@ -216,5 +217,19 @@ func TestC3AppRejectsBadAttribute(t *testing.T) {
 		Params: map[string]string{"collector": "x"},
 	}); err == nil {
 		t.Fatal("submission with unresolved attribute succeeded")
+	}
+}
+
+// TestAppKindsDeclareModels pins the descriptor contract: every
+// application operator kind registers an operator model, so the
+// compiler validates app pipelines at Build time.
+func TestAppKindsDeclareModels(t *testing.T) {
+	for _, kind := range []string{
+		KindTweetSource, KindSentiment, KindCauseMatcher, KindTickSource,
+		KindProfileSource, KindProfileEnrich, KindSegmentSource,
+	} {
+		if opapi.Default.Model(kind) == nil {
+			t.Errorf("kind %s registered without an operator model", kind)
+		}
 	}
 }

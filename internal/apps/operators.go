@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"streamorca/internal/extjob"
 	"streamorca/internal/opapi"
@@ -22,13 +23,112 @@ const (
 )
 
 func init() {
-	opapi.Default.Register(KindTweetSource, func() opapi.Operator { return &tweetSource{} })
-	opapi.Default.Register(KindSentiment, func() opapi.Operator { return &sentimentClassifier{} })
-	opapi.Default.Register(KindCauseMatcher, func() opapi.Operator { return &causeMatcher{} })
-	opapi.Default.Register(KindTickSource, func() opapi.Operator { return &tickSource{} })
-	opapi.Default.Register(KindProfileSource, func() opapi.Operator { return &profileSource{} })
-	opapi.Default.Register(KindProfileEnrich, func() opapi.Operator { return &profileEnricher{} })
-	opapi.Default.Register(KindSegmentSource, func() opapi.Operator { return &segmentSource{} })
+	opapi.Default.RegisterOp(KindTweetSource, func() opapi.Operator { return &tweetSource{} }, &opapi.OpModel{
+		Doc: "emits synthetic tweets from the workload generator",
+		Outputs: opapi.ExactlyPorts(1).WithAttrs(
+			tuple.Attribute{Name: "user", Type: tuple.String},
+			tuple.Attribute{Name: "text", Type: tuple.String},
+			tuple.Attribute{Name: "product", Type: tuple.String},
+			tuple.Attribute{Name: "negative", Type: tuple.Bool},
+		),
+		Params: []opapi.ParamSpec{
+			{Name: "product", Type: opapi.ParamString, Default: "phone", Doc: "product the tweets mention"},
+			{Name: "seed", Type: opapi.ParamInt, Default: "1", Doc: "generator seed"},
+			{Name: "count", Type: opapi.ParamInt, Default: "0", Min: opapi.Bound(0), Doc: "tweets to emit; 0 = unbounded"},
+			{Name: "period", Type: opapi.ParamDuration, Default: "0", Min: opapi.Bound(0), Doc: "inter-tweet delay"},
+			{Name: "negRatio", Type: opapi.ParamFloat, Default: "0.8", Min: opapi.Bound(0), Max: opapi.Bound(1), Doc: "fraction of negative tweets"},
+			{Name: "causes", Type: opapi.ParamString, Doc: "csv cause vocabulary before the shift"},
+			{Name: "shiftAt", Type: opapi.ParamInt, Default: "0", Min: opapi.Bound(0), Doc: "tweet index where the cause mix changes"},
+			{Name: "causesAfter", Type: opapi.ParamString, Doc: "csv cause vocabulary after the shift"},
+		},
+	})
+	opapi.Default.RegisterOp(KindSentiment, func() opapi.Operator { return &sentimentClassifier{} }, &opapi.OpModel{
+		Doc: "derives sentiment from tweet text",
+		Inputs: opapi.ExactlyPorts(1).WithAttrs(
+			tuple.Attribute{Name: "text", Type: tuple.String},
+			tuple.Attribute{Name: "negative", Type: tuple.Bool},
+		),
+		Outputs: opapi.ExactlyPorts(1),
+	})
+	opapi.Default.RegisterOp(KindCauseMatcher, func() opapi.Operator { return &causeMatcher{} }, &opapi.OpModel{
+		Doc: "correlates negative tweets with the known-cause model",
+		Inputs: opapi.ExactlyPorts(1).WithAttrs(
+			tuple.Attribute{Name: "negative", Type: tuple.Bool},
+			tuple.Attribute{Name: "text", Type: tuple.String},
+			tuple.Attribute{Name: "user", Type: tuple.String},
+		),
+		Outputs: opapi.ExactlyPorts(1).WithAttrs(
+			tuple.Attribute{Name: "user", Type: tuple.String},
+			tuple.Attribute{Name: "cause", Type: tuple.String},
+			tuple.Attribute{Name: "known", Type: tuple.Bool},
+		),
+		Params: []opapi.ParamSpec{
+			{Name: "modelId", Type: opapi.ParamString, Required: true, Doc: "shared cause model id"},
+			{Name: "storeId", Type: opapi.ParamString, Required: true, Doc: "shared negative-tweet corpus id"},
+			{Name: "recentWindow", Type: opapi.ParamInt, Default: "200", Min: opapi.Bound(0), Doc: "sliding window of recent matches"},
+		},
+	})
+	opapi.Default.RegisterOp(KindTickSource, func() opapi.Operator { return &tickSource{} }, &opapi.OpModel{
+		Doc: "emits synthetic stock trades",
+		Outputs: opapi.ExactlyPorts(1).WithAttrs(
+			tuple.Attribute{Name: "sym", Type: tuple.String},
+			tuple.Attribute{Name: "price", Type: tuple.Float},
+			tuple.Attribute{Name: "seq", Type: tuple.Int},
+		),
+		Params: []opapi.ParamSpec{
+			{Name: "symbols", Type: opapi.ParamString, Doc: "csv stock symbols"},
+			{Name: "seed", Type: opapi.ParamInt, Default: "1", Doc: "generator seed"},
+			{Name: "count", Type: opapi.ParamInt, Default: "0", Min: opapi.Bound(0), Doc: "ticks to emit; 0 = unbounded"},
+			{Name: "period", Type: opapi.ParamDuration, Default: "0", Min: opapi.Bound(0), Doc: "inter-tick delay"},
+			{Name: "start", Type: opapi.ParamFloat, Default: "100", Doc: "starting price"},
+			{Name: "step", Type: opapi.ParamFloat, Default: "1", Doc: "random-walk step size"},
+		},
+	})
+	opapi.Default.RegisterOp(KindProfileSource, func() opapi.Operator { return &profileSource{} }, &opapi.OpModel{
+		Doc:     "emits synthetic social-media profiles",
+		Outputs: opapi.ExactlyPorts(1).WithAttrs(profileAttrs()...),
+		Params: []opapi.ParamSpec{
+			{Name: "source", Type: opapi.ParamString, Default: "twitter", Doc: "social-media site name"},
+			{Name: "seed", Type: opapi.ParamInt, Default: "1", Doc: "generator seed"},
+			{Name: "count", Type: opapi.ParamInt, Default: "0", Min: opapi.Bound(0), Doc: "profiles to emit; 0 = unbounded"},
+			{Name: "period", Type: opapi.ParamDuration, Default: "0", Min: opapi.Bound(0), Doc: "inter-profile delay"},
+			{Name: "pAge", Type: opapi.ParamFloat, Default: "0.5", Min: opapi.Bound(0), Max: opapi.Bound(1), Doc: "probability a profile carries an age"},
+			{Name: "pGen", Type: opapi.ParamFloat, Default: "0.5", Min: opapi.Bound(0), Max: opapi.Bound(1), Doc: "probability a profile carries a gender"},
+			{Name: "pLoc", Type: opapi.ParamFloat, Default: "0.5", Min: opapi.Bound(0), Max: opapi.Bound(1), Doc: "probability a profile carries a location"},
+		},
+	})
+	opapi.Default.RegisterOp(KindProfileEnrich, func() opapi.Operator { return &profileEnricher{} }, &opapi.OpModel{
+		Doc:    "enriches profiles into the shared data store with per-attribute metrics",
+		Inputs: opapi.ExactlyPorts(1).WithAttrs(profileAttrs()...),
+		Params: []opapi.ParamSpec{
+			{Name: "storeId", Type: opapi.ParamString, Required: true, Doc: "shared profile store id"},
+		},
+	})
+	opapi.Default.RegisterOp(KindSegmentSource, func() opapi.Operator { return &segmentSource{} }, &opapi.OpModel{
+		Doc: "correlates stored profiles with sentiment for one attribute, then finishes",
+		Outputs: opapi.ExactlyPorts(1).WithAttrs(
+			tuple.Attribute{Name: "attribute", Type: tuple.String},
+			tuple.Attribute{Name: "group", Type: tuple.String},
+			tuple.Attribute{Name: "count", Type: tuple.Int},
+		),
+		Params: []opapi.ParamSpec{
+			{Name: "storeId", Type: opapi.ParamString, Required: true, Doc: "shared profile store id"},
+			{Name: "attribute", Type: opapi.ParamEnum, Required: true, Enum: []string{"age", "gender", "location"}, Doc: "profile attribute to segment by"},
+		},
+	})
+}
+
+// profileAttrs is the attribute contract shared by the profile source's
+// output and the enricher's input.
+func profileAttrs() []tuple.Attribute {
+	return []tuple.Attribute{
+		{Name: "user", Type: tuple.String},
+		{Name: "source", Type: tuple.String},
+		{Name: "negative", Type: tuple.Bool},
+		{Name: "hasAge", Type: tuple.Bool},
+		{Name: "hasGen", Type: tuple.Bool},
+		{Name: "hasLoc", Type: tuple.Bool},
+	}
 }
 
 // Stream schemas of the use-case applications.
@@ -87,17 +187,25 @@ type tweetSource struct {
 	opapi.Base
 	ctx                      opapi.Context
 	gen                      *workload.TweetGen
+	count                    int64
+	period                   time.Duration
 	user, text, product, neg tuple.FieldRef
 }
 
 func (s *tweetSource) Open(ctx opapi.Context) error {
 	s.ctx = ctx
 	p := ctx.Params()
+	bound := p.Bind()
 	cfg := workload.TweetConfig{
-		Seed:          p.Int("seed", 1),
-		Product:       p.Get("product", "phone"),
-		NegativeRatio: p.Float("negRatio", 0.8),
-		ShiftAt:       int(p.Int("shiftAt", 0)),
+		Seed:          bound.Int("seed", 1),
+		Product:       bound.Str("product", "phone"),
+		NegativeRatio: bound.Float("negRatio", 0.8),
+		ShiftAt:       int(bound.Int("shiftAt", 0)),
+	}
+	s.count = bound.Int("count", 0)
+	s.period = bound.Duration("period", 0)
+	if err := bound.Err(); err != nil {
+		return fmt.Errorf("TweetSource %s: %w", ctx.Name(), err)
 	}
 	if v := p.Get("causes", ""); v != "" {
 		cfg.Causes = strings.Split(v, ",")
@@ -124,9 +232,7 @@ func (s *tweetSource) Open(ctx opapi.Context) error {
 }
 
 func (s *tweetSource) Run(stop <-chan struct{}) error {
-	p := s.ctx.Params()
-	count := p.Int("count", 0)
-	period := p.Duration("period", 0)
+	count, period := s.count, s.period
 	schema := s.ctx.OutputSchema(0)
 	for i := int64(0); count == 0 || i < count; i++ {
 		select {
@@ -210,12 +316,15 @@ func (m *causeMatcher) Open(ctx opapi.Context) error {
 	}
 	m.model = extjob.GetModel(modelID)
 	m.store = extjob.GetStore(storeID)
-	m.window = int(p.Int("recentWindow", 200))
+	window, err := p.BindInt("recentWindow", 200)
+	if err != nil {
+		return fmt.Errorf("CauseMatcher %s: %w", ctx.Name(), err)
+	}
+	m.window = int(window)
 	if m.window <= 0 {
 		m.window = 200
 	}
 	in, out := ctx.InputSchema(0), ctx.OutputSchema(0)
-	var err error
 	if m.inNeg, err = in.TypedRef("negative", tuple.Bool); err != nil {
 		return fmt.Errorf("CauseMatcher %s: %w", ctx.Name(), err)
 	}
@@ -278,16 +387,24 @@ type tickSource struct {
 	opapi.Base
 	ctx             opapi.Context
 	gen             *workload.TickGen
+	count           int64
+	period          time.Duration
 	sym, price, seq tuple.FieldRef
 }
 
 func (s *tickSource) Open(ctx opapi.Context) error {
 	s.ctx = ctx
 	p := ctx.Params()
+	bound := p.Bind()
 	cfg := workload.TickConfig{
-		Seed:  p.Int("seed", 1),
-		Start: p.Float("start", 100),
-		Step:  p.Float("step", 1),
+		Seed:  bound.Int("seed", 1),
+		Start: bound.Float("start", 100),
+		Step:  bound.Float("step", 1),
+	}
+	s.count = bound.Int("count", 0)
+	s.period = bound.Duration("period", 0)
+	if err := bound.Err(); err != nil {
+		return fmt.Errorf("TickSource %s: %w", ctx.Name(), err)
 	}
 	if v := p.Get("symbols", ""); v != "" {
 		cfg.Symbols = strings.Split(v, ",")
@@ -308,9 +425,7 @@ func (s *tickSource) Open(ctx opapi.Context) error {
 }
 
 func (s *tickSource) Run(stop <-chan struct{}) error {
-	p := s.ctx.Params()
-	count := p.Int("count", 0)
-	period := p.Duration("period", 0)
+	count, period := s.count, s.period
 	schema := s.ctx.OutputSchema(0)
 	for i := int64(0); count == 0 || i < count; i++ {
 		select {
@@ -342,20 +457,27 @@ type profileSource struct {
 	opapi.Base
 	ctx                   opapi.Context
 	gen                   *workload.ProfileGen
+	count                 int64
+	period                time.Duration
 	user, source          tuple.FieldRef
 	neg, hAge, hGen, hLoc tuple.FieldRef
 }
 
 func (s *profileSource) Open(ctx opapi.Context) error {
 	s.ctx = ctx
-	p := ctx.Params()
+	bound := ctx.Params().Bind()
 	s.gen = workload.NewProfileGen(workload.ProfileConfig{
-		Seed:      p.Int("seed", 1),
-		Source:    p.Get("source", "twitter"),
-		PAge:      p.Float("pAge", 0.5),
-		PGender:   p.Float("pGen", 0.5),
-		PLocation: p.Float("pLoc", 0.5),
+		Seed:      bound.Int("seed", 1),
+		Source:    bound.Str("source", "twitter"),
+		PAge:      bound.Float("pAge", 0.5),
+		PGender:   bound.Float("pGen", 0.5),
+		PLocation: bound.Float("pLoc", 0.5),
 	})
+	s.count = bound.Int("count", 0)
+	s.period = bound.Duration("period", 0)
+	if err := bound.Err(); err != nil {
+		return fmt.Errorf("ProfileSource %s: %w", ctx.Name(), err)
+	}
 	out := ctx.OutputSchema(0)
 	var err error
 	if s.user, err = out.TypedRef("user", tuple.String); err != nil {
@@ -380,9 +502,7 @@ func (s *profileSource) Open(ctx opapi.Context) error {
 }
 
 func (s *profileSource) Run(stop <-chan struct{}) error {
-	p := s.ctx.Params()
-	count := p.Int("count", 0)
-	period := p.Duration("period", 0)
+	count, period := s.count, s.period
 	schema := s.ctx.OutputSchema(0)
 	for i := int64(0); count == 0 || i < count; i++ {
 		select {
@@ -490,15 +610,14 @@ func (s *segmentSource) Open(ctx opapi.Context) error {
 	s.ctx = ctx
 	p := ctx.Params()
 	id := p.Get("storeId", "")
-	s.attr = p.Get("attribute", "")
 	if id == "" {
 		return fmt.Errorf("SegmentSource %s: storeId required", ctx.Name())
 	}
-	switch s.attr {
-	case "age", "gender", "location":
-	default:
-		return fmt.Errorf("SegmentSource %s: attribute must be age|gender|location, got %q", ctx.Name(), s.attr)
+	attr, err := p.BindEnum("attribute", "", "age", "gender", "location")
+	if err != nil || attr == "" {
+		return fmt.Errorf("SegmentSource %s: attribute must be age|gender|location, got %q", ctx.Name(), p.Get("attribute", ""))
 	}
+	s.attr = attr
 	s.store = GetProfileStore(id)
 	return nil
 }

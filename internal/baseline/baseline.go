@@ -29,8 +29,27 @@ const (
 )
 
 func init() {
-	opapi.Default.Register(KindThresholdDetector, func() opapi.Operator { return &thresholdDetector{} })
-	opapi.Default.Register(KindJobTrigger, func() opapi.Operator { return &jobTrigger{} })
+	opapi.Default.RegisterOp(KindThresholdDetector, func() opapi.Operator { return &thresholdDetector{} }, &opapi.OpModel{
+		Doc:     "emits a trigger tuple when the unknown/known cause ratio crosses a threshold",
+		Inputs:  opapi.ExactlyPorts(1).WithAttrs(tuple.Attribute{Name: "known", Type: tuple.Bool}),
+		Outputs: opapi.ExactlyPorts(1),
+		Params: []opapi.ParamSpec{
+			{Name: "threshold", Type: opapi.ParamFloat, Default: "1.0", Doc: "ratio that fires the trigger"},
+			{Name: "window", Type: opapi.ParamInt, Default: "200", Min: opapi.Bound(1), Doc: "sliding window of recent matches, in tuples"},
+		},
+	})
+	opapi.Default.RegisterOp(KindJobTrigger, func() opapi.Operator { return &jobTrigger{} }, &opapi.OpModel{
+		Doc:    "invokes the external batch job on a trigger tuple, with suppression",
+		Inputs: opapi.ExactlyPorts(1),
+		Params: []opapi.ParamSpec{
+			{Name: "runnerId", Type: opapi.ParamString, Required: true, Doc: "shared batch-job runner id"},
+			{Name: "modelId", Type: opapi.ParamString, Required: true, Doc: "shared cause model id"},
+			{Name: "storeId", Type: opapi.ParamString, Required: true, Doc: "shared corpus id"},
+			{Name: "minSupport", Type: opapi.ParamInt, Default: "10", Doc: "minimum corpus occurrences to enter the model"},
+			{Name: "suppression", Type: opapi.ParamDuration, Default: "10m", Min: opapi.Bound(0), Doc: "interval during which repeat triggers are dropped"},
+			{Name: "jobLatency", Type: opapi.ParamDuration, Default: "20ms", Min: opapi.Bound(0), Doc: "simulated batch-job duration"},
+		},
+	})
 }
 
 // TriggerSchema is the stream between the detector (op8) and the
@@ -58,8 +77,12 @@ type thresholdDetector struct {
 
 func (d *thresholdDetector) Open(ctx opapi.Context) error {
 	d.ctx = ctx
-	d.threshold = ctx.Params().Float("threshold", 1.0)
-	d.window = int(ctx.Params().Int("window", 200))
+	cfg := ctx.Params().Bind()
+	d.threshold = cfg.Float("threshold", 1.0)
+	d.window = int(cfg.Int("window", 200))
+	if err := cfg.Err(); err != nil {
+		return fmt.Errorf("ThresholdDetector %s: %w", ctx.Name(), err)
+	}
 	if d.window <= 0 {
 		return fmt.Errorf("ThresholdDetector %s: window must be positive", ctx.Name())
 	}
@@ -121,11 +144,16 @@ func (j *jobTrigger) Open(ctx opapi.Context) error {
 	if runnerID == "" || modelID == "" || storeID == "" {
 		return fmt.Errorf("JobTrigger %s: runnerId, modelId and storeId required", ctx.Name())
 	}
-	j.runner = GetRunner(runnerID, ctx.Clock(), p.Duration("jobLatency", 20*time.Millisecond))
+	cfg := p.Bind()
+	latency := cfg.Duration("jobLatency", 20*time.Millisecond)
+	j.minSupport = int(cfg.Int("minSupport", 10))
+	j.suppression = cfg.Duration("suppression", 10*time.Minute)
+	if err := cfg.Err(); err != nil {
+		return fmt.Errorf("JobTrigger %s: %w", ctx.Name(), err)
+	}
+	j.runner = GetRunner(runnerID, ctx.Clock(), latency)
 	j.model = extjob.GetModel(modelID)
 	j.store = extjob.GetStore(storeID)
-	j.minSupport = int(p.Int("minSupport", 10))
-	j.suppression = p.Duration("suppression", 10*time.Minute)
 	return nil
 }
 

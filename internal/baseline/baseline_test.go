@@ -158,3 +158,13 @@ func TestThresholdDetectorRearms(t *testing.T) {
 		t.Fatalf("triggers after re-crossing = %d", ctx.triggers)
 	}
 }
+
+// TestBaselineKindsDeclareModels pins the descriptor contract for the
+// embedded-adaptation kinds.
+func TestBaselineKindsDeclareModels(t *testing.T) {
+	for _, kind := range []string{KindThresholdDetector, KindJobTrigger} {
+		if opapi.Default.Model(kind) == nil {
+			t.Errorf("kind %s registered without an operator model", kind)
+		}
+	}
+}

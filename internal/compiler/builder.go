@@ -222,13 +222,26 @@ const (
 type Options struct {
 	Fusion    FusionMode
 	TargetPEs int // only for FuseAuto; <=0 means one PE per colocation group
+	// Registry resolves operator kinds for build-time validation
+	// against each kind's operator model; nil means opapi.Default.
+	Registry *opapi.Registry
 }
 
-// Build assembles, partitions, and validates the ADL.
+// Build assembles, partitions, and validates the ADL. Validation runs
+// every operator against its registered operator model (unknown kinds,
+// missing/mistyped/out-of-range parameters, port-arity and schema
+// constraints) and every connection against the declared port schemas;
+// all violations accumulate and surface in one error.
 func (b *AppBuilder) Build(opts Options) (*adl.Application, error) {
 	if len(b.stack) != 0 {
 		b.errs = append(b.errs, fmt.Errorf("compiler: %d unclosed composites", len(b.stack)))
 	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = opapi.Default
+	}
+	b.validateOperators(reg)
+	b.validateEndpoints()
 	if len(b.errs) > 0 {
 		return nil, joinErrors(b.errs)
 	}
@@ -261,6 +274,85 @@ func (b *AppBuilder) Build(opts Options) (*adl.Application, error) {
 	return app, nil
 }
 
+// validateOperators checks every declared operator against the
+// registry: the kind must be registered, and kinds carrying an operator
+// model are validated for parameter and port conformance. Violations
+// accumulate with operator-qualified messages.
+func (b *AppBuilder) validateOperators(reg *opapi.Registry) {
+	for _, h := range b.ops {
+		if h.name == "" || h.kind == "" {
+			continue // already reported by AddOperator
+		}
+		if !reg.Registered(h.kind) {
+			b.errs = append(b.errs, fmt.Errorf("compiler: operator %q: unknown operator kind %q", h.name, h.kind))
+			continue
+		}
+		model := reg.Model(h.kind)
+		if model == nil {
+			continue // registered without a descriptor: unvalidated
+		}
+		for _, err := range model.Validate(h.params, h.inputs, h.outputs) {
+			b.errs = append(b.errs, fmt.Errorf("compiler: operator %q (kind %s): %w", h.name, h.kind, err))
+		}
+	}
+}
+
+// validateEndpoints checks every connection, export, and import against
+// the declared port schema lists: port indexes must fall inside the
+// endpoint's schema list and the two ends of a connection must carry
+// identical schemas — instead of deferring the mismatch to a runtime
+// wiring panic.
+func (b *AppBuilder) validateEndpoints() {
+	outPort := func(op string, port int) (*tuple.Schema, error) {
+		h := b.byName[op]
+		if h == nil {
+			return nil, nil // unreported only for handles AddOperator rejected
+		}
+		if port < 0 || port >= len(h.outputs) {
+			return nil, fmt.Errorf("%q declares %d output port(s), no port %d", op, len(h.outputs), port)
+		}
+		return h.outputs[port], nil
+	}
+	inPort := func(op string, port int) (*tuple.Schema, error) {
+		h := b.byName[op]
+		if h == nil {
+			return nil, nil
+		}
+		if port < 0 || port >= len(h.inputs) {
+			return nil, fmt.Errorf("%q declares %d input port(s), no port %d", op, len(h.inputs), port)
+		}
+		return h.inputs[port], nil
+	}
+	for _, c := range b.conns {
+		from, errFrom := outPort(c.FromOp, c.FromPort)
+		to, errTo := inPort(c.ToOp, c.ToPort)
+		bad := false
+		for _, err := range []error{errFrom, errTo} {
+			if err != nil {
+				b.errs = append(b.errs, fmt.Errorf("compiler: connect %s:%d -> %s:%d: %w", c.FromOp, c.FromPort, c.ToOp, c.ToPort, err))
+				bad = true
+			}
+		}
+		if bad || b.byName[c.FromOp] == nil || b.byName[c.ToOp] == nil {
+			continue
+		}
+		if !from.Equal(to) {
+			b.errs = append(b.errs, fmt.Errorf("compiler: connect %s:%d -> %s:%d: schema mismatch (%s vs %s)",
+				c.FromOp, c.FromPort, c.ToOp, c.ToPort, from, to))
+		}
+	}
+	for _, e := range b.exports {
+		if _, err := outPort(e.Operator, e.Port); err != nil {
+			b.errs = append(b.errs, fmt.Errorf("compiler: export from %s:%d: %w", e.Operator, e.Port, err))
+		}
+	}
+	for _, im := range b.imports {
+		if _, err := inPort(im.Operator, im.Port); err != nil {
+			b.errs = append(b.errs, fmt.Errorf("compiler: import into %s:%d: %w", im.Operator, im.Port, err))
+		}
+	}
+}
+
 func schemaAttrs(s *tuple.Schema) []tuple.Attribute {
 	if s == nil {
 		return nil
@@ -275,7 +367,9 @@ func schemaAttrs(s *tuple.Schema) []tuple.Attribute {
 func joinErrors(errs []error) error {
 	msgs := make([]string, len(errs))
 	for i, e := range errs {
-		msgs[i] = e.Error()
+		// Each accumulated error carries its own "compiler:" prefix;
+		// keep just one on the joined message.
+		msgs[i] = strings.TrimPrefix(e.Error(), "compiler: ")
 	}
 	return fmt.Errorf("compiler: %s", strings.Join(msgs, "; "))
 }

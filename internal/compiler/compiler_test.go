@@ -6,6 +6,10 @@ import (
 
 	"streamorca/internal/adl"
 	"streamorca/internal/tuple"
+
+	// Register the built-in operator kinds these programs use, so Build's
+	// operator-model validation resolves them.
+	_ "streamorca/internal/ops"
 )
 
 var intSchema = tuple.MustSchema(tuple.Attribute{Name: "v", Type: tuple.Int})
@@ -32,8 +36,8 @@ func buildFigure2(t *testing.T, opts Options) *adl.Application {
 	}
 	in1, out1 := splitMerge("c1")
 	in2, out2 := splitMerge("c2")
-	sink1 := b.AddOperator("op7", "Sink").In(intSchema)
-	sink2 := b.AddOperator("op8", "Sink").In(intSchema)
+	sink1 := b.AddOperator("op7", "CountSink").In(intSchema)
+	sink2 := b.AddOperator("op8", "CountSink").In(intSchema)
 	b.Connect(op1, 0, in1, 0)
 	b.Connect(op2, 0, in2, 0)
 	b.Connect(out1, 0, sink1, 0)
@@ -101,7 +105,7 @@ func TestColocationFusesAcrossComposites(t *testing.T) {
 	b.Composite("comp", "c2", func() {
 		f2 = b.AddOperator("f", "Functor").In(intSchema).Out(intSchema).Colocate("shared")
 	})
-	sink := b.AddOperator("sink", "Sink").In(intSchema)
+	sink := b.AddOperator("sink", "CountSink").In(intSchema)
 	b.Connect(src, 0, f1, 0)
 	b.Connect(f1, 0, f2, 0)
 	b.Connect(f2, 0, sink, 0)
@@ -121,7 +125,7 @@ func TestIsolateGetsOwnPEUnderFuseAll(t *testing.T) {
 	b := NewApp("X")
 	src := b.AddOperator("src", "Beacon").Out(intSchema)
 	iso := b.AddOperator("iso", "Functor").In(intSchema).Out(intSchema).Isolate()
-	sink := b.AddOperator("sink", "Sink").In(intSchema)
+	sink := b.AddOperator("sink", "CountSink").In(intSchema)
 	b.Connect(src, 0, iso, 0)
 	b.Connect(iso, 0, sink, 0)
 	app, err := b.Build(Options{Fusion: FuseAll})
@@ -170,7 +174,7 @@ func TestPoolPropagationAndConflict(t *testing.T) {
 	b := NewApp("X")
 	b.HostPool(adl.HostPool{Name: "fast", Hosts: []string{"h1"}})
 	a := b.AddOperator("a", "Beacon").Out(intSchema).Colocate("g").Pool("fast")
-	c := b.AddOperator("c", "Sink").In(intSchema).Colocate("g")
+	c := b.AddOperator("c", "CountSink").In(intSchema).Colocate("g")
 	b.Connect(a, 0, c, 0)
 	app, err := b.Build(Options{})
 	if err != nil {
@@ -184,7 +188,7 @@ func TestPoolPropagationAndConflict(t *testing.T) {
 	b2.HostPool(adl.HostPool{Name: "p1"})
 	b2.HostPool(adl.HostPool{Name: "p2"})
 	x := b2.AddOperator("x", "Beacon").Out(intSchema).Colocate("g").Pool("p1")
-	y := b2.AddOperator("y", "Sink").In(intSchema).Colocate("g").Pool("p2")
+	y := b2.AddOperator("y", "CountSink").In(intSchema).Colocate("g").Pool("p2")
 	b2.Connect(x, 0, y, 0)
 	if _, err := b2.Build(Options{}); err == nil || !strings.Contains(err.Error(), "conflicting pools") {
 		t.Fatalf("err = %v", err)
@@ -206,7 +210,7 @@ func TestIsolateHostFlag(t *testing.T) {
 func TestExportImportPropagation(t *testing.T) {
 	b := NewApp("X")
 	src := b.AddOperator("src", "Beacon").Out(intSchema)
-	sink := b.AddOperator("sink", "Sink").In(intSchema)
+	sink := b.AddOperator("sink", "CountSink").In(intSchema)
 	b.Export(src, 0, "stream1", map[string]string{"k": "v"})
 	b.Import(sink, 0, "stream1", nil)
 	app, err := b.Build(Options{})

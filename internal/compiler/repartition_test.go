@@ -13,7 +13,7 @@ func repartitionFixture(t *testing.T) *adl.Application {
 	b.HostPool(adl.HostPool{Name: "p1"})
 	a := b.AddOperator("a", "Beacon").Out(intSchema).Pool("p1")
 	c := b.AddOperator("c", "Functor").In(intSchema).Out(intSchema)
-	d := b.AddOperator("d", "Sink").In(intSchema)
+	d := b.AddOperator("d", "CountSink").In(intSchema)
 	b.Connect(a, 0, c, 0)
 	b.Connect(c, 0, d, 0)
 	app, err := b.Build(Options{Fusion: FuseNone})

@@ -1,0 +1,269 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"streamorca/internal/opapi"
+	"streamorca/internal/tuple"
+)
+
+var floatSchema = tuple.MustSchema(tuple.Attribute{Name: "x", Type: tuple.Float})
+
+// testRegistry builds a private registry exercising every descriptor
+// feature: required params, ranges, enums, fixed and variadic arities,
+// and port schema constraints.
+func testRegistry() *opapi.Registry {
+	reg := opapi.NewRegistry()
+	noop := func() opapi.Operator { return &struct{ opapi.Base }{} }
+	reg.RegisterOp("Src", noop, &opapi.OpModel{
+		Outputs: opapi.ExactlyPorts(1),
+		Params: []opapi.ParamSpec{
+			{Name: "count", Type: opapi.ParamInt, Min: opapi.Bound(0), Max: opapi.Bound(1000)},
+			{Name: "period", Type: opapi.ParamDuration, Min: opapi.Bound(0)},
+		},
+	})
+	reg.RegisterOp("Xform", noop, &opapi.OpModel{
+		Inputs:  opapi.ExactlyPorts(1),
+		Outputs: opapi.ExactlyPorts(1),
+		Params: []opapi.ParamSpec{
+			{Name: "mode", Type: opapi.ParamEnum, Enum: []string{"fast", "slow"}},
+			{Name: "rate", Type: opapi.ParamFloat, Required: true},
+			{Name: "strict", Type: opapi.ParamBool},
+		},
+	})
+	reg.RegisterOp("Fan", noop, &opapi.OpModel{
+		Inputs:  opapi.ExactlyPorts(1),
+		Outputs: opapi.AtLeastPorts(2),
+	})
+	reg.RegisterOp("Snk", noop, &opapi.OpModel{
+		Inputs: opapi.ExactlyPorts(1).WithAttrs(tuple.Attribute{Name: "v", Type: tuple.Int}),
+	})
+	reg.Register("Opaque", noop) // no model: resolvable but unvalidated
+	return reg
+}
+
+func TestBuildValidatesAgainstOperatorModel(t *testing.T) {
+	reg := testRegistry()
+	cases := []struct {
+		name    string
+		program func(b *AppBuilder)
+		want    []string // substrings of the accumulated error; empty = build must succeed
+	}{
+		{
+			name: "valid program",
+			program: func(b *AppBuilder) {
+				src := b.AddOperator("src", "Src").Out(intSchema).Param("count", "10")
+				mid := b.AddOperator("mid", "Xform").In(intSchema).Out(intSchema).
+					Param("rate", "1.5").Param("mode", "fast").Param("strict", "true")
+				snk := b.AddOperator("snk", "Snk").In(intSchema)
+				b.Connect(src, 0, mid, 0)
+				b.Connect(mid, 0, snk, 0)
+			},
+		},
+		{
+			name: "unknown kind",
+			program: func(b *AppBuilder) {
+				b.AddOperator("src", "Sorce").Out(intSchema)
+			},
+			want: []string{`operator "src": unknown operator kind "Sorce"`},
+		},
+		{
+			name: "mistyped param values",
+			program: func(b *AppBuilder) {
+				b.AddOperator("src", "Src").Out(intSchema).
+					Param("count", "ten").Param("period", "fast")
+			},
+			want: []string{
+				`operator "src" (kind Src): param "count": invalid int64 value "ten"`,
+				`param "period": invalid duration value "fast"`,
+			},
+		},
+		{
+			name: "out-of-range param",
+			program: func(b *AppBuilder) {
+				b.AddOperator("src", "Src").Out(intSchema).Param("count", "5000")
+			},
+			want: []string{`param "count": value 5000 above maximum 1000`},
+		},
+		{
+			name: "missing required param",
+			program: func(b *AppBuilder) {
+				x := b.AddOperator("x", "Xform").In(intSchema).Out(intSchema)
+				src := b.AddOperator("src", "Src").Out(intSchema)
+				b.Connect(src, 0, x, 0)
+			},
+			want: []string{`operator "x" (kind Xform): required param "rate" (float64) missing`},
+		},
+		{
+			name: "unknown param name",
+			program: func(b *AppBuilder) {
+				b.AddOperator("src", "Src").Out(intSchema).Param("speed", "3")
+			},
+			want: []string{`unknown param "speed" (kind Src accepts: count, period)`},
+		},
+		{
+			name: "enum violation",
+			program: func(b *AppBuilder) {
+				b.AddOperator("x", "Xform").In(intSchema).Out(intSchema).
+					Param("rate", "1").Param("mode", "turbo")
+			},
+			want: []string{`param "mode": value "turbo" not in {fast, slow}`},
+		},
+		{
+			name: "template values defer to submission time",
+			program: func(b *AppBuilder) {
+				src := b.AddOperator("src", "Src").Out(intSchema).Param("count", "{{n}}")
+				snk := b.AddOperator("snk", "Snk").In(intSchema)
+				b.Connect(src, 0, snk, 0)
+			},
+		},
+		{
+			name: "input arity violation",
+			program: func(b *AppBuilder) {
+				b.AddOperator("x", "Xform").In(intSchema, intSchema).Out(intSchema).Param("rate", "1")
+			},
+			want: []string{`operator "x" (kind Xform): declares 2 input port(s), want exactly 1`},
+		},
+		{
+			name: "variadic minimum violation",
+			program: func(b *AppBuilder) {
+				b.AddOperator("f", "Fan").In(intSchema).Out(intSchema)
+			},
+			want: []string{`operator "f" (kind Fan): declares 1 output port(s), want at least 2`},
+		},
+		{
+			name: "port schema constraint violation",
+			program: func(b *AppBuilder) {
+				b.AddOperator("snk", "Snk").In(floatSchema)
+			},
+			want: []string{`operator "snk" (kind Snk): input port 0 schema <float64 x> lacks attribute "v" (int64)`},
+		},
+		{
+			name: "connect port index out of range",
+			program: func(b *AppBuilder) {
+				src := b.AddOperator("src", "Src").Out(intSchema)
+				snk := b.AddOperator("snk", "Snk").In(intSchema)
+				b.Connect(src, 1, snk, 0)
+				b.Connect(src, 0, snk, -1)
+			},
+			want: []string{
+				`connect src:1 -> snk:0: "src" declares 1 output port(s), no port 1`,
+				`connect src:0 -> snk:-1: "snk" declares 1 input port(s), no port -1`,
+			},
+		},
+		{
+			name: "connect schema mismatch",
+			program: func(b *AppBuilder) {
+				src := b.AddOperator("src", "Src").Out(floatSchema)
+				snk := b.AddOperator("snk", "Opaque").In(intSchema)
+				b.Connect(src, 0, snk, 0)
+			},
+			want: []string{`connect src:0 -> snk:0: schema mismatch (<float64 x> vs <int64 v>)`},
+		},
+		{
+			name: "export and import port out of range",
+			program: func(b *AppBuilder) {
+				src := b.AddOperator("src", "Src").Out(intSchema)
+				snk := b.AddOperator("snk", "Snk").In(intSchema)
+				b.Connect(src, 0, snk, 0)
+				b.Export(src, 3, "s1", nil)
+				b.Import(snk, 2, "s1", nil)
+			},
+			want: []string{
+				`export from src:3: "src" declares 1 output port(s), no port 3`,
+				`import into snk:2: "snk" declares 1 input port(s), no port 2`,
+			},
+		},
+		{
+			name: "modelless kind skips param validation",
+			program: func(b *AppBuilder) {
+				src := b.AddOperator("src", "Src").Out(intSchema)
+				snk := b.AddOperator("snk", "Opaque").In(intSchema).Param("whatever", "x")
+				b.Connect(src, 0, snk, 0)
+			},
+		},
+		{
+			name: "violations accumulate across operators",
+			program: func(b *AppBuilder) {
+				b.AddOperator("a", "Mystery").Out(intSchema)
+				b.AddOperator("b", "Src").Out(intSchema).Param("count", "no")
+				b.AddOperator("c", "Xform").In(intSchema).Out(intSchema)
+			},
+			want: []string{
+				`operator "a": unknown operator kind "Mystery"`,
+				`operator "b" (kind Src): param "count": invalid int64 value "no"`,
+				`operator "c" (kind Xform): required param "rate" (float64) missing`,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewApp("V")
+			tc.program(b)
+			_, err := b.Build(Options{Registry: reg})
+			if len(tc.want) == 0 {
+				if err != nil {
+					t.Fatalf("Build failed: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("Build succeeded, want validation errors")
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error missing %q\ngot: %v", want, err)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildValidatesDefaultRegistry exercises validation against the
+// process-wide registry the built-in library registers into (Options
+// with a nil Registry).
+func TestBuildValidatesDefaultRegistry(t *testing.T) {
+	b := NewApp("D")
+	b.AddOperator("src", "Beacon").Out(intSchema).Param("count", "ten")
+	b.AddOperator("agg", "Aggregate").In(intSchema).Out(intSchema).
+		Param("window", "-5s").Param("valueAttr", "v").Param("windowSize", "3")
+	_, err := b.Build(Options{})
+	if err == nil {
+		t.Fatal("Build succeeded, want validation errors")
+	}
+	for _, want := range []string{
+		`operator "src" (kind Beacon): param "count": invalid int64 value "ten"`,
+		`param "window": value -5s below minimum`,
+		`unknown param "windowSize"`,
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q\ngot: %v", want, err)
+		}
+	}
+}
+
+// TestBuildErrorMessageFormat pins the accumulated multi-error shape:
+// one "compiler:" prefix, semicolon-separated, operator-qualified.
+func TestBuildErrorMessageFormat(t *testing.T) {
+	b := NewApp("F")
+	b.AddOperator("a", "Nope").Out(intSchema)
+	b.AddOperator("b", "Beacon").Out(intSchema).Param("count", "x")
+	_, err := b.Build(Options{})
+	if err == nil {
+		t.Fatal("Build succeeded")
+	}
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "compiler: ") {
+		t.Errorf("missing compiler prefix: %q", msg)
+	}
+	if strings.Contains(msg, "compiler: compiler:") {
+		t.Errorf("doubled prefix: %q", msg)
+	}
+	if got := strings.Count(msg, "; "); got != 1 {
+		t.Errorf("want 2 semicolon-separated errors, got separator count %d: %q", got, msg)
+	}
+	if strings.Index(msg, `operator "a"`) > strings.Index(msg, `operator "b"`) {
+		t.Errorf("errors not in declaration order: %q", msg)
+	}
+}

@@ -28,13 +28,23 @@ type E2Config struct {
 
 // DefaultE2 returns the scaled-down default configuration: a 600 ms
 // window over 1 ms ticks — the same 600-sample window as the paper.
+// Under the race detector the instrumented source cannot sustain 1 ms
+// ticks, so the window and tick period stretch together (the window
+// still holds the same ~600 samples).
 func DefaultE2() E2Config {
-	return E2Config{
+	cfg := E2Config{
 		Window:      600 * time.Millisecond,
 		TickPeriod:  time.Millisecond,
 		Sample:      25 * time.Millisecond,
 		MaxDuration: 30 * time.Second,
 	}
+	if raceEnabled {
+		cfg.Window *= 4
+		cfg.TickPeriod *= 4
+		cfg.Sample *= 4
+		cfg.MaxDuration *= 2
+	}
+	return cfg
 }
 
 // E2Sample is one row of the Figure 9 series: the replicas' latest

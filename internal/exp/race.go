@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether the race detector is compiled in; the
+// real-time experiment defaults stretch their periods under it, since
+// instrumented code cannot sustain the normal tick rates.
+const raceEnabled = true

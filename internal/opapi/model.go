@@ -1,0 +1,368 @@
+package opapi
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"streamorca/internal/tuple"
+)
+
+// This file defines the declarative operator model — the platform's
+// analogue of SPL's operator model (§2.1 of the paper): a typed
+// description of an operator kind's parameters and ports that the
+// compiler validates applications against at Build time, so
+// misconfigured graphs fail before SAM ever places a PE.
+
+// ParamType enumerates the value types a declared parameter can take.
+type ParamType uint8
+
+// Declared parameter types. ParamEnum values must be members of the
+// spec's Enum list.
+const (
+	ParamString ParamType = iota + 1
+	ParamInt
+	ParamFloat
+	ParamBool
+	ParamDuration
+	ParamEnum
+)
+
+// String returns the catalog name of the parameter type.
+func (t ParamType) String() string {
+	switch t {
+	case ParamString:
+		return "string"
+	case ParamInt:
+		return "int64"
+	case ParamFloat:
+		return "float64"
+	case ParamBool:
+		return "boolean"
+	case ParamDuration:
+		return "duration"
+	case ParamEnum:
+		return "enum"
+	default:
+		return fmt.Sprintf("ParamType(%d)", uint8(t))
+	}
+}
+
+func (t ParamType) valid() bool { return t >= ParamString && t <= ParamEnum }
+
+// Bound wraps a numeric range endpoint for ParamSpec.Min/Max literals.
+func Bound(v float64) *float64 { return &v }
+
+// ParamSpec declares one configuration parameter of an operator kind.
+type ParamSpec struct {
+	// Name is the parameter key.
+	Name string
+	// Type is the declared value type.
+	Type ParamType
+	// Required marks parameters that must be present (and non-empty).
+	Required bool
+	// Default documents the value the operator assumes when the
+	// parameter is absent. It is catalog information; operators still
+	// apply their defaults at Open.
+	Default string
+	// Enum lists the allowed values for ParamEnum parameters.
+	Enum []string
+	// Min and Max, when set, bound numeric values inclusively: the
+	// parsed value for ParamInt/ParamFloat, seconds for ParamDuration.
+	Min, Max *float64
+	// Doc is a one-line description shown in the catalog.
+	Doc string
+}
+
+// Check validates a present parameter value against the spec. Values
+// containing a submission-time template reference ("{{key}}") are not
+// checkable until substitution and pass unchecked; empty values are
+// treated as absent by the binding accessors and pass too.
+func (s *ParamSpec) Check(value string) error {
+	if value == "" || strings.Contains(value, "{{") {
+		return nil
+	}
+	switch s.Type {
+	case ParamString:
+		return nil
+	case ParamInt:
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("param %q: invalid int64 value %q", s.Name, value)
+		}
+		return s.checkRange(float64(n), value)
+	case ParamFloat:
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("param %q: invalid float64 value %q", s.Name, value)
+		}
+		return s.checkRange(f, value)
+	case ParamBool:
+		if _, err := strconv.ParseBool(value); err != nil {
+			return fmt.Errorf("param %q: invalid boolean value %q", s.Name, value)
+		}
+		return nil
+	case ParamDuration:
+		d, err := time.ParseDuration(value)
+		if err != nil {
+			return fmt.Errorf("param %q: invalid duration value %q", s.Name, value)
+		}
+		// Report duration bounds with units, not bare seconds.
+		if s.Min != nil && d.Seconds() < *s.Min {
+			return fmt.Errorf("param %q: value %s below minimum %v", s.Name, value, secondsToDuration(*s.Min))
+		}
+		if s.Max != nil && d.Seconds() > *s.Max {
+			return fmt.Errorf("param %q: value %s above maximum %v", s.Name, value, secondsToDuration(*s.Max))
+		}
+		return nil
+	case ParamEnum:
+		for _, allowed := range s.Enum {
+			if value == allowed {
+				return nil
+			}
+		}
+		return fmt.Errorf("param %q: value %q not in {%s}", s.Name, value, strings.Join(s.Enum, ", "))
+	default:
+		return fmt.Errorf("param %q: invalid declared type %v", s.Name, s.Type)
+	}
+}
+
+// secondsToDuration renders a duration bound (stored in seconds) with
+// units for messages and catalogs.
+func secondsToDuration(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func (s *ParamSpec) checkRange(v float64, raw string) error {
+	if s.Min != nil && v < *s.Min {
+		return fmt.Errorf("param %q: value %s below minimum %v", s.Name, raw, *s.Min)
+	}
+	if s.Max != nil && v > *s.Max {
+		return fmt.Errorf("param %q: value %s above maximum %v", s.Name, raw, *s.Max)
+	}
+	return nil
+}
+
+// PortSpec declares the arity of one side (inputs or outputs) of an
+// operator kind, plus optional schema constraints. The zero value
+// declares "no ports" (a source's input side, a sink's output side).
+type PortSpec struct {
+	// Min and Max bound the number of ports; Max < 0 means unbounded
+	// (variadic).
+	Min, Max int
+	// Attrs lists attributes every port's schema on this side must
+	// declare, with matching types.
+	Attrs []tuple.Attribute
+}
+
+// ExactlyPorts declares a fixed arity of n ports.
+func ExactlyPorts(n int) PortSpec { return PortSpec{Min: n, Max: n} }
+
+// AtLeastPorts declares a variadic arity of n or more ports.
+func AtLeastPorts(n int) PortSpec { return PortSpec{Min: n, Max: -1} }
+
+// WithAttrs returns a copy of the spec requiring the given attributes
+// on every port schema of this side.
+func (ps PortSpec) WithAttrs(attrs ...tuple.Attribute) PortSpec {
+	ps.Attrs = attrs
+	return ps
+}
+
+// String renders the arity for catalogs and error messages: "none",
+// "exactly 2", "at least 1", "between 1 and 3".
+func (ps PortSpec) String() string {
+	switch {
+	case ps.Min == 0 && ps.Max == 0:
+		return "none"
+	case ps.Max < 0 && ps.Min <= 0:
+		return "any number"
+	case ps.Max < 0:
+		return fmt.Sprintf("at least %d", ps.Min)
+	case ps.Min == ps.Max:
+		return fmt.Sprintf("exactly %d", ps.Min)
+	default:
+		return fmt.Sprintf("between %d and %d", ps.Min, ps.Max)
+	}
+}
+
+// CheckArity validates a declared port count against the spec.
+func (ps PortSpec) CheckArity(side string, n int) error {
+	if n < ps.Min || (ps.Max >= 0 && n > ps.Max) {
+		return fmt.Errorf("declares %d %s port(s), want %s", n, side, ps)
+	}
+	return nil
+}
+
+// CheckSchema validates one port's schema against the side's attribute
+// constraints.
+func (ps PortSpec) CheckSchema(side string, port int, s *tuple.Schema) error {
+	if len(ps.Attrs) == 0 {
+		return nil
+	}
+	if s == nil {
+		return fmt.Errorf("%s port %d has no schema, want attributes %v", side, port, ps.Attrs)
+	}
+	for _, want := range ps.Attrs {
+		i := s.Index(want.Name)
+		if i < 0 {
+			return fmt.Errorf("%s port %d schema %s lacks attribute %q (%s)", side, port, s, want.Name, want.Type)
+		}
+		if got := s.Attr(i).Type; got != want.Type {
+			return fmt.Errorf("%s port %d attribute %q is %s, want %s", side, port, want.Name, got, want.Type)
+		}
+	}
+	return nil
+}
+
+// OpModel is the declarative descriptor of one operator kind: its
+// parameters and port shapes. Kinds registered with a model are
+// validated by compiler.Build; kinds registered without one (plain
+// Register) are resolvable but unvalidated.
+//
+// Models are registered once at init time and must not be mutated
+// afterwards.
+type OpModel struct {
+	// Kind is the operator kind name; filled in by the registry at
+	// registration when left empty.
+	Kind string
+	// Doc is a one-line description for the catalog.
+	Doc string
+	// Params declares the accepted configuration parameters.
+	// Parameters not declared here are rejected at Build.
+	Params []ParamSpec
+	// Inputs and Outputs declare the port shapes.
+	Inputs, Outputs PortSpec
+}
+
+// ParamSpec returns the declared spec for name, or nil.
+func (m *OpModel) ParamSpec(name string) *ParamSpec {
+	for i := range m.Params {
+		if m.Params[i].Name == name {
+			return &m.Params[i]
+		}
+	}
+	return nil
+}
+
+// paramNames returns the declared parameter names, sorted, for error
+// messages.
+func (m *OpModel) paramNames() string {
+	if len(m.Params) == 0 {
+		return "(none)"
+	}
+	names := make([]string, len(m.Params))
+	for i, s := range m.Params {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// ValidateParams checks a parameter map against the declared specs:
+// required parameters must be present and non-empty, present keys must
+// be declared, and present values must parse, fall in range, and (for
+// enums) be members. Template values ("{{key}}") defer to submission
+// time. All violations are returned, not just the first.
+func (m *OpModel) ValidateParams(p Params) []error {
+	var errs []error
+	for i := range m.Params {
+		s := &m.Params[i]
+		if s.Required {
+			if v, ok := p[s.Name]; !ok || v == "" {
+				errs = append(errs, fmt.Errorf("required param %q (%s) missing", s.Name, s.Type))
+			}
+		}
+	}
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := m.ParamSpec(k)
+		if s == nil {
+			errs = append(errs, fmt.Errorf("unknown param %q (kind %s accepts: %s)", k, m.Kind, m.paramNames()))
+			continue
+		}
+		if err := s.Check(p[k]); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}
+
+// ValidatePorts checks declared port schema lists against the model's
+// arity and schema constraints.
+func (m *OpModel) ValidatePorts(inputs, outputs []*tuple.Schema) []error {
+	var errs []error
+	if err := m.Inputs.CheckArity("input", len(inputs)); err != nil {
+		errs = append(errs, err)
+	} else {
+		for i, s := range inputs {
+			if err := m.Inputs.CheckSchema("input", i, s); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	if err := m.Outputs.CheckArity("output", len(outputs)); err != nil {
+		errs = append(errs, err)
+	} else {
+		for i, s := range outputs {
+			if err := m.Outputs.CheckSchema("output", i, s); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errs
+}
+
+// Validate runs both parameter and port validation, returning every
+// violation.
+func (m *OpModel) Validate(p Params, inputs, outputs []*tuple.Schema) []error {
+	return append(m.ValidateParams(p), m.ValidatePorts(inputs, outputs)...)
+}
+
+// check verifies the model itself is well-formed; the registry calls it
+// at registration and panics on violations, since models are authored
+// in init functions and a bad one is a programming error.
+func (m *OpModel) check() error {
+	seen := make(map[string]bool, len(m.Params))
+	for i := range m.Params {
+		s := &m.Params[i]
+		if s.Name == "" {
+			return fmt.Errorf("model %s: param %d has empty name", m.Kind, i)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("model %s: duplicate param %q", m.Kind, s.Name)
+		}
+		seen[s.Name] = true
+		if !s.Type.valid() {
+			return fmt.Errorf("model %s: param %q has invalid type", m.Kind, s.Name)
+		}
+		if s.Type == ParamEnum && len(s.Enum) == 0 {
+			return fmt.Errorf("model %s: enum param %q lists no values", m.Kind, s.Name)
+		}
+		if s.Type != ParamEnum && len(s.Enum) > 0 {
+			return fmt.Errorf("model %s: non-enum param %q lists enum values", m.Kind, s.Name)
+		}
+		if s.Min != nil && s.Max != nil && *s.Min > *s.Max {
+			return fmt.Errorf("model %s: param %q has min %v > max %v", m.Kind, s.Name, *s.Min, *s.Max)
+		}
+		// The advertised default must satisfy the spec itself, so the
+		// catalog never documents a value the operator would reject.
+		if s.Default != "" {
+			if err := s.Check(s.Default); err != nil {
+				return fmt.Errorf("model %s: default violates its own spec: %v", m.Kind, err)
+			}
+		}
+	}
+	for side, ps := range map[string]PortSpec{"input": m.Inputs, "output": m.Outputs} {
+		if ps.Min < 0 {
+			return fmt.Errorf("model %s: negative %s arity minimum", m.Kind, side)
+		}
+		if ps.Max >= 0 && ps.Max < ps.Min {
+			return fmt.Errorf("model %s: %s arity max %d < min %d", m.Kind, side, ps.Max, ps.Min)
+		}
+	}
+	return nil
+}

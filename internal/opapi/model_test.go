@@ -1,0 +1,211 @@
+package opapi
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"streamorca/internal/tuple"
+)
+
+func TestParamsBindAccessors(t *testing.T) {
+	p := Params{
+		"i": "42", "f": "2.5", "b": "true", "d": "3s", "e": "fast",
+		"badi": "x", "badf": "x", "badb": "x", "badd": "x", "bade": "turbo",
+		"empty": "",
+	}
+	if v, err := p.BindInt("i", 0); v != 42 || err != nil {
+		t.Fatalf("BindInt = %d, %v", v, err)
+	}
+	if v, err := p.BindInt("missing", 7); v != 7 || err != nil {
+		t.Fatalf("BindInt absent = %d, %v", v, err)
+	}
+	if v, err := p.BindInt("empty", 7); v != 7 || err != nil {
+		t.Fatalf("BindInt empty = %d, %v", v, err)
+	}
+	if _, err := p.BindInt("badi", 7); err == nil {
+		t.Fatal("BindInt swallowed malformed value")
+	}
+	if v, err := p.BindFloat("f", 0); v != 2.5 || err != nil {
+		t.Fatalf("BindFloat = %g, %v", v, err)
+	}
+	if _, err := p.BindFloat("badf", 0); err == nil {
+		t.Fatal("BindFloat swallowed malformed value")
+	}
+	if v, err := p.BindBool("b", false); !v || err != nil {
+		t.Fatalf("BindBool = %v, %v", v, err)
+	}
+	if _, err := p.BindBool("badb", false); err == nil {
+		t.Fatal("BindBool swallowed malformed value")
+	}
+	if v, err := p.BindDuration("d", 0); v != 3*time.Second || err != nil {
+		t.Fatalf("BindDuration = %v, %v", v, err)
+	}
+	if _, err := p.BindDuration("badd", 0); err == nil {
+		t.Fatal("BindDuration swallowed malformed value")
+	}
+	if v, err := p.BindEnum("e", "slow", "fast", "slow"); v != "fast" || err != nil {
+		t.Fatalf("BindEnum = %q, %v", v, err)
+	}
+	if v, err := p.BindEnum("missing", "slow", "fast", "slow"); v != "slow" || err != nil {
+		t.Fatalf("BindEnum absent = %q, %v", v, err)
+	}
+	if _, err := p.BindEnum("bade", "slow", "fast", "slow"); err == nil {
+		t.Fatal("BindEnum accepted out-of-set value")
+	}
+}
+
+func TestBinderAccumulates(t *testing.T) {
+	p := Params{"n": "1", "bad1": "x", "bad2": "y"}
+	b := p.Bind()
+	if b.Int("n", 0) != 1 || b.Str("s", "dflt") != "dflt" {
+		t.Fatal("Binder values wrong")
+	}
+	b.Int("bad1", 0)
+	b.Duration("bad2", 0)
+	err := b.Err()
+	if err == nil {
+		t.Fatal("Binder.Err lost the errors")
+	}
+	for _, want := range []string{`param "bad1"`, `param "bad2"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+	if (Params{"n": "1"}).Bind().Err() != nil {
+		t.Fatal("clean Binder reported an error")
+	}
+}
+
+func TestParamSpecCheck(t *testing.T) {
+	cases := []struct {
+		spec  ParamSpec
+		value string
+		ok    bool
+	}{
+		{ParamSpec{Name: "p", Type: ParamInt}, "5", true},
+		{ParamSpec{Name: "p", Type: ParamInt}, "5.5", false},
+		{ParamSpec{Name: "p", Type: ParamInt, Min: Bound(0)}, "-1", false},
+		{ParamSpec{Name: "p", Type: ParamInt, Max: Bound(10)}, "11", false},
+		{ParamSpec{Name: "p", Type: ParamFloat}, "1e3", true},
+		{ParamSpec{Name: "p", Type: ParamFloat}, "one", false},
+		{ParamSpec{Name: "p", Type: ParamBool}, "true", true},
+		{ParamSpec{Name: "p", Type: ParamBool}, "yes", false},
+		{ParamSpec{Name: "p", Type: ParamDuration}, "150ms", true},
+		{ParamSpec{Name: "p", Type: ParamDuration}, "150", false},
+		{ParamSpec{Name: "p", Type: ParamDuration, Min: Bound(1)}, "500ms", false},
+		{ParamSpec{Name: "p", Type: ParamEnum, Enum: []string{"a", "b"}}, "a", true},
+		{ParamSpec{Name: "p", Type: ParamEnum, Enum: []string{"a", "b"}}, "c", false},
+		{ParamSpec{Name: "p", Type: ParamString}, "anything", true},
+		// Template references and empty values defer to submission time.
+		{ParamSpec{Name: "p", Type: ParamInt}, "{{n}}", true},
+		{ParamSpec{Name: "p", Type: ParamInt}, "", true},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Check(tc.value)
+		if tc.ok && err != nil {
+			t.Errorf("%v Check(%q) = %v, want ok", tc.spec.Type, tc.value, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%v Check(%q) passed, want error", tc.spec.Type, tc.value)
+		}
+	}
+}
+
+func TestOpModelValidate(t *testing.T) {
+	m := &OpModel{
+		Kind:    "M",
+		Inputs:  ExactlyPorts(1).WithAttrs(tuple.Attribute{Name: "v", Type: tuple.Int}),
+		Outputs: AtLeastPorts(1),
+		Params: []ParamSpec{
+			{Name: "rate", Type: ParamFloat, Required: true},
+			{Name: "mode", Type: ParamEnum, Enum: []string{"a", "b"}},
+		},
+	}
+	intS := tuple.MustSchema(tuple.Attribute{Name: "v", Type: tuple.Int})
+	strS := tuple.MustSchema(tuple.Attribute{Name: "v", Type: tuple.String})
+
+	if errs := m.Validate(Params{"rate": "1"}, []*tuple.Schema{intS}, []*tuple.Schema{intS, intS}); len(errs) != 0 {
+		t.Fatalf("valid config rejected: %v", errs)
+	}
+	errs := m.Validate(Params{"mode": "c", "ghost": "1"}, nil, nil)
+	joined := make([]string, len(errs))
+	for i, e := range errs {
+		joined[i] = e.Error()
+	}
+	all := strings.Join(joined, "; ")
+	for _, want := range []string{
+		`required param "rate" (float64) missing`,
+		`unknown param "ghost" (kind M accepts: mode, rate)`,
+		`value "c" not in {a, b}`,
+		`declares 0 input port(s), want exactly 1`,
+		`declares 0 output port(s), want at least 1`,
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("missing %q in %q", want, all)
+		}
+	}
+	// Wrong attribute type on a constrained port.
+	errs = m.ValidatePorts([]*tuple.Schema{strS}, []*tuple.Schema{intS})
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), `attribute "v" is rstring, want int64`) {
+		t.Fatalf("port type constraint: %v", errs)
+	}
+}
+
+func TestRegistryModels(t *testing.T) {
+	r := NewRegistry()
+	noop := func() Operator { return &dummyOp{} }
+	r.RegisterOp("WithModel", noop, &OpModel{Outputs: ExactlyPorts(1)})
+	r.Register("NoModel", noop)
+	if m := r.Model("WithModel"); m == nil || m.Kind != "WithModel" {
+		t.Fatalf("Model() = %+v, want kind filled in", m)
+	}
+	if r.Model("NoModel") != nil {
+		t.Fatal("modelless kind returned a model")
+	}
+	if r.Model("Ghost") != nil || r.Registered("Ghost") {
+		t.Fatal("unknown kind resolved")
+	}
+	if !r.Registered("NoModel") {
+		t.Fatal("registered kind not reported")
+	}
+}
+
+func TestRegistryRejectsMalformedModels(t *testing.T) {
+	noop := func() Operator { return &dummyOp{} }
+	bad := []*OpModel{
+		{Params: []ParamSpec{{Name: "", Type: ParamInt}}},
+		{Params: []ParamSpec{{Name: "a", Type: ParamInt}, {Name: "a", Type: ParamInt}}},
+		{Params: []ParamSpec{{Name: "a", Type: ParamEnum}}},
+		{Params: []ParamSpec{{Name: "a", Type: ParamInt, Min: Bound(2), Max: Bound(1)}}},
+		{Inputs: PortSpec{Min: 2, Max: 1}},
+	}
+	for i, m := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("malformed model %d registered without panic", i)
+				}
+			}()
+			NewRegistry().RegisterOp("K", noop, m)
+		}()
+	}
+}
+
+func TestPortSpecString(t *testing.T) {
+	cases := []struct {
+		ps   PortSpec
+		want string
+	}{
+		{PortSpec{}, "none"},
+		{ExactlyPorts(2), "exactly 2"},
+		{AtLeastPorts(1), "at least 1"},
+		{AtLeastPorts(0), "any number"},
+		{PortSpec{Min: 1, Max: 3}, "between 1 and 3"},
+	}
+	for _, tc := range cases {
+		if got := tc.ps.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

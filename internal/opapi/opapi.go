@@ -5,9 +5,11 @@
 package opapi
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +31,10 @@ func (p Params) Get(key, def string) string {
 }
 
 // Int returns the integer value for key, or def when absent or malformed.
+//
+// Deprecated: Int silently swallows malformed values, returning def for
+// a present but unparseable entry. Use BindInt (or a Binder) at Open so
+// misconfiguration surfaces as an error instead of a silent default.
 func (p Params) Int(key string, def int64) int64 {
 	if v, ok := p[key]; ok {
 		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
@@ -39,6 +45,9 @@ func (p Params) Int(key string, def int64) int64 {
 }
 
 // Float returns the float value for key, or def when absent or malformed.
+//
+// Deprecated: Float silently swallows malformed values; use BindFloat
+// (or a Binder) so misconfiguration surfaces as an error.
 func (p Params) Float(key string, def float64) float64 {
 	if v, ok := p[key]; ok {
 		if f, err := strconv.ParseFloat(v, 64); err == nil {
@@ -49,6 +58,9 @@ func (p Params) Float(key string, def float64) float64 {
 }
 
 // Bool returns the boolean value for key, or def when absent or malformed.
+//
+// Deprecated: Bool silently swallows malformed values; use BindBool
+// (or a Binder) so misconfiguration surfaces as an error.
 func (p Params) Bool(key string, def bool) bool {
 	if v, ok := p[key]; ok {
 		if b, err := strconv.ParseBool(v); err == nil {
@@ -59,6 +71,9 @@ func (p Params) Bool(key string, def bool) bool {
 }
 
 // Duration returns the duration value for key, or def.
+//
+// Deprecated: Duration silently swallows malformed values; use
+// BindDuration (or a Binder) so misconfiguration surfaces as an error.
 func (p Params) Duration(key string, def time.Duration) time.Duration {
 	if v, ok := p[key]; ok {
 		if d, err := time.ParseDuration(v); err == nil {
@@ -67,6 +82,147 @@ func (p Params) Duration(key string, def time.Duration) time.Duration {
 	}
 	return def
 }
+
+// lookup returns the raw value, treating absent and empty entries as
+// "use the default".
+func (p Params) lookup(key string) (string, bool) {
+	v, ok := p[key]
+	return v, ok && v != ""
+}
+
+// BindInt returns the integer value for key, def when absent or empty,
+// and an error when the value is present but malformed. It is the
+// error-reporting replacement for Int.
+func (p Params) BindInt(key string, def int64) (int64, error) {
+	v, ok := p.lookup(key)
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return def, fmt.Errorf("param %q: invalid int64 value %q", key, v)
+	}
+	return n, nil
+}
+
+// BindFloat returns the float value for key, def when absent or empty,
+// and an error when the value is present but malformed.
+func (p Params) BindFloat(key string, def float64) (float64, error) {
+	v, ok := p.lookup(key)
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return def, fmt.Errorf("param %q: invalid float64 value %q", key, v)
+	}
+	return f, nil
+}
+
+// BindBool returns the boolean value for key, def when absent or empty,
+// and an error when the value is present but malformed.
+func (p Params) BindBool(key string, def bool) (bool, error) {
+	v, ok := p.lookup(key)
+	if !ok {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return def, fmt.Errorf("param %q: invalid boolean value %q", key, v)
+	}
+	return b, nil
+}
+
+// BindDuration returns the duration value for key, def when absent or
+// empty, and an error when the value is present but malformed.
+func (p Params) BindDuration(key string, def time.Duration) (time.Duration, error) {
+	v, ok := p.lookup(key)
+	if !ok {
+		return def, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return def, fmt.Errorf("param %q: invalid duration value %q", key, v)
+	}
+	return d, nil
+}
+
+// BindEnum returns the value for key when it is one of allowed, def
+// when absent or empty, and an error otherwise.
+func (p Params) BindEnum(key, def string, allowed ...string) (string, error) {
+	v, ok := p.lookup(key)
+	if !ok {
+		return def, nil
+	}
+	for _, a := range allowed {
+		if v == a {
+			return v, nil
+		}
+	}
+	return def, fmt.Errorf("param %q: value %q not in {%s}", key, v, strings.Join(allowed, ", "))
+}
+
+// Binder accumulates binding errors across several parameter reads, so
+// an operator's Open can bind its whole configuration and check once:
+//
+//	cfg := ctx.Params().Bind()
+//	count := cfg.Int("count", 0)
+//	period := cfg.Duration("period", 0)
+//	if err := cfg.Err(); err != nil { return err }
+type Binder struct {
+	p    Params
+	errs []error
+}
+
+// Bind starts an error-accumulating binding pass over the parameters.
+func (p Params) Bind() *Binder { return &Binder{p: p} }
+
+// Str returns the string value for key, or def when absent.
+func (b *Binder) Str(key, def string) string { return b.p.Get(key, def) }
+
+// Int binds an integer parameter, recording malformed values.
+func (b *Binder) Int(key string, def int64) int64 {
+	v, err := b.p.BindInt(key, def)
+	b.record(err)
+	return v
+}
+
+// Float binds a float parameter, recording malformed values.
+func (b *Binder) Float(key string, def float64) float64 {
+	v, err := b.p.BindFloat(key, def)
+	b.record(err)
+	return v
+}
+
+// Bool binds a boolean parameter, recording malformed values.
+func (b *Binder) Bool(key string, def bool) bool {
+	v, err := b.p.BindBool(key, def)
+	b.record(err)
+	return v
+}
+
+// Duration binds a duration parameter, recording malformed values.
+func (b *Binder) Duration(key string, def time.Duration) time.Duration {
+	v, err := b.p.BindDuration(key, def)
+	b.record(err)
+	return v
+}
+
+// Enum binds an enumerated parameter, recording out-of-set values.
+func (b *Binder) Enum(key, def string, allowed ...string) string {
+	v, err := b.p.BindEnum(key, def, allowed...)
+	b.record(err)
+	return v
+}
+
+func (b *Binder) record(err error) {
+	if err != nil {
+		b.errs = append(b.errs, err)
+	}
+}
+
+// Err returns every binding error accumulated so far, joined, or nil.
+func (b *Binder) Err() error { return errors.Join(b.errs...) }
 
 // Clone returns an independent copy of the parameter map.
 func (p Params) Clone() Params {
@@ -186,48 +342,87 @@ func (Base) Close() error { return nil }
 // Factory constructs a fresh operator instance of some kind.
 type Factory func() Operator
 
-// Registry maps operator kinds to factories. The platform uses Default;
-// tests may build private registries.
+// Registry maps operator kinds to factories and their declarative
+// descriptors. The platform uses Default; tests may build private
+// registries.
 type Registry struct {
-	mu        sync.RWMutex
-	factories map[string]Factory
+	mu      sync.RWMutex
+	entries map[string]registryEntry
+}
+
+type registryEntry struct {
+	factory Factory
+	model   *OpModel
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{factories: make(map[string]Factory)} }
+func NewRegistry() *Registry { return &Registry{entries: make(map[string]registryEntry)} }
 
-// Register adds a kind; registering a duplicate kind panics, since kind
+// Register adds a kind without a descriptor: the kind resolves at
+// runtime but the compiler cannot validate its configuration. Prefer
+// RegisterOp. Registering a duplicate kind panics, since kind
 // registration happens at init time and a collision is a programming
 // error.
-func (r *Registry) Register(kind string, f Factory) {
+func (r *Registry) Register(kind string, f Factory) { r.RegisterOp(kind, f, nil) }
+
+// RegisterOp adds a kind together with its operator model. The model
+// (when non-nil) must be well-formed — malformed models panic, like
+// duplicate kinds, because registration is init-time code. The registry
+// fills in model.Kind and owns the model afterwards; callers must not
+// mutate it.
+func (r *Registry) RegisterOp(kind string, f Factory, model *OpModel) {
 	if kind == "" || f == nil {
 		panic("opapi: empty kind or nil factory")
 	}
+	if model != nil {
+		if model.Kind == "" {
+			model.Kind = kind
+		}
+		if err := model.check(); err != nil {
+			panic("opapi: " + err.Error())
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.factories[kind]; dup {
+	if _, dup := r.entries[kind]; dup {
 		panic(fmt.Sprintf("opapi: operator kind %q registered twice", kind))
 	}
-	r.factories[kind] = f
+	r.entries[kind] = registryEntry{factory: f, model: model}
 }
 
 // New instantiates an operator of the given kind.
 func (r *Registry) New(kind string) (Operator, error) {
 	r.mu.RLock()
-	f, ok := r.factories[kind]
+	e, ok := r.entries[kind]
 	r.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("opapi: unknown operator kind %q", kind)
 	}
-	return f(), nil
+	return e.factory(), nil
+}
+
+// Registered reports whether the kind is known to the registry.
+func (r *Registry) Registered(kind string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.entries[kind]
+	return ok
+}
+
+// Model returns the descriptor registered for kind, or nil when the
+// kind is unknown or was registered without one.
+func (r *Registry) Model(kind string) *OpModel {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.entries[kind].model
 }
 
 // Kinds returns the registered kind names, sorted.
 func (r *Registry) Kinds() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	kinds := make([]string, 0, len(r.factories))
-	for k := range r.factories {
+	kinds := make([]string, 0, len(r.entries))
+	for k := range r.entries {
 		kinds = append(kinds, k)
 	}
 	sort.Strings(kinds)

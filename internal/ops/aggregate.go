@@ -53,7 +53,10 @@ type sample struct {
 func (a *aggregate) Open(ctx opapi.Context) error {
 	a.ctx = ctx
 	p := ctx.Params()
-	a.window = p.Duration("window", 0)
+	var err error
+	if a.window, err = p.BindDuration("window", 0); err != nil {
+		return fmt.Errorf("Aggregate %s: %w", ctx.Name(), err)
+	}
 	if a.window <= 0 {
 		return fmt.Errorf("Aggregate %s: window parameter required", ctx.Name())
 	}

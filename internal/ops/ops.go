@@ -1,7 +1,9 @@
 // Package ops provides the built-in operator library (the equivalent of
 // the SPL standard toolkit): sources, relational operators, windowed
 // aggregation, throttling, and sinks. Every kind registers into
-// opapi.Default at init, so the compiler and runtime resolve them by
+// opapi.Default at init together with its operator model, so the
+// compiler validates applications against the library's parameter and
+// port declarations at Build time and the runtime resolves kinds by
 // name.
 package ops
 
@@ -22,16 +24,100 @@ const (
 	KindCountSink     = "CountSink"
 )
 
+// comparisonOps are the predicate operators Filter and DynamicFilter
+// accept for their "op" parameter.
+var comparisonOps = []string{"eq", "ne", "lt", "le", "gt", "ge", "contains"}
+
+// filterParams is the shared parameter block of Filter and DynamicFilter.
+func filterParams() []opapi.ParamSpec {
+	return []opapi.ParamSpec{
+		{Name: "attr", Type: opapi.ParamString, Doc: "attribute to test; empty passes everything"},
+		{Name: "op", Type: opapi.ParamEnum, Enum: comparisonOps, Default: "eq", Doc: "comparison operator"},
+		{Name: "value", Type: opapi.ParamString, Doc: "comparison value, parsed per attribute type"},
+	}
+}
+
 func init() {
-	opapi.Default.Register(KindBeacon, func() opapi.Operator { return &beacon{} })
-	opapi.Default.Register(KindFilter, func() opapi.Operator { return &filter{} })
-	opapi.Default.Register(KindDynamicFilter, func() opapi.Operator { return &dynamicFilter{} })
-	opapi.Default.Register(KindFunctor, func() opapi.Operator { return &functor{} })
-	opapi.Default.Register(KindSplit, func() opapi.Operator { return &split{} })
-	opapi.Default.Register(KindMerge, func() opapi.Operator { return &merge{} })
-	opapi.Default.Register(KindThrottle, func() opapi.Operator { return &throttle{} })
-	opapi.Default.Register(KindAggregate, func() opapi.Operator { return &aggregate{} })
-	opapi.Default.Register(KindCollectSink, func() opapi.Operator { return &collectSink{} })
-	opapi.Default.Register(KindFileSink, func() opapi.Operator { return &fileSink{} })
-	opapi.Default.Register(KindCountSink, func() opapi.Operator { return &countSink{} })
+	opapi.Default.RegisterOp(KindBeacon, func() opapi.Operator { return &beacon{} }, &opapi.OpModel{
+		Doc:     "emits sequentially numbered tuples",
+		Outputs: opapi.ExactlyPorts(1),
+		Params: []opapi.ParamSpec{
+			{Name: "count", Type: opapi.ParamInt, Default: "0", Min: opapi.Bound(0), Doc: "tuples to emit; 0 = unbounded"},
+			{Name: "period", Type: opapi.ParamDuration, Default: "0", Min: opapi.Bound(0), Doc: "inter-tuple delay"},
+			{Name: "seqAttr", Type: opapi.ParamString, Default: "seq", Doc: "int64 attribute receiving the sequence number"},
+		},
+	})
+	opapi.Default.RegisterOp(KindFilter, func() opapi.Operator { return &filter{} }, &opapi.OpModel{
+		Doc:     "passes tuples matching a single-attribute predicate",
+		Inputs:  opapi.ExactlyPorts(1),
+		Outputs: opapi.ExactlyPorts(1),
+		Params:  filterParams(),
+	})
+	opapi.Default.RegisterOp(KindDynamicFilter, func() opapi.Operator { return &dynamicFilter{} }, &opapi.OpModel{
+		Doc:     "filter whose predicate orchestrator control commands replace at runtime",
+		Inputs:  opapi.ExactlyPorts(1),
+		Outputs: opapi.ExactlyPorts(1),
+		Params:  filterParams(),
+	})
+	opapi.Default.RegisterOp(KindFunctor, func() opapi.Operator { return &functor{} }, &opapi.OpModel{
+		Doc:     "projects tuples onto the output schema with optional arithmetic",
+		Inputs:  opapi.ExactlyPorts(1),
+		Outputs: opapi.ExactlyPorts(1),
+		Params: []opapi.ParamSpec{
+			{Name: "addInt", Type: opapi.ParamString, Doc: `"attr:delta" adds delta to an int64 attribute`},
+			{Name: "scale", Type: opapi.ParamString, Doc: `"attr:factor" multiplies a float64 attribute`},
+			{Name: "setStr", Type: opapi.ParamString, Doc: `"attr:value" overwrites a string attribute`},
+		},
+	})
+	opapi.Default.RegisterOp(KindSplit, func() opapi.Operator { return &split{} }, &opapi.OpModel{
+		Doc:     "routes each tuple to one (or all) of its output ports",
+		Inputs:  opapi.ExactlyPorts(1),
+		Outputs: opapi.AtLeastPorts(1),
+		Params: []opapi.ParamSpec{
+			{Name: "mode", Type: opapi.ParamEnum, Enum: []string{"roundrobin", "duplicate", "hash"}, Default: "roundrobin", Doc: "routing discipline"},
+			{Name: "attr", Type: opapi.ParamString, Doc: "hashing attribute for mode=hash"},
+		},
+	})
+	opapi.Default.RegisterOp(KindMerge, func() opapi.Operator { return &merge{} }, &opapi.OpModel{
+		Doc:     "forwards tuples from all input ports to output port 0",
+		Inputs:  opapi.AtLeastPorts(1),
+		Outputs: opapi.ExactlyPorts(1),
+	})
+	opapi.Default.RegisterOp(KindThrottle, func() opapi.Operator { return &throttle{} }, &opapi.OpModel{
+		Doc:     "delays each tuple by a fixed period",
+		Inputs:  opapi.ExactlyPorts(1),
+		Outputs: opapi.ExactlyPorts(1),
+		Params: []opapi.ParamSpec{
+			{Name: "period", Type: opapi.ParamDuration, Default: "0", Min: opapi.Bound(0), Doc: "sleep per tuple"},
+		},
+	})
+	opapi.Default.RegisterOp(KindAggregate, func() opapi.Operator { return &aggregate{} }, &opapi.OpModel{
+		Doc:     "per-group sliding-window summary statistics over one numeric attribute",
+		Inputs:  opapi.ExactlyPorts(1),
+		Outputs: opapi.ExactlyPorts(1),
+		Params: []opapi.ParamSpec{
+			{Name: "window", Type: opapi.ParamDuration, Required: true, Min: opapi.Bound(1e-9), Doc: "sliding window length"},
+			{Name: "groupBy", Type: opapi.ParamString, Doc: "grouping attribute; empty = one global group"},
+			{Name: "valueAttr", Type: opapi.ParamString, Required: true, Doc: "float64 attribute to aggregate"},
+		},
+	})
+	opapi.Default.RegisterOp(KindCollectSink, func() opapi.Operator { return &collectSink{} }, &opapi.OpModel{
+		Doc:    "stores received tuples into an observable collection",
+		Inputs: opapi.ExactlyPorts(1),
+		Params: []opapi.ParamSpec{
+			{Name: "collectorId", Type: opapi.ParamString, Doc: "collection to append to (default: instance name)"},
+			{Name: "limit", Type: opapi.ParamInt, Default: "0", Min: opapi.Bound(0), Doc: "keep only the most recent N tuples; 0 = all"},
+		},
+	})
+	opapi.Default.RegisterOp(KindFileSink, func() opapi.Operator { return &fileSink{} }, &opapi.OpModel{
+		Doc:    "appends one formatted line per tuple to a file",
+		Inputs: opapi.ExactlyPorts(1),
+		Params: []opapi.ParamSpec{
+			{Name: "path", Type: opapi.ParamString, Required: true, Doc: "output file"},
+		},
+	})
+	opapi.Default.RegisterOp(KindCountSink, func() opapi.Operator { return &countSink{} }, &opapi.OpModel{
+		Doc:    "discards tuples, tracking only the nTuplesSeen metric",
+		Inputs: opapi.ExactlyPorts(1),
+	})
 }

@@ -510,5 +510,37 @@ func TestAllKindsRegistered(t *testing.T) {
 		if _, err := opapi.Default.New(kind); err != nil {
 			t.Fatalf("kind %s not registered: %v", kind, err)
 		}
+		// Every built-in must also carry an operator model, so the
+		// compiler validates its configuration at Build time.
+		if opapi.Default.Model(kind) == nil {
+			t.Fatalf("kind %s registered without an operator model", kind)
+		}
+	}
+}
+
+// TestMalformedParamsFailOpen verifies the built-ins no longer swallow
+// malformed parameter values into silent defaults: a present but
+// unparseable value fails Open (the runtime backstop behind Build-time
+// model validation, e.g. for values substituted at submission time).
+func TestMalformedParamsFailOpen(t *testing.T) {
+	cases := []struct {
+		name string
+		op   opapi.Operator
+		ctx  *fakeCtx
+	}{
+		{"beacon count", &beacon{}, newFakeCtx(opapi.Params{"count": "ten"}, nil, []*tuple.Schema{intS})},
+		{"beacon period", &beacon{}, newFakeCtx(opapi.Params{"period": "soon"}, nil, []*tuple.Schema{intS})},
+		{"throttle period", &throttle{}, newFakeCtx(opapi.Params{"period": "x"}, []*tuple.Schema{intS}, []*tuple.Schema{intS})},
+		{"filter op", &filter{}, newFakeCtx(opapi.Params{"attr": "seq", "op": "startswith", "value": "1"}, []*tuple.Schema{intS}, []*tuple.Schema{intS})},
+		{"split mode", &split{}, newFakeCtx(opapi.Params{"mode": "random"}, []*tuple.Schema{intS}, []*tuple.Schema{intS})},
+		{"aggregate window", &aggregate{}, newFakeCtx(opapi.Params{"window": "wide", "valueAttr": "price"}, []*tuple.Schema{mixedS}, []*tuple.Schema{mixedS})},
+		{"collect limit", &collectSink{}, newFakeCtx(opapi.Params{"limit": "lots"}, []*tuple.Schema{intS}, nil)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.op.Open(tc.ctx); err == nil {
+				t.Fatal("Open accepted a malformed parameter value")
+			}
+		})
 	}
 }

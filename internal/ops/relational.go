@@ -29,7 +29,11 @@ type filter struct {
 func (f *filter) Open(ctx opapi.Context) error {
 	f.ctx = ctx
 	p := ctx.Params()
-	pred, err := buildPredicate(ctx.InputSchema(0), p.Get("attr", ""), p.Get("op", "eq"), p.Get("value", ""))
+	op, err := p.BindEnum("op", "eq", comparisonOps...)
+	if err != nil {
+		return fmt.Errorf("Filter %s: %w", ctx.Name(), err)
+	}
+	pred, err := buildPredicate(ctx.InputSchema(0), p.Get("attr", ""), op, p.Get("value", ""))
 	if err != nil {
 		return fmt.Errorf("Filter %s: %w", ctx.Name(), err)
 	}
@@ -59,7 +63,11 @@ type dynamicFilter struct {
 func (f *dynamicFilter) Open(ctx opapi.Context) error {
 	f.ctx = ctx
 	p := ctx.Params()
-	pred, err := buildPredicate(ctx.InputSchema(0), p.Get("attr", ""), p.Get("op", "eq"), p.Get("value", ""))
+	op, err := p.BindEnum("op", "eq", comparisonOps...)
+	if err != nil {
+		return fmt.Errorf("DynamicFilter %s: %w", ctx.Name(), err)
+	}
+	pred, err := buildPredicate(ctx.InputSchema(0), p.Get("attr", ""), op, p.Get("value", ""))
 	if err != nil {
 		return fmt.Errorf("DynamicFilter %s: %w", ctx.Name(), err)
 	}
@@ -321,7 +329,10 @@ type split struct {
 
 func (s *split) Open(ctx opapi.Context) error {
 	s.ctx = ctx
-	s.mode = ctx.Params().Get("mode", "roundrobin")
+	var err error
+	if s.mode, err = ctx.Params().BindEnum("mode", "roundrobin", "roundrobin", "duplicate", "hash"); err != nil {
+		return fmt.Errorf("Split %s: %w", ctx.Name(), err)
+	}
 	s.attr = ctx.Params().Get("attr", "")
 	switch s.mode {
 	case "roundrobin", "duplicate":

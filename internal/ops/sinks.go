@@ -109,9 +109,13 @@ type collectSink struct {
 
 func (s *collectSink) Open(ctx opapi.Context) error {
 	id := ctx.Params().Get("collectorId", ctx.Name())
+	limit, err := ctx.Params().BindInt("limit", 0)
+	if err != nil {
+		return fmt.Errorf("CollectSink %s: %w", ctx.Name(), err)
+	}
 	s.coll = Collector(id)
 	s.coll.mu.Lock()
-	s.coll.limit = int(ctx.Params().Int("limit", 0))
+	s.coll.limit = int(limit)
 	s.coll.mu.Unlock()
 	return nil
 }

@@ -30,10 +30,13 @@ func (b *beacon) Open(ctx opapi.Context) error {
 	if ctx.NumOutputs() != 1 {
 		return fmt.Errorf("Beacon %s: needs exactly 1 output port", ctx.Name())
 	}
-	p := ctx.Params()
-	b.count = p.Int("count", 0)
-	b.period = p.Duration("period", 0)
-	b.seqAttr = p.Get("seqAttr", "seq")
+	cfg := ctx.Params().Bind()
+	b.count = cfg.Int("count", 0)
+	b.period = cfg.Duration("period", 0)
+	b.seqAttr = cfg.Str("seqAttr", "seq")
+	if err := cfg.Err(); err != nil {
+		return fmt.Errorf("Beacon %s: %w", ctx.Name(), err)
+	}
 	return nil
 }
 
@@ -80,7 +83,10 @@ type throttle struct {
 
 func (t *throttle) Open(ctx opapi.Context) error {
 	t.ctx = ctx
-	t.period = ctx.Params().Duration("period", 0)
+	var err error
+	if t.period, err = ctx.Params().BindDuration("period", 0); err != nil {
+		return fmt.Errorf("Throttle %s: %w", ctx.Name(), err)
+	}
 	return nil
 }
 

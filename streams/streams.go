@@ -16,6 +16,27 @@
 //	app, _ := b.Build(streams.BuildOptions{})
 //	inst.SAM.SubmitJob(app, streams.SubmitOptions{})
 //
+// # Operator model
+//
+// Every built-in operator kind registers a declarative descriptor (an
+// OpModel) describing its parameters — name, type, required/default,
+// range or enum — and its port arities and schema constraints. Build
+// validates the whole application against these descriptors and
+// accumulates every violation into one error, so an unknown kind, a
+// mistyped parameter value, a port-arity violation, or a connection
+// between disagreeing schemas fails at compile time with an
+// operator-qualified message instead of misbehaving at runtime:
+//
+//	b.AddOperator("src", "Beacon").Out(schema).Param("count", "ten")
+//	_, err := b.Build(streams.BuildOptions{})
+//	// compiler: operator "src" (kind Beacon): param "count": invalid int64 value "ten"
+//
+// Custom operators get the same protection by registering a descriptor
+// with RegisterOperatorModel; see the quickstart example. Inside an
+// operator, bind configuration at Open with the Params error-reporting
+// accessors (BindInt, BindEnum, or a Binder) rather than the deprecated
+// silent variants.
+//
 // See package orca for writing runtime adaptation routines against
 // running applications.
 package streams
@@ -110,17 +131,68 @@ type (
 	OpContext = opapi.Context
 	// OperatorBase provides no-op defaults to embed.
 	OperatorBase = opapi.Base
-	// Params are operator configuration values.
+	// Params are operator configuration values. Bind parameters at Open
+	// with the error-reporting accessors (BindInt, BindEnum, or a
+	// Binder) so malformed values fail loudly instead of silently
+	// falling back to defaults.
 	Params = opapi.Params
 )
 
-// RegisterOperator adds a custom operator kind to the default registry.
+// Declarative operator model: a descriptor registered alongside an
+// operator kind that Build validates applications against, so
+// misconfiguration fails at compile time rather than at runtime.
+type (
+	// OpModel describes one operator kind's parameters and ports.
+	OpModel = opapi.OpModel
+	// ParamSpec declares one configuration parameter.
+	ParamSpec = opapi.ParamSpec
+	// PortSpec declares the arity and schema constraints of one side's
+	// ports.
+	PortSpec = opapi.PortSpec
+	// ParamType enumerates declared parameter value types.
+	ParamType = opapi.ParamType
+)
+
+// Declared parameter types for ParamSpec.Type.
+const (
+	ParamString   = opapi.ParamString
+	ParamInt      = opapi.ParamInt
+	ParamFloat    = opapi.ParamFloat
+	ParamBool     = opapi.ParamBool
+	ParamDuration = opapi.ParamDuration
+	ParamEnum     = opapi.ParamEnum
+)
+
+// ExactlyPorts declares a fixed port arity for an OpModel side.
+func ExactlyPorts(n int) PortSpec { return opapi.ExactlyPorts(n) }
+
+// AtLeastPorts declares a variadic port arity of n or more.
+func AtLeastPorts(n int) PortSpec { return opapi.AtLeastPorts(n) }
+
+// Bound wraps a ParamSpec range endpoint.
+func Bound(v float64) *float64 { return opapi.Bound(v) }
+
+// RegisterOperator adds a custom operator kind to the default registry
+// without a descriptor; applications using the kind build, but their
+// configuration is not validated. Prefer RegisterOperatorModel.
 func RegisterOperator(kind string, factory func() Operator) {
 	opapi.Default.Register(kind, func() opapi.Operator { return factory() })
 }
 
+// RegisterOperatorModel adds a custom operator kind together with its
+// declarative descriptor, giving the kind the same Build-time parameter
+// and port validation as the built-in library.
+func RegisterOperatorModel(kind string, factory func() Operator, model *OpModel) {
+	opapi.Default.RegisterOp(kind, func() opapi.Operator { return factory() }, model)
+}
+
 // OperatorKinds lists every registered operator kind.
 func OperatorKinds() []string { return opapi.Default.Kinds() }
+
+// OperatorModel returns the descriptor registered for kind, or nil when
+// the kind is unknown or was registered without one. The returned model
+// is shared; callers must not mutate it.
+func OperatorModel(kind string) *OpModel { return opapi.Default.Model(kind) }
 
 // Platform runtime.
 type (

@@ -1,6 +1,7 @@
 package streams_test
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -134,5 +135,72 @@ func TestSchemaAndTupleHelpers(t *testing.T) {
 	}
 	if _, err := streams.NewSchema(streams.Attribute{Name: "", Type: streams.Int}); err == nil {
 		t.Fatal("invalid schema accepted")
+	}
+}
+
+// gatedOp is a custom operator registered WITH a descriptor, so the
+// builder validates its configuration at Build time.
+type gatedOp struct {
+	streams.OperatorBase
+	ctx streams.OpContext
+}
+
+func (g *gatedOp) Open(ctx streams.OpContext) error { g.ctx = ctx; return nil }
+
+func (g *gatedOp) Process(port int, t streams.Tuple) error { return g.ctx.Submit(0, t) }
+
+func init() {
+	streams.RegisterOperatorModel("PublicGate", func() streams.Operator { return &gatedOp{} },
+		&streams.OpModel{
+			Doc:     "test operator with a declared model",
+			Inputs:  streams.ExactlyPorts(1),
+			Outputs: streams.ExactlyPorts(1),
+			Params: []streams.ParamSpec{
+				{Name: "threshold", Type: streams.ParamInt, Required: true, Min: streams.Bound(0)},
+				{Name: "mode", Type: streams.ParamEnum, Enum: []string{"open", "closed"}, Default: "open"},
+			},
+		})
+}
+
+func TestRegisterOperatorModelValidatesAtBuild(t *testing.T) {
+	if m := streams.OperatorModel("PublicGate"); m == nil || m.Kind != "PublicGate" {
+		t.Fatalf("OperatorModel = %+v", m)
+	}
+	if streams.OperatorModel("Beacon") == nil {
+		t.Fatal("built-in Beacon has no descriptor")
+	}
+	schema := streams.MustSchema(streams.Attribute{Name: "seq", Type: streams.Int})
+
+	// Misconfigured: missing required param, bad enum value, arity
+	// violation. All three must surface in one Build error.
+	b := streams.NewApp("gate-bad")
+	src := b.AddOperator("src", "Beacon").Out(schema).Param("count", "5")
+	gate := b.AddOperator("gate", "PublicGate").In(schema, schema).Out(schema).
+		Param("mode", "ajar")
+	b.Connect(src, 0, gate, 0)
+	_, err := b.Build(streams.BuildOptions{})
+	if err == nil {
+		t.Fatal("misconfigured custom operator built")
+	}
+	for _, want := range []string{
+		`required param "threshold"`,
+		`value "ajar" not in {open, closed}`,
+		"declares 2 input port(s), want exactly 1",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Build error missing %q: %v", want, err)
+		}
+	}
+
+	// Well-configured: builds cleanly.
+	b2 := streams.NewApp("gate-ok")
+	src2 := b2.AddOperator("src", "Beacon").Out(schema).Param("count", "5")
+	gate2 := b2.AddOperator("gate", "PublicGate").In(schema).Out(schema).
+		Param("threshold", "3").Param("mode", "open")
+	sink2 := b2.AddOperator("sink", "CollectSink").In(schema).Param("collectorId", "gate-ok")
+	b2.Connect(src2, 0, gate2, 0)
+	b2.Connect(gate2, 0, sink2, 0)
+	if _, err := b2.Build(streams.BuildOptions{}); err != nil {
+		t.Fatalf("valid custom operator rejected: %v", err)
 	}
 }
