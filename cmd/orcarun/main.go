@@ -7,24 +7,28 @@
 //	go run ./cmd/orcarun -scenario sentiment -shift 4000
 //	go run ./cmd/orcarun -scenario failover -window 600ms
 //	go run ./cmd/orcarun -scenario composition -threshold 1500
+//	go run ./cmd/orcarun -scenario recovery
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"streamorca/internal/exp"
 )
 
 func main() {
-	scenario := flag.String("scenario", "sentiment", "sentiment | failover | composition")
+	scenario := flag.String("scenario", "sentiment", "sentiment | failover | composition | recovery")
 	shift := flag.Int64("shift", 4000, "sentiment: tweet index of the cause-distribution shift")
 	threshold := flag.Float64("ratio", 1.0, "sentiment: actuation ratio threshold")
 	window := flag.Duration("window", 600*time.Millisecond, "failover: sliding window duration")
 	tick := flag.Duration("tick", time.Millisecond, "failover: tick period")
 	c3thresh := flag.Int64("threshold", 1500, "composition: new-profile threshold for C3 spawn")
+	warm := flag.Int64("warm", 100, "recovery: window fill to reach before the checkpoint")
+	storeDir := flag.String("store", "", "recovery: checkpoint store directory (default: a temp dir)")
 	maxDur := flag.Duration("max", 30*time.Second, "run time budget")
 	flag.Parse()
 
@@ -61,6 +65,32 @@ func main() {
 		}
 		fmt.Printf("jobs base=%d max=%d final=%d; C3 submissions %v; cancellations %v\n",
 			res.BaseJobs, res.MaxJobs, res.FinalJobs, res.Submissions, res.Cancellations)
+	case "recovery":
+		cfg := exp.DefaultRecovery()
+		cfg.WarmCount = *warm
+		cfg.MaxDuration = *maxDur
+		cfg.StoreDir = *storeDir
+		var tmp string
+		if cfg.StoreDir == "" {
+			dir, err := os.MkdirTemp("", "orca-ckpt-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			tmp = dir
+			cfg.StoreDir = dir
+		}
+		res, err := exp.RunRecovery(cfg)
+		if tmp != "" {
+			// Remove before any Fatal below: log.Fatal skips defers, and
+			// failing CI retries must not accumulate temp snapshot dirs.
+			os.RemoveAll(tmp)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpointed at count %d; pre-failure max %d; first post-restart count %d; restores %d\n",
+			res.CountAtCheckpoint, res.MaxPreFailure, res.FirstPostRestart, res.Restores)
+		fmt.Println("recovery OK: restarted PE resumed from checkpointed state")
 	default:
 		log.Fatalf("unknown scenario %q", *scenario)
 	}

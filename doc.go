@@ -43,6 +43,39 @@
 // loudly instead of silently falling back to defaults. `adltool
 // catalog` dumps the full registered catalog.
 //
+// Deprecation timeline: the silent Params accessors (Int, Float, Bool,
+// Duration) were deprecated when the Bind* family landed (PR 2). As of
+// PR 3 no caller remains outside the test that pins their legacy
+// behaviour; they will be removed in the next API-breaking PR, after
+// one more release of overlap for out-of-tree operators.
+//
+// # Checkpointing
+//
+// Operator state is checkpointable (internal/ckpt). An operator opts in
+// by implementing streams.StatefulOperator — SaveState serialises its
+// state through a StateEncoder, RestoreState reads the same values back
+// in the same order — and a platform opts in by setting a
+// CheckpointStore (in-memory or filesystem-backed) in InstanceOptions.
+// Snapshots are per PE: a versioned, CRC-32C-guarded binary blob with
+// one section per stateful operator, taken periodically on the platform
+// clock (CheckpointInterval; 0 disables the timer) and on demand via
+// the orchestrator actuation Service.CheckpointPE. SAM's RestartPE then
+// restores every section into the fresh container before any tuple is
+// delivered, so a restarted PE resumes with its aggregate windows and
+// application counters instead of rebuilding them from live traffic.
+//
+// What a snapshot captures is exactly what operators write in
+// SaveState — nothing else. Input-queue contents, in-flight tuples, and
+// built-in metrics are lost on a crash (restart-based recovery keeps
+// the paper's §5.2 tuple-loss semantics; only declared operator state
+// survives). Capture is per-operator atomic — SaveState runs serialised
+// with tuple processing for operators with inputs, and against the
+// operator's own synchronisation for sources — but not consistent
+// across operators or PEs. A corrupt, truncated, or version-skewed
+// snapshot is detected (bad magic, CRC mismatch, version check),
+// logged, and discarded: a bad snapshot never blocks a restart, it just
+// makes the restart cold. Cancelling a job deletes its snapshots.
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for the
 // paper-vs-measured record. The root-level benchmarks (bench_test.go)

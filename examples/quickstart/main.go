@@ -1,34 +1,45 @@
 // Command quickstart is the smallest end-to-end orchestrator program:
-// it boots a two-host platform, submits a tiny pipeline with a custom
-// operator (registered with a declarative descriptor, so the builder
-// validates its configuration at Build time), writes an ORCA policy
-// inline that restarts crashed PEs, injects a failure, and shows the
-// policy healing the application.
+// it boots a two-host platform with operator-state checkpointing,
+// submits a tiny pipeline with a custom stateful operator (registered
+// with a declarative descriptor, so the builder validates its
+// configuration at Build time), writes an ORCA policy inline that
+// restarts crashed PEs, injects a failure, and shows the policy healing
+// the application with the operator's state restored from its latest
+// snapshot rather than reset to zero.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
 	"streamorca/orca"
 	"streamorca/streams"
 )
 
-// scaleOp is a custom operator: it adds "delta" to the "seq" attribute.
-// Its descriptor below declares the parameter and port shapes, so a
-// misconfigured application fails at Build, not at runtime.
+// restoredCount observes what the restarted operator got back from the
+// snapshot, so main can print the recovery (single-process demo only).
+var restoredCount atomic.Int64
+
+// scaleOp is a custom stateful operator: it adds "delta" to the "seq"
+// attribute and counts how many tuples it has scaled. The counter is
+// checkpointable state — on a checkpointing platform it survives PE
+// restarts. Its descriptor below declares the parameter and port
+// shapes, so a misconfigured application fails at Build, not at
+// runtime.
 type scaleOp struct {
 	streams.OperatorBase
-	ctx   streams.OpContext
-	delta int64
-	seq   streams.FieldRef
+	ctx    streams.OpContext
+	delta  int64
+	scaled int64
+	seq    streams.FieldRef
 }
 
 func init() {
 	streams.RegisterOperatorModel("QuickScale", func() streams.Operator { return &scaleOp{} },
 		&streams.OpModel{
-			Doc:     "adds delta to the seq attribute",
+			Doc:     "adds delta to the seq attribute, counting scaled tuples",
 			Inputs:  streams.ExactlyPorts(1),
 			Outputs: streams.ExactlyPorts(1),
 			Params: []streams.ParamSpec{
@@ -51,12 +62,32 @@ func (o *scaleOp) Open(ctx streams.OpContext) error {
 }
 
 func (o *scaleOp) Process(port int, t streams.Tuple) error {
+	o.scaled++
 	o.seq.SetInt(t, o.seq.Int(t)+o.delta)
 	return o.ctx.Submit(0, t)
 }
 
+// SaveState and RestoreState make the operator checkpointable: the PE
+// snapshots the counter (periodically, and on orca.Service.CheckpointPE)
+// and a restarted PE hands it back before the first tuple arrives.
+func (o *scaleOp) SaveState(e *streams.StateEncoder) error {
+	e.PutInt(o.scaled)
+	return nil
+}
+
+func (o *scaleOp) RestoreState(d *streams.StateDecoder) error {
+	v := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	o.scaled = v
+	restoredCount.Store(v)
+	return nil
+}
+
 // restartPolicy is a complete ORCA logic: subscribe to PE failures of the
-// managed application and restart whatever crashes.
+// managed application, snapshot nothing extra (the platform checkpoints
+// on an interval), and restart whatever crashes.
 type restartPolicy struct {
 	orca.Base
 	restarted chan streams.PEID
@@ -74,7 +105,7 @@ func (p *restartPolicy) HandleOrcaStart(svc *orca.Service, ctx *orca.OrcaStartCo
 }
 
 func (p *restartPolicy) HandlePEFailure(svc *orca.Service, ctx *orca.PEFailureContext, scopes []string) {
-	fmt.Printf("PE %s crashed on %s (%s), operators %v — restarting\n",
+	fmt.Printf("PE %s crashed on %s (%s), operators %v — restarting with restore\n",
 		ctx.PE, ctx.Host, ctx.Reason, ctx.Operators)
 	if err := svc.RestartPE(ctx.PE); err != nil {
 		log.Fatal(err)
@@ -83,8 +114,12 @@ func (p *restartPolicy) HandlePEFailure(svc *orca.Service, ctx *orca.PEFailureCo
 }
 
 func main() {
+	// A checkpoint store turns PE restarts stateful. NewFSCheckpointStore
+	// persists across processes; the in-memory store is enough here.
 	inst, err := streams.NewInstance(streams.InstanceOptions{
-		Hosts: []streams.HostSpec{{Name: "alpha"}, {Name: "beta"}},
+		Hosts:              []streams.HostSpec{{Name: "alpha"}, {Name: "beta"}},
+		Checkpoint:         streams.NewMemCheckpointStore(),
+		CheckpointInterval: 20 * time.Millisecond,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -139,27 +174,38 @@ func main() {
 	}
 	defer svc.Stop()
 
-	// Let some data flow, then inject a failure into the sink's PE.
+	// Let some data flow, then inject a failure into the stateful
+	// scaler's PE.
 	coll := streams.Collector("quickstart")
 	for coll.Len() < 20 {
 		time.Sleep(time.Millisecond)
 	}
 	jobs := svc.ManagedJobs()
 	g, _ := svc.Graph(jobs[0].Job)
-	sinkPE, _ := g.PEOfOperator("sink")
-	host, _ := g.HostOfPE(sinkPE)
-	fmt.Printf("pipeline running: %d tuples so far; sink in %s on %s\n", coll.Len(), sinkPE, host)
+	scalePE, _ := g.PEOfOperator("scale")
+	host, _ := g.HostOfPE(scalePE)
+	fmt.Printf("pipeline running: %d tuples so far; scaler in %s on %s\n", coll.Len(), scalePE, host)
 
-	if err := svc.KillPE(sinkPE, "demo fault injection"); err != nil {
+	// Snapshot on demand right before the fault, so the demo recovers
+	// the freshest possible state (the 20 ms interval checkpoints too).
+	if err := svc.CheckpointPE(scalePE); err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.KillPE(scalePE, "demo fault injection"); err != nil {
 		log.Fatal(err)
 	}
 	<-policy.restarted
 
-	// Confirm the flow resumes after the restart.
+	// Confirm the flow resumes after the restart, with restored state.
 	before := coll.Len()
 	for coll.Len() <= before {
 		time.Sleep(time.Millisecond)
 	}
 	fmt.Printf("flow resumed after restart: %d tuples delivered\n", coll.Len())
+	if n := restoredCount.Load(); n > 0 {
+		fmt.Printf("scaler state survived the crash: restored counter = %d scaled tuples\n", n)
+	} else {
+		log.Fatal("scaler state was not restored")
+	}
 	fmt.Println("quickstart OK")
 }

@@ -5,11 +5,17 @@ import (
 	"strings"
 	"time"
 
+	"streamorca/internal/ckpt"
 	"streamorca/internal/extjob"
 	"streamorca/internal/opapi"
 	"streamorca/internal/tuple"
 	"streamorca/internal/workload"
 )
+
+// segmentAttributes are the profile attributes SegmentSource segments
+// by; shared between the operator model and Open's BindEnum so the two
+// can never diverge.
+var segmentAttributes = []string{"age", "gender", "location"}
 
 // Application-specific operator kinds registered by this package.
 const (
@@ -113,7 +119,7 @@ func init() {
 		),
 		Params: []opapi.ParamSpec{
 			{Name: "storeId", Type: opapi.ParamString, Required: true, Doc: "shared profile store id"},
-			{Name: "attribute", Type: opapi.ParamEnum, Required: true, Enum: []string{"age", "gender", "location"}, Doc: "profile attribute to segment by"},
+			{Name: "attribute", Type: opapi.ParamEnum, Required: true, Enum: segmentAttributes, Doc: "profile attribute to segment by"},
 		},
 	})
 }
@@ -290,7 +296,10 @@ func (c *sentimentClassifier) Process(port int, t tuple.Tuple) error {
 // gauges (recentKnownCauses, recentUnknownCauses) over the last
 // recentWindow negative tweets, which give Figure 8 its post-adaptation
 // drop. Negative tweet texts are appended to the batch corpus for later
-// model recomputation.
+// model recomputation. The sliding window and the cumulative counters
+// are checkpointable state, so a restarted matcher neither forgets its
+// recent-match ratio nor resets the totals the orchestrator's metric
+// scopes watch.
 //
 // Parameters: modelId, storeId, recentWindow (default 200).
 type causeMatcher struct {
@@ -377,6 +386,50 @@ func (m *causeMatcher) Process(port int, t tuple.Tuple) error {
 	m.outCause.SetStr(out, cause)
 	m.outKnown.SetBool(out, known)
 	return m.ctx.Submit(0, out)
+}
+
+// SaveState snapshots the cumulative cause counters and the sliding
+// window of recent match outcomes. The shared model and corpus live in
+// extjob registries outside the PE and survive on their own.
+func (m *causeMatcher) SaveState(e *ckpt.Encoder) error {
+	e.PutInt(m.ctx.CustomMetric("totalKnownCauses").Value())
+	e.PutInt(m.ctx.CustomMetric("totalUnknownCauses").Value())
+	e.PutUint(uint64(len(m.recent)))
+	for _, known := range m.recent {
+		e.PutBool(known)
+	}
+	return nil
+}
+
+// RestoreState reinstates the counters and rebuilds the window (and its
+// derived gauges) from the snapshot.
+func (m *causeMatcher) RestoreState(d *ckpt.Decoder) error {
+	totalKnown := d.Int()
+	totalUnknown := d.Int()
+	n := d.Uint()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	// Clamp before converting: n is decoder-controlled, and a hostile
+	// value past maxint would go negative through int().
+	recent := make([]bool, 0, min(n, uint64(m.window)))
+	nKnown := 0
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		known := d.Bool()
+		recent = append(recent, known)
+		if known {
+			nKnown++
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	m.recent, m.nKnown = recent, nKnown
+	m.ctx.CustomMetric("totalKnownCauses").Set(totalKnown)
+	m.ctx.CustomMetric("totalUnknownCauses").Set(totalUnknown)
+	m.ctx.CustomMetric("recentKnownCauses").Set(int64(m.nKnown))
+	m.ctx.CustomMetric("recentUnknownCauses").Set(int64(len(m.recent) - m.nKnown))
+	return nil
 }
 
 // tickSource emits synthetic stock trades from workload.TickGen.
@@ -613,7 +666,7 @@ func (s *segmentSource) Open(ctx opapi.Context) error {
 	if id == "" {
 		return fmt.Errorf("SegmentSource %s: storeId required", ctx.Name())
 	}
-	attr, err := p.BindEnum("attribute", "", "age", "gender", "location")
+	attr, err := p.BindEnum("attribute", "", segmentAttributes...)
 	if err != nil || attr == "" {
 		return fmt.Errorf("SegmentSource %s: attribute must be age|gender|location, got %q", ctx.Name(), p.Get("attribute", ""))
 	}

@@ -14,6 +14,7 @@ import (
 
 	"streamorca/internal/adl"
 	"streamorca/internal/apps"
+	"streamorca/internal/ckpt"
 	"streamorca/internal/compiler"
 	"streamorca/internal/extjob"
 	"streamorca/internal/opapi"
@@ -115,6 +116,43 @@ func (d *thresholdDetector) Process(port int, t tuple.Tuple) error {
 	if ratio <= d.threshold {
 		d.fired = false // re-arm once the condition clears
 	}
+	return nil
+}
+
+// SaveState snapshots the detection window and trigger latch, so a
+// restarted embedded detector neither re-fires a trigger it already
+// sent nor forgets the ratio it was tracking.
+func (d *thresholdDetector) SaveState(e *ckpt.Encoder) error {
+	e.PutBool(d.fired)
+	e.PutUint(uint64(len(d.recent)))
+	for _, known := range d.recent {
+		e.PutBool(known)
+	}
+	return nil
+}
+
+// RestoreState rebuilds the window and latch from the snapshot.
+func (d *thresholdDetector) RestoreState(dec *ckpt.Decoder) error {
+	fired := dec.Bool()
+	n := dec.Uint()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	// Clamp before converting: n is decoder-controlled, and a hostile
+	// value past maxint would go negative through int().
+	recent := make([]bool, 0, min(n, uint64(d.window)))
+	known := 0
+	for i := uint64(0); i < n && dec.Err() == nil; i++ {
+		k := dec.Bool()
+		recent = append(recent, k)
+		if k {
+			known++
+		}
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	d.fired, d.recent, d.known = fired, recent, known
 	return nil
 }
 

@@ -1,0 +1,138 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store persists snapshots under string keys (SAM keys them by job and
+// PE id). Save must copy data before returning: the caller recycles the
+// slice into the codec buffer pool. Implementations must be safe for
+// concurrent use — the per-PE checkpoint drivers run independently.
+type Store interface {
+	// Save persists a snapshot, replacing any previous one for the key.
+	Save(key string, data []byte) error
+	// Load returns the latest snapshot for key, reporting whether one
+	// exists. The returned slice is owned by the caller.
+	Load(key string) ([]byte, bool, error)
+	// Delete removes the snapshot for key; deleting a missing key is
+	// not an error.
+	Delete(key string) error
+}
+
+// MemStore is an in-memory snapshot store: the default for tests and
+// single-process instances, where a PE restart survives but a process
+// crash loses everything.
+type MemStore struct {
+	mu    sync.Mutex
+	snaps map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{snaps: make(map[string][]byte)} }
+
+// Save implements Store.
+func (m *MemStore) Save(key string, data []byte) error {
+	cp := append([]byte(nil), data...)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snaps[key] = cp
+	return nil
+}
+
+// Load implements Store.
+func (m *MemStore) Load(key string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.snaps[key]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), data...), true, nil
+}
+
+// Delete implements Store.
+func (m *MemStore) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.snaps, key)
+	return nil
+}
+
+// Len returns the number of stored snapshots.
+func (m *MemStore) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.snaps)
+}
+
+// FSStore persists snapshots as files under one directory, surviving
+// the process — the store a multi-host deployment would back with
+// shared storage for cross-host restore. Writes go through a temp file
+// and rename, so a crash mid-save never leaves a torn snapshot (and
+// Parse's CRC catches torn storage below the filesystem's guarantees).
+type FSStore struct {
+	dir string
+}
+
+// NewFSStore opens (creating if needed) a filesystem-backed store
+// rooted at dir.
+func NewFSStore(dir string) (*FSStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: open store %s: %w", dir, err)
+	}
+	return &FSStore{dir: dir}, nil
+}
+
+// path maps a key to a file name, escaping separators so keys like
+// "job-1/pe-3" stay a single flat file.
+func (f *FSStore) path(key string) string {
+	safe := strings.NewReplacer("/", "_", string(filepath.Separator), "_", "..", "_").Replace(key)
+	return filepath.Join(f.dir, safe+".ckpt")
+}
+
+// Save implements Store.
+func (f *FSStore) Save(key string, data []byte) error {
+	dst := f.path(key)
+	tmp, err := os.CreateTemp(f.dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: save %q: %w", key, err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), dst)
+	}
+	if werr != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("ckpt: save %q: %w", key, werr)
+	}
+	return nil
+}
+
+// Load implements Store.
+func (f *FSStore) Load(key string) ([]byte, bool, error) {
+	data, err := os.ReadFile(f.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("ckpt: load %q: %w", key, err)
+	}
+	return data, true, nil
+}
+
+// Delete implements Store.
+func (f *FSStore) Delete(key string) error {
+	err := os.Remove(f.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("ckpt: delete %q: %w", key, err)
+	}
+	return nil
+}

@@ -118,6 +118,21 @@ func (s *Service) RestartPE(pe ids.PEID) error {
 	return nil
 }
 
+// CheckpointPE captures an on-demand state snapshot of a managed PE.
+// Paired with RestartPE it gives policies a stateful restart: snapshot,
+// restart, and the PE resumes with its aggregate windows and counters
+// intact instead of rebuilding them from fresh traffic. It fails when
+// the platform runs without a checkpoint store.
+func (s *Service) CheckpointPE(pe ids.PEID) error {
+	if _, ok := s.jobOfPE(pe); !ok {
+		s.recordActuation("CheckpointPE", pe.String(), ErrUnmanagedJob)
+		return ErrUnmanagedJob
+	}
+	err := s.cfg.SAM.CheckpointPE(pe)
+	s.recordActuation("CheckpointPE", pe.String(), err)
+	return err
+}
+
 // StopPE stops a PE of a managed job without restarting it.
 func (s *Service) StopPE(pe ids.PEID) error {
 	job, ok := s.jobOfPE(pe)

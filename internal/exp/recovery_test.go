@@ -1,0 +1,24 @@
+package exp
+
+import "testing"
+
+// TestRecoveryScenario pins the recovery smoke: a checkpointed
+// aggregation PE restarted by the policy resumes past its pre-failure
+// window fill (a cold restart would resume at 1).
+func TestRecoveryScenario(t *testing.T) {
+	cfg := DefaultRecovery()
+	cfg.StoreDir = t.TempDir() // exercise the persistent store end to end
+	res, err := RunRecovery(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CountAtCheckpoint < cfg.WarmCount {
+		t.Fatalf("checkpointed too early: count %d < warm %d", res.CountAtCheckpoint, cfg.WarmCount)
+	}
+	if res.FirstPostRestart <= res.MaxPreFailure {
+		t.Fatalf("no continuity: first post-restart %d <= pre max %d", res.FirstPostRestart, res.MaxPreFailure)
+	}
+	if res.Restores < 1 {
+		t.Fatalf("restores = %d", res.Restores)
+	}
+}

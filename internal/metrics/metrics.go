@@ -38,6 +38,12 @@ const (
 	PETuplesProcessed     = "nTuplesProcessed"
 	PETuplesSubmitted     = "nTuplesSubmitted"
 	PERestarts            = "nRestarts"
+	// PECheckpoints counts completed state snapshots of the container;
+	// PECheckpointBytes accumulates their encoded sizes; PEStateRestores
+	// counts operators whose state a restart restored from a snapshot.
+	PECheckpoints     = "nCheckpoints"
+	PECheckpointBytes = "nCheckpointBytes"
+	PEStateRestores   = "nStateRestores"
 )
 
 // Counter is a 64-bit metric cell. Built-in counters are monotonic except

@@ -1,0 +1,29 @@
+//lint:file-ignore SA1019 this file deliberately pins the deprecated silent accessors until their removal (see the deprecation timeline in the repo root doc.go)
+
+package opapi
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDeprecatedSilentAccessors pins the legacy behaviour of the
+// deprecated Params.Int/Float/Bool/Duration accessors — silent default
+// fallback on malformed values — until they are removed. All production
+// callers have migrated to the Bind* family; this is the only remaining
+// user in the repository.
+func TestDeprecatedSilentAccessors(t *testing.T) {
+	p := Params{"i": "42", "f": "2.5", "b": "true", "d": "3s", "bad": "x"}
+	if p.Int("i", 0) != 42 || p.Int("bad", 7) != 7 || p.Int("missing", 7) != 7 {
+		t.Fatal("Int wrong")
+	}
+	if p.Float("f", 0) != 2.5 || p.Float("bad", 1.5) != 1.5 {
+		t.Fatal("Float wrong")
+	}
+	if !p.Bool("b", false) || !p.Bool("bad", true) || p.Bool("missing", false) {
+		t.Fatal("Bool wrong")
+	}
+	if p.Duration("d", 0) != 3*time.Second || p.Duration("bad", time.Minute) != time.Minute {
+		t.Fatal("Duration wrong")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"streamorca/internal/ckpt"
 	"streamorca/internal/metrics"
 	"streamorca/internal/tuple"
 	"streamorca/internal/vclock"
@@ -177,8 +178,16 @@ type Binder struct {
 // Bind starts an error-accumulating binding pass over the parameters.
 func (p Params) Bind() *Binder { return &Binder{p: p} }
 
-// Str returns the string value for key, or def when absent.
-func (b *Binder) Str(key, def string) string { return b.p.Get(key, def) }
+// Str returns the string value for key, or def when absent or empty —
+// the same "empty means use the default" rule as every other binding
+// accessor, so a submission-time template substituting to "" falls back
+// instead of keying on the empty string.
+func (b *Binder) Str(key, def string) string {
+	if v, ok := b.p.lookup(key); ok {
+		return v
+	}
+	return def
+}
 
 // Int binds an integer parameter, recording malformed values.
 func (b *Binder) Int(key string, def int64) int64 {
@@ -321,6 +330,35 @@ type Source interface {
 // runtime, §3). Control calls arrive on the processing goroutine.
 type Controllable interface {
 	Control(cmd string, args map[string]string) error
+}
+
+// StatefulOperator is implemented by operators whose in-memory state
+// should survive a PE restart. The PE checkpoint driver periodically
+// (and on demand) calls SaveState to serialise the state into a
+// snapshot section; when a restarted PE finds a snapshot, it calls
+// RestoreState after Open and before any tuple delivery.
+//
+// Contract:
+//
+//   - SaveState writes the state through the encoder; RestoreState
+//     reads the same values back in the same order and must fully
+//     overwrite the operator's state (a restore never merges).
+//   - For operators with input ports both calls run on the processing
+//     goroutine, serialised with Process/ProcessMark/Control. For
+//     sources, SaveState may run concurrently with Run, so shared
+//     state needs the operator's own synchronisation (an atomic
+//     cursor is usually enough).
+//   - Only state the operator writes is captured: queued input items,
+//     in-flight tuples, and built-in metrics are not part of a
+//     snapshot (restore-based recovery still loses the tuples in
+//     flight at the crash, as §5.2's partial fault tolerance allows).
+//   - A RestoreState error (or a decoder error latched during it)
+//     discards the section and the operator starts fresh; it must not
+//     leave itself half-restored in a way Open did not already handle.
+type StatefulOperator interface {
+	Operator
+	SaveState(enc *ckpt.Encoder) error
+	RestoreState(dec *ckpt.Decoder) error
 }
 
 // Base provides no-op defaults so operators only implement what they

@@ -16,17 +16,32 @@ func TestParamsAccessors(t *testing.T) {
 	if p.Get("s", "d") != "hello" || p.Get("missing", "d") != "d" {
 		t.Fatal("Get wrong")
 	}
-	if p.Int("i", 0) != 42 || p.Int("badi", 7) != 7 || p.Int("missing", 7) != 7 {
-		t.Fatal("Int wrong")
+	if v, err := p.BindInt("i", 0); v != 42 || err != nil {
+		t.Fatalf("BindInt = %d, %v", v, err)
 	}
-	if p.Float("f", 0) != 2.5 || p.Float("badf", 1.5) != 1.5 {
-		t.Fatal("Float wrong")
+	if v, err := p.BindInt("missing", 7); v != 7 || err != nil {
+		t.Fatalf("BindInt missing = %d, %v", v, err)
 	}
-	if !p.Bool("b", false) || p.Bool("badb", true) != true || p.Bool("missing", false) {
-		t.Fatal("Bool wrong")
+	if v, err := p.BindInt("badi", 7); v != 7 || err == nil {
+		t.Fatalf("BindInt malformed = %d, %v", v, err)
 	}
-	if p.Duration("d", 0) != 3*time.Second || p.Duration("badd", time.Minute) != time.Minute {
-		t.Fatal("Duration wrong")
+	if v, err := p.BindFloat("f", 0); v != 2.5 || err != nil {
+		t.Fatalf("BindFloat = %v, %v", v, err)
+	}
+	if _, err := p.BindFloat("badf", 1.5); err == nil {
+		t.Fatal("BindFloat malformed must error")
+	}
+	if v, err := p.BindBool("b", false); !v || err != nil {
+		t.Fatalf("BindBool = %v, %v", v, err)
+	}
+	if _, err := p.BindBool("badb", true); err == nil {
+		t.Fatal("BindBool malformed must error")
+	}
+	if v, err := p.BindDuration("d", 0); v != 3*time.Second || err != nil {
+		t.Fatalf("BindDuration = %v, %v", v, err)
+	}
+	if _, err := p.BindDuration("badd", time.Minute); err == nil {
+		t.Fatal("BindDuration malformed must error")
 	}
 }
 

@@ -28,6 +28,10 @@ const (
 // accept for their "op" parameter.
 var comparisonOps = []string{"eq", "ne", "lt", "le", "gt", "ge", "contains"}
 
+// splitModes are Split's routing disciplines; shared between the
+// operator model and Open's BindEnum so the two can never diverge.
+var splitModes = []string{"roundrobin", "duplicate", "hash"}
+
 // filterParams is the shared parameter block of Filter and DynamicFilter.
 func filterParams() []opapi.ParamSpec {
 	return []opapi.ParamSpec{
@@ -74,7 +78,7 @@ func init() {
 		Inputs:  opapi.ExactlyPorts(1),
 		Outputs: opapi.AtLeastPorts(1),
 		Params: []opapi.ParamSpec{
-			{Name: "mode", Type: opapi.ParamEnum, Enum: []string{"roundrobin", "duplicate", "hash"}, Default: "roundrobin", Doc: "routing discipline"},
+			{Name: "mode", Type: opapi.ParamEnum, Enum: splitModes, Default: "roundrobin", Doc: "routing discipline"},
 			{Name: "attr", Type: opapi.ParamString, Doc: "hashing attribute for mode=hash"},
 		},
 	})

@@ -330,7 +330,7 @@ type split struct {
 func (s *split) Open(ctx opapi.Context) error {
 	s.ctx = ctx
 	var err error
-	if s.mode, err = ctx.Params().BindEnum("mode", "roundrobin", "roundrobin", "duplicate", "hash"); err != nil {
+	if s.mode, err = ctx.Params().BindEnum("mode", "roundrobin", splitModes...); err != nil {
 		return fmt.Errorf("Split %s: %w", ctx.Name(), err)
 	}
 	s.attr = ctx.Params().Get("attr", "")

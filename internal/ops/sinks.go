@@ -6,6 +6,8 @@ import (
 	"os"
 	"sync"
 
+	"streamorca/internal/ckpt"
+	"streamorca/internal/metrics"
 	"streamorca/internal/opapi"
 	"streamorca/internal/tuple"
 )
@@ -181,14 +183,39 @@ func (s *fileSink) Close() error {
 
 // countSink discards tuples, tracking only the custom metric
 // "nTuplesSeen" — the cheapest possible sink for throughput benches.
+// The counter is checkpointable state: on a checkpointing platform the
+// count survives a PE restart instead of resetting to zero, which is
+// what the recovery smoke scenario asserts on.
 type countSink struct {
 	opapi.Base
-	ctx opapi.Context
+	ctx  opapi.Context
+	seen *metrics.Counter
 }
 
-func (s *countSink) Open(ctx opapi.Context) error { s.ctx = ctx; return nil }
+func (s *countSink) Open(ctx opapi.Context) error {
+	s.ctx = ctx
+	s.seen = ctx.CustomMetric("nTuplesSeen")
+	return nil
+}
 
 func (s *countSink) Process(port int, t tuple.Tuple) error {
-	s.ctx.CustomMetric("nTuplesSeen").Inc()
+	s.seen.Inc()
+	return nil
+}
+
+// SaveState snapshots the tuple count.
+func (s *countSink) SaveState(e *ckpt.Encoder) error {
+	e.PutInt(s.seen.Value())
+	return nil
+}
+
+// RestoreState reinstates the tuple count into the fresh container's
+// metric, so SRM-visible totals continue across the restart.
+func (s *countSink) RestoreState(d *ckpt.Decoder) error {
+	v := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	s.seen.Set(v)
 	return nil
 }

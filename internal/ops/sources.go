@@ -2,14 +2,18 @@ package ops
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"streamorca/internal/ckpt"
 	"streamorca/internal/opapi"
 	"streamorca/internal/tuple"
 )
 
 // beacon is the standard test/demo source: it emits sequentially numbered
-// tuples on output port 0.
+// tuples on output port 0. The sequence cursor is checkpointable state:
+// on a checkpointing platform a restarted beacon resumes numbering where
+// the snapshot left off instead of starting over from zero.
 //
 // Parameters:
 //
@@ -23,6 +27,10 @@ type beacon struct {
 	count   int64
 	period  time.Duration
 	seqAttr string
+	// next is the sequence cursor; atomic because SaveState runs
+	// concurrently with the Run goroutine (sources have no processing
+	// loop to serialise against).
+	next atomic.Int64
 }
 
 func (b *beacon) Open(ctx opapi.Context) error {
@@ -50,7 +58,11 @@ func (b *beacon) Run(stop <-chan struct{}) error {
 		}
 		seqRef = ref
 	}
-	for i := int64(0); b.count == 0 || i < b.count; i++ {
+	for {
+		i := b.next.Load()
+		if b.count != 0 && i >= b.count {
+			return nil
+		}
 		select {
 		case <-stop:
 			return nil
@@ -63,10 +75,28 @@ func (b *beacon) Run(stop <-chan struct{}) error {
 		if err := b.ctx.Submit(0, t); err != nil {
 			return err
 		}
+		// Advance after the emit: a checkpoint between Submit and Add
+		// re-emits the in-flight tuple on restart rather than skipping it.
+		b.next.Store(i + 1)
 		if !opapi.Sleep(b.ctx.Clock(), b.period, stop) {
 			return nil
 		}
 	}
+}
+
+// SaveState snapshots the sequence cursor.
+func (b *beacon) SaveState(e *ckpt.Encoder) error {
+	e.PutInt(b.next.Load())
+	return nil
+}
+
+// RestoreState resumes numbering from the snapshot's cursor.
+func (b *beacon) RestoreState(d *ckpt.Decoder) error {
+	v := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	b.next.Store(v)
 	return nil
 }
 

@@ -1,0 +1,203 @@
+package pe
+
+import (
+	"fmt"
+
+	"streamorca/internal/ckpt"
+	"streamorca/internal/metrics"
+	"streamorca/internal/opapi"
+)
+
+// This file implements the PE's checkpoint driver: periodic and
+// on-demand state capture of the container's stateful operators, and
+// the restore pass a restarted container runs before processing begins.
+//
+// Capture is per-operator atomic — each operator's SaveState runs on
+// its processing goroutine, serialised with tuple delivery — but not
+// globally consistent across operators: the snapshot of op A may be a
+// few tuples ahead of op B's. That matches the paper's partial
+// fault-tolerance model, where restart-based recovery tolerates bounded
+// inconsistency in exchange for staying off the tuple hot path.
+
+// Checkpoint captures the state of every stateful operator in the
+// container and persists the snapshot, returning its encoded size.
+// Safe to call concurrently with processing; concurrent checkpoints
+// serialise. It fails when checkpointing is not configured or the PE
+// is not running.
+func (p *PE) Checkpoint() (int, error) {
+	if p.cfg.Ckpt.Store == nil {
+		return 0, fmt.Errorf("pe %s: checkpointing not configured", p.cfg.ID)
+	}
+	if p.State() != Running {
+		return 0, fmt.Errorf("pe %s: not running", p.cfg.ID)
+	}
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+	w := ckpt.NewWriter()
+	defer w.Close()
+	for _, rt := range p.statefuls {
+		st := rt.op.(opapi.StatefulOperator)
+		err := w.Section(rt.spec.Name, rt.spec.Kind, func(e *ckpt.Encoder) error {
+			return rt.capture(st, e)
+		})
+		if err != nil {
+			return 0, fmt.Errorf("pe %s: checkpoint %s: %w", p.cfg.ID, rt.spec.Name, err)
+		}
+	}
+	data := w.Finish()
+	if err := p.cfg.Ckpt.Store.Save(p.cfg.Ckpt.Key, data); err != nil {
+		return 0, fmt.Errorf("pe %s: persist checkpoint: %w", p.cfg.ID, err)
+	}
+	p.peMetrics.Counter(metrics.PECheckpoints).Inc()
+	p.peMetrics.Counter(metrics.PECheckpointBytes).Add(int64(len(data)))
+	return len(data), nil
+}
+
+// capture runs SaveState at a safe point. Operators with inputs are
+// captured on their processing goroutine (a sync message through the
+// input queue, like Control); sources are captured inline and must
+// synchronise internally, as StatefulOperator documents.
+func (rt *opRuntime) capture(st opapi.StatefulOperator, e *ckpt.Encoder) error {
+	if len(rt.spec.Inputs) == 0 {
+		return st.SaveState(e)
+	}
+	msg := &syncMsg{fn: func() error { return st.SaveState(e) }, done: make(chan error, 1)}
+	select {
+	case rt.in <- queued{sync: msg}:
+	case <-rt.loopDone:
+		return rt.captureQuiescent(st, e)
+	case <-rt.pe.kill:
+		return fmt.Errorf("pe %s: died before capturing %s", rt.pe.cfg.ID, rt.spec.Name)
+	}
+	select {
+	case err := <-msg.done:
+		return err
+	case <-rt.loopDone:
+		// The loop exited after our message was queued. If it ran the
+		// capture on its way out the result is buffered; if it never
+		// claimed it, fall back to the quiescent path; a claim without a
+		// result means SaveState panicked the loop.
+		select {
+		case err := <-msg.done:
+			return err
+		default:
+		}
+		if !msg.claim() {
+			return fmt.Errorf("pe %s: capture of %s aborted by operator crash", rt.pe.cfg.ID, rt.spec.Name)
+		}
+		return rt.captureQuiescent(st, e)
+	case <-rt.pe.kill:
+		// Invalidate the queued message before abandoning it: once this
+		// function returns, the encoder's pooled buffer is recycled, so
+		// a claim here guarantees the loop can no longer run fn against
+		// it. Losing the claim means the loop is already running fn —
+		// wait out its buffered result (or its crash) instead.
+		if msg.claim() {
+			return fmt.Errorf("pe %s: died while capturing %s", rt.pe.cfg.ID, rt.spec.Name)
+		}
+		select {
+		case err := <-msg.done:
+			return err
+		case <-rt.loopDone:
+			select {
+			case err := <-msg.done:
+				return err
+			default:
+				return fmt.Errorf("pe %s: capture of %s aborted by operator crash", rt.pe.cfg.ID, rt.spec.Name)
+			}
+		}
+	}
+}
+
+// captureQuiescent captures an operator whose consume loop has exited.
+// Only the clean all-inputs-finalised exit is safe to capture inline: a
+// loop that ended in a crash or panic may have left the state
+// mid-mutation, and persisting it would overwrite the last good
+// snapshot with a CRC-valid but semantically corrupt one. (The crash
+// path also closes loopDone before the PE's kill channel, so this check
+// — not the kill select — is what keeps a crashing capture out.)
+func (rt *opRuntime) captureQuiescent(st opapi.StatefulOperator, e *ckpt.Encoder) error {
+	if !rt.finalised.Load() {
+		return fmt.Errorf("pe %s: operator %s stopped without finalising", rt.pe.cfg.ID, rt.spec.Name)
+	}
+	return st.SaveState(e)
+}
+
+// restoreState loads the PE's snapshot (if any) and hands each section
+// to its operator. A missing snapshot is a clean cold start; a corrupt
+// or version-skewed one is logged and discarded — recovery availability
+// beats state fidelity, so a bad snapshot never blocks a restart.
+func (p *PE) restoreState() {
+	data, ok, err := p.cfg.Ckpt.Store.Load(p.cfg.Ckpt.Key)
+	if err != nil {
+		p.cfg.Logf("pe %s: load checkpoint: %v", p.cfg.ID, err)
+		return
+	}
+	if !ok {
+		return
+	}
+	snap, err := ckpt.Parse(data)
+	if err != nil {
+		p.cfg.Logf("pe %s: discarding checkpoint %q: %v", p.cfg.ID, p.cfg.Ckpt.Key, err)
+		return
+	}
+	restored := 0
+	for _, sec := range snap.Sections() {
+		rt, ok := p.byName[sec.Name]
+		if !ok || rt.spec.Kind != sec.Kind {
+			p.cfg.Logf("pe %s: checkpoint section %s/%s has no matching operator, skipping",
+				p.cfg.ID, sec.Name, sec.Kind)
+			continue
+		}
+		st, ok := rt.op.(opapi.StatefulOperator)
+		if !ok {
+			continue
+		}
+		err := p.restoreSection(st, sec)
+		if err != nil {
+			p.cfg.Logf("pe %s: restore %s: %v (starting fresh)", p.cfg.ID, sec.Name, err)
+			continue
+		}
+		restored++
+	}
+	if restored > 0 {
+		p.peMetrics.Counter(metrics.PEStateRestores).Add(int64(restored))
+		p.cfg.Logf("pe %s: restored %d operator state(s) from checkpoint", p.cfg.ID, restored)
+	}
+}
+
+// restoreSection hands one snapshot section to its operator, containing
+// panics: the CRC only guards accidental corruption, so a forged or
+// pathological payload must degrade to a fresh start for that operator,
+// never take down the restart ("a bad snapshot never blocks a restart").
+func (p *PE) restoreSection(st opapi.StatefulOperator, sec ckpt.Section) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("restore panicked: %v", r)
+		}
+	}()
+	dec := sec.Decoder()
+	err = st.RestoreState(dec)
+	if err == nil {
+		err = dec.Err()
+	}
+	return err
+}
+
+// ckptLoop drives periodic checkpoints on the PE clock until the
+// container leaves Running.
+func (p *PE) ckptLoop() {
+	defer p.wg.Done()
+	tk := p.cfg.Clock.NewTicker(p.cfg.Ckpt.Interval)
+	defer tk.Stop()
+	for {
+		select {
+		case <-tk.C():
+			if _, err := p.Checkpoint(); err != nil {
+				p.cfg.Logf("pe %s: periodic checkpoint: %v", p.cfg.ID, err)
+			}
+		case <-p.kill:
+			return
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package pe
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"streamorca/internal/ckpt"
+	"streamorca/internal/metrics"
+	"streamorca/internal/opapi"
+	"streamorca/internal/tuple"
+)
+
+// accumulator sums every value it sees — the minimal stateful operator.
+type accumulator struct {
+	opapi.Base
+	ctx opapi.Context
+	mu  sync.Mutex
+	sum int64
+}
+
+func (a *accumulator) Open(ctx opapi.Context) error { a.ctx = ctx; return nil }
+
+func (a *accumulator) Process(port int, t tuple.Tuple) error {
+	a.mu.Lock()
+	a.sum += t.Int("v")
+	a.mu.Unlock()
+	return nil
+}
+
+func (a *accumulator) SaveState(e *ckpt.Encoder) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e.PutInt(a.sum)
+	return nil
+}
+
+func (a *accumulator) RestoreState(d *ckpt.Decoder) error {
+	v := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.sum = v
+	a.mu.Unlock()
+	return nil
+}
+
+func (a *accumulator) value() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sum
+}
+
+func ckptRegistry(acc *accumulator, n int) *opapi.Registry {
+	reg := opapi.NewRegistry()
+	reg.Register("TestSource", func() opapi.Operator { return &testSource{n: n} })
+	reg.Register("Acc", func() opapi.Operator { return acc })
+	return reg
+}
+
+func accSpec(name string) OpSpec {
+	return OpSpec{Name: name, Kind: "Acc", Inputs: []*tuple.Schema{intSchema}}
+}
+
+func newCkptPE(t *testing.T, acc *accumulator, n int, cfgCkpt CkptConfig) *PE {
+	t.Helper()
+	p, err := New(Config{
+		ID: 7, Job: 1, App: "ckpt", Host: "h1",
+		Ops:      []OpSpec{srcSpec("src"), accSpec("acc")},
+		Wires:    []Wire{{"src", 0, "acc", 0}},
+		Registry: ckptRegistry(acc, n),
+		Ckpt:     cfgCkpt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCheckpointRestore: state captured from a running PE is restored
+// into a fresh container armed with Restore.
+func TestCheckpointRestore(t *testing.T) {
+	store := ckpt.NewMemStore()
+	acc1 := &accumulator{}
+	p1 := newCkptPE(t, acc1, 10, CkptConfig{Store: store, Key: "k"})
+	if err := p1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "source drained", func() bool { return acc1.value() == 45 })
+	n, err := p1.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("snapshot size = %d", n)
+	}
+	if got := p1.PEMetrics().Counter(metrics.PECheckpoints).Value(); got != 1 {
+		t.Fatalf("nCheckpoints = %d", got)
+	}
+	p1.Stop()
+
+	// A replacement container without Restore starts cold.
+	accCold := &accumulator{}
+	pCold := newCkptPE(t, accCold, 0, CkptConfig{Store: store, Key: "k"})
+	if err := pCold.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := accCold.value(); got != 0 {
+		t.Fatalf("cold start restored: sum = %d", got)
+	}
+	pCold.Stop()
+
+	// With Restore armed the state comes back before processing begins,
+	// and new tuples extend it.
+	acc2 := &accumulator{}
+	p2 := newCkptPE(t, acc2, 10, CkptConfig{Store: store, Key: "k", Restore: true})
+	if err := p2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "restored sum extended", func() bool { return acc2.value() == 90 })
+	if got := p2.PEMetrics().Counter(metrics.PEStateRestores).Value(); got != 1 {
+		t.Fatalf("nStateRestores = %d", got)
+	}
+	p2.Stop()
+}
+
+// TestCheckpointAfterFinals: capturing an operator whose inputs have all
+// finalised must not hang — the driver falls back to inline capture.
+func TestCheckpointAfterFinals(t *testing.T) {
+	store := ckpt.NewMemStore()
+	acc := &accumulator{}
+	p := newCkptPE(t, acc, 5, CkptConfig{Store: store, Key: "k2"})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The bounded source finishes and the accumulator sees its final
+	// punctuation, ending its consume loop.
+	waitCond(t, "consume loop exit", func() bool {
+		select {
+		case <-p.byName["acc"].loopDone:
+			return true
+		default:
+			return false
+		}
+	})
+	if _, err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snapData, ok, _ := store.Load("k2")
+	if !ok {
+		t.Fatal("no snapshot saved")
+	}
+	snap, err := ckpt.Parse(snapData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sec := range snap.Sections() {
+		if sec.Name == "acc" {
+			found = true
+			if v := sec.Decoder().Int(); v != 10 {
+				t.Fatalf("captured sum = %d", v)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("acc section missing")
+	}
+	p.Stop()
+}
+
+// TestRestoreDiscardsCorruptSnapshot: a corrupt or mismatched snapshot
+// is logged and skipped; the PE starts fresh instead of failing.
+func TestRestoreDiscardsCorruptSnapshot(t *testing.T) {
+	store := ckpt.NewMemStore()
+	if err := store.Save("bad", []byte("not a snapshot at all")); err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	acc := &accumulator{}
+	p, err := New(Config{
+		ID: 8, Job: 1, App: "ckpt", Host: "h1",
+		Ops:      []OpSpec{srcSpec("src"), accSpec("acc")},
+		Wires:    []Wire{{"src", 0, "acc", 0}},
+		Registry: ckptRegistry(acc, 3),
+		Ckpt:     CkptConfig{Store: store, Key: "bad", Restore: true},
+		Logf:     func(format string, args ...any) { logged = append(logged, format) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "fresh run completes", func() bool { return acc.value() == 3 })
+	if got := p.PEMetrics().Counter(metrics.PEStateRestores).Value(); got != 0 {
+		t.Fatalf("nStateRestores = %d", got)
+	}
+	joined := strings.Join(logged, "\n")
+	if !strings.Contains(joined, "discarding checkpoint") {
+		t.Fatalf("discard not logged: %q", joined)
+	}
+	p.Stop()
+}
+
+// TestRestoreSkipsKindMismatch: a section whose operator kind changed
+// under a reused name never flows into the new operator.
+func TestRestoreSkipsKindMismatch(t *testing.T) {
+	store := ckpt.NewMemStore()
+	w := ckpt.NewWriter()
+	defer w.Close()
+	if err := w.Section("acc", "SomethingElse", func(e *ckpt.Encoder) error {
+		e.PutInt(999)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("mismatch", w.Finish()); err != nil {
+		t.Fatal(err)
+	}
+	acc := &accumulator{}
+	p := newCkptPE(t, acc, 0, CkptConfig{Store: store, Key: "mismatch", Restore: true})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.value(); got != 0 {
+		t.Fatalf("mismatched section restored: sum = %d", got)
+	}
+	if got := p.PEMetrics().Counter(metrics.PEStateRestores).Value(); got != 0 {
+		t.Fatalf("nStateRestores = %d", got)
+	}
+	p.Stop()
+}
+
+// TestCheckpointUnconfigured: Checkpoint without a store fails cleanly.
+func TestCheckpointUnconfigured(t *testing.T) {
+	acc := &accumulator{}
+	p := newCkptPE(t, acc, 1, CkptConfig{})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Checkpoint(); err == nil {
+		t.Fatal("expected error")
+	}
+	p.Stop()
+}

@@ -2,6 +2,7 @@ package pe
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"streamorca/internal/tuple"
 )
@@ -61,11 +62,28 @@ type controlMsg struct {
 	done chan error
 }
 
+// syncMsg runs an arbitrary function on the operator's processing
+// goroutine — the checkpoint driver uses it to capture operator state
+// at a point serialised with tuple delivery. The claim handshake gives
+// fn exactly one owner: the consume loop claims before running, and a
+// sender that gives up claims to invalidate the message, so an
+// abandoned fn can never run against resources the sender has since
+// released (the capture encoder's pooled buffer).
+type syncMsg struct {
+	fn      func() error
+	done    chan error
+	claimed atomic.Bool
+}
+
+// claim reports whether the caller won ownership of fn.
+func (m *syncMsg) claim() bool { return m.claimed.CompareAndSwap(false, true) }
+
 // queued is what sits in an operator's input queue: a single item, a
-// whole transport batch, or a control command.
+// whole transport batch, a control command, or a synchronised call.
 type queued struct {
 	port  int
 	item  Item
 	batch *Batch
 	ctl   *controlMsg
+	sync  *syncMsg
 }

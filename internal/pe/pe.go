@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"streamorca/internal/ckpt"
 	"streamorca/internal/ids"
 	"streamorca/internal/metrics"
 	"streamorca/internal/opapi"
@@ -79,6 +81,27 @@ type Config struct {
 	// the container leaves the Running state. crashed is false for a
 	// clean Stop.
 	OnExit func(id ids.PEID, crashed bool, reason string)
+	// Ckpt configures operator-state checkpointing; the zero value
+	// disables it (restarts come back empty, the paper's §5.2 loss
+	// semantics).
+	Ckpt CkptConfig
+}
+
+// CkptConfig wires a PE to a checkpoint store.
+type CkptConfig struct {
+	// Store persists snapshots; nil disables checkpointing.
+	Store ckpt.Store
+	// Key identifies this PE's snapshot in the store (SAM keys by job
+	// and PE id, which survive restarts).
+	Key string
+	// Interval is the automatic checkpoint period on the PE clock;
+	// 0 means on-demand checkpoints only (PE.Checkpoint).
+	Interval time.Duration
+	// Restore makes Start look for a snapshot under Key and restore
+	// stateful operators from it before processing begins. SAM arms it
+	// on the restart path only, so a fresh submission never picks up a
+	// stale snapshot.
+	Restore bool
 }
 
 // Outlet receives items leaving the PE on a cross-PE or cross-job link.
@@ -89,10 +112,12 @@ type PE struct {
 	cfg   Config
 	state atomic.Int32
 
-	ops    []*opRuntime
-	byName map[string]*opRuntime
+	ops       []*opRuntime
+	byName    map[string]*opRuntime
+	statefuls []*opRuntime // ops implementing opapi.StatefulOperator
 
 	peMetrics *metrics.Set
+	ckptMu    sync.Mutex // serialises snapshot assembly
 
 	kill     chan struct{} // closed on crash or stop
 	stopSrc  chan struct{} // closed to ask sources to finish
@@ -120,6 +145,13 @@ type opRuntime struct {
 	finalSeen []bool
 	finals    int
 	ctx       *opContext
+
+	// loopDone closes when consumeLoop returns; finalised is set only on
+	// the clean all-inputs-finalised exit. The checkpoint driver captures
+	// a finalised operator inline (nothing touches it any more) but must
+	// refuse a crashed one — its state may be mid-mutation.
+	loopDone  chan struct{}
+	finalised atomic.Bool
 }
 
 type intraTarget struct {
@@ -194,7 +226,8 @@ func New(cfg Config) (*PE, error) {
 		stopSrc:   make(chan struct{}),
 	}
 	for _, n := range []string{metrics.PETupleBytesProcessed, metrics.PETupleBytesSubmitted,
-		metrics.PETuplesProcessed, metrics.PETuplesSubmitted, metrics.PERestarts} {
+		metrics.PETuplesProcessed, metrics.PETuplesSubmitted, metrics.PERestarts,
+		metrics.PECheckpoints, metrics.PECheckpointBytes, metrics.PEStateRestores} {
 		p.peMetrics.Counter(n)
 	}
 	for _, spec := range cfg.Ops {
@@ -211,6 +244,7 @@ func New(cfg Config) (*PE, error) {
 			intra:     make([][]intraTarget, len(spec.Outputs)),
 			outlets:   make([]*outletSet, len(spec.Outputs)),
 			finalSeen: make([]bool, len(spec.Inputs)),
+			loopDone:  make(chan struct{}),
 		}
 		for i := range rt.outlets {
 			rt.outlets[i] = &outletSet{}
@@ -232,6 +266,9 @@ func New(cfg Config) (*PE, error) {
 		}
 		p.byName[spec.Name] = rt
 		p.ops = append(p.ops, rt)
+		if _, ok := op.(opapi.StatefulOperator); ok {
+			p.statefuls = append(p.statefuls, rt)
+		}
 	}
 	for _, w := range cfg.Wires {
 		from, ok := p.byName[w.FromOp]
@@ -278,7 +315,8 @@ func (p *PE) OperatorNames() []string {
 	return names
 }
 
-// Start opens every operator and launches the processing goroutines.
+// Start opens every operator, restores checkpointed state when
+// configured, and launches the processing goroutines.
 func (p *PE) Start() error {
 	if !p.state.CompareAndSwap(int32(Created), int32(Running)) {
 		return fmt.Errorf("pe %s: started twice", p.cfg.ID)
@@ -288,6 +326,12 @@ func (p *PE) Start() error {
 			p.crash(fmt.Sprintf("operator %s failed to open: %v", rt.spec.Name, err))
 			return fmt.Errorf("pe %s: open %s: %w", p.cfg.ID, rt.spec.Name, err)
 		}
+	}
+	// Restore between Open and goroutine launch: no tuple can race the
+	// state overwrite, and operators observe restored state from their
+	// very first Process call.
+	if p.cfg.Ckpt.Restore && p.cfg.Ckpt.Store != nil {
+		p.restoreState()
 	}
 	for _, rt := range p.ops {
 		rt := rt
@@ -299,6 +343,10 @@ func (p *PE) Start() error {
 			p.wg.Add(1)
 			go rt.sourceLoop(src)
 		}
+	}
+	if p.cfg.Ckpt.Store != nil && p.cfg.Ckpt.Interval > 0 && len(p.statefuls) > 0 {
+		p.wg.Add(1)
+		go p.ckptLoop()
 	}
 	return nil
 }
@@ -545,11 +593,18 @@ func (rt *opRuntime) consumeLoop() {
 			rt.pe.crash(fmt.Sprintf("operator %s panicked: %v", rt.spec.Name, r))
 		}
 	}()
+	defer close(rt.loopDone)
 	for {
 		select {
 		case q := <-rt.in:
 			if q.ctl != nil {
 				q.ctl.done <- rt.op.(opapi.Controllable).Control(q.ctl.cmd, q.ctl.args)
+				continue
+			}
+			if q.sync != nil {
+				if q.sync.claim() {
+					q.sync.done <- q.sync.fn()
+				}
 				continue
 			}
 			if q.batch != nil {
@@ -594,6 +649,7 @@ func (rt *opRuntime) deliver(q queued) bool {
 		}
 		if q.item.Mark == tuple.FinalMark && rt.finals == len(rt.spec.Inputs) {
 			rt.forwardFinal()
+			rt.finalised.Store(true)
 			return true
 		}
 		return false

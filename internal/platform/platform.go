@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"streamorca/internal/ckpt"
 	"streamorca/internal/cluster"
 	"streamorca/internal/opapi"
 	"streamorca/internal/sam"
@@ -35,6 +36,12 @@ type Options struct {
 	QueueCap int
 	// Registry resolves operator kinds; nil means opapi.Default.
 	Registry *opapi.Registry
+	// Checkpoint is the operator-state snapshot store; nil disables
+	// checkpointing (restarted PEs come back empty).
+	Checkpoint ckpt.Store
+	// CheckpointInterval is the per-PE automatic snapshot period; 0
+	// means on-demand checkpoints only.
+	CheckpointInterval time.Duration
 	// Logf receives platform diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -65,12 +72,14 @@ func NewInstance(opts Options) (*Instance, error) {
 		}
 	}
 	appMgr := sam.New(sam.Config{
-		Clock:    clock,
-		Cluster:  cl,
-		SRM:      resMgr,
-		Registry: opts.Registry,
-		QueueCap: opts.QueueCap,
-		Logf:     opts.Logf,
+		Clock:        clock,
+		Cluster:      cl,
+		SRM:          resMgr,
+		Registry:     opts.Registry,
+		QueueCap:     opts.QueueCap,
+		Logf:         opts.Logf,
+		Ckpt:         opts.Checkpoint,
+		CkptInterval: opts.CheckpointInterval,
 	})
 	return &Instance{Clock: clock, SRM: resMgr, Cluster: cl, SAM: appMgr}, nil
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"streamorca/internal/adl"
+	"streamorca/internal/ckpt"
 	"streamorca/internal/cluster"
 	"streamorca/internal/ids"
 	"streamorca/internal/metrics"
@@ -31,6 +32,14 @@ type Config struct {
 	Registry *opapi.Registry
 	QueueCap int
 	Logf     func(format string, args ...any)
+	// Ckpt is the operator-state checkpoint store. nil disables
+	// checkpointing: restarted PEs come back empty (the paper's §5.2
+	// loss semantics). With a store, RestartPE restores every stateful
+	// operator from the PE's latest snapshot.
+	Ckpt ckpt.Store
+	// CkptInterval is the per-PE automatic checkpoint period; 0 means
+	// snapshots are taken only on demand (CheckpointPE).
+	CkptInterval time.Duration
 }
 
 // SubmitOptions parameterise one job submission.
@@ -199,6 +208,14 @@ func (s *SAM) SubmitJob(app *adl.Application, opts SubmitOptions) (ids.JobID, er
 
 	for _, rp := range toStart {
 		cfg, err := s.peConfig(j, rp)
+		if err == nil && s.cfg.Ckpt != nil {
+			// A fresh submission must never adopt old state: drop any
+			// stale snapshot under this key (possible when a persistent
+			// store outlives the instance whose sequential ids minted it).
+			if derr := s.cfg.Ckpt.Delete(cfg.Ckpt.Key); derr != nil {
+				s.cfg.Logf("sam: drop stale checkpoint %s: %v", cfg.Ckpt.Key, derr)
+			}
+		}
 		if err == nil {
 			rp.container, err = s.cfg.Cluster.StartPE(rp.host, cfg)
 		}
@@ -320,6 +337,12 @@ func (s *SAM) CancelJob(id ids.JobID) error {
 	for _, h := range j.reservedHst {
 		delete(s.reserved, h)
 	}
+	var ckptKeys []string
+	if s.cfg.Ckpt != nil {
+		for _, rp := range j.pes {
+			ckptKeys = append(ckptKeys, ckptKey(j.id, rp.id))
+		}
+	}
 	s.mu.Unlock()
 
 	for _, d := range detaches {
@@ -327,6 +350,12 @@ func (s *SAM) CancelJob(id ids.JobID) error {
 	}
 	for _, c := range containers {
 		c.Stop()
+	}
+	// A cancelled job never restarts, so its snapshots are garbage.
+	for _, k := range ckptKeys {
+		if err := s.cfg.Ckpt.Delete(k); err != nil {
+			s.cfg.Logf("sam: drop checkpoint %s: %v", k, err)
+		}
 	}
 	if s.cfg.SRM != nil {
 		s.cfg.SRM.DropJob(id)
@@ -340,7 +369,10 @@ func (s *SAM) CancelJob(id ids.JobID) error {
 
 // RestartPE restarts a PE (crashed, stopped, or running) with a fresh
 // container on the same host when possible, re-wiring every stream link
-// that touches it. The PE keeps its id, as in System S.
+// that touches it. The PE keeps its id, as in System S. When SAM has a
+// checkpoint store, the fresh container restores every stateful
+// operator from the PE's latest snapshot before processing resumes, so
+// a restart no longer implies empty windows and zeroed counters.
 func (s *SAM) RestartPE(id ids.PEID) error {
 	s.mu.Lock()
 	j, rp := s.findPELocked(id)
@@ -373,6 +405,7 @@ func (s *SAM) RestartPE(id ids.PEID) error {
 	if err != nil {
 		return err
 	}
+	cfg.Ckpt.Restore = cfg.Ckpt.Store != nil
 
 	newC, err := s.cfg.Cluster.StartPE(rp.host, cfg)
 	if err != nil {
@@ -397,6 +430,30 @@ func (s *SAM) RestartPE(id ids.PEID) error {
 	}
 	s.mu.Unlock()
 	s.cfg.Logf("sam: restarted %s on %s", id, rp.host)
+	return nil
+}
+
+// CheckpointPE captures an on-demand state snapshot of a running PE
+// (the orchestrator actuation backing checkpoint-before-risky-change
+// policies; periodic snapshots ride Config.CkptInterval instead).
+func (s *SAM) CheckpointPE(id ids.PEID) error {
+	s.mu.Lock()
+	_, rp := s.findPELocked(id)
+	if rp == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("sam: no PE %s", id)
+	}
+	if rp.state != "running" || rp.container == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("sam: PE %s is not running", id)
+	}
+	c := rp.container
+	s.mu.Unlock()
+	n, err := c.Checkpoint()
+	if err != nil {
+		return fmt.Errorf("sam: checkpoint PE %s: %w", id, err)
+	}
+	s.cfg.Logf("sam: checkpointed %s (%d bytes)", id, n)
 	return nil
 }
 
@@ -585,7 +642,22 @@ func (s *SAM) peConfig(j *job, rp *jpe) (pe.Config, error) {
 			cfg.Wires = append(cfg.Wires, pe.Wire{FromOp: c.FromOp, FromPort: c.FromPort, ToOp: c.ToOp, ToPort: c.ToPort})
 		}
 	}
+	if s.cfg.Ckpt != nil {
+		cfg.Ckpt = pe.CkptConfig{
+			Store:    s.cfg.Ckpt,
+			Key:      ckptKey(j.id, rp.id),
+			Interval: s.cfg.CkptInterval,
+			// Restore stays off for fresh submissions; RestartPE arms it.
+		}
+	}
 	return cfg, nil
+}
+
+// ckptKey names a PE's snapshot. Both ids survive restarts and are
+// unique for the lifetime of a platform instance, so a restarted PE
+// finds exactly its own state.
+func ckptKey(job ids.JobID, pe ids.PEID) string {
+	return fmt.Sprintf("%s/%s", job, pe)
 }
 
 func (s *SAM) findPELocked(id ids.PEID) (*job, *jpe) {

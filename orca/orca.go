@@ -15,6 +15,12 @@
 //	    svc.RestartPE(ctx.PE)
 //	}
 //
+// When the platform instance carries a checkpoint store
+// (streams.InstanceOptions.Checkpoint), RestartPE is stateful: the
+// restarted PE restores every checkpointed operator (aggregate
+// windows, application counters) from its latest snapshot, and
+// svc.CheckpointPE(pe) captures one on demand.
+//
 //	svc, _ := orca.NewService(orca.Config{Name: "my", SAM: inst.SAM, SRM: inst.SRM}, &myPolicy{})
 //	svc.RegisterApplication(app)
 //	svc.Start()

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"streamorca/internal/adl"
+	"streamorca/internal/ckpt"
 	"streamorca/internal/compiler"
 	"streamorca/internal/ids"
 	"streamorca/internal/metrics"
@@ -127,6 +128,10 @@ type (
 	Source = opapi.Source
 	// Controllable receives orchestrator control commands.
 	Controllable = opapi.Controllable
+	// StatefulOperator declares checkpointable state: SaveState writes
+	// it through a StateEncoder, RestoreState reads it back after a PE
+	// restart. See the interface docs for the capture contract.
+	StatefulOperator = opapi.StatefulOperator
 	// OpContext is the runtime environment handed to an operator.
 	OpContext = opapi.Context
 	// OperatorBase provides no-op defaults to embed.
@@ -193,6 +198,37 @@ func OperatorKinds() []string { return opapi.Default.Kinds() }
 // the kind is unknown or was registered without one. The returned model
 // is shared; callers must not mutate it.
 func OperatorModel(kind string) *OpModel { return opapi.Default.Model(kind) }
+
+// Operator-state checkpointing: with a CheckpointStore in
+// InstanceOptions, PE restarts restore every StatefulOperator from the
+// PE's latest snapshot (periodic via CheckpointInterval, on-demand via
+// orca's Service.CheckpointPE) instead of coming back empty.
+type (
+	// CheckpointStore persists PE state snapshots.
+	CheckpointStore = ckpt.Store
+	// StateEncoder writes operator state into a snapshot section.
+	StateEncoder = ckpt.Encoder
+	// StateDecoder reads operator state back out of a snapshot section.
+	StateDecoder = ckpt.Decoder
+)
+
+// NewMemCheckpointStore returns an in-process snapshot store — state
+// survives PE restarts within one platform instance.
+func NewMemCheckpointStore() CheckpointStore { return ckpt.NewMemStore() }
+
+// NewFSCheckpointStore returns a snapshot store persisting under dir,
+// surviving the process; back dir with shared storage for cross-host
+// restore.
+func NewFSCheckpointStore(dir string) (CheckpointStore, error) {
+	fs, err := ckpt.NewFSStore(dir)
+	if err != nil {
+		// Return a bare nil interface, not a typed-nil *FSStore: callers
+		// that mishandle err must still fail the platform's store
+		// presence check instead of panicking on first use.
+		return nil, err
+	}
+	return fs, nil
+}
 
 // Platform runtime.
 type (
