@@ -8,6 +8,7 @@
 //	go run ./cmd/orcarun -scenario failover -window 600ms
 //	go run ./cmd/orcarun -scenario composition -threshold 1500
 //	go run ./cmd/orcarun -scenario recovery
+//	go run ./cmd/orcarun -list-scenarios
 package main
 
 import (
@@ -20,8 +21,13 @@ import (
 	"streamorca/internal/exp"
 )
 
+// scenarios lists the runnable scenarios in -scenario order; CI's
+// example-drift smoke greps this listing.
+var scenarios = []string{"sentiment", "failover", "composition", "recovery"}
+
 func main() {
 	scenario := flag.String("scenario", "sentiment", "sentiment | failover | composition | recovery")
+	list := flag.Bool("list-scenarios", false, "list available scenarios and exit")
 	shift := flag.Int64("shift", 4000, "sentiment: tweet index of the cause-distribution shift")
 	threshold := flag.Float64("ratio", 1.0, "sentiment: actuation ratio threshold")
 	window := flag.Duration("window", 600*time.Millisecond, "failover: sliding window duration")
@@ -31,6 +37,13 @@ func main() {
 	storeDir := flag.String("store", "", "recovery: checkpoint store directory (default: a temp dir)")
 	maxDur := flag.Duration("max", 30*time.Second, "run time budget")
 	flag.Parse()
+
+	if *list {
+		for _, s := range scenarios {
+			fmt.Println(s)
+		}
+		return
+	}
 
 	switch *scenario {
 	case "sentiment":

@@ -44,10 +44,43 @@
 // catalog` dumps the full registered catalog.
 //
 // Deprecation timeline: the silent Params accessors (Int, Float, Bool,
-// Duration) were deprecated when the Bind* family landed (PR 2). As of
-// PR 3 no caller remains outside the test that pins their legacy
-// behaviour; they will be removed in the next API-breaking PR, after
-// one more release of overlap for out-of-tree operators.
+// Duration) were deprecated when the Bind* family landed (PR 2), left
+// for one release of overlap with zero in-tree callers (PR 3), and have
+// now been removed (PR 4) — out-of-tree operators must bind through the
+// error-reporting Bind* family.
+//
+// # Authoring adaptation routines
+//
+// ORCA logic is written as composable adaptation routines (package
+// orca): a Routine pairs each event scope with its typed handler in one
+// expression and declares everything in a Setup(*SetupContext) error —
+// registration problems, rejected submissions, and duplicate scope keys
+// propagate out of Service.Start instead of panicking inside a handler.
+// Cross-cutting activation logic comes from reusable guard combinators
+// rather than per-policy mutex-and-timestamp state: Threshold/AtLeast
+// gate on an observed value, SuppressFor bounds re-trigger frequency on
+// the service clock, Debounce demands a sustained condition, and
+// OncePerEpoch collapses one incident's failure fan-out into a single
+// actuation. A guard records state only when its inner handler fired
+// (returned nil); ErrSkipped and errors leave it unarmed so the next
+// delivery retries. The §5.1 policy is the canonical composition —
+// ratio threshold around a suppression window:
+//
+//	func (p *policy) Setup(sc *orca.SetupContext) error {
+//	    if _, err := sc.Actions().SubmitApplication(p.App, nil); err != nil {
+//	        return err
+//	    }
+//	    handler := orca.Threshold(p.observeRatio, 1.0,
+//	        orca.SuppressFor(10*time.Minute, p.recomputeModel))
+//	    return sc.Subscribe(orca.OnOperatorMetric(p.scope(), handler))
+//	}
+//
+// Independent routines compose into one service with orca.Compose (or
+// by passing several to NewRoutineService); each keeps its own name for
+// setup-error attribution. The legacy wide Orchestrator interface
+// (embed orca.Base, override Handle*) remains behind the deprecated
+// NewService adapter for one release of overlap and will then be
+// removed.
 //
 // # Checkpointing
 //

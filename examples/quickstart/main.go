@@ -85,32 +85,34 @@ func (o *scaleOp) RestoreState(d *streams.StateDecoder) error {
 	return nil
 }
 
-// restartPolicy is a complete ORCA logic: subscribe to PE failures of the
-// managed application, snapshot nothing extra (the platform checkpoints
-// on an interval), and restart whatever crashes.
+// restartPolicy is a complete adaptation routine: its Setup submits the
+// managed application and pairs a PE-failure scope with its typed
+// handler in one expression; the platform checkpoints on an interval,
+// so restarting whatever crashes is stateful. Setup errors (unknown
+// application, duplicate scope key) surface out of svc.Start instead of
+// panicking inside an event handler.
 type restartPolicy struct {
-	orca.Base
 	restarted chan streams.PEID
 }
 
-func (p *restartPolicy) HandleOrcaStart(svc *orca.Service, ctx *orca.OrcaStartContext) {
-	fmt.Printf("orchestrator %s started\n", ctx.Name)
-	scope := orca.NewPEFailureScope("failures").AddApplicationFilter("hello")
-	if err := svc.RegisterEventScope(scope); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := svc.SubmitApplication("hello", nil); err != nil {
-		log.Fatal(err)
-	}
-}
+func (p *restartPolicy) Name() string { return "restart" }
 
-func (p *restartPolicy) HandlePEFailure(svc *orca.Service, ctx *orca.PEFailureContext, scopes []string) {
-	fmt.Printf("PE %s crashed on %s (%s), operators %v — restarting with restore\n",
-		ctx.PE, ctx.Host, ctx.Reason, ctx.Operators)
-	if err := svc.RestartPE(ctx.PE); err != nil {
-		log.Fatal(err)
+func (p *restartPolicy) Setup(sc *orca.SetupContext) error {
+	fmt.Printf("routine %s setting up\n", sc.Routine())
+	if _, err := sc.Actions().SubmitApplication("hello", nil); err != nil {
+		return err
 	}
-	p.restarted <- ctx.PE
+	return sc.Subscribe(orca.OnPEFailure(
+		orca.NewPEFailureScope("failures").AddApplicationFilter("hello"),
+		func(ctx *orca.PEFailureContext, act *orca.Actions) error {
+			fmt.Printf("PE %s crashed on %s (%s), operators %v — restarting with restore\n",
+				ctx.PE, ctx.Host, ctx.Reason, ctx.Operators)
+			if err := act.RestartPE(ctx.PE); err != nil {
+				return err
+			}
+			p.restarted <- ctx.PE
+			return nil
+		}))
 }
 
 func main() {
@@ -160,7 +162,7 @@ func main() {
 	}
 
 	policy := &restartPolicy{restarted: make(chan streams.PEID, 1)}
-	svc, err := orca.NewService(orca.Config{
+	svc, err := orca.NewRoutineService(orca.Config{
 		Name: "quickstart", SAM: inst.SAM, SRM: inst.SRM,
 	}, policy)
 	if err != nil {
@@ -169,6 +171,8 @@ func main() {
 	if err := svc.RegisterApplication(app); err != nil {
 		log.Fatal(err)
 	}
+	// Start runs the routine's Setup: the subscription registers and the
+	// application submits before the first event is delivered.
 	if err := svc.Start(); err != nil {
 		log.Fatal(err)
 	}

@@ -1,8 +1,13 @@
 // Package core implements the paper's contribution: the orchestrator.
 //
 // An orchestrator has two halves (§3). The ORCA logic is user code — a
-// type implementing Orchestrator — that registers event scopes and reacts
-// to delivered events by invoking actuation APIs. The ORCA service is the
+// set of Routines built from typed subscriptions (OnPEFailure,
+// OnOperatorMetric, ...) that pair each event scope with its handler,
+// declared in a Setup that returns errors instead of panicking and
+// composed with guard combinators (Threshold, SuppressFor, OncePerEpoch,
+// ...) for the cross-cutting activation logic. The legacy form — a type
+// implementing the wide Orchestrator interface — remains supported for
+// one release of overlap via NewService. The ORCA service is the
 // runtime half: it maintains an in-memory stream graph for every managed
 // application, pulls metrics from SRM on a configurable interval, receives
 // failure notifications pushed by SAM, matches everything against the
@@ -210,14 +215,21 @@ type UserEventContext struct {
 	TxID uint64
 }
 
-// Orchestrator is the interface ORCA logic implements (the Go analogue of
+// Orchestrator is the legacy ORCA-logic interface (the Go analogue of
 // inheriting the paper's Orchestrator C++ class). Embed Base to only
 // specialise the handlers of interest. The service serialises handler
 // invocations: at most one handler runs at a time, and events arriving
 // meanwhile queue in arrival order (§4.2).
 //
 // The scopes argument carries the keys of every registered subscope the
-// event matched, so one handler can serve multiple registrations.
+// event matched, so one handler can serve multiple registrations. Keys
+// owned by routine subscriptions on the same service are dispatched to
+// their typed handlers instead and do not appear in scopes.
+//
+// Orchestrator is superseded by the composable Routine API (Routine,
+// SetupContext, the On* subscription constructors, and the guard
+// combinators); it remains supported through NewService for one release
+// of overlap and will then be removed.
 type Orchestrator interface {
 	HandleOrcaStart(svc *Service, ctx *OrcaStartContext)
 	HandleOperatorMetric(svc *Service, ctx *OperatorMetricContext, scopes []string)

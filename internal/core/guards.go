@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// This file implements reusable guard combinators: handler wrappers that
+// express the cross-cutting activation logic adaptation routines keep
+// re-implementing by hand — actuation thresholds (§5.1's ratio test),
+// suppression windows (§5.1's 10-minute re-trigger bound), debouncing,
+// and per-incident deduplication (§4.2's failure epochs). Each guard
+// owns its own state, so policies compose them instead of maintaining
+// bespoke mutex-and-timestamp fields.
+//
+// Firing discipline: a guard considers its inner handler to have fired
+// only when it returned nil. ErrSkipped and real errors leave the
+// guard's state untouched — a suppression window is not consumed by a
+// skipped or failed actuation, so the next delivery may retry.
+
+// ErrSkipped is returned by handlers (and guards) to report that the
+// activation condition was not met and no actuation happened. It is not
+// a failure: the service does not count it in Stats.HandlerErrors, and
+// outer guards treat the invocation as not having fired.
+var ErrSkipped = errors.New("core: handler skipped")
+
+// Threshold invokes inner only when observe reports a valid value
+// strictly above limit — the paper's actuation-threshold pattern ("the
+// unknown/known ratio exceeds 1.0", §5.1). observe runs on every
+// delivery, so it can also fold the observation into policy state
+// (recording a time series, pairing metrics by epoch) and report
+// ok=false while the condition is not yet evaluable.
+func Threshold[C any](observe func(*C) (float64, bool), limit float64, inner Handler[C]) Handler[C] {
+	return func(ctx *C, act *Actions) error {
+		v, ok := observe(ctx)
+		if !ok || v <= limit {
+			return ErrSkipped
+		}
+		return inner(ctx, act)
+	}
+}
+
+// AtLeast is the inclusive variant of Threshold: inner fires when the
+// observed value reaches limit (§5.3's "enough new profiles
+// accumulated" trigger).
+func AtLeast[C any](observe func(*C) (float64, bool), limit float64, inner Handler[C]) Handler[C] {
+	return func(ctx *C, act *Actions) error {
+		v, ok := observe(ctx)
+		if !ok || v < limit {
+			return ErrSkipped
+		}
+		return inner(ctx, act)
+	}
+}
+
+// SuppressFor bounds re-trigger frequency: after inner fires, further
+// deliveries are skipped until d has elapsed on the service clock
+// (§5.1's 10-minute suppression). A skipped or failed inner invocation
+// does not arm the window.
+func SuppressFor[C any](d time.Duration, inner Handler[C]) Handler[C] {
+	var mu sync.Mutex
+	var last time.Time
+	var fired bool
+	return func(ctx *C, act *Actions) error {
+		now := act.Clock().Now()
+		mu.Lock()
+		suppressed := fired && now.Sub(last) < d
+		mu.Unlock()
+		if suppressed {
+			return ErrSkipped
+		}
+		err := inner(ctx, act)
+		if err == nil {
+			mu.Lock()
+			last, fired = now, true
+			mu.Unlock()
+		}
+		return err
+	}
+}
+
+// Debounce invokes inner only once holds has been true for n consecutive
+// deliveries — a health check that must fail repeatedly before the
+// routine actuates. A delivery where holds is false resets the streak;
+// a successful firing resets it too, so sustained conditions re-fire
+// every n deliveries rather than on each one.
+func Debounce[C any](n int, holds func(*C) bool, inner Handler[C]) Handler[C] {
+	var mu sync.Mutex
+	streak := 0
+	return func(ctx *C, act *Actions) error {
+		mu.Lock()
+		if !holds(ctx) {
+			streak = 0
+			mu.Unlock()
+			return ErrSkipped
+		}
+		streak++
+		ready := streak >= n
+		mu.Unlock()
+		if !ready {
+			return ErrSkipped
+		}
+		err := inner(ctx, act)
+		if err == nil {
+			mu.Lock()
+			streak = 0
+			mu.Unlock()
+		}
+		return err
+	}
+}
+
+// OncePerEpoch fires inner at most once per event epoch: all failures
+// sharing a cause and detection timestamp carry the same epoch (§4.2),
+// so a host failure killing several PEs triggers one actuation, not one
+// per crashed PE. Only a firing records the epoch — a skipped delivery
+// leaves the epoch open for a later event in the same incident.
+func OncePerEpoch[C any](epoch func(*C) uint64, inner Handler[C]) Handler[C] {
+	var mu sync.Mutex
+	var lastFired uint64
+	var fired bool
+	return func(ctx *C, act *Actions) error {
+		e := epoch(ctx)
+		mu.Lock()
+		dup := fired && e == lastFired
+		mu.Unlock()
+		if dup {
+			return ErrSkipped
+		}
+		err := inner(ctx, act)
+		if err == nil {
+			mu.Lock()
+			lastFired, fired = e, true
+			mu.Unlock()
+		}
+		return err
+	}
+}

@@ -1,0 +1,465 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamorca/internal/ops"
+	"streamorca/internal/platform"
+	"streamorca/internal/vclock"
+)
+
+// newRoutineHarness boots a platform plus a routine-mode service on a
+// manual clock.
+func newRoutineHarness(t *testing.T, routines ...Routine) (*platform.Instance, *Service, *vclock.Manual) {
+	t.Helper()
+	clock := vclock.NewManual(testEpoch)
+	inst, err := platform.NewInstance(platform.Options{
+		Clock:           clock,
+		Hosts:           []platform.HostSpec{{Name: "h1"}},
+		MetricsInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Close)
+	svc, err := NewRoutineService(Config{
+		Name:         "routineOrca",
+		SAM:          inst.SAM,
+		SRM:          inst.SRM,
+		Clock:        clock,
+		PullInterval: time.Hour,
+	}, routines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Stop)
+	return inst, svc, clock
+}
+
+func TestNewRoutineServiceValidation(t *testing.T) {
+	h := newHarness(t)
+	cfg := Config{Name: "x", SAM: h.inst.SAM, SRM: h.inst.SRM}
+	if _, err := NewRoutineService(cfg); err == nil {
+		t.Fatal("no routines accepted")
+	}
+	if _, err := NewRoutineService(cfg, nil); err == nil {
+		t.Fatal("nil routine accepted")
+	}
+	if _, err := NewRoutineService(cfg, NewRoutine("", func(*SetupContext) error { return nil })); err == nil {
+		t.Fatal("unnamed routine accepted")
+	}
+}
+
+// TestRoutineTypedSubscriptionsDispatch covers the tentpole end to end:
+// Setup submits an application, subscribes typed handlers (start, job
+// events, user events, timers, PE failures), and each handler receives
+// its context with a working Actions surface.
+func TestRoutineTypedSubscriptionsDispatch(t *testing.T) {
+	var mu sync.Mutex
+	var startName string
+	var submitted []string
+	var users []string
+	var timers []string
+	var failures []string
+	restarted := make(chan struct{}, 1)
+
+	r := NewRoutine("probe", func(sc *SetupContext) error {
+		if sc.Routine() != "probe" {
+			return fmt.Errorf("routine name = %q", sc.Routine())
+		}
+		return sc.Subscribe(
+			OnStart(func(ctx *OrcaStartContext, act *Actions) error {
+				mu.Lock()
+				startName = ctx.Name
+				mu.Unlock()
+				return nil
+			}),
+			OnJobEvent(NewJobEventScope("jobs"), func(ctx *JobContext, act *Actions) error {
+				mu.Lock()
+				submitted = append(submitted, ctx.App)
+				mu.Unlock()
+				return nil
+			}),
+			OnUserEvent(NewUserEventScope("users").AddNameFilter("go"), func(ctx *UserEventContext, act *Actions) error {
+				mu.Lock()
+				users = append(users, ctx.Name)
+				mu.Unlock()
+				// Actuate from a handler: start a timer through Actions.
+				return act.StartTimer("fromUser", time.Second)
+			}),
+			OnTimer(NewTimerScope("timers"), func(ctx *TimerContext, act *Actions) error {
+				mu.Lock()
+				timers = append(timers, ctx.Name)
+				mu.Unlock()
+				return nil
+			}),
+			OnPEFailure(NewPEFailureScope("pf").AddApplicationFilter("RT"), func(ctx *PEFailureContext, act *Actions) error {
+				mu.Lock()
+				failures = append(failures, ctx.Reason)
+				mu.Unlock()
+				if err := act.RestartPE(ctx.PE); err != nil {
+					return err
+				}
+				restarted <- struct{}{}
+				return nil
+			}),
+		)
+	})
+	_, svc, clock := newRoutineHarness(t, r)
+	ops.ResetCollector("rt")
+	if err := svc.RegisterApplication(simpleApp(t, "RT", "rt", "0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "start subscription", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return startName == "routineOrca"
+	})
+
+	job, err := svc.SubmitApplication("RT", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job event", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(submitted) == 1 && submitted[0] == "RT"
+	})
+
+	svc.RaiseUserEvent("ignored", nil) // filtered out by the scope
+	svc.RaiseUserEvent("go", nil)
+	waitFor(t, "user event", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(users) == 1
+	})
+	clock.Advance(time.Second)
+	waitFor(t, "timer from handler actuation", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(timers) == 1 && timers[0] == "fromUser"
+	})
+
+	g, _ := svc.Graph(job)
+	sinkPE, _ := g.PEOfOperator("sink")
+	if err := svc.KillPE(sinkPE, "routine fault"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-restarted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("failure handler never restarted the PE")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(failures) != 1 || failures[0] != "routine fault" {
+		t.Fatalf("failures = %v", failures)
+	}
+}
+
+// TestRoutineSetupErrorAbortsStart pins the satellite bugfix: setup
+// failures (unknown application here) propagate out of Service.Start,
+// the error names the routine, and the service is cleanly stopped.
+func TestRoutineSetupErrorAbortsStart(t *testing.T) {
+	r := NewRoutine("broken", func(sc *SetupContext) error {
+		_, err := sc.Actions().SubmitApplication("Ghost", nil)
+		return err
+	})
+	_, svc, _ := newRoutineHarness(t, r)
+	err := svc.Start()
+	if err == nil {
+		t.Fatal("Start succeeded despite setup error")
+	}
+	if !strings.Contains(err.Error(), `routine "broken"`) {
+		t.Fatalf("error lacks routine name: %v", err)
+	}
+	svc.Stop() // must be a safe no-op after the aborted start
+	if err := svc.Start(); err == nil {
+		t.Fatal("second Start after aborted setup accepted")
+	}
+}
+
+// TestRoutineSetupDuplicateScopeKey covers the duplicate-key error path
+// through Subscribe: the second subscription with the same key fails the
+// whole Start.
+func TestRoutineSetupDuplicateScopeKey(t *testing.T) {
+	r := NewRoutine("dup", func(sc *SetupContext) error {
+		return sc.Subscribe(
+			OnUserEvent(NewUserEventScope("k"), func(*UserEventContext, *Actions) error { return nil }),
+			OnTimer(NewTimerScope("k"), func(*TimerContext, *Actions) error { return nil }),
+		)
+	})
+	_, svc, _ := newRoutineHarness(t, r)
+	err := svc.Start()
+	if err == nil || !strings.Contains(err.Error(), `"k"`) {
+		t.Fatalf("duplicate scope key not rejected: %v", err)
+	}
+}
+
+// TestComposeRunsRoutinesInOrderAndPrefixesErrors: Compose joins several
+// routines into one service; a failing child aborts the rest and its
+// name appears in the error chain.
+func TestComposeRunsRoutinesInOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) Routine {
+		return NewRoutine(name, func(sc *SetupContext) error {
+			order = append(order, name)
+			return sc.Subscribe(OnUserEvent(NewUserEventScope(name), func(*UserEventContext, *Actions) error { return nil }))
+		})
+	}
+	composed := Compose(mk("a"), mk("b"), mk("c"))
+	if composed.Name() != "a+b+c" {
+		t.Fatalf("composite name = %q", composed.Name())
+	}
+	_, svc, _ := newRoutineHarness(t, composed)
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "a,b,c" {
+		t.Fatalf("setup order = %v", order)
+	}
+}
+
+// TestComposeNilRoutineSurfacesAsSetupError: a nil child must not panic
+// at composition time; it fails Start with a descriptive error.
+func TestComposeNilRoutineSurfacesAsSetupError(t *testing.T) {
+	ok := NewRoutine("fine", func(sc *SetupContext) error { return nil })
+	composed := Compose(ok, nil)
+	_, svc, _ := newRoutineHarness(t, composed)
+	err := svc.Start()
+	if err == nil || !strings.Contains(err.Error(), "routine 1 is nil") {
+		t.Fatalf("nil composed routine not reported: %v", err)
+	}
+}
+
+func TestComposeChildErrorNamed(t *testing.T) {
+	ok := NewRoutine("fine", func(sc *SetupContext) error { return nil })
+	bad := NewRoutine("explodes", func(sc *SetupContext) error { return errors.New("boom") })
+	never := NewRoutine("never", func(sc *SetupContext) error {
+		t.Error("routine after the failing one was set up")
+		return nil
+	})
+	_, svc, _ := newRoutineHarness(t, Compose(ok, bad, never))
+	err := svc.Start()
+	if err == nil || !strings.Contains(err.Error(), `routine "explodes"`) || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("composite error = %v", err)
+	}
+}
+
+// TestRoutineHandlerErrorsCounted: a handler error is logged and counted
+// in Stats.HandlerErrors; ErrSkipped is not.
+func TestRoutineHandlerErrorsCounted(t *testing.T) {
+	r := NewRoutine("errs", func(sc *SetupContext) error {
+		return sc.Subscribe(OnUserEvent(NewUserEventScope("u"), func(ctx *UserEventContext, act *Actions) error {
+			switch ctx.Name {
+			case "fail":
+				return errors.New("handler failure")
+			case "skip":
+				return ErrSkipped
+			}
+			return nil
+		}))
+	})
+	_, svc, _ := newRoutineHarness(t, r)
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	svc.RaiseUserEvent("fail", nil)
+	svc.RaiseUserEvent("skip", nil)
+	svc.RaiseUserEvent("ok", nil)
+	waitFor(t, "events drained", func() bool { return svc.Stats().Delivered >= 4 }) // start + 3
+	if got := svc.Stats().HandlerErrors; got != 1 {
+		t.Fatalf("HandlerErrors = %d, want 1 (ErrSkipped must not count)", got)
+	}
+}
+
+// TestLegacyAndRoutineKeysPartition: on a legacy service, scope keys
+// owned by nobody still reach the Orchestrator handlers (the deprecated
+// adapter keeps working unchanged).
+func TestLegacyAdapterStillDispatches(t *testing.T) {
+	h := newHarness(t)
+	h.rec.onStart = func(svc *Service) {
+		_ = svc.RegisterEventScope(NewUserEventScope("legacy"))
+	}
+	h.start(t)
+	h.svc.RaiseUserEvent("ping", nil)
+	waitFor(t, "legacy delivery", func() bool { return h.rec.countKind(KindUserEvent) == 1 })
+	for _, e := range h.rec.snapshot() {
+		if e.kind == KindUserEvent {
+			if len(e.scopes) != 1 || e.scopes[0] != "legacy" {
+				t.Fatalf("legacy scopes = %v", e.scopes)
+			}
+		}
+	}
+}
+
+// --- guard combinators ---
+
+// guardActions returns an Actions bound to a manual clock for driving
+// guards directly.
+func guardActions(t *testing.T) (*Actions, *vclock.Manual) {
+	t.Helper()
+	h := newHarness(t)
+	return h.svc.Actions(), h.clock
+}
+
+type obs struct{ v float64 }
+
+func TestThresholdAndAtLeastGuards(t *testing.T) {
+	act, _ := guardActions(t)
+	var fired int
+	inner := func(*obs, *Actions) error { fired++; return nil }
+	strict := Threshold(func(o *obs) (float64, bool) { return o.v, o.v >= 0 }, 1.0, inner)
+
+	if err := strict(&obs{v: 1.0}, act); !errors.Is(err, ErrSkipped) {
+		t.Fatalf("at-limit value fired strict threshold: %v", err)
+	}
+	if err := strict(&obs{v: -5}, act); !errors.Is(err, ErrSkipped) {
+		t.Fatal("unevaluable observation fired")
+	}
+	if err := strict(&obs{v: 1.5}, act); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+
+	incl := AtLeast(func(o *obs) (float64, bool) { return o.v, true }, 2.0, inner)
+	if err := incl(&obs{v: 2.0}, act); err != nil {
+		t.Fatal(err)
+	}
+	if err := incl(&obs{v: 1.9}, act); !errors.Is(err, ErrSkipped) {
+		t.Fatal("below-limit value fired AtLeast")
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d", fired)
+	}
+}
+
+func TestSuppressForGuard(t *testing.T) {
+	act, clock := guardActions(t)
+	var fired int
+	failNext := false
+	h := SuppressFor(10*time.Minute, func(*obs, *Actions) error {
+		if failNext {
+			return errors.New("actuation failed")
+		}
+		fired++
+		return nil
+	})
+	if err := h(&obs{}, act); err != nil || fired != 1 {
+		t.Fatalf("first invocation: err=%v fired=%d", err, fired)
+	}
+	if err := h(&obs{}, act); !errors.Is(err, ErrSkipped) {
+		t.Fatal("second invocation not suppressed")
+	}
+	clock.Advance(10 * time.Minute)
+	// A failed actuation must not arm the window...
+	failNext = true
+	if err := h(&obs{}, act); err == nil || errors.Is(err, ErrSkipped) {
+		t.Fatalf("inner error not propagated: %v", err)
+	}
+	// ...so the immediate retry may fire.
+	failNext = false
+	if err := h(&obs{}, act); err != nil || fired != 2 {
+		t.Fatalf("retry after failure: err=%v fired=%d", err, fired)
+	}
+}
+
+func TestDebounceGuard(t *testing.T) {
+	act, _ := guardActions(t)
+	var fired int
+	h := Debounce(3, func(o *obs) bool { return o.v > 0 }, func(*obs, *Actions) error {
+		fired++
+		return nil
+	})
+	bad, good := &obs{v: 0}, &obs{v: 1}
+	for _, o := range []*obs{good, good, bad, good, good} {
+		if err := h(o, act); !errors.Is(err, ErrSkipped) {
+			t.Fatalf("fired early: %v", err)
+		}
+	}
+	if err := h(good, act); err != nil || fired != 1 {
+		t.Fatalf("third consecutive hold: err=%v fired=%d", err, fired)
+	}
+	// Firing resets the streak.
+	if err := h(good, act); !errors.Is(err, ErrSkipped) {
+		t.Fatal("streak not reset after firing")
+	}
+}
+
+func TestOncePerEpochGuard(t *testing.T) {
+	act, _ := guardActions(t)
+	var fired int
+	skipNext := false
+	h := OncePerEpoch(func(o *obs) uint64 { return uint64(o.v) }, func(*obs, *Actions) error {
+		if skipNext {
+			return ErrSkipped
+		}
+		fired++
+		return nil
+	})
+	e1, e2 := &obs{v: 1}, &obs{v: 2}
+	if err := h(e1, act); err != nil || fired != 1 {
+		t.Fatalf("first epoch-1 event: err=%v fired=%d", err, fired)
+	}
+	if err := h(e1, act); !errors.Is(err, ErrSkipped) {
+		t.Fatal("second epoch-1 event fired")
+	}
+	// A skipped inner does not consume the epoch.
+	skipNext = true
+	if err := h(e2, act); !errors.Is(err, ErrSkipped) {
+		t.Fatalf("skip not propagated: %v", err)
+	}
+	skipNext = false
+	if err := h(e2, act); err != nil || fired != 2 {
+		t.Fatalf("epoch-2 retry: err=%v fired=%d", err, fired)
+	}
+}
+
+// TestScopeRegistrationConcurrentWithDispatch is the satellite
+// race-detector test: scopes register and unregister from a background
+// goroutine while the dispatch loop matches and delivers events.
+func TestScopeRegistrationConcurrentWithDispatch(t *testing.T) {
+	var handled atomic.Int64
+	r := NewRoutine("churn", func(sc *SetupContext) error {
+		return sc.Subscribe(OnUserEvent(NewUserEventScope("stable"), func(*UserEventContext, *Actions) error {
+			handled.Add(1)
+			return nil
+		}))
+	})
+	_, svc, _ := newRoutineHarness(t, r)
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			key := fmt.Sprintf("churn-%d", i%8)
+			if err := svc.RegisterEventScope(NewUserEventScope(key)); err == nil {
+				svc.UnregisterEventScope(key)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			svc.RaiseUserEvent("e", nil)
+		}
+	}()
+	wg.Wait()
+	waitFor(t, "all events drained", func() bool { return handled.Load() == rounds })
+}

@@ -50,6 +50,7 @@ type Stats struct {
 	MatchedEvents  uint64
 	DroppedEvents  uint64 // events matching no subscope
 	HandlerPanics  uint64
+	HandlerErrors  uint64 // routine handlers returning a non-ErrSkipped error
 	MetricEpoch    uint64
 	FailureEpoch   uint64
 	ManagedJobs    int
@@ -62,16 +63,23 @@ type JobSummary struct {
 	App string
 }
 
-// Service is the ORCA service: the runtime half of an orchestrator.
+// Service is the ORCA service: the runtime half of an orchestrator. It
+// runs either a set of composable Routines (NewRoutineService) or one
+// legacy Orchestrator (NewService); both halves share the scope matcher
+// and the single-threaded delivery discipline.
 type Service struct {
-	cfg   Config
-	logic Orchestrator
-	clock vclock.Clock
+	cfg      Config
+	logic    Orchestrator // legacy adapter; nil in routine mode
+	routines []Routine
+	actions  *Actions
+	clock    vclock.Clock
 
 	mu        sync.Mutex
 	apps      map[string]*adl.Application // registered, by name
 	scopes    []Scope
 	scopeKeys map[string]bool
+	subs      map[string]*Subscription // scope key -> owning subscription
+	startSubs []*Subscription
 	graphs    map[ids.JobID]*graph.Graph
 	managed   map[ids.JobID]string // job -> app name
 	timers    map[string]vclock.Timer
@@ -87,10 +95,11 @@ type Service struct {
 	started   atomic.Bool
 	startSeen atomic.Bool // OrcaStart handled; metric pulls gate on this
 
-	delivered uint64
-	matched   uint64
-	dropped   uint64
-	panics    uint64
+	delivered   uint64
+	matched     uint64
+	dropped     uint64
+	panics      uint64
+	handlerErrs uint64
 
 	nextTx    atomic.Uint64
 	currentTx atomic.Uint64
@@ -99,16 +108,42 @@ type Service struct {
 	deps *depManager
 }
 
-// NewService builds a service around the given ORCA logic.
+// NewService builds a service around legacy ORCA logic — the wide
+// Orchestrator interface. It is the deprecated adapter kept for one
+// release of overlap: new code should implement Routine and use
+// NewRoutineService, which pairs scopes with typed handlers and surfaces
+// setup errors out of Start instead of panicking inside HandleOrcaStart.
 func NewService(cfg Config, logic Orchestrator) (*Service, error) {
+	if logic == nil {
+		return nil, fmt.Errorf("core: orchestrator %q has no logic", cfg.Name)
+	}
+	return newService(cfg, logic, nil)
+}
+
+// NewRoutineService builds a service running the given adaptation
+// routines. Their Setups run inside Start, in argument order; the first
+// error aborts the start and is returned from Start.
+func NewRoutineService(cfg Config, routines ...Routine) (*Service, error) {
+	if len(routines) == 0 {
+		return nil, fmt.Errorf("core: orchestrator %q has no routines", cfg.Name)
+	}
+	for i, r := range routines {
+		if r == nil {
+			return nil, fmt.Errorf("core: orchestrator %q: routine %d is nil", cfg.Name, i)
+		}
+		if r.Name() == "" {
+			return nil, fmt.Errorf("core: orchestrator %q: routine %d has no name", cfg.Name, i)
+		}
+	}
+	return newService(cfg, nil, routines)
+}
+
+func newService(cfg Config, logic Orchestrator, routines []Routine) (*Service, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("core: orchestrator needs a name")
 	}
 	if cfg.SAM == nil || cfg.SRM == nil {
 		return nil, fmt.Errorf("core: orchestrator %q needs SAM and SRM", cfg.Name)
-	}
-	if logic == nil {
-		return nil, fmt.Errorf("core: orchestrator %q has no logic", cfg.Name)
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = vclock.Real()
@@ -122,9 +157,11 @@ func NewService(cfg Config, logic Orchestrator) (*Service, error) {
 	s := &Service{
 		cfg:        cfg,
 		logic:      logic,
+		routines:   routines,
 		clock:      cfg.Clock,
 		apps:       make(map[string]*adl.Application),
 		scopeKeys:  make(map[string]bool),
+		subs:       make(map[string]*Subscription),
 		graphs:     make(map[ids.JobID]*graph.Graph),
 		managed:    make(map[ids.JobID]string),
 		timers:     make(map[string]vclock.Timer),
@@ -132,6 +169,7 @@ func NewService(cfg Config, logic Orchestrator) (*Service, error) {
 		queue:      newEventQueue(),
 		stopCh:     make(chan struct{}),
 	}
+	s.actions = &Actions{Service: s}
 	s.pullInterval.Store(int64(cfg.PullInterval))
 	s.journal = newJournal()
 	s.deps = newDepManager(s)
@@ -161,14 +199,24 @@ func (s *Service) RegisterApplication(app *adl.Application) error {
 }
 
 // Start launches the service: it registers with SAM as the owner of its
-// jobs, subscribes to host failures, starts the dispatch and metric-pull
-// goroutines, and delivers the start notification (§3).
+// jobs, subscribes to host failures, runs every routine's Setup, starts
+// the dispatch and metric-pull goroutines, and delivers the start
+// notification (§3). A Setup error aborts the start and is returned;
+// the service is then stopped (jobs a partial setup already submitted
+// keep running — cancel them or close the platform as the policy
+// requires).
 func (s *Service) Start() error {
 	if !s.started.CompareAndSwap(false, true) {
 		return fmt.Errorf("core: orchestrator %q started twice", s.cfg.Name)
 	}
 	s.cfg.SAM.AddListener(s.cfg.Name, sam.Listener{PEFailed: s.onPEFailure})
 	s.cfg.SRM.OnHostDown(s.onHostDown)
+	for _, r := range s.routines {
+		if err := r.Setup(&SetupContext{svc: s, routine: r.Name()}); err != nil {
+			s.abortStart()
+			return fmt.Errorf("core: orchestrator %q: routine %q setup: %w", s.cfg.Name, r.Name(), err)
+		}
+	}
 	s.queue.push(&delivered{data: &eventData{
 		kind: KindOrcaStart,
 		ctx:  &OrcaStartContext{Name: s.cfg.Name, At: s.clock.Now()},
@@ -177,6 +225,21 @@ func (s *Service) Start() error {
 	go s.dispatchLoop()
 	go s.pullLoop()
 	return nil
+}
+
+// abortStart unwinds a failed Start before the delivery goroutines
+// exist: subsequent Stop calls become no-ops and late event pushes are
+// dropped by the closed queue.
+func (s *Service) abortStart() {
+	close(s.stopCh)
+	s.queue.close()
+	s.mu.Lock()
+	for name, t := range s.timers {
+		t.Stop()
+		delete(s.timers, name)
+	}
+	s.mu.Unlock()
+	s.cfg.SAM.RemoveListener(s.cfg.Name)
 }
 
 // Stop shuts down event delivery and timers. Managed jobs keep running;
@@ -219,7 +282,8 @@ func (s *Service) RegisterEventScope(sc Scope) error {
 	return nil
 }
 
-// UnregisterEventScope removes a subscope by key.
+// UnregisterEventScope removes a subscope by key. Removing the scope of
+// a routine subscription retires the subscription with it.
 func (s *Service) UnregisterEventScope(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -227,6 +291,7 @@ func (s *Service) UnregisterEventScope(key string) {
 		return
 	}
 	delete(s.scopeKeys, key)
+	delete(s.subs, key)
 	for i, sc := range s.scopes {
 		if sc.Key() == key {
 			s.scopes = append(s.scopes[:i], s.scopes[i+1:]...)
@@ -268,28 +333,66 @@ func (s *Service) deliver(d *delivered) {
 	tx := s.assignTx(d.data)
 	s.currentTx.Store(tx)
 	defer s.currentTx.Store(0)
-	switch d.data.kind {
-	case KindOrcaStart:
-		s.logic.HandleOrcaStart(s, d.data.ctx.(*OrcaStartContext))
+	if d.data.kind == KindOrcaStart {
+		s.mu.Lock()
+		subs := append([]*Subscription(nil), s.startSubs...)
+		s.mu.Unlock()
+		for _, sub := range subs {
+			s.invokeSub(sub, d.data)
+		}
+		if s.logic != nil {
+			s.logic.HandleOrcaStart(s, d.data.ctx.(*OrcaStartContext))
+		}
 		s.startSeen.Store(true)
+		return
+	}
+	// Routine subscriptions own their scope keys: each matched key pairs
+	// the event with exactly one typed handler. Keys nobody owns fall
+	// through to the legacy orchestrator, which receives them the old
+	// way — one call carrying every remaining key.
+	var legacy []string
+	for _, key := range d.scopes {
+		s.mu.Lock()
+		sub := s.subs[key]
+		s.mu.Unlock()
+		if sub != nil {
+			s.invokeSub(sub, d.data)
+		} else {
+			legacy = append(legacy, key)
+		}
+	}
+	if s.logic == nil || len(legacy) == 0 {
+		return
+	}
+	switch d.data.kind {
 	case KindOperatorMetric:
-		s.logic.HandleOperatorMetric(s, d.data.ctx.(*OperatorMetricContext), d.scopes)
+		s.logic.HandleOperatorMetric(s, d.data.ctx.(*OperatorMetricContext), legacy)
 	case KindPEMetric:
-		s.logic.HandlePEMetric(s, d.data.ctx.(*PEMetricContext), d.scopes)
+		s.logic.HandlePEMetric(s, d.data.ctx.(*PEMetricContext), legacy)
 	case KindPortMetric:
-		s.logic.HandlePortMetric(s, d.data.ctx.(*PortMetricContext), d.scopes)
+		s.logic.HandlePortMetric(s, d.data.ctx.(*PortMetricContext), legacy)
 	case KindPEFailure:
-		s.logic.HandlePEFailure(s, d.data.ctx.(*PEFailureContext), d.scopes)
+		s.logic.HandlePEFailure(s, d.data.ctx.(*PEFailureContext), legacy)
 	case KindHostFailure:
-		s.logic.HandleHostFailure(s, d.data.ctx.(*HostFailureContext), d.scopes)
+		s.logic.HandleHostFailure(s, d.data.ctx.(*HostFailureContext), legacy)
 	case KindJobSubmitted:
-		s.logic.HandleJobSubmitted(s, d.data.ctx.(*JobContext), d.scopes)
+		s.logic.HandleJobSubmitted(s, d.data.ctx.(*JobContext), legacy)
 	case KindJobCancelled:
-		s.logic.HandleJobCancelled(s, d.data.ctx.(*JobContext), d.scopes)
+		s.logic.HandleJobCancelled(s, d.data.ctx.(*JobContext), legacy)
 	case KindTimer:
-		s.logic.HandleTimer(s, d.data.ctx.(*TimerContext), d.scopes)
+		s.logic.HandleTimer(s, d.data.ctx.(*TimerContext), legacy)
 	case KindUserEvent:
-		s.logic.HandleUserEvent(s, d.data.ctx.(*UserEventContext), d.scopes)
+		s.logic.HandleUserEvent(s, d.data.ctx.(*UserEventContext), legacy)
+	}
+}
+
+// invokeSub runs one routine subscription's handler. ErrSkipped reports
+// "condition not met" and is not an error; anything else is logged and
+// counted in Stats.HandlerErrors.
+func (s *Service) invokeSub(sub *Subscription, data *eventData) {
+	if err := sub.invoke(s, data.ctx); err != nil && !errors.Is(err, ErrSkipped) {
+		atomic.AddUint64(&s.handlerErrs, 1)
+		s.cfg.Logf("orca %s: routine %q: %s handler: %v", s.cfg.Name, sub.routine, data.kind, err)
 	}
 }
 
@@ -511,6 +614,7 @@ func (s *Service) Stats() Stats {
 		MatchedEvents:  atomic.LoadUint64(&s.matched),
 		DroppedEvents:  atomic.LoadUint64(&s.dropped),
 		HandlerPanics:  atomic.LoadUint64(&s.panics),
+		HandlerErrors:  atomic.LoadUint64(&s.handlerErrs),
 		MetricEpoch:    me,
 		FailureEpoch:   fe,
 		ManagedJobs:    managed,

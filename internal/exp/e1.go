@@ -101,7 +101,7 @@ func RunE1(cfg E1Config) (*E1Result, error) {
 		Threshold: cfg.Threshold, Suppression: cfg.Suppression,
 		Runner: runner, MinSupport: 10,
 	}
-	svc, err := core.NewService(core.Config{
+	svc, err := core.NewRoutineService(core.Config{
 		Name: "sentimentOrca", SAM: inst.SAM, SRM: inst.SRM,
 		PullInterval: time.Hour, // driven explicitly below
 	}, policy)

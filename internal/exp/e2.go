@@ -101,7 +101,7 @@ func RunE2(cfg E2Config) (*E2Result, error) {
 			return map[string]string{"collector": collName(i)}
 		},
 	}
-	svc, err := core.NewService(core.Config{
+	svc, err := core.NewRoutineService(core.Config{
 		Name: "trendOrca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
 	}, policy)
 	if err != nil {

@@ -83,7 +83,7 @@ func RunE3(cfg E3Config) (*E3Result, error) {
 		},
 		Threshold: cfg.Threshold,
 	}
-	svc, err := core.NewService(core.Config{
+	svc, err := core.NewRoutineService(core.Config{
 		Name: "socialOrca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
 	}, policy)
 	if err != nil {

@@ -55,9 +55,9 @@ func RunE5(n int64) (*E5Result, error) {
 		stopPull := make(chan struct{})
 		pullDone := make(chan struct{})
 		if withOrca {
-			svc, err = core.NewService(core.Config{
+			svc, err = core.NewRoutineService(core.Config{
 				Name: "e5orca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
-			}, &e5Logic{})
+			}, e5Routine{})
 			if err != nil {
 				return 0, 0, err
 			}
@@ -68,10 +68,6 @@ func RunE5(n int64) (*E5Result, error) {
 				return 0, 0, err
 			}
 			defer svc.Stop()
-			scope := core.NewOperatorMetricScope("all")
-			if err := svc.RegisterEventScope(scope); err != nil {
-				return 0, 0, err
-			}
 			go func() {
 				defer close(pullDone)
 				for {
@@ -127,10 +123,15 @@ func RunE5(n int64) (*E5Result, error) {
 	return res, nil
 }
 
-// e5Logic consumes metric events without acting, to measure pure
-// delivery cost.
-type e5Logic struct{ core.Base }
+// e5Routine consumes metric events without acting, to measure pure
+// delivery cost: a broad unfiltered subscription with a no-op handler.
+type e5Routine struct{}
 
-func (e *e5Logic) HandleOperatorMetric(*core.Service, *core.OperatorMetricContext, []string) {}
+func (e5Routine) Name() string { return "e5" }
+
+func (e5Routine) Setup(sc *core.SetupContext) error {
+	return sc.Subscribe(core.OnOperatorMetric(core.NewOperatorMetricScope("all"),
+		func(*core.OperatorMetricContext, *core.Actions) error { return nil }))
+}
 
 var _ = metrics.OpQueueSize

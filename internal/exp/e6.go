@@ -31,25 +31,27 @@ type E6Result struct {
 
 // e6Policy restarts failed PEs, optionally simulating user handler work.
 type e6Policy struct {
-	core.Base
 	app   string
 	delay time.Duration
 	done  chan ids.PEID
 }
 
-func (p *e6Policy) HandleOrcaStart(svc *core.Service, ctx *core.OrcaStartContext) {
-	if err := svc.RegisterEventScope(core.NewPEFailureScope("f").AddApplicationFilter(p.app)); err != nil {
-		panic(err)
-	}
+func (p *e6Policy) Name() string { return "e6" }
+
+func (p *e6Policy) Setup(sc *core.SetupContext) error {
+	return sc.Subscribe(core.OnPEFailure(
+		core.NewPEFailureScope("f").AddApplicationFilter(p.app), p.onPEFailure))
 }
 
-func (p *e6Policy) HandlePEFailure(svc *core.Service, ctx *core.PEFailureContext, scopes []string) {
+func (p *e6Policy) onPEFailure(ctx *core.PEFailureContext, act *core.Actions) error {
 	if p.delay > 0 {
 		time.Sleep(p.delay) // the user-specific failure handling routine
 	}
-	if err := svc.RestartPE(ctx.PE); err == nil {
-		p.done <- ctx.PE
+	if err := act.RestartPE(ctx.PE); err != nil {
+		return err
 	}
+	p.done <- ctx.PE
+	return nil
 }
 
 // RunE6 measures kill→recovered latency over several trials for three
@@ -171,7 +173,7 @@ func RunE6(trials int) (*E6Result, error) {
 			return 0, err
 		}
 		policy := &e6Policy{app: "E6orca", delay: delay, done: make(chan ids.PEID, trials)}
-		svc, err := core.NewService(core.Config{
+		svc, err := core.NewRoutineService(core.Config{
 			Name: "e6orca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
 		}, policy)
 		if err != nil {

@@ -65,25 +65,28 @@ type RecoveryResult struct {
 }
 
 // recoveryPolicy restarts the failed PE after quiescing the sink, so
-// the result's pre/post boundary is unambiguous.
+// the result's pre/post boundary is unambiguous. It is a core.Routine:
+// scope registration and the application submission happen in Setup, so
+// a misconfigured run fails Service.Start instead of panicking inside a
+// handler.
 type recoveryPolicy struct {
-	core.Base
 	app       string
 	coll      *ops.Collection
 	maxPre    chan int64
 	restarted chan ids.PEID
 }
 
-func (p *recoveryPolicy) HandleOrcaStart(svc *core.Service, ctx *core.OrcaStartContext) {
-	if err := svc.RegisterEventScope(core.NewPEFailureScope("pf").AddApplicationFilter(p.app)); err != nil {
-		panic(err)
+func (p *recoveryPolicy) Name() string { return "recovery" }
+
+func (p *recoveryPolicy) Setup(sc *core.SetupContext) error {
+	if _, err := sc.Actions().SubmitApplication(p.app, nil); err != nil {
+		return err
 	}
-	if _, err := svc.SubmitApplication(p.app, nil); err != nil {
-		panic(err)
-	}
+	return sc.Subscribe(core.OnPEFailure(
+		core.NewPEFailureScope("pf").AddApplicationFilter(p.app), p.onPEFailure))
 }
 
-func (p *recoveryPolicy) HandlePEFailure(svc *core.Service, ctx *core.PEFailureContext, scopes []string) {
+func (p *recoveryPolicy) onPEFailure(ctx *core.PEFailureContext, act *core.Actions) error {
 	// Drain in-flight output of the dead PE before restarting, so every
 	// output after this point comes from the restored container.
 	stable := p.coll.Len()
@@ -100,10 +103,11 @@ func (p *recoveryPolicy) HandlePEFailure(svc *core.Service, ctx *core.PEFailureC
 		}
 	}
 	p.maxPre <- hi
-	if err := svc.RestartPE(ctx.PE); err != nil {
-		panic(fmt.Sprintf("recovery: restart %s: %v", ctx.PE, err))
+	if err := act.RestartPE(ctx.PE); err != nil {
+		return fmt.Errorf("recovery: restart %s: %w", ctx.PE, err)
 	}
 	p.restarted <- ctx.PE
+	return nil
 }
 
 // RunRecovery executes the scenario, returning an error when the
@@ -156,7 +160,7 @@ func RunRecovery(cfg RecoveryConfig) (*RecoveryResult, error) {
 		maxPre:    make(chan int64, 1),
 		restarted: make(chan ids.PEID, 1),
 	}
-	svc, err := core.NewService(core.Config{
+	svc, err := core.NewRoutineService(core.Config{
 		Name: "recoveryOrca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
 	}, policy)
 	if err != nil {

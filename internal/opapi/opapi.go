@@ -31,58 +31,11 @@ func (p Params) Get(key, def string) string {
 	return def
 }
 
-// Int returns the integer value for key, or def when absent or malformed.
-//
-// Deprecated: Int silently swallows malformed values, returning def for
-// a present but unparseable entry. Use BindInt (or a Binder) at Open so
-// misconfiguration surfaces as an error instead of a silent default.
-func (p Params) Int(key string, def int64) int64 {
-	if v, ok := p[key]; ok {
-		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
-			return n
-		}
-	}
-	return def
-}
-
-// Float returns the float value for key, or def when absent or malformed.
-//
-// Deprecated: Float silently swallows malformed values; use BindFloat
-// (or a Binder) so misconfiguration surfaces as an error.
-func (p Params) Float(key string, def float64) float64 {
-	if v, ok := p[key]; ok {
-		if f, err := strconv.ParseFloat(v, 64); err == nil {
-			return f
-		}
-	}
-	return def
-}
-
-// Bool returns the boolean value for key, or def when absent or malformed.
-//
-// Deprecated: Bool silently swallows malformed values; use BindBool
-// (or a Binder) so misconfiguration surfaces as an error.
-func (p Params) Bool(key string, def bool) bool {
-	if v, ok := p[key]; ok {
-		if b, err := strconv.ParseBool(v); err == nil {
-			return b
-		}
-	}
-	return def
-}
-
-// Duration returns the duration value for key, or def.
-//
-// Deprecated: Duration silently swallows malformed values; use
-// BindDuration (or a Binder) so misconfiguration surfaces as an error.
-func (p Params) Duration(key string, def time.Duration) time.Duration {
-	if v, ok := p[key]; ok {
-		if d, err := time.ParseDuration(v); err == nil {
-			return d
-		}
-	}
-	return def
-}
+// The silent Int/Float/Bool/Duration accessors (absent-or-malformed →
+// default) were deprecated when the error-reporting Bind* family landed
+// and have been removed after their release of overlap; bind typed
+// parameters with BindInt/BindFloat/BindBool/BindDuration/BindEnum or an
+// accumulating Binder so misconfiguration surfaces as an Open error.
 
 // lookup returns the raw value, treating absent and empty entries as
 // "use the default".

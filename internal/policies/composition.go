@@ -1,6 +1,7 @@
 package policies
 
 import (
+	"fmt"
 	"sync"
 
 	"streamorca/internal/core"
@@ -8,15 +9,14 @@ import (
 	"streamorca/internal/metrics"
 )
 
-// Composition is the §5.3 ORCA logic: it starts the C2 applications
-// (their C1 dependencies come up automatically through the dependency
-// manager), watches the aggregate per-attribute profile-discovery custom
-// metrics across all C2 applications, spawns a C3 segmentation job when
-// enough *new* profiles with an attribute accumulated, and cancels each
-// C3 job when its sink reports a final punctuation.
+// Composition is the §5.3 adaptation routine: it starts the C2
+// applications (their C1 dependencies come up automatically through the
+// dependency manager), watches the aggregate per-attribute
+// profile-discovery custom metrics across all C2 applications, spawns a
+// C3 segmentation job when enough *new* profiles with an attribute
+// accumulated (a core.AtLeast guard over the aggregate), and cancels
+// each C3 job when its sink reports a final punctuation.
 type Composition struct {
-	core.Base
-
 	// C2Configs are the dependency-manager configuration ids of the C2
 	// applications to start (their C1 dependencies follow automatically).
 	C2Configs []string
@@ -32,6 +32,7 @@ type Composition struct {
 
 	mu        sync.Mutex
 	perApp    map[string]map[string]int64 // attr -> app -> latest count
+	totals    map[string]int64            // attr -> last observed aggregate count
 	lastSub   map[string]int64            // attr -> aggregate count at last submission
 	activeC3  map[string]ids.JobID        // attr -> running C3 job
 	jobToAttr map[ids.JobID]string
@@ -46,46 +47,53 @@ var metricToAttr = map[string]string{
 	"profilesWithLocation": "location",
 }
 
-// HandleOrcaStart registers the two metric scopes and starts the C2
-// applications (C1 readers come up as dependencies, §5.3's actuation).
-func (p *Composition) HandleOrcaStart(svc *core.Service, ctx *core.OrcaStartContext) {
+// Name implements core.Routine.
+func (p *Composition) Name() string { return "composition" }
+
+// Setup starts the C2 applications (C1 readers come up as dependencies,
+// §5.3's actuation) and registers the two metric subscriptions. A
+// failing StartApp or a duplicate scope key propagates out of
+// Service.Start.
+func (p *Composition) Setup(sc *core.SetupContext) error {
 	p.mu.Lock()
 	p.perApp = make(map[string]map[string]int64)
+	p.totals = make(map[string]int64)
 	p.lastSub = make(map[string]int64)
 	p.activeC3 = make(map[string]ids.JobID)
 	p.jobToAttr = make(map[ids.JobID]string)
 	p.mu.Unlock()
 
+	act := sc.Actions()
+	for _, id := range p.C2Configs {
+		if err := act.StartApp(id); err != nil {
+			return fmt.Errorf("composition: start %s: %w", id, err)
+		}
+	}
 	c2scope := core.NewOperatorMetricScope("c2profiles").
 		CustomMetricsOnly().
 		AddOperatorMetric("profilesWithAge", "profilesWithGender", "profilesWithLocation")
-	if err := svc.RegisterEventScope(c2scope); err != nil {
-		panic(err)
-	}
 	finalScope := core.NewPortMetricScope("c3final").
 		AddApplicationFilter(p.C3App).
 		AddPortMetric(metrics.PortFinalPunctsQueued).
 		SetDirection(metrics.Input)
-	if err := svc.RegisterEventScope(finalScope); err != nil {
-		panic(err)
-	}
-	for _, id := range p.C2Configs {
-		if err := svc.StartApp(id); err != nil {
-			panic(err)
-		}
-	}
+	return sc.Subscribe(
+		core.OnOperatorMetric(c2scope,
+			core.AtLeast(p.observeNewProfiles, float64(p.Threshold), p.submitC3)),
+		core.OnPortMetric(finalScope, p.cancelFinished),
+	)
 }
 
-// HandleOperatorMetric aggregates per-attribute discovery counts across
+// observeNewProfiles aggregates per-attribute discovery counts across
 // all C2 applications (duplicates included, as the paper notes) and
-// submits a C3 job when the number of new profiles since the last
-// submission reaches the threshold.
-func (p *Composition) HandleOperatorMetric(svc *core.Service, ctx *core.OperatorMetricContext, scopes []string) {
+// reports how many new profiles accumulated since the last submission;
+// an attribute whose C3 job is still running is not evaluable.
+func (p *Composition) observeNewProfiles(ctx *core.OperatorMetricContext) (float64, bool) {
 	attr, ok := metricToAttr[ctx.Metric]
 	if !ok {
-		return
+		return 0, false
 	}
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.perApp[attr] == nil {
 		p.perApp[attr] = make(map[string]int64)
 	}
@@ -94,35 +102,42 @@ func (p *Composition) HandleOperatorMetric(svc *core.Service, ctx *core.Operator
 	for _, v := range p.perApp[attr] {
 		total += v
 	}
-	_, busy := p.activeC3[attr]
-	trigger := !busy && total-p.lastSub[attr] >= p.Threshold
-	p.mu.Unlock()
-	if !trigger {
-		return
+	p.totals[attr] = total
+	if _, busy := p.activeC3[attr]; busy {
+		return 0, false
 	}
+	return float64(total - p.lastSub[attr]), true
+}
+
+// submitC3 spawns the segmentation job for the metric's attribute. A
+// rejected submission is an error (logged and counted by the service)
+// and leaves the aggregate untouched, so the next metric round retries.
+func (p *Composition) submitC3(ctx *core.OperatorMetricContext, act *core.Actions) error {
+	attr := metricToAttr[ctx.Metric]
 	params := map[string]string{"attribute": attr}
 	if p.C3Collector != nil {
 		params["collector"] = p.C3Collector(attr)
 	} else {
 		params["collector"] = "segment-" + attr
 	}
-	job, err := svc.SubmitApplication(p.C3App, params)
+	job, err := act.SubmitApplication(p.C3App, params)
 	if err != nil {
-		return
+		return fmt.Errorf("composition: submit %s for %q: %w", p.C3App, attr, err)
 	}
 	p.mu.Lock()
 	p.activeC3[attr] = job
 	p.jobToAttr[job] = attr
-	p.lastSub[attr] = total
+	p.lastSub[attr] = p.totals[attr]
 	p.subs = append(p.subs, attr)
 	p.mu.Unlock()
+	return nil
 }
 
-// HandlePortMetric cancels a C3 job once its sink saw the final
+// cancelFinished cancels a C3 job once its sink saw the final
 // punctuation — the application has processed all of its tuples (§5.3).
-func (p *Composition) HandlePortMetric(svc *core.Service, ctx *core.PortMetricContext, scopes []string) {
+func (p *Composition) cancelFinished(ctx *core.PortMetricContext, act *core.Actions) error {
 	if ctx.Metric != metrics.PortFinalPunctsQueued || ctx.Value < 1 {
-		return
+		return core.ErrSkipped
 	}
 	p.mu.Lock()
 	attr, ok := p.jobToAttr[ctx.Job]
@@ -133,9 +148,12 @@ func (p *Composition) HandlePortMetric(svc *core.Service, ctx *core.PortMetricCo
 	}
 	p.mu.Unlock()
 	if !ok {
-		return
+		return core.ErrSkipped
 	}
-	_ = svc.CancelJob(ctx.Job)
+	if err := act.CancelJob(ctx.Job); err != nil {
+		return fmt.Errorf("composition: cancel %s: %w", ctx.Job, err)
+	}
+	return nil
 }
 
 // Submissions returns the attributes for which C3 jobs were submitted,

@@ -1,6 +1,7 @@
 package policies
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -21,14 +22,14 @@ type StatusChange struct {
 	Reason    string
 }
 
-// Failover is the §5.2 ORCA logic: it runs N replicas of the Trend
-// Calculator in exclusive host pools, tracks which replica is active, and
-// on a PE failure of the active replica promotes the oldest healthy
-// replica (the one with the longest history, hence the fullest sliding
-// windows) before restarting the failed PE.
+// Failover is the §5.2 adaptation routine: it runs N replicas of the
+// Trend Calculator in exclusive host pools, tracks which replica is
+// active, and on a PE failure of the active replica promotes the oldest
+// healthy replica (the one with the longest history, hence the fullest
+// sliding windows) before restarting the failed PE. Promotion is guarded
+// with core.OncePerEpoch, so one incident taking down several PEs of the
+// active replica (§4.2's shared failure epoch) promotes exactly once.
 type Failover struct {
-	core.Base
-
 	// App names the registered application to replicate.
 	App string
 	// Replicas is the number of copies to run (paper: 3).
@@ -48,15 +49,21 @@ type Failover struct {
 	log       []StatusChange
 }
 
-// HandleOrcaStart configures exclusive host pools, submits the replicas,
-// assigns initial active/backup status, and subscribes to PE failures of
-// the application (§5.2's actuation description).
-func (p *Failover) HandleOrcaStart(svc *core.Service, ctx *core.OrcaStartContext) {
+// Name implements core.Routine.
+func (p *Failover) Name() string { return "failover" }
+
+// Setup configures exclusive host pools, submits the replicas, assigns
+// initial active/backup status, and subscribes to PE failures of the
+// application (§5.2's actuation description). Every setup failure —
+// unknown application, rejected replica submission, duplicate scope
+// key — propagates out of Service.Start.
+func (p *Failover) Setup(sc *core.SetupContext) error {
+	act := sc.Actions()
 	if p.Replicas <= 0 {
 		p.Replicas = 3
 	}
-	if err := svc.MakeExclusiveHostPools(p.App); err != nil {
-		panic(err)
+	if err := act.MakeExclusiveHostPools(p.App); err != nil {
+		return fmt.Errorf("failover: exclusive pools for %s: %w", p.App, err)
 	}
 	p.mu.Lock()
 	p.birth = make(map[ids.JobID]time.Time)
@@ -66,68 +73,83 @@ func (p *Failover) HandleOrcaStart(svc *core.Service, ctx *core.OrcaStartContext
 		if p.SubmitParams != nil {
 			params = p.SubmitParams(i)
 		}
-		job, err := svc.SubmitApplication(p.App, params)
+		job, err := act.SubmitApplication(p.App, params)
 		if err != nil {
-			panic(fmt.Sprintf("failover: submit replica %d: %v", i, err))
+			return fmt.Errorf("failover: submit replica %d: %w", i, err)
 		}
 		p.mu.Lock()
 		p.jobs = append(p.jobs, job)
-		p.birth[job] = svc.Clock().Now()
+		p.birth[job] = act.Clock().Now()
 		p.mu.Unlock()
 	}
 	p.mu.Lock()
 	p.active = p.jobs[0]
 	p.mu.Unlock()
-	p.writeStatus(svc)
-	scope := core.NewPEFailureScope("replicaFailures").AddApplicationFilter(p.App)
-	if err := svc.RegisterEventScope(scope); err != nil {
-		panic(err)
-	}
+	p.writeStatus()
+	promote := core.OncePerEpoch(
+		func(ctx *core.PEFailureContext) uint64 { return ctx.Epoch },
+		p.promoteOldestBackup)
+	return sc.Subscribe(core.OnPEFailure(
+		core.NewPEFailureScope("replicaFailures").AddApplicationFilter(p.App),
+		func(ctx *core.PEFailureContext, act *core.Actions) error {
+			if err := promote(ctx, act); err != nil && !errors.Is(err, core.ErrSkipped) {
+				return err
+			}
+			return p.restartFailed(ctx, act)
+		}))
 }
 
-// HandlePEFailure promotes the oldest healthy replica when the active one
-// fails, then restarts the failed PE (which rejoins as a backup with an
-// empty window).
-func (p *Failover) HandlePEFailure(svc *core.Service, ctx *core.PEFailureContext, scopes []string) {
+// promoteOldestBackup switches the active replica to the oldest healthy
+// backup when the failed PE belongs to the active one; failures of
+// backups skip, leaving the incident's epoch open in the OncePerEpoch
+// guard for a possibly following active-replica failure.
+func (p *Failover) promoteOldestBackup(ctx *core.PEFailureContext, act *core.Actions) error {
 	p.mu.Lock()
-	wasActive := ctx.Job == p.active
-	if wasActive {
-		oldActive := p.active
-		best := ids.InvalidJob
-		var bestBirth time.Time
-		for _, j := range p.jobs {
-			if j == ctx.Job {
-				continue
-			}
-			if best == ids.InvalidJob || p.birth[j].Before(bestBirth) {
-				best, bestBirth = j, p.birth[j]
-			}
-		}
-		if best != ids.InvalidJob {
-			p.active = best
-			p.failovers++
-			p.log = append(p.log, StatusChange{
-				At: ctx.At, NewActive: best, OldActive: oldActive, Reason: ctx.Reason,
-			})
-		}
-	}
-	p.mu.Unlock()
-	if wasActive {
-		p.writeStatus(svc)
-	}
-	// Restart the failed PE; the replica's window state is gone, so it
-	// rejoins as the youngest replica.
-	if err := svc.RestartPE(ctx.PE); err == nil {
-		p.mu.Lock()
-		p.birth[ctx.Job] = svc.Clock().Now()
-		p.restarts++
+	if ctx.Job != p.active {
 		p.mu.Unlock()
+		return core.ErrSkipped
 	}
+	oldActive := p.active
+	best := ids.InvalidJob
+	var bestBirth time.Time
+	for _, j := range p.jobs {
+		if j == ctx.Job {
+			continue
+		}
+		if best == ids.InvalidJob || p.birth[j].Before(bestBirth) {
+			best, bestBirth = j, p.birth[j]
+		}
+	}
+	if best == ids.InvalidJob {
+		p.mu.Unlock()
+		return core.ErrSkipped
+	}
+	p.active = best
+	p.failovers++
+	p.log = append(p.log, StatusChange{
+		At: ctx.At, NewActive: best, OldActive: oldActive, Reason: ctx.Reason,
+	})
+	p.mu.Unlock()
+	p.writeStatus()
+	return nil
+}
+
+// restartFailed restarts the failed PE; the replica's window state is
+// gone, so it rejoins as the youngest replica.
+func (p *Failover) restartFailed(ctx *core.PEFailureContext, act *core.Actions) error {
+	if err := act.RestartPE(ctx.PE); err != nil {
+		return fmt.Errorf("failover: restart %s: %w", ctx.PE, err)
+	}
+	p.mu.Lock()
+	p.birth[ctx.Job] = act.Clock().Now()
+	p.restarts++
+	p.mu.Unlock()
+	return nil
 }
 
 // writeStatus renders the replica table to StatusPath (if configured),
 // the file the paper's GUI polls for the "active" highlight.
-func (p *Failover) writeStatus(svc *core.Service) {
+func (p *Failover) writeStatus() {
 	if p.StatusPath == "" {
 		return
 	}

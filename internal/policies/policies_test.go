@@ -6,12 +6,15 @@ import (
 	"testing"
 	"time"
 
+	"streamorca/internal/adl"
 	"streamorca/internal/apps"
+	"streamorca/internal/compiler"
 	"streamorca/internal/core"
 	"streamorca/internal/extjob"
 	"streamorca/internal/ids"
 	"streamorca/internal/ops"
 	"streamorca/internal/platform"
+	"streamorca/internal/tuple"
 	"streamorca/internal/vclock"
 )
 
@@ -43,6 +46,23 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 
 // --- ModelRecompute unit behaviour (driven with synthetic contexts) ---
 
+// tinyApp builds a minimal registrable application so the routine's
+// Setup-time submission succeeds; the tests then drive the guarded
+// handler directly with synthetic metric contexts.
+func tinyApp(t *testing.T, name string) *adl.Application {
+	t.Helper()
+	s := tuple.MustSchema(tuple.Attribute{Name: "seq", Type: tuple.Int})
+	b := compiler.NewApp(name)
+	src := b.AddOperator("src", ops.KindBeacon).Out(s).Param("count", "1")
+	sink := b.AddOperator("sink", ops.KindCountSink).In(s)
+	b.Connect(src, 0, sink, 0)
+	app, err := b.Build(compiler.Options{Fusion: compiler.FuseAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
 func recomputeFixture(t *testing.T) (*ModelRecompute, *core.Service, *vclock.Manual) {
 	t.Helper()
 	inst := newInst(t, "h1")
@@ -59,12 +79,21 @@ func recomputeFixture(t *testing.T) (*ModelRecompute, *core.Service, *vclock.Man
 		Threshold: 1.0, Suppression: 10 * time.Minute,
 		Runner: extjob.NewRunner(clock, time.Minute), MinSupport: 5,
 	}
-	svc, err := core.NewService(core.Config{
+	svc, err := core.NewRoutineService(core.Config{
 		Name: "t", SAM: inst.SAM, SRM: inst.SRM, Clock: clock, PullInterval: time.Hour,
 	}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := svc.RegisterApplication(tinyApp(t, "X")); err != nil {
+		t.Fatal(err)
+	}
+	// Start runs the routine's Setup, building the guarded handler the
+	// tests below drive directly.
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Stop)
 	return p, svc, clock
 }
 
@@ -75,16 +104,22 @@ func metricCtx(name string, value int64, epoch uint64) *core.OperatorMetricConte
 	}
 }
 
+// drive feeds one synthetic metric event through the policy's composed
+// guard chain, the way the dispatch loop would.
+func drive(p *ModelRecompute, svc *core.Service, ctx *core.OperatorMetricContext) {
+	_ = p.handle(ctx, svc.Actions())
+}
+
 func TestModelRecomputeWaitsForMatchingEpochs(t *testing.T) {
 	p, svc, _ := recomputeFixture(t)
 	// Known from epoch 1, unknown from epoch 2: no evaluation yet.
-	p.HandleOperatorMetric(svc, metricCtx("recentKnownCauses", 10, 1), nil)
-	p.HandleOperatorMetric(svc, metricCtx("recentUnknownCauses", 50, 2), nil)
+	drive(p, svc, metricCtx("recentKnownCauses", 10, 1))
+	drive(p, svc, metricCtx("recentUnknownCauses", 50, 2))
 	if len(p.Series()) != 0 {
 		t.Fatalf("evaluated across epochs: %v", p.Series())
 	}
 	// Matching epochs: evaluated and triggered.
-	p.HandleOperatorMetric(svc, metricCtx("recentKnownCauses", 10, 2), nil)
+	drive(p, svc, metricCtx("recentKnownCauses", 10, 2))
 	if got := p.Series(); len(got) != 1 || got[0].Ratio != 5.0 {
 		t.Fatalf("series = %v", got)
 	}
@@ -95,8 +130,8 @@ func TestModelRecomputeWaitsForMatchingEpochs(t *testing.T) {
 
 func TestModelRecomputeBelowThresholdNoTrigger(t *testing.T) {
 	p, svc, _ := recomputeFixture(t)
-	p.HandleOperatorMetric(svc, metricCtx("recentKnownCauses", 100, 1), nil)
-	p.HandleOperatorMetric(svc, metricCtx("recentUnknownCauses", 10, 1), nil)
+	drive(p, svc, metricCtx("recentKnownCauses", 100, 1))
+	drive(p, svc, metricCtx("recentUnknownCauses", 10, 1))
 	if p.Triggers() != 0 {
 		t.Fatal("triggered below threshold")
 	}
@@ -107,8 +142,8 @@ func TestModelRecomputeBelowThresholdNoTrigger(t *testing.T) {
 
 func TestModelRecomputeSuppression(t *testing.T) {
 	p, svc, clock := recomputeFixture(t)
-	p.HandleOperatorMetric(svc, metricCtx("recentKnownCauses", 1, 1), nil)
-	p.HandleOperatorMetric(svc, metricCtx("recentUnknownCauses", 50, 1), nil)
+	drive(p, svc, metricCtx("recentKnownCauses", 1, 1))
+	drive(p, svc, metricCtx("recentUnknownCauses", 50, 1))
 	if p.Triggers() != 1 {
 		t.Fatalf("triggers = %d", p.Triggers())
 	}
@@ -117,15 +152,15 @@ func TestModelRecomputeSuppression(t *testing.T) {
 	clock.Advance(time.Minute)
 	waitFor(t, "job completion", func() bool { return !p.Runner.Running() })
 	// Still crossing within the suppression window: no second job.
-	p.HandleOperatorMetric(svc, metricCtx("recentKnownCauses", 1, 2), nil)
-	p.HandleOperatorMetric(svc, metricCtx("recentUnknownCauses", 60, 2), nil)
+	drive(p, svc, metricCtx("recentKnownCauses", 1, 2))
+	drive(p, svc, metricCtx("recentUnknownCauses", 60, 2))
 	if p.Triggers() != 1 {
 		t.Fatalf("re-triggered within suppression: %d", p.Triggers())
 	}
 	// After the suppression interval elapses, it may trigger again.
 	clock.Advance(10 * time.Minute)
-	p.HandleOperatorMetric(svc, metricCtx("recentKnownCauses", 1, 3), nil)
-	p.HandleOperatorMetric(svc, metricCtx("recentUnknownCauses", 60, 3), nil)
+	drive(p, svc, metricCtx("recentKnownCauses", 1, 3))
+	drive(p, svc, metricCtx("recentUnknownCauses", 60, 3))
 	if p.Triggers() != 2 {
 		t.Fatalf("triggers after suppression = %d", p.Triggers())
 	}
@@ -133,9 +168,30 @@ func TestModelRecomputeSuppression(t *testing.T) {
 
 func TestModelRecomputeIgnoresOtherMetrics(t *testing.T) {
 	p, svc, _ := recomputeFixture(t)
-	p.HandleOperatorMetric(svc, metricCtx("somethingElse", 9, 1), nil)
+	drive(p, svc, metricCtx("somethingElse", 9, 1))
 	if len(p.Series()) != 0 || p.Triggers() != 0 {
 		t.Fatal("foreign metric processed")
+	}
+}
+
+// TestModelRecomputeSetupErrorSurfaces pins the satellite bugfix: a
+// routine whose application is missing fails Service.Start with an
+// error instead of panicking inside an event handler.
+func TestModelRecomputeSetupErrorSurfaces(t *testing.T) {
+	inst := newInst(t, "h1")
+	p := &ModelRecompute{App: "NotRegistered", MatcherOp: "m", Threshold: 1}
+	svc, err := core.NewRoutineService(core.Config{
+		Name: "t", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = svc.Start()
+	if err == nil {
+		t.Fatal("Start succeeded with an unregistered application")
+	}
+	if !strings.Contains(err.Error(), "modelRecompute") {
+		t.Fatalf("setup error lacks routine context: %v", err)
 	}
 }
 
@@ -160,7 +216,7 @@ func failoverFixture(t *testing.T) (*Failover, *core.Service, *platform.Instance
 			return map[string]string{"collector": id}
 		},
 	}
-	svc, err := core.NewService(core.Config{
+	svc, err := core.NewRoutineService(core.Config{
 		Name: "foOrca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
 	}, p)
 	if err != nil {
@@ -255,7 +311,7 @@ func TestFailoverStatusFile(t *testing.T) {
 			return map[string]string{"collector": id}
 		},
 	}
-	svc, err := core.NewService(core.Config{
+	svc, err := core.NewRoutineService(core.Config{
 		Name: "sfOrca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
 	}, p)
 	if err != nil {

@@ -1,13 +1,17 @@
 // Package policies implements the paper's three use-case ORCA logics
-// (§5): adaptation to incoming data distribution via external model
-// recomputation (§5.1), replica failover on PE failures (§5.2), and
-// on-demand dynamic application composition (§5.3). Each policy is pure
-// control logic against the orchestrator API — the applications they
-// manage live in internal/apps, keeping control and data processing code
-// separate, which is the paper's central design argument.
+// (§5) as composable adaptation routines: adaptation to incoming data
+// distribution via external model recomputation (§5.1), replica failover
+// on PE failures (§5.2), and on-demand dynamic application composition
+// (§5.3). Each policy is pure control logic against the orchestrator
+// API — the applications they manage live in internal/apps, keeping
+// control and data processing code separate, which is the paper's
+// central design argument. Cross-cutting activation logic (actuation
+// thresholds, suppression windows, per-incident dedup) is expressed
+// through the core guard combinators rather than bespoke policy state.
 package policies
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -23,15 +27,15 @@ type RatioPoint struct {
 	Ratio float64
 }
 
-// ModelRecompute is the §5.1 ORCA logic: it watches the cause matcher's
-// custom metrics and, when the unknown/known ratio exceeds the actuation
-// threshold, launches the external model-recomputation job (suppressing
-// re-triggers for a configurable interval).
+// ModelRecompute is the §5.1 adaptation routine: it watches the cause
+// matcher's custom metrics and, when the unknown/known ratio exceeds the
+// actuation threshold, launches the external model-recomputation job.
+// The ratio test and the re-trigger bound are composed from the shared
+// guards (core.Threshold around core.SuppressFor) rather than tracked in
+// policy fields.
 type ModelRecompute struct {
-	core.Base
-
-	// App names the registered sentiment application; the policy submits
-	// it on start with SubmitParams.
+	// App names the registered sentiment application; the routine submits
+	// it during Setup with SubmitParams.
 	App          string
 	SubmitParams map[string]string
 	// MatcherOp is the cause matcher's instance name.
@@ -54,36 +58,42 @@ type ModelRecompute struct {
 	unknown      int64
 	knownEpoch   uint64
 	unknownEpoch uint64
-	lastTrigger  time.Time
-	hasTriggered bool
 	triggers     int
 	series       []RatioPoint
+
+	// handle is the composed guarded handler, built once in Setup.
+	handle core.Handler[core.OperatorMetricContext]
 }
 
-// HandleOrcaStart registers the custom-metric scope and submits the
-// application.
-func (p *ModelRecompute) HandleOrcaStart(svc *core.Service, ctx *core.OrcaStartContext) {
+// Name implements core.Routine.
+func (p *ModelRecompute) Name() string { return "modelRecompute" }
+
+// Setup submits the application and subscribes the guarded ratio
+// handler to the cause matcher's custom metrics. Errors (unknown
+// application, rejected submission, duplicate scope key) propagate out
+// of Service.Start.
+func (p *ModelRecompute) Setup(sc *core.SetupContext) error {
+	job, err := sc.Actions().SubmitApplication(p.App, p.SubmitParams)
+	if err != nil {
+		return fmt.Errorf("modelRecompute: submit %s: %w", p.App, err)
+	}
+	p.mu.Lock()
+	p.job = job
+	p.mu.Unlock()
 	scope := core.NewOperatorMetricScope("causeMetrics").
 		AddApplicationFilter(p.App).
 		AddOperatorNameFilter(p.MatcherOp).
 		AddOperatorMetric("recentKnownCauses", "recentUnknownCauses").
 		CustomMetricsOnly()
-	if err := svc.RegisterEventScope(scope); err != nil {
-		panic(err)
-	}
-	job, err := svc.SubmitApplication(p.App, p.SubmitParams)
-	if err != nil {
-		panic(err)
-	}
-	p.mu.Lock()
-	p.job = job
-	p.mu.Unlock()
+	p.handle = core.Threshold(p.observeRatio, p.Threshold,
+		core.SuppressFor(p.Suppression, p.recompute))
+	return sc.Subscribe(core.OnOperatorMetric(scope, p.handle))
 }
 
-// HandleOperatorMetric implements the Figure 6 pattern: record each
-// metric with its epoch, and evaluate the actuation condition only when
-// both metrics come from the same measurement round.
-func (p *ModelRecompute) HandleOperatorMetric(svc *core.Service, ctx *core.OperatorMetricContext, scopes []string) {
+// observeRatio implements the Figure 6 pattern as a Threshold guard
+// observation: record each metric with its epoch and report a ratio only
+// when both metrics come from the same measurement round.
+func (p *ModelRecompute) observeRatio(ctx *core.OperatorMetricContext) (float64, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	switch ctx.Metric {
@@ -92,10 +102,10 @@ func (p *ModelRecompute) HandleOperatorMetric(svc *core.Service, ctx *core.Opera
 	case "recentUnknownCauses":
 		p.unknown, p.unknownEpoch = ctx.Value, ctx.Epoch
 	default:
-		return
+		return 0, false
 	}
 	if p.knownEpoch != p.unknownEpoch || p.known+p.unknown == 0 {
-		return
+		return 0, false
 	}
 	den := p.known
 	if den == 0 {
@@ -103,22 +113,23 @@ func (p *ModelRecompute) HandleOperatorMetric(svc *core.Service, ctx *core.Opera
 	}
 	ratio := float64(p.unknown) / float64(den)
 	p.series = append(p.series, RatioPoint{Epoch: ctx.Epoch, Ratio: ratio})
-	if ratio <= p.Threshold {
-		return
-	}
-	now := svc.Clock().Now()
-	if p.hasTriggered && now.Sub(p.lastTrigger) < p.Suppression {
-		return
-	}
+	return ratio, true
+}
+
+// recompute launches the batch job. Skipping while a job is in flight
+// (or when submission is refused) leaves the suppression window unarmed,
+// so the next crossing retries.
+func (p *ModelRecompute) recompute(ctx *core.OperatorMetricContext, act *core.Actions) error {
 	if p.Runner.Running() {
-		return
+		return core.ErrSkipped
 	}
 	if err := p.Runner.Submit(extjob.GetStore(p.StoreID), extjob.GetModel(p.ModelID), p.MinSupport, nil); err != nil {
-		return
+		return fmt.Errorf("modelRecompute: batch job: %w", err)
 	}
-	p.lastTrigger = now
-	p.hasTriggered = true
+	p.mu.Lock()
 	p.triggers++
+	p.mu.Unlock()
+	return nil
 }
 
 // Job returns the managed job id.

@@ -1,49 +1,75 @@
 // Package orca is the public API of the orchestrator — the paper's
-// contribution. Write ORCA logic by embedding orca.Base and overriding
-// the handlers of interest, register event scopes in HandleOrcaStart, and
-// actuate through the Service the handlers receive:
+// contribution. Write ORCA logic as an adaptation Routine: pair each
+// event scope with its typed handler in one expression, declare
+// everything in a Setup that returns errors, and actuate through the
+// Actions surface the handlers receive:
 //
-//	type myPolicy struct{ orca.Base }
+//	type myPolicy struct{}
 //
-//	func (p *myPolicy) HandleOrcaStart(svc *orca.Service, ctx *orca.OrcaStartContext) {
-//	    scope := orca.NewPEFailureScope("failures").AddApplicationFilter("MyApp")
-//	    svc.RegisterEventScope(scope)
-//	    svc.SubmitApplication("MyApp", nil)
+//	func (p *myPolicy) Name() string { return "restart" }
+//
+//	func (p *myPolicy) Setup(sc *orca.SetupContext) error {
+//	    if _, err := sc.Actions().SubmitApplication("MyApp", nil); err != nil {
+//	        return err
+//	    }
+//	    return sc.Subscribe(orca.OnPEFailure(
+//	        orca.NewPEFailureScope("failures").AddApplicationFilter("MyApp"),
+//	        func(ctx *orca.PEFailureContext, act *orca.Actions) error {
+//	            return act.RestartPE(ctx.PE)
+//	        }))
 //	}
 //
-//	func (p *myPolicy) HandlePEFailure(svc *orca.Service, ctx *orca.PEFailureContext, scopes []string) {
-//	    svc.RestartPE(ctx.PE)
-//	}
+//	svc, _ := orca.NewRoutineService(orca.Config{Name: "my", SAM: inst.SAM, SRM: inst.SRM}, &myPolicy{})
+//	svc.RegisterApplication(app)
+//	if err := svc.Start(); err != nil { ... } // setup errors surface here
+//
+// Cross-cutting activation logic composes from the guard combinators
+// instead of bespoke mutex-and-timestamp code: Threshold/AtLeast gate a
+// handler on an observed value, SuppressFor bounds re-trigger frequency,
+// Debounce demands a sustained condition, and OncePerEpoch collapses one
+// incident's event fan-out into a single actuation. Several independent
+// routines run on one service via Compose (or by passing them all to
+// NewRoutineService).
 //
 // When the platform instance carries a checkpoint store
 // (streams.InstanceOptions.Checkpoint), RestartPE is stateful: the
 // restarted PE restores every checkpointed operator (aggregate
 // windows, application counters) from its latest snapshot, and
-// svc.CheckpointPE(pe) captures one on demand.
+// act.CheckpointPE(pe) captures one on demand.
 //
-//	svc, _ := orca.NewService(orca.Config{Name: "my", SAM: inst.SAM, SRM: inst.SRM}, &myPolicy{})
-//	svc.RegisterApplication(app)
-//	svc.Start()
-//
-// The service delivers events one at a time, in arrival order, each with
-// the keys of every registered subscope it matched and a context rich
+// The service delivers events one at a time, in arrival order, each to
+// the typed handler whose subscription matched, with a context rich
 // enough to disambiguate the application's logical and physical views
-// (query further with svc.Graph, svc.OperatorsInPE, svc.PEOfOperator...).
+// (query further with act.Graph, act.OperatorsInPE, act.PEOfOperator...).
+//
+// The legacy form — embedding orca.Base and overriding HandleOrcaStart
+// et al., started with NewService — remains supported for one release of
+// overlap and will then be removed.
 package orca
 
 import (
+	"time"
+
 	"streamorca/internal/compiler"
 	"streamorca/internal/core"
 	"streamorca/internal/graph"
 )
 
-// Orchestrator surface.
+// Routine surface — the composable adaptation-routine API.
 type (
-	// Orchestrator is the ORCA-logic interface; embed Base for no-op
-	// defaults.
-	Orchestrator = core.Orchestrator
-	// Base provides no-op defaults for every handler.
-	Base = core.Base
+	// Routine is the unit of adaptation logic: Name plus a Setup that
+	// declares subscriptions and performs initial actuations, returning
+	// errors that surface out of Service.Start.
+	Routine = core.Routine
+	// SetupContext registers a routine's subscriptions and exposes the
+	// actuation surface during Setup.
+	SetupContext = core.SetupContext
+	// Subscription pairs one event scope with its typed handler; build
+	// with the On* constructors.
+	Subscription = core.Subscription
+	// Actions is the actuation and inspection surface routine handlers
+	// receive; it embeds *Service.
+	Actions = core.Actions
 	// Service is the ORCA service: event delivery, inspection, and
 	// actuation.
 	Service = core.Service
@@ -53,6 +79,93 @@ type (
 	Stats = core.Stats
 	// JobSummary identifies one managed job.
 	JobSummary = core.JobSummary
+)
+
+// Handler is a typed event handler: event context in, error out.
+// Returning ErrSkipped reports "condition not met" — not an error, and
+// guards treat the invocation as not having fired.
+type Handler[C any] = core.Handler[C]
+
+// ErrSkipped is the non-error sentinel handlers and guards return when
+// the activation condition was not met.
+var ErrSkipped = core.ErrSkipped
+
+// Routine constructors and composition.
+var (
+	// NewRoutine builds a Routine from a name and a setup function.
+	NewRoutine = core.NewRoutine
+	// Compose bundles several routines into one.
+	Compose = core.Compose
+)
+
+// Typed subscription constructors: each pairs a scope with its handler.
+var (
+	OnStart          = core.OnStart
+	OnOperatorMetric = core.OnOperatorMetric
+	OnPEMetric       = core.OnPEMetric
+	OnPortMetric     = core.OnPortMetric
+	OnPEFailure      = core.OnPEFailure
+	OnHostFailure    = core.OnHostFailure
+	OnJobEvent       = core.OnJobEvent
+	OnTimer          = core.OnTimer
+	OnUserEvent      = core.OnUserEvent
+)
+
+// NewRoutineService builds an ORCA service running the given adaptation
+// routines; their Setups run inside Start and any error aborts it.
+func NewRoutineService(cfg Config, routines ...Routine) (*Service, error) {
+	return core.NewRoutineService(cfg, routines...)
+}
+
+// Guard combinators — reusable handler wrappers for cross-cutting
+// activation logic. See the core package for the firing discipline:
+// a guard records state only when its inner handler fired (returned
+// nil); ErrSkipped and errors leave it untouched.
+
+// Threshold invokes inner only when observe reports a valid value
+// strictly above limit (§5.1's actuation-ratio pattern).
+func Threshold[C any](observe func(*C) (float64, bool), limit float64, inner Handler[C]) Handler[C] {
+	return core.Threshold(observe, limit, inner)
+}
+
+// AtLeast is the inclusive variant of Threshold (§5.3's accumulation
+// trigger).
+func AtLeast[C any](observe func(*C) (float64, bool), limit float64, inner Handler[C]) Handler[C] {
+	return core.AtLeast(observe, limit, inner)
+}
+
+// SuppressFor skips re-invocations for d after inner fires (§5.1's
+// 10-minute suppression window), measured on the service clock.
+func SuppressFor[C any](d time.Duration, inner Handler[C]) Handler[C] {
+	return core.SuppressFor(d, inner)
+}
+
+// Debounce invokes inner only once holds has been true for n consecutive
+// deliveries.
+func Debounce[C any](n int, holds func(*C) bool, inner Handler[C]) Handler[C] {
+	return core.Debounce(n, holds, inner)
+}
+
+// OncePerEpoch fires inner at most once per event epoch, collapsing one
+// incident's event fan-out (§4.2) into a single actuation.
+func OncePerEpoch[C any](epoch func(*C) uint64, inner Handler[C]) Handler[C] {
+	return core.OncePerEpoch(epoch, inner)
+}
+
+// Legacy orchestrator surface, superseded by the Routine API.
+type (
+	// Orchestrator is the legacy wide ORCA-logic interface.
+	//
+	// Deprecated: implement Routine and use NewRoutineService; the
+	// typed subscriptions pair scopes with handlers and Setup errors
+	// surface out of Start. Orchestrator remains supported for one
+	// release of overlap.
+	Orchestrator = core.Orchestrator
+	// Base provides no-op defaults for every legacy handler.
+	//
+	// Deprecated: routines subscribe only to the events they handle, so
+	// no default stubs are needed; see Routine.
+	Base = core.Base
 )
 
 // Event kinds and contexts.
@@ -144,7 +257,11 @@ type (
 // orchestrator did not start.
 var ErrUnmanagedJob = core.ErrUnmanagedJob
 
-// NewService builds an ORCA service around the given logic.
+// NewService builds an ORCA service around legacy Orchestrator logic.
+//
+// Deprecated: use NewRoutineService with Routine implementations; this
+// adapter remains for one release of overlap so existing logics migrate
+// incrementally.
 func NewService(cfg Config, logic Orchestrator) (*Service, error) {
 	return core.NewService(cfg, logic)
 }

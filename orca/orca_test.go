@@ -1,3 +1,5 @@
+//lint:file-ignore SA1019 this file deliberately exercises the deprecated legacy Orchestrator adapter until its removal (see the deprecation note in package orca)
+
 package orca_test
 
 import (
