@@ -8,6 +8,7 @@
 //	go run ./cmd/orcarun -scenario failover -window 600ms
 //	go run ./cmd/orcarun -scenario composition -threshold 1500
 //	go run ./cmd/orcarun -scenario recovery
+//	go run ./cmd/orcarun -scenario staleness-failover
 //	go run ./cmd/orcarun -list-scenarios
 package main
 
@@ -23,10 +24,10 @@ import (
 
 // scenarios lists the runnable scenarios in -scenario order; CI's
 // example-drift smoke greps this listing.
-var scenarios = []string{"sentiment", "failover", "composition", "recovery"}
+var scenarios = []string{"sentiment", "failover", "composition", "recovery", "staleness-failover"}
 
 func main() {
-	scenario := flag.String("scenario", "sentiment", "sentiment | failover | composition | recovery")
+	scenario := flag.String("scenario", "sentiment", "sentiment | failover | composition | recovery | staleness-failover")
 	list := flag.Bool("list-scenarios", false, "list available scenarios and exit")
 	shift := flag.Int64("shift", 4000, "sentiment: tweet index of the cause-distribution shift")
 	threshold := flag.Float64("ratio", 1.0, "sentiment: actuation ratio threshold")
@@ -34,7 +35,8 @@ func main() {
 	tick := flag.Duration("tick", time.Millisecond, "failover: tick period")
 	c3thresh := flag.Int64("threshold", 1500, "composition: new-profile threshold for C3 spawn")
 	warm := flag.Int64("warm", 100, "recovery: window fill to reach before the checkpoint")
-	storeDir := flag.String("store", "", "recovery: checkpoint store directory (default: a temp dir)")
+	storeDir := flag.String("store", "", "recovery, staleness-failover: checkpoint store directory (default: a temp dir)")
+	maxAge := flag.Duration("max-snapshot-age", 100*time.Millisecond, "staleness-failover: staleness gate bound")
 	maxDur := flag.Duration("max", 30*time.Second, "run time budget")
 	flag.Parse()
 
@@ -104,6 +106,35 @@ func main() {
 		fmt.Printf("checkpointed at count %d; pre-failure max %d; first post-restart count %d; restores %d\n",
 			res.CountAtCheckpoint, res.MaxPreFailure, res.FirstPostRestart, res.Restores)
 		fmt.Println("recovery OK: restarted PE resumed from checkpointed state")
+	case "staleness-failover":
+		cfg := exp.DefaultStalenessFailover()
+		cfg.MaxSnapshotAge = *maxAge
+		cfg.MaxDuration = *maxDur
+		cfg.StoreDir = *storeDir
+		var tmp string
+		if cfg.StoreDir == "" {
+			dir, err := os.MkdirTemp("", "orca-ckpt-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			tmp = dir
+			cfg.StoreDir = dir
+		}
+		res, err := exp.RunStalenessFailover(cfg)
+		if tmp != "" {
+			// Remove before any Fatal below: log.Fatal skips defers, and
+			// failing CI retries must not accumulate temp snapshot dirs.
+			os.RemoveAll(tmp)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("gate refreshes %d; backup snapshot ages %dms (stale) vs %dms (fresh); promoted replica %d; pre-promotion checkpoints %d; restores %d\n",
+			res.SnapshotRefreshes, res.StaleAgeMs, res.FreshAgeMs,
+			res.PromotedReplica, res.PrePromotionCheckpoints, res.PromotedStateRestores)
+		fmt.Printf("window fill: checkpointed %d, min post-restore %d (no refill)\n",
+			res.CountAtCheckpoint, res.MinPostRestore)
+		fmt.Println("staleness-failover OK: fresher-snapshot replica promoted and resumed from restore")
 	default:
 		log.Fatalf("unknown scenario %q", *scenario)
 	}

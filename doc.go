@@ -109,6 +109,49 @@
 // logged, and discarded: a bad snapshot never blocks a restart, it just
 // makes the restart cold. Cancelling a job deletes its snapshots.
 //
+// # Checkpoint-aware failover
+//
+// Every PE publishes a snapshot-age gauge, lastCheckpointAgeMs
+// (streams.MetricCheckpointAgeMs): milliseconds since its state was
+// last anchored to a snapshot — a completed checkpoint, or a restore at
+// start-up — and -1 before any anchor. The gauge rides the ordinary
+// HC→SRM→orchestrator metric path, so adaptation routines observe it
+// with an OnPEMetric subscription like any other PE metric.
+//
+// The §5.2 failover policy (internal/policies.Failover, and the
+// orcarun staleness-failover scenario) is built on this signal. The
+// paper promoted the replica with the longest uptime as a proxy for the
+// fullest sliding windows; with durable snapshots the better question
+// is "how little state would this replica lose if it had to restart?",
+// which is exactly the snapshot age. Promotion ranks backups by their
+// worst observed PE snapshot age (no snapshot ranks last; uptime
+// remains only as the tie-break, so a store-less platform degrades to
+// the paper's behaviour), is deduplicated per failure epoch with
+// OncePerEpoch, and checkpoints the demoted replica's surviving PEs
+// before committing — the loser's recoverable state is never older than
+// the incident (those CheckpointPE calls are journalled under the
+// failure event's transaction id). A second guard composition keeps the
+// signal fresh:
+//
+//	refresh := orca.Threshold(p.observeSnapshotAge, -1, // -1: any anchored age
+//	    perPE(func() orca.Handler[orca.PEMetricContext] {
+//	        return orca.Debounce(p.StalenessDebounce, p.overLimit, p.checkpointActive)
+//	    }))
+//	sc.Subscribe(orca.OnPEMetric(
+//	    orca.NewPEMetricScope("snapshotAge").
+//	        AddApplicationFilter(p.App).
+//	        AddPEMetric(streams.MetricCheckpointAgeMs),
+//	    refresh))
+//
+// observeSnapshotAge folds every observation into the policy's ranking
+// table and reports the age when it concerns the active replica, so the
+// Threshold passes every anchored active-replica observation (limit -1)
+// down to a per-PE Debounce whose holds predicate checks the
+// MaxSnapshotAge breach. Healthy observations reach the Debounce too
+// and reset its streak; only StalenessDebounce consecutive breaching
+// observations of the same PE fire the CheckpointPE actuation
+// (journalled, like every actuation).
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for the
 // paper-vs-measured record. The root-level benchmarks (bench_test.go)

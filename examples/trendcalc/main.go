@@ -1,9 +1,11 @@
 // Command trendcalc runs the paper's §5.2 use case end to end: three
 // replicas of the Trend Calculator financial application in exclusive
 // host pools, managed by a failover orchestrator. A PE of the active
-// replica is killed; the policy promotes the oldest backup and restarts
-// the failed PE, which then needs a full sliding window of fresh ticks
-// before its output matches the healthy replicas again (Figure 9).
+// replica is killed; the policy promotes a backup (without a checkpoint
+// store no snapshot ages exist, so the staleness ranking falls back to
+// the oldest backup) and restarts the failed PE, which then needs a
+// full sliding window of fresh ticks before its output matches the
+// healthy replicas again (Figure 9).
 package main
 
 import (
@@ -23,7 +25,7 @@ func main() {
 	}
 	fmt.Printf("\nreplica hosts (exclusive pools): %v\n", res.Hosts)
 	fmt.Printf("active before kill: replica %d; killed: replica %d\n", res.ActiveBefore, res.KilledReplica)
-	fmt.Printf("active after failover: replica %d (oldest backup)\n", res.ActiveAfter)
+	fmt.Printf("active after failover: replica %d (oldest backup: uptime fallback)\n", res.ActiveAfter)
 	fmt.Printf("failover latency: %v\n", res.FailoverLatency)
 	fmt.Printf("failed replica output gap: %v\n", res.OutputGap)
 	fmt.Printf("window refill time: %v (window %v)\n", res.RefillTime, cfg.Window)

@@ -87,7 +87,7 @@ func (s *Service) cancelInternal(job ids.JobID, configID string) error {
 	}
 	s.enqueue(&eventData{
 		kind: KindJobCancelled, job: job, app: appName,
-		ctx: &JobContext{Job: job, App: appName, ConfigID: configID, At: s.clock.Now()},
+		ctx: &JobContext{Job: job, App: appName, ConfigID: configID, Cancelled: true, At: s.clock.Now()},
 	})
 	return nil
 }

@@ -10,45 +10,13 @@ import (
 	"streamorca/internal/ids"
 	"streamorca/internal/metrics"
 	"streamorca/internal/ops"
-	"streamorca/internal/platform"
 	"streamorca/internal/tuple"
-	"streamorca/internal/vclock"
 )
 
 // ckptHarness is newHarness plus a checkpoint store on the platform.
 func ckptHarness(t *testing.T, store ckpt.Store, hostNames ...string) *harness {
 	t.Helper()
-	if len(hostNames) == 0 {
-		hostNames = []string{"h1"}
-	}
-	clock := vclock.NewManual(testEpoch)
-	specs := make([]platform.HostSpec, len(hostNames))
-	for i, n := range hostNames {
-		specs[i] = platform.HostSpec{Name: n}
-	}
-	inst, err := platform.NewInstance(platform.Options{
-		Clock:           clock,
-		Hosts:           specs,
-		MetricsInterval: time.Hour, // tests flush explicitly
-		Checkpoint:      store,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(inst.Close)
-	rec := &recorder{}
-	svc, err := NewService(Config{
-		Name:         "testOrca",
-		SAM:          inst.SAM,
-		SRM:          inst.SRM,
-		Clock:        clock,
-		PullInterval: time.Hour,
-	}, rec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(svc.Stop)
-	return &harness{inst: inst, clock: clock, svc: svc, rec: rec}
+	return newStoreHarness(t, store, hostNames...)
 }
 
 // aggApp builds Beacon -> Aggregate -> CollectSink across three PEs.
@@ -100,9 +68,7 @@ func TestHandlePEFailureRestoresAggregateState(t *testing.T) {
 	// container's first output.
 	preLen := make(chan int, 1)
 	restarted := make(chan ids.PEID, 4)
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewPEFailureScope("pf").AddApplicationFilter("CkptE2E"))
-	}
+	h.observe(t, NewPEFailureScope("pf").AddApplicationFilter("CkptE2E"))
 	h.rec.onEvent = func(svc *Service, kind EventKind, ctx any, scopes []string) {
 		if kind == KindPEFailure {
 			fc := ctx.(*PEFailureContext)
@@ -196,9 +162,7 @@ func TestCancelJobDropsCheckpoints(t *testing.T) {
 	if err := h.svc.RegisterApplication(app); err != nil {
 		t.Fatal(err)
 	}
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewJobEventScope("jobs").AddApplicationFilter("CkptCancel"))
-	}
+	h.observe(t, NewJobEventScope("jobs").AddApplicationFilter("CkptCancel"))
 	h.start(t)
 	job, err := h.svc.SubmitApplication("CkptCancel", nil)
 	if err != nil {

@@ -113,9 +113,7 @@ func TestRegisterDependencyValidation(t *testing.T) {
 // 80 virtual seconds, then submits all.
 func TestFigure7SubmissionOrderAndTiming(t *testing.T) {
 	h := newHarness(t)
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewJobEventScope("jobs"))
-	}
+	h.observe(t, NewJobEventScope("jobs"))
 	h.start(t)
 	figure7(t, h)
 
@@ -131,12 +129,12 @@ func TestFigure7SubmissionOrderAndTiming(t *testing.T) {
 	}
 	// The submission thread sleeps on the manual clock. Advancing less
 	// than the requirement must not release it.
-	h.clock.BlockUntilWaiters(1)
+	h.clock.BlockUntilWaiters(2) // the pull loop waits too: 2 = it + the StartApp sleeper
 	h.clock.Advance(79 * time.Second)
 	if running(h, "all") {
 		t.Fatal("all submitted after 79s")
 	}
-	h.clock.BlockUntilWaiters(1)
+	h.clock.BlockUntilWaiters(2) // the pull loop waits too: 2 = it + the StartApp sleeper
 	h.clock.Advance(time.Second)
 	if err := <-done; err != nil {
 		t.Fatal(err)
@@ -169,7 +167,7 @@ func TestFigure7SnSubmitsWithShorterWait(t *testing.T) {
 	figure7(t, h)
 	done := startAppAsync(h, "all")
 	waitFor(t, "roots", func() bool { return running(h, "fb") && running(h, "tw") })
-	h.clock.BlockUntilWaiters(1)
+	h.clock.BlockUntilWaiters(2) // the pull loop waits too: 2 = it + the StartApp sleeper
 	h.clock.Advance(80 * time.Second)
 	if err := <-done; err != nil {
 		t.Fatal(err)
@@ -192,7 +190,7 @@ func TestFigure7SnWaitsTwentySeconds(t *testing.T) {
 	if running(h, "sn") || running(h, "fox") || running(h, "msnbc") {
 		t.Fatal("pruning failed: unrelated apps submitted or sn early")
 	}
-	h.clock.BlockUntilWaiters(1)
+	h.clock.BlockUntilWaiters(2) // the pull loop waits too: 2 = it + the StartApp sleeper
 	h.clock.Advance(20 * time.Second)
 	if err := <-done; err != nil {
 		t.Fatal(err)
@@ -208,7 +206,7 @@ func TestStarvationPrevention(t *testing.T) {
 	figure7(t, h)
 	done := startAppAsync(h, "sn")
 	waitFor(t, "roots", func() bool { return running(h, "fb") && running(h, "tw") })
-	h.clock.BlockUntilWaiters(1)
+	h.clock.BlockUntilWaiters(2) // the pull loop waits too: 2 = it + the StartApp sleeper
 	h.clock.Advance(20 * time.Second)
 	if err := <-done; err != nil {
 		t.Fatal(err)
@@ -229,7 +227,7 @@ func TestGarbageCollectionWithTimeoutsAndNonGCable(t *testing.T) {
 	figure7(t, h)
 	done := startAppAsync(h, "all")
 	waitFor(t, "roots", func() bool { return running(h, "fox") })
-	h.clock.BlockUntilWaiters(1)
+	h.clock.BlockUntilWaiters(2) // the pull loop waits too: 2 = it + the StartApp sleeper
 	h.clock.Advance(80 * time.Second)
 	if err := <-done; err != nil {
 		t.Fatal(err)
@@ -269,7 +267,7 @@ func TestGCResurrection(t *testing.T) {
 	// Bring up sn (and fb, tw).
 	done := startAppAsync(h, "sn")
 	waitFor(t, "roots", func() bool { return running(h, "fb") && running(h, "tw") })
-	h.clock.BlockUntilWaiters(1)
+	h.clock.BlockUntilWaiters(2) // the pull loop waits too: 2 = it + the StartApp sleeper
 	h.clock.Advance(20 * time.Second)
 	if err := <-done; err != nil {
 		t.Fatal(err)
@@ -366,7 +364,7 @@ func TestGCFireSkipsReusedApp(t *testing.T) {
 	// sn up, then stopped: fb/tw queued.
 	done := startAppAsync(h, "sn")
 	waitFor(t, "roots", func() bool { return running(h, "fb") && running(h, "tw") })
-	h.clock.BlockUntilWaiters(1)
+	h.clock.BlockUntilWaiters(2) // the pull loop waits too: 2 = it + the StartApp sleeper
 	h.clock.Advance(20 * time.Second)
 	if err := <-done; err != nil {
 		t.Fatal(err)

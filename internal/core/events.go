@@ -183,7 +183,12 @@ type JobContext struct {
 	Job      ids.JobID
 	App      string
 	ConfigID string
-	At       time.Time
+	// Cancelled distinguishes the two event kinds sharing this context:
+	// false for a submission, true for a cancellation — so a single
+	// OnJobEvent subscription covering both directions can tell them
+	// apart without registering one scope per direction.
+	Cancelled bool
+	At        time.Time
 	// TxID is the event's delivery transaction id — a per-service,
 	// monotonically increasing sequence assigned at delivery (§7's
 	// reliable-delivery extension). Actuations invoked from the handler

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
 
 	"streamorca/internal/adl"
+	"streamorca/internal/ckpt"
 	"streamorca/internal/compiler"
 	"streamorca/internal/ops"
 	"streamorca/internal/platform"
@@ -18,13 +20,20 @@ var (
 	intS      = tuple.MustSchema(tuple.Attribute{Name: "seq", Type: tuple.Int})
 )
 
-// recorder is an Orchestrator capturing every delivered event in order.
+// recorder captures every delivered event in order through recording
+// routine subscriptions — the routine-mode successor of the legacy
+// Orchestrator-based test recorder. Scopes registered with observe get a
+// typed recording handler each; consecutive handler invocations for the
+// same delivered event (one event matching several observed scopes)
+// coalesce into a single recordedEvent carrying every matched key, which
+// preserves the "delivered once, with all matching keys" view the
+// assertions take.
 type recorder struct {
-	Base
 	mu      sync.Mutex
 	started int
 	events  []recordedEvent
-	onStart func(svc *Service)
+	// onEvent runs on every recording-handler invocation, inside
+	// delivery; scopes carries the single key that invocation served.
 	onEvent func(svc *Service, kind EventKind, ctx any, scopes []string)
 }
 
@@ -34,68 +43,112 @@ type recordedEvent struct {
 	scopes []string
 }
 
-func (r *recorder) record(svc *Service, kind EventKind, ctx any, scopes []string) {
+// routine returns the Routine backing the recorder: its Setup subscribes
+// the start handler; event scopes join via observe.
+func (r *recorder) routine() Routine {
+	return NewRoutine("recorder", func(sc *SetupContext) error {
+		return sc.Subscribe(OnStart(func(ctx *OrcaStartContext, act *Actions) error {
+			r.mu.Lock()
+			r.started++
+			r.events = append(r.events, recordedEvent{kind: KindOrcaStart, ctx: ctx})
+			r.mu.Unlock()
+			return nil
+		}))
+	})
+}
+
+// record appends one handler invocation, merging it into the previous
+// record when it reports the same delivered event under another key.
+func (r *recorder) record(svc *Service, kind EventKind, ctx any, key string) {
 	r.mu.Lock()
-	r.events = append(r.events, recordedEvent{kind: kind, ctx: ctx, scopes: scopes})
+	if n := len(r.events); n > 0 && r.events[n-1].ctx == ctx {
+		r.events[n-1].scopes = append(r.events[n-1].scopes, key)
+	} else {
+		r.events = append(r.events, recordedEvent{kind: kind, ctx: ctx, scopes: []string{key}})
+	}
 	cb := r.onEvent
 	r.mu.Unlock()
 	if cb != nil {
-		cb(svc, kind, ctx, scopes)
+		cb(svc, kind, ctx, []string{key})
 	}
 }
 
-func (r *recorder) HandleOrcaStart(svc *Service, ctx *OrcaStartContext) {
-	r.mu.Lock()
-	r.started++
-	r.events = append(r.events, recordedEvent{kind: KindOrcaStart, ctx: ctx})
-	cb := r.onStart
-	r.mu.Unlock()
-	if cb != nil {
-		cb(svc)
+// observe subscribes a recording handler for each scope — before Start
+// or at any later point (subscriptions registered mid-run receive every
+// subsequent matching event, like any routine subscription).
+func (r *recorder) observe(svc *Service, scopes ...Scope) error {
+	sc := &SetupContext{svc: svc, routine: "recorder"}
+	for _, scope := range scopes {
+		sub, err := r.subscription(scope)
+		if err != nil {
+			return err
+		}
+		if err := sc.Subscribe(sub); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func (r *recorder) HandleOperatorMetric(svc *Service, ctx *OperatorMetricContext, scopes []string) {
-	r.record(svc, KindOperatorMetric, ctx, scopes)
-}
-
-func (r *recorder) HandlePEMetric(svc *Service, ctx *PEMetricContext, scopes []string) {
-	r.record(svc, KindPEMetric, ctx, scopes)
-}
-
-func (r *recorder) HandlePortMetric(svc *Service, ctx *PortMetricContext, scopes []string) {
-	r.record(svc, KindPortMetric, ctx, scopes)
-}
-
-func (r *recorder) HandlePEFailure(svc *Service, ctx *PEFailureContext, scopes []string) {
-	r.record(svc, KindPEFailure, ctx, scopes)
-}
-
-func (r *recorder) HandleHostFailure(svc *Service, ctx *HostFailureContext, scopes []string) {
-	r.record(svc, KindHostFailure, ctx, scopes)
-}
-
-func (r *recorder) HandleJobSubmitted(svc *Service, ctx *JobContext, scopes []string) {
-	r.record(svc, KindJobSubmitted, ctx, scopes)
-}
-
-func (r *recorder) HandleJobCancelled(svc *Service, ctx *JobContext, scopes []string) {
-	r.record(svc, KindJobCancelled, ctx, scopes)
-}
-
-func (r *recorder) HandleTimer(svc *Service, ctx *TimerContext, scopes []string) {
-	r.record(svc, KindTimer, ctx, scopes)
-}
-
-func (r *recorder) HandleUserEvent(svc *Service, ctx *UserEventContext, scopes []string) {
-	r.record(svc, KindUserEvent, ctx, scopes)
+// subscription pairs one scope with its typed recording handler.
+func (r *recorder) subscription(scope Scope) (*Subscription, error) {
+	switch sc := scope.(type) {
+	case *OperatorMetricScope:
+		return OnOperatorMetric(sc, func(ctx *OperatorMetricContext, act *Actions) error {
+			r.record(act.Service, KindOperatorMetric, ctx, sc.Key())
+			return nil
+		}), nil
+	case *PEMetricScope:
+		return OnPEMetric(sc, func(ctx *PEMetricContext, act *Actions) error {
+			r.record(act.Service, KindPEMetric, ctx, sc.Key())
+			return nil
+		}), nil
+	case *PortMetricScope:
+		return OnPortMetric(sc, func(ctx *PortMetricContext, act *Actions) error {
+			r.record(act.Service, KindPortMetric, ctx, sc.Key())
+			return nil
+		}), nil
+	case *PEFailureScope:
+		return OnPEFailure(sc, func(ctx *PEFailureContext, act *Actions) error {
+			r.record(act.Service, KindPEFailure, ctx, sc.Key())
+			return nil
+		}), nil
+	case *HostFailureScope:
+		return OnHostFailure(sc, func(ctx *HostFailureContext, act *Actions) error {
+			r.record(act.Service, KindHostFailure, ctx, sc.Key())
+			return nil
+		}), nil
+	case *JobEventScope:
+		return OnJobEvent(sc, func(ctx *JobContext, act *Actions) error {
+			kind := KindJobSubmitted
+			if ctx.Cancelled {
+				kind = KindJobCancelled
+			}
+			r.record(act.Service, kind, ctx, sc.Key())
+			return nil
+		}), nil
+	case *TimerScope:
+		return OnTimer(sc, func(ctx *TimerContext, act *Actions) error {
+			r.record(act.Service, KindTimer, ctx, sc.Key())
+			return nil
+		}), nil
+	case *UserEventScope:
+		return OnUserEvent(sc, func(ctx *UserEventContext, act *Actions) error {
+			r.record(act.Service, KindUserEvent, ctx, sc.Key())
+			return nil
+		}), nil
+	default:
+		return nil, fmt.Errorf("recorder: unsupported scope type %T", scope)
+	}
 }
 
 // snapshot returns a copy of the recorded events.
 func (r *recorder) snapshot() []recordedEvent {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]recordedEvent(nil), r.events...)
+	out := make([]recordedEvent, len(r.events))
+	copy(out, r.events)
+	return out
 }
 
 // countKind returns how many events of a kind were recorded.
@@ -111,7 +164,8 @@ func (r *recorder) countKind(k EventKind) int {
 	return n
 }
 
-// harness bundles a platform, a manual clock, a service, and a recorder.
+// harness bundles a platform, a manual clock, a routine-mode service,
+// and a recorder.
 type harness struct {
 	inst  *platform.Instance
 	clock *vclock.Manual
@@ -120,6 +174,13 @@ type harness struct {
 }
 
 func newHarness(t *testing.T, hostNames ...string) *harness {
+	t.Helper()
+	return newStoreHarness(t, nil, hostNames...)
+}
+
+// newStoreHarness is newHarness plus an optional checkpoint store on the
+// platform.
+func newStoreHarness(t *testing.T, store ckpt.Store, hostNames ...string) *harness {
 	t.Helper()
 	if len(hostNames) == 0 {
 		hostNames = []string{"h1"}
@@ -133,24 +194,33 @@ func newHarness(t *testing.T, hostNames ...string) *harness {
 		Clock:           clock,
 		Hosts:           specs,
 		MetricsInterval: time.Hour, // tests flush explicitly
+		Checkpoint:      store,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(inst.Close)
 	rec := &recorder{}
-	svc, err := NewService(Config{
+	svc, err := NewRoutineService(Config{
 		Name:         "testOrca",
 		SAM:          inst.SAM,
 		SRM:          inst.SRM,
 		Clock:        clock,
 		PullInterval: time.Hour, // tests pull explicitly
-	}, rec)
+	}, rec.routine())
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(svc.Stop)
 	return &harness{inst: inst, clock: clock, svc: svc, rec: rec}
+}
+
+// observe registers recording subscriptions for the given scopes.
+func (h *harness) observe(t *testing.T, scopes ...Scope) {
+	t.Helper()
+	if err := h.rec.observe(h.svc, scopes...); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func (h *harness) start(t *testing.T) {

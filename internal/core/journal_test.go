@@ -11,9 +11,7 @@ import (
 // delivered event carries a monotonically increasing transaction id.
 func TestTxIDsAreAssignedInDeliveryOrder(t *testing.T) {
 	h := newHarness(t)
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewUserEventScope("all"))
-	}
+	h.observe(t, NewUserEventScope("all"))
 	h.start(t)
 	for _, n := range []string{"a", "b", "c"} {
 		h.svc.RaiseUserEvent(n, nil)
@@ -47,9 +45,7 @@ func TestActuationJournalTagsHandlerActions(t *testing.T) {
 		t.Fatal(err)
 	}
 	var handledTx uint64
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewUserEventScope("all"))
-	}
+	h.observe(t, NewUserEventScope("all"))
 	h.rec.onEvent = func(svc *Service, kind EventKind, ctx any, scopes []string) {
 		if kind != KindUserEvent {
 			return

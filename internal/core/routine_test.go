@@ -282,18 +282,63 @@ func TestRoutineHandlerErrorsCounted(t *testing.T) {
 	}
 }
 
-// TestLegacyAndRoutineKeysPartition: on a legacy service, scope keys
+// legacyProbe is a minimal wide-interface Orchestrator used to keep the
+// deprecated adapter path covered until its removal; the shared test
+// harness itself runs on recording routines.
+type legacyProbe struct {
+	Base
+	mu     sync.Mutex
+	events []recordedEvent
+}
+
+func (l *legacyProbe) HandleOrcaStart(svc *Service, ctx *OrcaStartContext) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, recordedEvent{kind: KindOrcaStart, ctx: ctx})
+}
+
+func (l *legacyProbe) HandleUserEvent(svc *Service, ctx *UserEventContext, scopes []string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, recordedEvent{kind: KindUserEvent, ctx: ctx, scopes: scopes})
+}
+
+func (l *legacyProbe) snapshot() []recordedEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]recordedEvent(nil), l.events...)
+}
+
+// TestLegacyAdapterStillDispatches: on a legacy service, scope keys
 // owned by nobody still reach the Orchestrator handlers (the deprecated
-// adapter keeps working unchanged).
+// adapter keeps working unchanged until its removal release).
 func TestLegacyAdapterStillDispatches(t *testing.T) {
-	h := newHarness(t)
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewUserEventScope("legacy"))
+	h := newHarness(t) // platform only; its service stays unstarted
+	probe := &legacyProbe{}
+	svc, err := NewService(Config{
+		Name: "legacyOrca", SAM: h.inst.SAM, SRM: h.inst.SRM,
+		Clock: h.clock, PullInterval: time.Hour,
+	}, probe)
+	if err != nil {
+		t.Fatal(err)
 	}
-	h.start(t)
-	h.svc.RaiseUserEvent("ping", nil)
-	waitFor(t, "legacy delivery", func() bool { return h.rec.countKind(KindUserEvent) == 1 })
-	for _, e := range h.rec.snapshot() {
+	t.Cleanup(svc.Stop)
+	if err := svc.RegisterEventScope(NewUserEventScope("legacy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	svc.RaiseUserEvent("ping", nil)
+	waitFor(t, "legacy delivery", func() bool {
+		for _, e := range probe.snapshot() {
+			if e.kind == KindUserEvent {
+				return true
+			}
+		}
+		return false
+	})
+	for _, e := range probe.snapshot() {
 		if e.kind == KindUserEvent {
 			if len(e.scopes) != 1 || e.scopes[0] != "legacy" {
 				t.Fatalf("legacy scopes = %v", e.scopes)

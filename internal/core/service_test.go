@@ -15,10 +15,10 @@ import (
 
 func TestNewServiceValidation(t *testing.T) {
 	h := newHarness(t)
-	if _, err := NewService(Config{SAM: h.inst.SAM, SRM: h.inst.SRM}, &recorder{}); err == nil {
+	if _, err := NewService(Config{SAM: h.inst.SAM, SRM: h.inst.SRM}, Base{}); err == nil {
 		t.Fatal("empty name accepted")
 	}
-	if _, err := NewService(Config{Name: "x"}, &recorder{}); err == nil {
+	if _, err := NewService(Config{Name: "x"}, Base{}); err == nil {
 		t.Fatal("missing daemons accepted")
 	}
 	if _, err := NewService(Config{Name: "x", SAM: h.inst.SAM, SRM: h.inst.SRM}, nil); err == nil {
@@ -117,10 +117,9 @@ func TestJobEventsRequireScope(t *testing.T) {
 	if h.rec.countKind(KindJobSubmitted) != 0 {
 		t.Fatal("unscoped job event delivered")
 	}
-	// With a scope, both cancel of this job and future submissions flow.
-	if err := h.svc.RegisterEventScope(NewJobEventScope("jobs").AddApplicationFilter("JE")); err != nil {
-		t.Fatal(err)
-	}
+	// With a scope, both cancel of this job and future submissions flow;
+	// the shared JobContext tells the directions apart via Cancelled.
+	h.observe(t, NewJobEventScope("jobs").AddApplicationFilter("JE"))
 	if err := h.svc.CancelJob(job); err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +127,7 @@ func TestJobEventsRequireScope(t *testing.T) {
 	evs := h.rec.snapshot()
 	last := evs[len(evs)-1]
 	jc := last.ctx.(*JobContext)
-	if jc.Job != job || jc.App != "JE" || jc.ConfigID != "" {
+	if jc.Job != job || jc.App != "JE" || jc.ConfigID != "" || !jc.Cancelled {
 		t.Fatalf("cancel context = %+v", jc)
 	}
 	if len(last.scopes) != 1 || last.scopes[0] != "jobs" {
@@ -175,19 +174,12 @@ func TestFigure5ScopeMatching(t *testing.T) {
 	if err := h.svc.RegisterApplication(app); err != nil {
 		t.Fatal(err)
 	}
-	h.rec.onStart = func(svc *Service) {
-		oms := NewOperatorMetricScope("opMetricScope").
+	h.observe(t,
+		NewOperatorMetricScope("opMetricScope").
 			AddCompositeTypeFilter("composite1").
 			AddOperatorTypeFilter(ops.KindSplit, ops.KindMerge).
-			AddOperatorMetric(metrics.OpQueueSize)
-		pfs := NewPEFailureScope("failureScope").AddApplicationFilter("Figure2")
-		if err := svc.RegisterEventScope(oms); err != nil {
-			panic(err)
-		}
-		if err := svc.RegisterEventScope(pfs); err != nil {
-			panic(err)
-		}
-	}
+			AddOperatorMetric(metrics.OpQueueSize),
+		NewPEFailureScope("failureScope").AddApplicationFilter("Figure2"))
 	h.start(t)
 	ops.ResetCollector("Figure2-sink1")
 	ops.ResetCollector("Figure2-sink2")
@@ -246,12 +238,11 @@ func TestEventDeliveredOnceWithAllMatchingScopeKeys(t *testing.T) {
 	if err := h.svc.RegisterApplication(simpleApp(t, "Multi", "multi", "3")); err != nil {
 		t.Fatal(err)
 	}
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewOperatorMetricScope("byName").
-			AddOperatorNameFilter("src").AddOperatorMetric(metrics.OpTuplesSubmitted))
-		_ = svc.RegisterEventScope(NewOperatorMetricScope("byKind").
+	h.observe(t,
+		NewOperatorMetricScope("byName").
+			AddOperatorNameFilter("src").AddOperatorMetric(metrics.OpTuplesSubmitted),
+		NewOperatorMetricScope("byKind").
 			AddOperatorTypeFilter(ops.KindBeacon).AddOperatorMetric(metrics.OpTuplesSubmitted))
-	}
 	h.start(t)
 	ops.ResetCollector("multi")
 	if _, err := h.svc.SubmitApplication("Multi", nil); err != nil {
@@ -299,10 +290,9 @@ func TestPEFailureEventAndEpochGrouping(t *testing.T) {
 	if err := h.svc.RegisterApplication(simpleApp(t, "F", "f1", "0")); err != nil {
 		t.Fatal(err)
 	}
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewPEFailureScope("pf").AddApplicationFilter("F"))
-		_ = svc.RegisterEventScope(NewHostFailureScope("hf"))
-	}
+	h.observe(t,
+		NewPEFailureScope("pf").AddApplicationFilter("F"),
+		NewHostFailureScope("hf"))
 	h.start(t)
 	ops.ResetCollector("f1")
 	job, err := h.svc.SubmitApplication("F", nil)
@@ -345,7 +335,7 @@ func TestPEFailureEventAndEpochGrouping(t *testing.T) {
 	if err := h.svc.RegisterApplication(app2); err != nil {
 		t.Fatal(err)
 	}
-	_ = h.svc.RegisterEventScope(NewPEFailureScope("pf2").AddApplicationFilter("F2"))
+	h.observe(t, NewPEFailureScope("pf2").AddApplicationFilter("F2"))
 	ops.ResetCollector("f2")
 	if _, err := h.svc.SubmitApplication("F2", nil); err != nil {
 		t.Fatal(err)
@@ -387,9 +377,7 @@ func TestPEFailureEventAndEpochGrouping(t *testing.T) {
 
 func TestTimers(t *testing.T) {
 	h := newHarness(t)
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewTimerScope("timers").AddTimerFilter("once", "tick"))
-	}
+	h.observe(t, NewTimerScope("timers").AddTimerFilter("once", "tick"))
 	h.start(t)
 	if err := h.svc.StartTimer("", time.Second); err == nil {
 		t.Fatal("empty timer name accepted")
@@ -429,9 +417,7 @@ func TestTimers(t *testing.T) {
 
 func TestUserEvents(t *testing.T) {
 	h := newHarness(t)
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewUserEventScope("user").AddNameFilter("reload"))
-	}
+	h.observe(t, NewUserEventScope("user").AddNameFilter("reload"))
 	h.start(t)
 	h.svc.RaiseUserEvent("reload", map[string]string{"model": "v2"})
 	h.svc.RaiseUserEvent("ignored", nil)
@@ -455,9 +441,7 @@ func TestEventsDeliveredInOrderOneAtATime(t *testing.T) {
 			time.Sleep(2 * time.Millisecond) // hold the dispatcher
 		}
 	}
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewUserEventScope("all"))
-	}
+	h.observe(t, NewUserEventScope("all"))
 	h.start(t)
 	names := []string{"e1", "e2", "e3", "e4", "e5"}
 	for _, n := range names {
@@ -574,9 +558,7 @@ func TestInspectionQueries(t *testing.T) {
 
 func TestHandlerPanicIsRecovered(t *testing.T) {
 	h := newHarness(t)
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewUserEventScope("all"))
-	}
+	h.observe(t, NewUserEventScope("all"))
 	h.rec.onEvent = func(svc *Service, kind EventKind, ctx any, scopes []string) {
 		if kind == KindUserEvent && ctx.(*UserEventContext).Name == "boom" {
 			panic("handler bug")
@@ -593,9 +575,7 @@ func TestHandlerPanicIsRecovered(t *testing.T) {
 
 func TestStatsAndPullInterval(t *testing.T) {
 	h := newHarness(t)
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewOperatorMetricScope("m").AddOperatorMetric(metrics.OpTuplesSubmitted))
-	}
+	h.observe(t, NewOperatorMetricScope("m").AddOperatorMetric(metrics.OpTuplesSubmitted))
 	h.start(t)
 	ops.ResetCollector("st")
 	if err := h.svc.RegisterApplication(simpleApp(t, "St", "st", "4")); err != nil {
@@ -621,9 +601,7 @@ func TestStatsAndPullInterval(t *testing.T) {
 
 func TestStopIsIdempotentAndStopsDelivery(t *testing.T) {
 	h := newHarness(t)
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewUserEventScope("all"))
-	}
+	h.observe(t, NewUserEventScope("all"))
 	h.start(t)
 	h.svc.Stop()
 	h.svc.Stop()
@@ -735,11 +713,9 @@ func TestPEMetricScopeDeliversByteCounters(t *testing.T) {
 	if err := h.svc.RegisterApplication(simpleApp(t, "PM", "pm", "50")); err != nil {
 		t.Fatal(err)
 	}
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewPEMetricScope("bytes").
-			AddApplicationFilter("PM").
-			AddPEMetric(metrics.PETupleBytesProcessed, metrics.PETupleBytesSubmitted))
-	}
+	h.observe(t, NewPEMetricScope("bytes").
+		AddApplicationFilter("PM").
+		AddPEMetric(metrics.PETupleBytesProcessed, metrics.PETupleBytesSubmitted))
 	h.start(t)
 	if _, err := h.svc.SubmitApplication("PM", nil); err != nil {
 		t.Fatal(err)
@@ -775,10 +751,8 @@ func TestPEFailureScopeHostFilter(t *testing.T) {
 	if err := h.svc.RegisterApplication(app); err != nil {
 		t.Fatal(err)
 	}
-	h.rec.onStart = func(svc *Service) {
-		_ = svc.RegisterEventScope(NewPEFailureScope("onlyH2").
-			AddApplicationFilter("HF").AddHostFilter("h2"))
-	}
+	h.observe(t, NewPEFailureScope("onlyH2").
+		AddApplicationFilter("HF").AddHostFilter("h2"))
 	h.start(t)
 	job, err := h.svc.SubmitApplication("HF", nil)
 	if err != nil {

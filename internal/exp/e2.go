@@ -77,8 +77,12 @@ type E2Result struct {
 
 // RunE2 executes the failover experiment: three Trend Calculator
 // replicas in exclusive host pools, kill the active replica's
-// stateful aggregation PE, observe promotion of the oldest backup, the
-// failed replica's output gap, and its slow window refill.
+// stateful aggregation PE, observe the promotion, the failed replica's
+// output gap, and its slow window refill. E2 runs without a checkpoint
+// store — no snapshot ages exist, so the staleness-ranked policy falls
+// back to its uptime tie-break and promotes the oldest backup, exactly
+// the paper's Figure 9 behaviour (RunStalenessFailover covers the
+// checkpoint-aware promotion).
 func RunE2(cfg E2Config) (*E2Result, error) {
 	inst, err := newPlatform("h1", "h2", "h3", "h4")
 	if err != nil {

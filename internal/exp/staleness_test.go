@@ -1,0 +1,28 @@
+package exp
+
+import "testing"
+
+// TestStalenessFailoverScenario pins the checkpoint-aware failover
+// smoke: the staleness gate refreshes the active replica's snapshot,
+// the fresher-snapshot backup wins the promotion over the stale one,
+// and it serves from restored window state.
+func TestStalenessFailoverScenario(t *testing.T) {
+	cfg := DefaultStalenessFailover()
+	cfg.StoreDir = t.TempDir() // exercise the persistent store end to end
+	res, err := RunStalenessFailover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PromotedReplica != 2 || res.StaleReplica != 1 {
+		t.Fatalf("promotion = %+v", res)
+	}
+	if res.StaleAgeMs <= res.FreshAgeMs {
+		t.Fatalf("staleness gap missing: %+v", res)
+	}
+	if res.SnapshotRefreshes < 1 || res.PrePromotionCheckpoints < 1 {
+		t.Fatalf("checkpoint actuations missing: %+v", res)
+	}
+	if res.PromotedStateRestores < 1 {
+		t.Fatalf("promoted replica never restored: %+v", res)
+	}
+}

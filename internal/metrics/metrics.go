@@ -44,6 +44,13 @@ const (
 	PECheckpoints     = "nCheckpoints"
 	PECheckpointBytes = "nCheckpointBytes"
 	PEStateRestores   = "nStateRestores"
+	// PECheckpointAgeMs is a gauge: milliseconds elapsed on the platform
+	// clock since the container's state was last anchored to a snapshot
+	// (a completed checkpoint, or a restore at start-up), -1 while no
+	// such anchor exists. It is the checkpoint-aware failover policy's
+	// health signal: the smaller the age, the less state a restart of
+	// this PE would lose.
+	PECheckpointAgeMs = "lastCheckpointAgeMs"
 )
 
 // Counter is a 64-bit metric cell. Built-in counters are monotonic except

@@ -50,6 +50,7 @@ func (p *PE) Checkpoint() (int, error) {
 	}
 	p.peMetrics.Counter(metrics.PECheckpoints).Inc()
 	p.peMetrics.Counter(metrics.PECheckpointBytes).Add(int64(len(data)))
+	p.noteStateAnchor()
 	return len(data), nil
 }
 
@@ -162,6 +163,12 @@ func (p *PE) restoreState() {
 	}
 	if restored > 0 {
 		p.peMetrics.Counter(metrics.PEStateRestores).Add(int64(restored))
+		// The restored container's state is anchored to the adopted
+		// snapshot. The snapshot format carries no capture timestamp, so
+		// the restore moment stands in for it — optimistic by at most the
+		// capture-to-restart delay, which periodic checkpointing bounds to
+		// about one interval.
+		p.noteStateAnchor()
 		p.cfg.Logf("pe %s: restored %d operator state(s) from checkpoint", p.cfg.ID, restored)
 	}
 }

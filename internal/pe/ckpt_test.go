@@ -4,11 +4,13 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"streamorca/internal/ckpt"
 	"streamorca/internal/metrics"
 	"streamorca/internal/opapi"
 	"streamorca/internal/tuple"
+	"streamorca/internal/vclock"
 )
 
 // accumulator sums every value it sees — the minimal stateful operator.
@@ -231,6 +233,157 @@ func TestRestoreSkipsKindMismatch(t *testing.T) {
 		t.Fatalf("nStateRestores = %d", got)
 	}
 	p.Stop()
+}
+
+// ageGauge reads the snapshot-age gauge straight off the PE metric set.
+func ageGauge(p *PE) int64 {
+	return p.PEMetrics().Counter(metrics.PECheckpointAgeMs).Value()
+}
+
+// ageSample extracts lastCheckpointAgeMs from a full metric snapshot —
+// the value SRM (and therefore the orchestrator's PE-metric events)
+// would observe.
+func ageSample(t *testing.T, p *PE) int64 {
+	t.Helper()
+	for _, s := range p.MetricsSnapshot() {
+		if s.Scope == metrics.PEScope && s.Name == metrics.PECheckpointAgeMs {
+			return s.Value
+		}
+	}
+	t.Fatal("lastCheckpointAgeMs missing from metrics snapshot")
+	return 0
+}
+
+// TestCheckpointAgeGauge: the gauge reports -1 before any snapshot,
+// zeroes on a checkpoint, and ages with the platform clock at snapshot
+// time.
+func TestCheckpointAgeGauge(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(1000, 0))
+	store := ckpt.NewMemStore()
+	acc := &accumulator{}
+	p, err := New(Config{
+		ID: 9, Job: 1, App: "ckpt", Host: "h1",
+		Ops:      []OpSpec{srcSpec("src"), accSpec("acc")},
+		Wires:    []Wire{{"src", 0, "acc", 0}},
+		Registry: ckptRegistry(acc, 4),
+		Clock:    clock,
+		Ckpt:     CkptConfig{Store: store, Key: "age"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if got := ageGauge(p); got != -1 {
+		t.Fatalf("pre-checkpoint gauge = %d, want -1", got)
+	}
+	if got := ageSample(t, p); got != -1 {
+		t.Fatalf("pre-checkpoint sample = %d, want -1", got)
+	}
+	waitCond(t, "source drained", func() bool { return acc.value() == 6 })
+	if _, err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ageGauge(p); got != 0 {
+		t.Fatalf("gauge right after checkpoint = %d, want 0", got)
+	}
+	clock.Advance(1500 * time.Millisecond)
+	if got := ageSample(t, p); got != 1500 {
+		t.Fatalf("aged sample = %d, want 1500", got)
+	}
+	// A second checkpoint re-anchors.
+	if _, err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ageSample(t, p); got != 0 {
+		t.Fatalf("re-anchored sample = %d, want 0", got)
+	}
+}
+
+// TestCheckpointAgeAnchorsOnRestore: a container that adopted a snapshot
+// at start-up reports a fresh age instead of -1, so the failover policy
+// can rank a restored replica by the state it actually holds.
+func TestCheckpointAgeAnchorsOnRestore(t *testing.T) {
+	store := ckpt.NewMemStore()
+	acc1 := &accumulator{}
+	p1 := newCkptPE(t, acc1, 10, CkptConfig{Store: store, Key: "ra"})
+	if err := p1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "source drained", func() bool { return acc1.value() == 45 })
+	if _, err := p1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	p1.Stop()
+
+	acc2 := &accumulator{}
+	p2 := newCkptPE(t, acc2, 0, CkptConfig{Store: store, Key: "ra", Restore: true})
+	if err := p2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Stop()
+	if got := ageSample(t, p2); got < 0 {
+		t.Fatalf("restored container age = %d, want >= 0", got)
+	}
+
+	// Without Restore the replacement container has no state anchor.
+	acc3 := &accumulator{}
+	p3 := newCkptPE(t, acc3, 0, CkptConfig{Store: store, Key: "ra"})
+	if err := p3.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p3.Stop()
+	if got := ageSample(t, p3); got != -1 {
+		t.Fatalf("cold container age = %d, want -1", got)
+	}
+}
+
+// TestCheckpointAgeGaugeRace drives the checkpoint driver (which
+// re-anchors the gauge) concurrently with PEMetrics() reads and full
+// metric-snapshot dispatch — the paths the per-host controller and the
+// orchestrator's pull rounds exercise. Run under -race, it pins the
+// gauge's atomicity.
+func TestCheckpointAgeGaugeRace(t *testing.T) {
+	store := ckpt.NewMemStore()
+	acc := &accumulator{}
+	p := newCkptPE(t, acc, 0, CkptConfig{Store: store, Key: "race"})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	const rounds = 200
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := p.Checkpoint(); err != nil {
+				t.Errorf("checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if got := ageGauge(p); got < -1 {
+				t.Errorf("gauge = %d", got)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			p.MetricsSnapshot()
+		}
+	}()
+	wg.Wait()
+	if got := ageGauge(p); got < 0 {
+		t.Fatalf("final gauge = %d, want >= 0", got)
+	}
 }
 
 // TestCheckpointUnconfigured: Checkpoint without a store fails cleanly.

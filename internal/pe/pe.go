@@ -117,7 +117,8 @@ type PE struct {
 	statefuls []*opRuntime // ops implementing opapi.StatefulOperator
 
 	peMetrics *metrics.Set
-	ckptMu    sync.Mutex // serialises snapshot assembly
+	ckptMu    sync.Mutex   // serialises snapshot assembly
+	ckptAt    atomic.Int64 // platform-clock unix nanos of the last state anchor; 0 = never
 
 	kill     chan struct{} // closed on crash or stop
 	stopSrc  chan struct{} // closed to ask sources to finish
@@ -230,6 +231,9 @@ func New(cfg Config) (*PE, error) {
 		metrics.PECheckpoints, metrics.PECheckpointBytes, metrics.PEStateRestores} {
 		p.peMetrics.Counter(n)
 	}
+	// The age gauge starts at "never snapshotted"; the checkpoint driver
+	// and the metric snapshotter keep it current from then on.
+	p.peMetrics.Counter(metrics.PECheckpointAgeMs).Set(-1)
 	for _, spec := range cfg.Ops {
 		op, err := cfg.Registry.New(spec.Kind)
 		if err != nil {
@@ -519,10 +523,30 @@ func (p *PE) Control(opName, cmd string, args map[string]string) error {
 // PEMetrics returns the PE-level metric set.
 func (p *PE) PEMetrics() *metrics.Set { return p.peMetrics }
 
+// noteStateAnchor records that the container's state is anchored to a
+// snapshot as of now (a completed checkpoint, or a restore at start-up)
+// and zeroes the age gauge.
+func (p *PE) noteStateAnchor() {
+	p.ckptAt.Store(p.cfg.Clock.Now().UnixNano())
+	p.peMetrics.Counter(metrics.PECheckpointAgeMs).Set(0)
+}
+
+// refreshCheckpointAge recomputes the snapshot-age gauge against the
+// platform clock: -1 while the container has never anchored its state.
+func (p *PE) refreshCheckpointAge() {
+	anchored := p.ckptAt.Load()
+	age := int64(-1)
+	if anchored != 0 {
+		age = (p.cfg.Clock.Now().UnixNano() - anchored) / int64(time.Millisecond)
+	}
+	p.peMetrics.Counter(metrics.PECheckpointAgeMs).Set(age)
+}
+
 // MetricsSnapshot renders every metric of the container as samples tagged
 // with full identity, ready for the host controller to push to SRM.
 func (p *PE) MetricsSnapshot() []metrics.Sample {
 	at := p.cfg.Clock.Now()
+	p.refreshCheckpointAge()
 	var out []metrics.Sample
 	for name, v := range p.peMetrics.Snapshot() {
 		out = append(out, metrics.Sample{

@@ -8,6 +8,7 @@ import (
 
 	"streamorca/internal/adl"
 	"streamorca/internal/apps"
+	"streamorca/internal/ckpt"
 	"streamorca/internal/compiler"
 	"streamorca/internal/core"
 	"streamorca/internal/extjob"
@@ -147,8 +148,10 @@ func TestModelRecomputeSuppression(t *testing.T) {
 	if p.Triggers() != 1 {
 		t.Fatalf("triggers = %d", p.Triggers())
 	}
-	// Let the job finish so Runner.Running() is false again.
-	clock.BlockUntilWaiters(1)
+	// Let the job finish so Runner.Running() is false again. The
+	// service's metric pull loop is already a clock waiter, so wait for
+	// the runner's sleep as the second one before advancing.
+	clock.BlockUntilWaiters(2)
 	clock.Advance(time.Minute)
 	waitFor(t, "job completion", func() bool { return !p.Runner.Running() })
 	// Still crossing within the suppression window: no second job.
@@ -289,6 +292,191 @@ func TestFailoverRestartedReplicaIsYoungest(t *testing.T) {
 	if p.Active() != jobs[2] {
 		t.Fatalf("promoted %v (replica %d), want oldest healthy %v",
 			p.Active(), p.ReplicaIndex(p.Active()), jobs[2])
+	}
+}
+
+// failoverCkptFixture is failoverFixture on a checkpointing platform,
+// so snapshot ages flow and CheckpointPE actuations succeed.
+func failoverCkptFixture(t *testing.T, maxAge time.Duration) (*Failover, *core.Service, *platform.Instance) {
+	t.Helper()
+	inst, err := platform.NewInstance(platform.Options{
+		Hosts: []platform.HostSpec{
+			{Name: "h1"}, {Name: "h2"}, {Name: "h3"}, {Name: "h4"},
+		},
+		MetricsInterval: time.Hour,
+		Checkpoint:      ckpt.NewMemStore(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Close)
+	app, err := apps.TrendApp(apps.TrendConfig{
+		Name: "TC", Symbols: "IBM", Seed: 1, Count: 0,
+		Period: 500 * time.Microsecond, Window: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := "pol-cf-" + t.Name()
+	p := &Failover{
+		App: "TC", Replicas: 3, MaxSnapshotAge: maxAge,
+		SubmitParams: func(i int) map[string]string {
+			id := apps.ReplicaCollector(prefix, i)
+			ops.ResetCollector(id)
+			return map[string]string{"collector": id}
+		},
+	}
+	svc, err := core.NewRoutineService(core.Config{
+		Name: "cfOrca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.RegisterApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Stop)
+	waitFor(t, "replicas", func() bool { return len(p.Jobs()) == 3 })
+	return p, svc, inst
+}
+
+// pullAges flushes host metrics and runs one orchestrator pull round,
+// then waits until the policy has observed a snapshot age for job (or
+// just drains the round when job is 0).
+func pullAges(t *testing.T, p *Failover, svc *core.Service, inst *platform.Instance, job ids.JobID) {
+	t.Helper()
+	inst.FlushMetrics()
+	svc.PullMetricsNow()
+	if job == ids.InvalidJob {
+		return
+	}
+	waitFor(t, "snapshot age observed", func() bool {
+		_, ok := p.ReplicaStaleness(job)
+		return ok
+	})
+}
+
+// TestFailoverPromotesFreshestSnapshot: the youngest backup wins the
+// promotion because its snapshot is the freshest — the longest-uptime
+// order would have picked the older, never-snapshotted backup.
+func TestFailoverPromotesFreshestSnapshot(t *testing.T) {
+	p, svc, inst := failoverCkptFixture(t, 0)
+	jobs := p.Jobs()
+	aggPE := func(j ids.JobID) ids.PEID {
+		pe, ok := svc.PEOfOperator(j, apps.TrendAggregateOp)
+		if !ok {
+			t.Fatalf("replica %s has no aggregation PE", j)
+		}
+		return pe
+	}
+	// Only the youngest backup (replica 2) snapshots its state.
+	if err := svc.CheckpointPE(aggPE(jobs[2])); err != nil {
+		t.Fatal(err)
+	}
+	pullAges(t, p, svc, inst, jobs[2])
+	if _, ok := p.ReplicaStaleness(jobs[1]); ok {
+		t.Fatal("unsnapshotted replica reports staleness")
+	}
+
+	if err := svc.KillPE(aggPE(jobs[0]), "active fault"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "failover", func() bool { return p.Failovers() == 1 })
+	if p.Active() != jobs[2] {
+		t.Fatalf("promoted replica %d, want 2 (freshest snapshot)", p.ReplicaIndex(p.Active()))
+	}
+
+	// The demoted replica's surviving PEs were checkpointed before the
+	// promotion, inside the failure event's transaction (gate refreshes
+	// carry a different TxID and must not satisfy this).
+	if p.LastPromotionTx() == 0 {
+		t.Fatal("promotion recorded no transaction id")
+	}
+	var prePromotion int
+	for _, rec := range svc.ActuationJournal() {
+		if rec.Action == "CheckpointPE" && rec.TxID == p.LastPromotionTx() && rec.Err == "" {
+			prePromotion++
+		}
+	}
+	if prePromotion == 0 {
+		t.Fatalf("no pre-promotion CheckpointPE in journal: %+v", svc.ActuationJournal())
+	}
+}
+
+// TestFailoverStalenessGateRefreshesActive: with MaxSnapshotAge set, a
+// sustained over-limit snapshot age on the active replica triggers a
+// CheckpointPE refresh after the debounce — and only after it.
+func TestFailoverStalenessGateRefreshesActive(t *testing.T) {
+	p, svc, inst := failoverCkptFixture(t, time.Millisecond)
+	jobs := p.Jobs()
+	activeAgg, ok := svc.PEOfOperator(jobs[0], apps.TrendAggregateOp)
+	if !ok {
+		t.Fatal("no aggregation PE")
+	}
+	if err := svc.CheckpointPE(activeAgg); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // age past MaxSnapshotAge
+	pullAges(t, p, svc, inst, jobs[0])
+	if got := p.SnapshotRefreshes(); got != 0 {
+		t.Fatalf("refreshed after one breach (debounce %d): %d", p.StalenessDebounce, got)
+	}
+	time.Sleep(5 * time.Millisecond)
+	pullAges(t, p, svc, inst, ids.InvalidJob)
+	waitFor(t, "staleness refresh", func() bool { return p.SnapshotRefreshes() >= 1 })
+}
+
+// TestFailoverStalenessGateSemantics drives the composed gate handler
+// directly with synthetic metric contexts (the way the dispatch loop
+// would): consecutive breaches fire, an under-limit observation resets
+// the streak, backup observations are ignored, and two PEs' streaks
+// are independent.
+func TestFailoverStalenessGateSemantics(t *testing.T) {
+	p, svc, _ := failoverCkptFixture(t, time.Second) // limit 1000ms, debounce 2
+	jobs := p.Jobs()
+	activeAgg, ok := svc.PEOfOperator(jobs[0], apps.TrendAggregateOp)
+	if !ok {
+		t.Fatal("no aggregation PE")
+	}
+	ageCtx := func(job ids.JobID, pe ids.PEID, age int64) *core.PEMetricContext {
+		return &core.PEMetricContext{
+			Job: job, App: "TC", PE: pe, Metric: "lastCheckpointAgeMs", Value: age,
+		}
+	}
+	drive := func(job ids.JobID, pe ids.PEID, age int64) {
+		_ = p.gate(ageCtx(job, pe, age), svc.Actions())
+	}
+
+	// Backup breaches never count: the gate concerns the active replica.
+	drive(jobs[1], activeAgg, 5000)
+	drive(jobs[1], activeAgg, 5000)
+	if got := p.SnapshotRefreshes(); got != 0 {
+		t.Fatalf("backup observations fired the gate: %d", got)
+	}
+	// One breach, then a healthy observation: the streak resets, so two
+	// more breaches are needed before the refresh fires.
+	drive(jobs[0], activeAgg, 5000)
+	drive(jobs[0], activeAgg, 10) // under limit: reset
+	drive(jobs[0], activeAgg, 5000)
+	if got := p.SnapshotRefreshes(); got != 0 {
+		t.Fatalf("gate fired without consecutive breaches: %d", got)
+	}
+	drive(jobs[0], activeAgg, 5000)
+	if got := p.SnapshotRefreshes(); got != 1 {
+		t.Fatalf("two consecutive breaches did not fire: %d", got)
+	}
+	// Per-PE isolation: interleaved breaches of two PEs advance neither
+	// streak to the firing point in fewer than 2 observations each, and
+	// an unanchored (-1) observation never reaches the debounce.
+	otherPE := activeAgg + 1000 // synthetic second PE of the active job
+	drive(jobs[0], activeAgg, 5000)
+	drive(jobs[0], otherPE, -1) // never anchored: filtered by the Threshold
+	drive(jobs[0], otherPE, 5000)
+	if got := p.SnapshotRefreshes(); got != 1 {
+		t.Fatalf("interleaved PEs shared a streak: %d", got)
 	}
 }
 

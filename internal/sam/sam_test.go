@@ -8,8 +8,10 @@ import (
 	"time"
 
 	"streamorca/internal/adl"
+	"streamorca/internal/ckpt"
 	"streamorca/internal/compiler"
 	"streamorca/internal/ids"
+	"streamorca/internal/metrics"
 	"streamorca/internal/ops"
 	"streamorca/internal/platform"
 	"streamorca/internal/sam"
@@ -474,5 +476,85 @@ func TestLinkCountTracksCancel(t *testing.T) {
 	}
 	if got := inst.SAM.LinkCount(); got != 0 {
 		t.Fatalf("LinkCount after cancel = %d", got)
+	}
+}
+
+// TestCheckpointAgeMetricFlowsThroughSRM pins the health signal the
+// checkpoint-aware failover policy ranks on: every PE publishes
+// lastCheckpointAgeMs through the normal HC→SRM sample path — -1 until
+// its state is first anchored, non-negative after CheckpointPE, and
+// still non-negative after a restoring restart (the restored snapshot
+// anchors the fresh container).
+func TestCheckpointAgeMetricFlowsThroughSRM(t *testing.T) {
+	store := ckpt.NewMemStore()
+	inst, err := platform.NewInstance(platform.Options{
+		Hosts:           []platform.HostSpec{{Name: "h1"}},
+		MetricsInterval: time.Hour,
+		Checkpoint:      store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Close)
+	ops.ResetCollector("age")
+	app := pipelineApp(t, "Age", "age", 0)
+	jobID, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "flow", func() bool { return ops.Collector("age").Len() > 3 })
+
+	ages := func() map[ids.PEID]int64 {
+		inst.FlushMetrics()
+		out := make(map[ids.PEID]int64)
+		for _, s := range inst.SRM.Query([]ids.JobID{jobID}) {
+			if s.Scope == metrics.PEScope && s.Name == metrics.PECheckpointAgeMs {
+				out[s.PE] = s.Value
+			}
+		}
+		return out
+	}
+
+	info, _ := inst.SAM.Job(jobID)
+	if len(info.PEs) != 3 {
+		t.Fatalf("PEs = %+v", info.PEs)
+	}
+	for pe, age := range ages() {
+		if age != -1 {
+			t.Fatalf("PE %s age before any checkpoint = %d, want -1", pe, age)
+		}
+	}
+	var srcPE ids.PEID
+	for _, p := range info.PEs {
+		if p.Operators[0] == "src" { // Beacon is stateful: its cursor checkpoints
+			srcPE = p.ID
+		}
+	}
+	if err := inst.SAM.CheckpointPE(srcPE); err != nil {
+		t.Fatal(err)
+	}
+	got := ages()
+	if got[srcPE] < 0 {
+		t.Fatalf("checkpointed PE age = %d, want >= 0", got[srcPE])
+	}
+	for pe, age := range got {
+		if pe != srcPE && age != -1 {
+			t.Fatalf("unsnapshotted PE %s age = %d, want -1", pe, age)
+		}
+	}
+
+	// A restoring restart re-anchors the fresh container.
+	if err := inst.SAM.RestartPE(srcPE); err != nil {
+		t.Fatal(err)
+	}
+	if got := ages()[srcPE]; got < 0 {
+		t.Fatalf("restored PE age = %d, want >= 0", got)
+	}
+	c, ok := inst.Cluster.PEContainer(srcPE)
+	if !ok {
+		t.Fatal("restarted container missing")
+	}
+	if got := c.PEMetrics().Counter(metrics.PEStateRestores).Value(); got < 1 {
+		t.Fatalf("nStateRestores = %d", got)
 	}
 }

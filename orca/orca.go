@@ -35,7 +35,14 @@
 // (streams.InstanceOptions.Checkpoint), RestartPE is stateful: the
 // restarted PE restores every checkpointed operator (aggregate
 // windows, application counters) from its latest snapshot, and
-// act.CheckpointPE(pe) captures one on demand.
+// act.CheckpointPE(pe) captures one on demand. Every PE also publishes
+// a snapshot-age gauge (streams.MetricCheckpointAgeMs, -1 until its
+// state is first anchored) through the ordinary PE-metric event path,
+// so checkpoint-aware policies subscribe to it with OnPEMetric and
+// compose the guards over it — e.g. Threshold over the observed age,
+// debounced, re-checkpointing a replica whose snapshot went stale, and
+// a failover that promotes the backup with the freshest snapshot
+// instead of the paper's longest-uptime proxy.
 //
 // The service delivers events one at a time, in arrival order, each to
 // the typed handler whose subscription matched, with a context rich

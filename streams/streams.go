@@ -273,4 +273,12 @@ const (
 	MetricFinalPunctsQueued = metrics.PortFinalPunctsQueued
 	MetricTupleBytesIn      = metrics.PETupleBytesProcessed
 	MetricTupleBytesOut     = metrics.PETupleBytesSubmitted
+	// Checkpointing health metrics (PE scope): snapshot count, restored
+	// operator count, and the snapshot-age gauge checkpoint-aware
+	// failover routines rank replicas by (-1 until a PE first anchors
+	// its state to a snapshot).
+	MetricCheckpoints     = metrics.PECheckpoints
+	MetricStateRestores   = metrics.PEStateRestores
+	MetricCheckpointAgeMs = metrics.PECheckpointAgeMs
+	MetricCheckpointBytes = metrics.PECheckpointBytes
 )
