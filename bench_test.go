@@ -30,6 +30,10 @@ func buniq(p string) string { return fmt.Sprintf("bench-%s-%d", p, benchSeq.Add(
 
 var benchSchema = streams.MustSchema(streams.Attribute{Name: "seq", Type: streams.Int})
 
+func benchNoop() orca.Routine {
+	return orca.NewRoutine("noop", func(*orca.SetupContext) error { return nil })
+}
+
 func benchInstance(b *testing.B, hosts ...string) *streams.Instance {
 	b.Helper()
 	specs := make([]streams.HostSpec, len(hosts))
@@ -116,9 +120,9 @@ func benchPipeline(b *testing.B, withOrca bool) {
 
 	var svc *orca.Service
 	if withOrca {
-		svc, err = orca.NewService(orca.Config{
+		svc, err = orca.NewRoutineService(orca.Config{
 			Name: buniq("orca"), SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
-		}, &orca.Base{})
+		}, benchNoop())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -218,8 +222,14 @@ func BenchmarkE6FailureReactionOrca(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	policy := &restartLogic{app: "BenchOrcaRestart"}
-	svc, err := orca.NewService(orca.Config{
+	policy := orca.NewRoutine("restart", func(sc *orca.SetupContext) error {
+		return sc.Subscribe(orca.OnPEFailure(
+			orca.NewPEFailureScope("f").AddApplicationFilter("BenchOrcaRestart"),
+			func(ctx *orca.PEFailureContext, act *orca.Actions) error {
+				return act.RestartPE(ctx.PE)
+			}))
+	})
+	svc, err := orca.NewRoutineService(orca.Config{
 		Name: buniq("orca"), SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
 	}, policy)
 	if err != nil {
@@ -244,21 +254,6 @@ func BenchmarkE6FailureReactionOrca(b *testing.B) {
 		}
 		waitRestarts(b, inst, job, sinkPE, i)
 	}
-}
-
-type restartLogic struct {
-	orca.Base
-	app string
-}
-
-func (r *restartLogic) HandleOrcaStart(svc *orca.Service, ctx *orca.OrcaStartContext) {
-	if err := svc.RegisterEventScope(orca.NewPEFailureScope("f").AddApplicationFilter(r.app)); err != nil {
-		panic(err)
-	}
-}
-
-func (r *restartLogic) HandlePEFailure(svc *orca.Service, ctx *orca.PEFailureContext, scopes []string) {
-	_ = svc.RestartPE(ctx.PE)
 }
 
 func findPE(b *testing.B, inst *streams.Instance, job streams.JobID, op string) streams.PEID {
@@ -359,8 +354,14 @@ func BenchmarkE7NaiveSQL(b *testing.B) {
 func BenchmarkE8EventDelivery(b *testing.B) {
 	inst := benchInstance(b, "h1")
 	var delivered atomic.Int64
-	logic := &countingLogic{n: &delivered}
-	svc, err := orca.NewService(orca.Config{
+	logic := orca.NewRoutine("count", func(sc *orca.SetupContext) error {
+		return sc.Subscribe(orca.OnUserEvent(orca.NewUserEventScope("all"),
+			func(ctx *orca.UserEventContext, act *orca.Actions) error {
+				delivered.Add(1)
+				return nil
+			}))
+	})
+	svc, err := orca.NewRoutineService(orca.Config{
 		Name: buniq("orca"), SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
 	}, logic)
 	if err != nil {
@@ -370,9 +371,6 @@ func BenchmarkE8EventDelivery(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Cleanup(svc.Stop)
-	if err := svc.RegisterEventScope(orca.NewUserEventScope("all")); err != nil {
-		b.Fatal(err)
-	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -383,22 +381,13 @@ func BenchmarkE8EventDelivery(b *testing.B) {
 	}
 }
 
-type countingLogic struct {
-	orca.Base
-	n *atomic.Int64
-}
-
-func (c *countingLogic) HandleUserEvent(svc *orca.Service, ctx *orca.UserEventContext, scopes []string) {
-	c.n.Add(1)
-}
-
 // BenchmarkE9DependencyScheduler measures one Figure 7 start/stop/GC
 // cycle of the application-set manager per iteration.
 func BenchmarkE9DependencyScheduler(b *testing.B) {
 	inst := benchInstance(b, "h1", "h2")
-	svc, err := orca.NewService(orca.Config{
+	svc, err := orca.NewRoutineService(orca.Config{
 		Name: buniq("orca"), SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
-	}, &orca.Base{})
+	}, benchNoop())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -498,9 +487,9 @@ func BenchmarkE10Orchestrated(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		svc, err := orca.NewService(orca.Config{
+		svc, err := orca.NewRoutineService(orca.Config{
 			Name: buniq("orca"), SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
-		}, &orca.Base{})
+		}, benchNoop())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -9,10 +9,12 @@
 //	go run ./cmd/orcarun -scenario composition -threshold 1500
 //	go run ./cmd/orcarun -scenario recovery
 //	go run ./cmd/orcarun -scenario staleness-failover
+//	go run ./cmd/orcarun -scenario chaos -seed 42
 //	go run ./cmd/orcarun -list-scenarios
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,10 +26,10 @@ import (
 
 // scenarios lists the runnable scenarios in -scenario order; CI's
 // example-drift smoke greps this listing.
-var scenarios = []string{"sentiment", "failover", "composition", "recovery", "staleness-failover"}
+var scenarios = []string{"sentiment", "failover", "composition", "recovery", "staleness-failover", "chaos"}
 
 func main() {
-	scenario := flag.String("scenario", "sentiment", "sentiment | failover | composition | recovery | staleness-failover")
+	scenario := flag.String("scenario", "sentiment", "sentiment | failover | composition | recovery | staleness-failover | chaos")
 	list := flag.Bool("list-scenarios", false, "list available scenarios and exit")
 	shift := flag.Int64("shift", 4000, "sentiment: tweet index of the cause-distribution shift")
 	threshold := flag.Float64("ratio", 1.0, "sentiment: actuation ratio threshold")
@@ -35,8 +37,10 @@ func main() {
 	tick := flag.Duration("tick", time.Millisecond, "failover: tick period")
 	c3thresh := flag.Int64("threshold", 1500, "composition: new-profile threshold for C3 spawn")
 	warm := flag.Int64("warm", 100, "recovery: window fill to reach before the checkpoint")
-	storeDir := flag.String("store", "", "recovery, staleness-failover: checkpoint store directory (default: a temp dir)")
+	storeDir := flag.String("store", "", "recovery, staleness-failover, chaos: checkpoint store directory (default: a temp dir; chaos: memory)")
 	maxAge := flag.Duration("max-snapshot-age", 100*time.Millisecond, "staleness-failover: staleness gate bound")
+	seed := flag.Int64("seed", 42, "chaos: fault schedule and retry jitter seed")
+	benchOut := flag.String("bench-out", "", "chaos: write the recovery-gap record to this JSON file")
 	maxDur := flag.Duration("max", 30*time.Second, "run time budget")
 	flag.Parse()
 
@@ -135,6 +139,50 @@ func main() {
 		fmt.Printf("window fill: checkpointed %d, min post-restore %d (no refill)\n",
 			res.CountAtCheckpoint, res.MinPostRestore)
 		fmt.Println("staleness-failover OK: fresher-snapshot replica promoted and resumed from restore")
+	case "chaos":
+		cfg := exp.DefaultChaos(*seed)
+		cfg.MaxDuration = *maxDur
+		cfg.StoreDir = *storeDir
+		res, err := exp.RunChaos(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("schedule fingerprint: %s\n", res.Fingerprint)
+		fmt.Printf("faults applied %d, skipped %d; restarts %d/%d attempts succeeded; degradations %d\n",
+			res.FaultsApplied, res.FaultsSkipped, res.RestartsSucceeded, res.RestartsAttempted, res.Degradations)
+		fmt.Printf("store: %d clean saves, %d failed, %d dropped, %d torn\n",
+			res.StoreStats.Saves, res.StoreStats.FailedSaves, res.StoreStats.DroppedSaves, res.StoreStats.TornSaves)
+		fmt.Printf("output gaps: max %.1fms, p99 %.1fms; final count %d\n",
+			res.MaxGapMs, res.P99GapMs, res.FinalCount)
+		if *benchOut != "" {
+			record := struct {
+				Scenario          string  `json:"scenario"`
+				Seed              int64   `json:"seed"`
+				Fingerprint       string  `json:"fingerprint"`
+				FaultsApplied     int     `json:"faults_applied"`
+				FaultsSkipped     int     `json:"faults_skipped"`
+				RestartsAttempted int     `json:"restarts_attempted"`
+				RestartsSucceeded int     `json:"restarts_succeeded"`
+				Degradations      int     `json:"degradations"`
+				MaxGapMs          float64 `json:"max_gap_ms"`
+				P99GapMs          float64 `json:"p99_gap_ms"`
+				FinalCount        int     `json:"final_count"`
+			}{
+				Scenario: "chaos", Seed: *seed, Fingerprint: res.Fingerprint,
+				FaultsApplied: res.FaultsApplied, FaultsSkipped: res.FaultsSkipped,
+				RestartsAttempted: res.RestartsAttempted, RestartsSucceeded: res.RestartsSucceeded,
+				Degradations: res.Degradations,
+				MaxGapMs:     res.MaxGapMs, P99GapMs: res.P99GapMs, FinalCount: res.FinalCount,
+			}
+			data, err := json.MarshalIndent(record, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println("chaos OK: zero PEs lost, pipeline recovered after the sweep")
 	default:
 		log.Fatalf("unknown scenario %q", *scenario)
 	}

@@ -77,10 +77,13 @@
 //
 // Independent routines compose into one service with orca.Compose (or
 // by passing several to NewRoutineService); each keeps its own name for
-// setup-error attribution. The legacy wide Orchestrator interface
-// (embed orca.Base, override Handle*) remains behind the deprecated
-// NewService adapter for one release of overlap and will then be
-// removed.
+// setup-error attribution. Routines that acquire resources release them
+// through teardown hooks — implement the optional orca.Closer interface
+// or register a function with SetupContext.OnStop — which Service.Stop
+// runs in reverse setup order while the actuation surface is still
+// live. The legacy wide Orchestrator interface (embed orca.Base,
+// override Handle*) had its one release of deprecated overlap behind
+// the NewService adapter and has now been removed (PR 6).
 //
 // # Checkpointing
 //
@@ -151,6 +154,36 @@
 // and reset its streak; only StalenessDebounce consecutive breaching
 // observations of the same PE fire the CheckpointPE actuation
 // (journalled, like every actuation).
+//
+// # Chaos and fault injection
+//
+// The robustness claims are exercised, not asserted: internal/chaos is
+// a deterministic fault-injection harness. Generate(seed, opts) builds
+// a seeded Schedule of timestamped fault events — PE kills, host kills
+// and revivals, checkpoint-store write failures, silently dropped
+// saves (stale-checkpoint injection), torn writes, store latency, and
+// metric-delivery delays — and a Runner drives any live platform
+// instance through it. Host state is simulated during generation, so
+// the same seed always produces the same schedule (compare
+// Schedule.Fingerprint across runs) and the generator never kills the
+// last live host: the retry budget, not resource exhaustion, is what
+// the harness stresses.
+//
+// Store faults land through streams.NewFaultCheckpointStore, a
+// transparent CheckpointStore decorator armed with one-shot fault
+// budgets. Actuation resilience comes from streams.RetryPolicy
+// (InstanceOptions.Retry): SAM's RestartPE and CheckpointPE retry
+// transient failures with exponential backoff and seeded jitter,
+// journalling every attempt (SAM.AttemptJournal), and a PE whose retry
+// budget is exhausted is marked unplaceable and announced through a
+// degradation PEFailure event ("restart abandoned ...") instead of
+// being retried forever — policies observe the degradation and decide;
+// the zero-value policy keeps the old single-attempt determinism. The
+// orcarun chaos scenario (internal/exp.RunChaos) layers all of it over
+// a live checkpointing pipeline, then sweeps: disarm the store, revive
+// the cluster, restart what is down, and fail the run unless every PE
+// comes back and output resumes. Recovery-gap statistics land in
+// BENCH_pr6.json.
 //
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for the

@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"streamorca/internal/ckpt"
+	"streamorca/internal/cluster"
+	"streamorca/internal/ids"
+	"streamorca/internal/sam"
+	"streamorca/internal/vclock"
+)
+
+// Runner drives a live platform instance through a Schedule. It layers
+// over any scenario: point it at the scenario's cluster, SAM, and (for
+// store faults) its FaultStore, then call Run while the workload flows.
+type Runner struct {
+	// Clock paces the schedule; nil means the wall clock.
+	Clock vclock.Clock
+	// Cluster receives host kills, revivals, and metric delays.
+	Cluster *cluster.Cluster
+	// SAM resolves and kills PE targets.
+	SAM *sam.SAM
+	// Store receives the Ckpt* fault arms; nil skips those events.
+	Store *ckpt.FaultStore
+	// Logf receives one line per applied event; nil discards them.
+	Logf func(format string, args ...any)
+	// KillWait bounds how long a KillPE event waits for its target to
+	// be running before giving up (default 250ms). PE ids are stable
+	// across restarts, so waiting out a concurrent restart keeps the
+	// number of applied kills deterministic run over run.
+	KillWait time.Duration
+}
+
+// Report counts what a Run did.
+type Report struct {
+	// Applied counts events that took effect; Skipped counts events
+	// whose target was unavailable (no running PE, host already in the
+	// demanded state, no store attached).
+	Applied int
+	Skipped int
+	// PerKind maps each kind to its applied count.
+	PerKind map[Kind]int
+}
+
+// Run fires every event of the schedule in order, sleeping the
+// inter-event gaps on the runner clock, and returns what was applied.
+// It blocks until the last event fired; run it from its own goroutine
+// to overlap with the workload.
+func (r *Runner) Run(s Schedule) *Report {
+	clock := r.Clock
+	if clock == nil {
+		clock = vclock.Real()
+	}
+	logf := r.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	killWait := r.KillWait
+	if killWait <= 0 {
+		killWait = 250 * time.Millisecond
+	}
+	rep := &Report{PerKind: make(map[Kind]int)}
+	start := clock.Now()
+	for i, ev := range s.Events {
+		if wait := ev.Offset - clock.Now().Sub(start); wait > 0 {
+			clock.Sleep(wait)
+		}
+		applied, detail := r.apply(ev, i, clock, killWait)
+		if applied {
+			rep.Applied++
+			rep.PerKind[ev.Kind]++
+			logf("chaos: event %d applied: %s%s", i, ev, detail)
+		} else {
+			rep.Skipped++
+			logf("chaos: event %d skipped: %s%s", i, ev, detail)
+		}
+	}
+	return rep
+}
+
+// apply fires one event, reporting whether it took effect and a detail
+// suffix for the log line.
+func (r *Runner) apply(ev Event, i int, clock vclock.Clock, killWait time.Duration) (bool, string) {
+	switch ev.Kind {
+	case KillPE:
+		id, ok := r.resolvePE(ev.Target, clock, killWait)
+		if !ok {
+			return false, " (no running PE)"
+		}
+		if err := r.SAM.KillPE(id, fmt.Sprintf("chaos: injected PE kill (event %d)", i)); err != nil {
+			return false, fmt.Sprintf(" (%v)", err)
+		}
+		return true, fmt.Sprintf(" -> %s", id)
+	case KillHost:
+		name, ok := r.hostName(ev.Target)
+		if !ok {
+			return false, " (no such host)"
+		}
+		if !r.Cluster.HostUp(name) {
+			return false, " (already down)"
+		}
+		if r.upHosts() <= 1 {
+			return false, " (last live host)"
+		}
+		if err := r.Cluster.KillHost(name); err != nil {
+			return false, fmt.Sprintf(" (%v)", err)
+		}
+		return true, fmt.Sprintf(" -> %s", name)
+	case ReviveHost:
+		name, ok := r.hostName(ev.Target)
+		if !ok {
+			return false, " (no such host)"
+		}
+		if r.Cluster.HostUp(name) {
+			return false, " (already up)"
+		}
+		if err := r.Cluster.ReviveHost(name); err != nil {
+			return false, fmt.Sprintf(" (%v)", err)
+		}
+		return true, fmt.Sprintf(" -> %s", name)
+	case MetricDelay:
+		name, ok := r.hostName(ev.Target)
+		if !ok {
+			return false, " (no such host)"
+		}
+		if err := r.Cluster.DelayMetrics(name, ev.Amount); err != nil {
+			return false, fmt.Sprintf(" (%v)", err)
+		}
+		return true, fmt.Sprintf(" -> %s", name)
+	case CkptFail:
+		if r.Store == nil {
+			return false, " (no fault store)"
+		}
+		r.Store.FailSaves(1)
+		return true, ""
+	case CkptTear:
+		if r.Store == nil {
+			return false, " (no fault store)"
+		}
+		r.Store.TearSaves(1)
+		return true, ""
+	case CkptDrop:
+		if r.Store == nil {
+			return false, " (no fault store)"
+		}
+		r.Store.DropSaves(1)
+		return true, ""
+	case CkptLatency:
+		if r.Store == nil {
+			return false, " (no fault store)"
+		}
+		r.Store.SetLatency(ev.Amount)
+		return true, ""
+	default:
+		return false, " (unknown kind)"
+	}
+}
+
+// resolvePE maps an abstract target index onto the deterministically
+// ordered list of all PEs of all jobs (PE ids are stable across
+// restarts), then waits — bounded — for that PE to be running, so a
+// kill landing during a concurrent restart still applies.
+func (r *Runner) resolvePE(target int, clock vclock.Clock, killWait time.Duration) (ids.PEID, bool) {
+	deadline := clock.Now().Add(killWait)
+	for {
+		var pes []sam.PERuntimeInfo
+		for _, job := range r.SAM.Jobs() {
+			pes = append(pes, job.PEs...)
+		}
+		if len(pes) == 0 {
+			return 0, false
+		}
+		sort.Slice(pes, func(i, j int) bool { return pes[i].ID < pes[j].ID })
+		p := pes[target%len(pes)]
+		if p.State == "running" {
+			return p.ID, true
+		}
+		if !clock.Now().Before(deadline) {
+			return 0, false
+		}
+		clock.Sleep(2 * time.Millisecond)
+	}
+}
+
+// hostName maps a host index onto the name-sorted host list.
+func (r *Runner) hostName(idx int) (string, bool) {
+	hosts := r.Cluster.Hosts()
+	if len(hosts) == 0 {
+		return "", false
+	}
+	return hosts[idx%len(hosts)].Name, true
+}
+
+// upHosts counts live hosts.
+func (r *Runner) upHosts() int {
+	n := 0
+	for _, h := range r.Cluster.Hosts() {
+		if h.Up {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,182 @@
+package ckpt
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"streamorca/internal/vclock"
+)
+
+// ErrInjected is the error a FaultStore returns from saves it was armed
+// to fail. Callers matching errors.Is can tell injected faults from real
+// storage errors in assertions.
+var ErrInjected = errors.New("ckpt: injected store fault")
+
+// FaultStore decorates any Store with deterministic fault injection for
+// the chaos harness and hostile-storage tests: failed saves, silently
+// dropped saves (the stored snapshot stays stale while the caller
+// believes it refreshed), torn writes (the persisted bytes are truncated
+// so Parse's CRC rejects them on load), and per-operation latency slept
+// on a virtual clock. Faults are armed as one-shot budgets — FailSaves(2)
+// fails the next two saves and then the store behaves normally — so a
+// schedule of fault events maps directly onto arm calls.
+//
+// The zero fault state is fully transparent: every operation delegates
+// to the wrapped store unchanged.
+type FaultStore struct {
+	inner Store
+	clock vclock.Clock
+
+	mu        sync.Mutex
+	failSaves int
+	dropSaves int
+	tearSaves int
+	latency   time.Duration
+	stats     FaultStats
+}
+
+// FaultStats counts a FaultStore's operations and injected faults.
+type FaultStats struct {
+	// Saves counts Save calls that reached the store untampered.
+	Saves int
+	// FailedSaves counts saves rejected with ErrInjected.
+	FailedSaves int
+	// DroppedSaves counts saves acknowledged but never persisted — the
+	// stale-checkpoint injection: the caller's staleness gauge keeps
+	// growing while it believes snapshots are fresh.
+	DroppedSaves int
+	// TornSaves counts saves persisted with truncated payloads,
+	// simulating storage that tore the write below the rename guarantee.
+	TornSaves int
+	// Loads and Deletes count the respective delegated operations.
+	Loads   int
+	Deletes int
+}
+
+// NewFaultStore wraps inner. The clock paces injected latency; nil means
+// the wall clock.
+func NewFaultStore(inner Store, clock vclock.Clock) *FaultStore {
+	if clock == nil {
+		clock = vclock.Real()
+	}
+	return &FaultStore{inner: inner, clock: clock}
+}
+
+// FailSaves arms the next n saves to return ErrInjected without touching
+// the wrapped store.
+func (f *FaultStore) FailSaves(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSaves += n
+}
+
+// DropSaves arms the next n saves to report success without persisting
+// anything, leaving whatever snapshot the store already holds in place.
+func (f *FaultStore) DropSaves(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropSaves += n
+}
+
+// TearSaves arms the next n saves to persist only a truncated prefix of
+// the snapshot, so the CRC check rejects it at restore time.
+func (f *FaultStore) TearSaves(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tearSaves += n
+}
+
+// SetLatency makes every subsequent operation sleep d on the store's
+// clock before proceeding; 0 removes the latency.
+func (f *FaultStore) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency = d
+}
+
+// Reset disarms every pending fault and clears the latency. Counters are
+// kept: recovery sweeps call Reset and then read Stats for the totals.
+func (f *FaultStore) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSaves, f.dropSaves, f.tearSaves, f.latency = 0, 0, 0, 0
+}
+
+// Stats returns a snapshot of the operation and fault counters.
+func (f *FaultStore) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// saveFault consumes at most one armed save fault, returning what to do
+// with this save. Latency is returned alongside so one lock acquisition
+// decides the whole operation.
+func (f *FaultStore) saveFault() (fail, drop, tear bool, wait time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	wait = f.latency
+	switch {
+	case f.failSaves > 0:
+		f.failSaves--
+		f.stats.FailedSaves++
+		fail = true
+	case f.dropSaves > 0:
+		f.dropSaves--
+		f.stats.DroppedSaves++
+		drop = true
+	case f.tearSaves > 0:
+		f.tearSaves--
+		f.stats.TornSaves++
+		tear = true
+	default:
+		f.stats.Saves++
+	}
+	return fail, drop, tear, wait
+}
+
+// Save implements Store.
+func (f *FaultStore) Save(key string, data []byte) error {
+	fail, drop, tear, wait := f.saveFault()
+	if wait > 0 {
+		f.clock.Sleep(wait)
+	}
+	switch {
+	case fail:
+		return ErrInjected
+	case drop:
+		return nil
+	case tear:
+		// Keep the header, lose the tail: the snapshot still looks like
+		// one (magic intact) but its CRC no longer matches, which is
+		// exactly what torn storage below the rename guarantee produces.
+		return f.inner.Save(key, data[:len(data)/2])
+	default:
+		return f.inner.Save(key, data)
+	}
+}
+
+// Load implements Store.
+func (f *FaultStore) Load(key string) ([]byte, bool, error) {
+	f.mu.Lock()
+	f.stats.Loads++
+	wait := f.latency
+	f.mu.Unlock()
+	if wait > 0 {
+		f.clock.Sleep(wait)
+	}
+	return f.inner.Load(key)
+}
+
+// Delete implements Store.
+func (f *FaultStore) Delete(key string) error {
+	f.mu.Lock()
+	f.stats.Deletes++
+	wait := f.latency
+	f.mu.Unlock()
+	if wait > 0 {
+		f.clock.Sleep(wait)
+	}
+	return f.inner.Delete(key)
+}

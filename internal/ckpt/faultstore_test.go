@@ -1,0 +1,139 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"streamorca/internal/vclock"
+)
+
+// snapBytes assembles a small valid snapshot for store tests.
+func snapBytes(t *testing.T, payload int64) []byte {
+	t.Helper()
+	w := NewWriter()
+	defer w.Close()
+	err := w.Section("op", "Kind", func(e *Encoder) error {
+		e.PutInt(payload)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), w.Finish()...)
+}
+
+func TestFaultStoreTransparentByDefault(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), nil)
+	data := snapBytes(t, 7)
+	if err := fs.Save("k", data); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := fs.Load("k")
+	if err != nil || !ok || !bytes.Equal(got, data) {
+		t.Fatalf("Load = %v %v %v", got, ok, err)
+	}
+	if err := fs.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := fs.Load("k"); ok {
+		t.Fatal("delete did not delegate")
+	}
+	st := fs.Stats()
+	if st.Saves != 1 || st.Loads != 2 || st.Deletes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFaultStoreFailSavesBudget(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), nil)
+	fs.FailSaves(2)
+	data := snapBytes(t, 1)
+	for i := 0; i < 2; i++ {
+		if err := fs.Save("k", data); !errors.Is(err, ErrInjected) {
+			t.Fatalf("save %d err = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := fs.Save("k", data); err != nil {
+		t.Fatalf("budget exhausted but save still failed: %v", err)
+	}
+	if st := fs.Stats(); st.FailedSaves != 2 || st.Saves != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestFaultStoreDropKeepsStaleSnapshot: a dropped save reports success
+// but the store keeps serving the previous snapshot — the staleness
+// injection the chaos harness uses against the age gauge.
+func TestFaultStoreDropKeepsStaleSnapshot(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), nil)
+	old := snapBytes(t, 1)
+	if err := fs.Save("k", old); err != nil {
+		t.Fatal(err)
+	}
+	fs.DropSaves(1)
+	if err := fs.Save("k", snapBytes(t, 2)); err != nil {
+		t.Fatalf("dropped save must look successful, got %v", err)
+	}
+	got, ok, err := fs.Load("k")
+	if err != nil || !ok || !bytes.Equal(got, old) {
+		t.Fatalf("store did not keep the stale snapshot: %v %v %v", got, ok, err)
+	}
+}
+
+// TestFaultStoreTornSaveRejectedByParse: a torn write persists bytes the
+// CRC check refuses, so the restore path discards them instead of
+// adopting half a snapshot.
+func TestFaultStoreTornSaveRejectedByParse(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), nil)
+	fs.TearSaves(1)
+	if err := fs.Save("k", snapBytes(t, 42)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := fs.Load("k")
+	if err != nil || !ok {
+		t.Fatalf("Load = %v %v", ok, err)
+	}
+	if _, perr := Parse(got); perr == nil {
+		t.Fatal("torn snapshot parsed cleanly")
+	} else if !errors.Is(perr, ErrCorrupt) && !errors.Is(perr, ErrNotSnapshot) {
+		t.Fatalf("parse err = %v, want corruption", perr)
+	}
+}
+
+func TestFaultStoreLatencySleepsOnClock(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	fs := NewFaultStore(NewMemStore(), clock)
+	fs.SetLatency(50 * time.Millisecond)
+	done := make(chan error, 1)
+	data := snapBytes(t, 3)
+	go func() { done <- fs.Save("k", data) }()
+	clock.BlockUntilWaiters(1)
+	select {
+	case <-done:
+		t.Fatal("save returned before the latency elapsed")
+	default:
+	}
+	clock.Advance(50 * time.Millisecond)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultStoreResetDisarms(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), nil)
+	fs.FailSaves(5)
+	fs.DropSaves(5)
+	fs.TearSaves(5)
+	fs.SetLatency(time.Hour)
+	fs.Reset()
+	data := snapBytes(t, 9)
+	if err := fs.Save("k", data); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := fs.Load("k")
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatal("reset store did not behave transparently")
+	}
+}

@@ -1,0 +1,109 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// These tests pin FSStore's crash-safety contract: a save interrupted
+// mid-write never replaces the previous snapshot, leftover temp files
+// from a crashed save are inert, and storage-level truncation below the
+// rename guarantee is caught by Parse's CRC — so a torn snapshot makes
+// the next restart cold instead of blocking it.
+
+// TestFSStoreCrashMidSaveKeepsPreviousSnapshot simulates a process crash
+// between the temp-file write and the rename: the abandoned temp file
+// must not shadow or corrupt the committed snapshot.
+func TestFSStoreCrashMidSaveKeepsPreviousSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := snapBytes(t, 1)
+	if err := fs.Save("job/pe", committed); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed save leaves exactly this on disk: a half-written temp
+	// file that never got renamed into place.
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := snapBytes(t, 2)
+	if _, err := tmp.Write(next[:len(next)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok, err := fs.Load("job/pe")
+	if err != nil || !ok || !bytes.Equal(got, committed) {
+		t.Fatalf("interrupted save disturbed the committed snapshot: %v %v", ok, err)
+	}
+	if _, err := Parse(got); err != nil {
+		t.Fatalf("committed snapshot no longer parses: %v", err)
+	}
+	// The store keeps working past the debris.
+	if err := fs.Save("job/pe", next); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = fs.Load("job/pe")
+	if !bytes.Equal(got, next) {
+		t.Fatal("save after crash debris did not replace the snapshot")
+	}
+}
+
+// TestFSStoreTornSnapshotRejectedByCRC simulates storage tearing the
+// snapshot file after the rename (below the filesystem's guarantees):
+// Load returns the bytes, and Parse — the restore path's gate — rejects
+// them, so a restart discards the snapshot rather than adopting half of
+// one or failing to start.
+func TestFSStoreTornSnapshotRejectedByCRC(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := snapBytes(t, 99)
+	if err := fs.Save("job/pe", full); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the committed file in place.
+	var files []string
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".ckpt" {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) != 1 {
+		t.Fatalf("snapshot files = %v", files)
+	}
+	if err := os.Truncate(files[0], int64(len(full)/2)); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok, err := fs.Load("job/pe")
+	if err != nil || !ok {
+		t.Fatalf("Load = %v %v", ok, err)
+	}
+	if _, perr := Parse(got); !errors.Is(perr, ErrCorrupt) {
+		t.Fatalf("torn snapshot parse err = %v, want ErrCorrupt", perr)
+	}
+	// A fresh save repairs the key.
+	if err := fs.Save("job/pe", full); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = fs.Load("job/pe")
+	if _, perr := Parse(got); perr != nil {
+		t.Fatalf("repaired snapshot parse err = %v", perr)
+	}
+}

@@ -46,7 +46,13 @@ type host struct {
 	tags []string
 	up   bool
 	pes  map[ids.PEID]*pe.PE
+	// done stops the HC metrics loop; nil while the host is down (a dead
+	// host has no HC daemon — KillHost stops the loop, ReviveHost starts
+	// a fresh one).
 	done chan struct{}
+	// pauseUntil delays periodic metric pushes (chaos metric-delay
+	// injection); FlushMetrics ignores it.
+	pauseUntil time.Time
 }
 
 // New builds a cluster pushing metrics to the given SRM every interval
@@ -79,27 +85,30 @@ func (c *Cluster) AddHost(name string, tags ...string) error {
 	if c.srm != nil {
 		c.srm.RegisterHost(name, tags)
 	}
-	go c.metricsLoop(h)
+	go c.metricsLoop(h, h.done)
 	return nil
 }
 
-// metricsLoop is the HC's periodic metric push.
-func (c *Cluster) metricsLoop(h *host) {
+// metricsLoop is the HC's periodic metric push. done is captured per
+// incarnation: a revived host gets a fresh channel and a fresh loop.
+func (c *Cluster) metricsLoop(h *host, done chan struct{}) {
 	tk := c.clock.NewTicker(c.interval)
 	defer tk.Stop()
 	for {
 		select {
 		case <-tk.C():
-			c.pushHostMetrics(h)
-		case <-h.done:
+			c.pushHostMetrics(h, false)
+		case <-done:
 			return
 		}
 	}
 }
 
-func (c *Cluster) pushHostMetrics(h *host) {
+// pushHostMetrics pushes one host's PE metrics to SRM. force bypasses an
+// injected metric delay (periodic pushes honour it, FlushMetrics not).
+func (c *Cluster) pushHostMetrics(h *host, force bool) {
 	c.mu.Lock()
-	if !h.up {
+	if !h.up || (!force && c.clock.Now().Before(h.pauseUntil)) {
 		c.mu.Unlock()
 		return
 	}
@@ -126,8 +135,22 @@ func (c *Cluster) FlushMetrics() {
 	}
 	c.mu.Unlock()
 	for _, h := range hs {
-		c.pushHostMetrics(h)
+		c.pushHostMetrics(h, true)
 	}
+}
+
+// DelayMetrics postpones the named host's periodic metric pushes by d
+// from now (the chaos harness's metric-delivery delay). FlushMetrics is
+// unaffected, so deterministic tests keep their explicit visibility.
+func (c *Cluster) DelayMetrics(name string, d time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.hosts[name]
+	if !ok {
+		return fmt.Errorf("cluster: unknown host %q", name)
+	}
+	h.pauseUntil = c.clock.Now().Add(d)
+	return nil
 }
 
 // Hosts returns placement info for every host, sorted by name.
@@ -270,6 +293,12 @@ func (c *Cluster) KillHost(name string) error {
 		return fmt.Errorf("cluster: host %q already down", name)
 	}
 	h.up = false
+	// The HC daemon dies with its host: stop the metrics loop instead of
+	// leaving it ticking against a dead host for the cluster's lifetime.
+	if h.done != nil {
+		close(h.done)
+		h.done = nil
+	}
 	victims := make([]*pe.PE, 0, len(h.pes))
 	for _, p := range h.pes {
 		victims = append(victims, p)
@@ -296,12 +325,20 @@ func HostFailureReason(host string, at time.Time) string {
 }
 
 // ReviveHost brings a failed host back (empty, as a rebooted machine).
+// The rebooted HC resumes its periodic metric pushes with a fresh loop.
 func (c *Cluster) ReviveHost(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("cluster: closed")
+	}
 	h, ok := c.hosts[name]
 	if !ok {
 		return fmt.Errorf("cluster: unknown host %q", name)
+	}
+	if !h.up {
+		h.done = make(chan struct{})
+		go c.metricsLoop(h, h.done)
 	}
 	h.up = true
 	if c.srm != nil {
@@ -320,7 +357,10 @@ func (c *Cluster) Close() {
 	c.closed = true
 	var all []*pe.PE
 	for _, h := range c.hosts {
-		close(h.done)
+		if h.done != nil {
+			close(h.done)
+			h.done = nil
+		}
 		for _, p := range h.pes {
 			all = append(all, p)
 		}

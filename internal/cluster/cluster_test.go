@@ -264,3 +264,86 @@ func TestCloseStopsEverything(t *testing.T) {
 	}
 	c.Close() // idempotent
 }
+
+// TestKillHostStopsLoopReviveRestartsIt pins the HC lifecycle: a killed
+// host's metrics loop terminates with the host, and a revived host gets
+// a fresh loop that resumes periodic pushes.
+func TestKillHostStopsLoopReviveRestartsIt(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	s := srm.New()
+	c := New(clock, s, time.Second)
+	defer c.Close()
+	_ = c.AddHost("h1")
+	if _, err := c.StartPE("h1", idleCfg(1, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillHost("h1"); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	if c.hosts["h1"].done != nil {
+		c.mu.Unlock()
+		t.Fatal("killed host still owns a live metrics loop")
+	}
+	c.mu.Unlock()
+
+	if err := c.ReviveHost("h1"); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	if c.hosts["h1"].done == nil {
+		c.mu.Unlock()
+		t.Fatal("revived host has no metrics loop")
+	}
+	c.mu.Unlock()
+	if _, err := c.StartPE("h1", idleCfg(2, 21)); err != nil {
+		t.Fatal(err)
+	}
+	// The revived HC's ticker registers asynchronously; keep advancing
+	// one period until its push lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.Query([]ids.JobID{21})) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("revived host pushes no metrics")
+		}
+		clock.Advance(time.Second)
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDelayMetricsPausesPeriodicPushes: an injected metric delay holds
+// back periodic pushes until it elapses, while FlushMetrics (the
+// deterministic-test path) still goes through.
+func TestDelayMetricsPausesPeriodicPushes(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	s := srm.New()
+	c := New(clock, s, time.Hour)
+	defer c.Close()
+	_ = c.AddHost("h1")
+	if _, err := c.StartPE("h1", idleCfg(1, 22)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DelayMetrics("ghost", time.Second); err == nil {
+		t.Fatal("DelayMetrics accepted unknown host")
+	}
+	if err := c.DelayMetrics("h1", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h := c.hosts["h1"]
+	c.pushHostMetrics(h, false)
+	if len(s.Query([]ids.JobID{22})) != 0 {
+		t.Fatal("delayed host still pushed periodically")
+	}
+	c.pushHostMetrics(h, true)
+	if len(s.Query([]ids.JobID{22})) == 0 {
+		t.Fatal("forced flush blocked by metric delay")
+	}
+	clock.Advance(11 * time.Second)
+	if _, err := c.StartPE("h1", idleCfg(2, 23)); err != nil {
+		t.Fatal(err)
+	}
+	c.pushHostMetrics(h, false)
+	if len(s.Query([]ids.JobID{23})) == 0 {
+		t.Fatal("periodic pushes did not resume after the delay elapsed")
+	}
+}

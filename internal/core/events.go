@@ -5,9 +5,7 @@
 // OnOperatorMetric, ...) that pair each event scope with its handler,
 // declared in a Setup that returns errors instead of panicking and
 // composed with guard combinators (Threshold, SuppressFor, OncePerEpoch,
-// ...) for the cross-cutting activation logic. The legacy form — a type
-// implementing the wide Orchestrator interface — remains supported for
-// one release of overlap via NewService. The ORCA service is the
+// ...) for the cross-cutting activation logic. The ORCA service is the
 // runtime half: it maintains an in-memory stream graph for every managed
 // application, pulls metrics from SRM on a configurable interval, receives
 // failure notifications pushed by SAM, matches everything against the
@@ -219,67 +217,6 @@ type UserEventContext struct {
 	// are journalled under this id.
 	TxID uint64
 }
-
-// Orchestrator is the legacy ORCA-logic interface (the Go analogue of
-// inheriting the paper's Orchestrator C++ class). Embed Base to only
-// specialise the handlers of interest. The service serialises handler
-// invocations: at most one handler runs at a time, and events arriving
-// meanwhile queue in arrival order (§4.2).
-//
-// The scopes argument carries the keys of every registered subscope the
-// event matched, so one handler can serve multiple registrations. Keys
-// owned by routine subscriptions on the same service are dispatched to
-// their typed handlers instead and do not appear in scopes.
-//
-// Orchestrator is superseded by the composable Routine API (Routine,
-// SetupContext, the On* subscription constructors, and the guard
-// combinators); it remains supported through NewService for one release
-// of overlap and will then be removed.
-type Orchestrator interface {
-	HandleOrcaStart(svc *Service, ctx *OrcaStartContext)
-	HandleOperatorMetric(svc *Service, ctx *OperatorMetricContext, scopes []string)
-	HandlePEMetric(svc *Service, ctx *PEMetricContext, scopes []string)
-	HandlePortMetric(svc *Service, ctx *PortMetricContext, scopes []string)
-	HandlePEFailure(svc *Service, ctx *PEFailureContext, scopes []string)
-	HandleHostFailure(svc *Service, ctx *HostFailureContext, scopes []string)
-	HandleJobSubmitted(svc *Service, ctx *JobContext, scopes []string)
-	HandleJobCancelled(svc *Service, ctx *JobContext, scopes []string)
-	HandleTimer(svc *Service, ctx *TimerContext, scopes []string)
-	HandleUserEvent(svc *Service, ctx *UserEventContext, scopes []string)
-}
-
-// Base provides no-op defaults for every handler.
-type Base struct{}
-
-// HandleOrcaStart implements Orchestrator.
-func (Base) HandleOrcaStart(*Service, *OrcaStartContext) {}
-
-// HandleOperatorMetric implements Orchestrator.
-func (Base) HandleOperatorMetric(*Service, *OperatorMetricContext, []string) {}
-
-// HandlePEMetric implements Orchestrator.
-func (Base) HandlePEMetric(*Service, *PEMetricContext, []string) {}
-
-// HandlePortMetric implements Orchestrator.
-func (Base) HandlePortMetric(*Service, *PortMetricContext, []string) {}
-
-// HandlePEFailure implements Orchestrator.
-func (Base) HandlePEFailure(*Service, *PEFailureContext, []string) {}
-
-// HandleHostFailure implements Orchestrator.
-func (Base) HandleHostFailure(*Service, *HostFailureContext, []string) {}
-
-// HandleJobSubmitted implements Orchestrator.
-func (Base) HandleJobSubmitted(*Service, *JobContext, []string) {}
-
-// HandleJobCancelled implements Orchestrator.
-func (Base) HandleJobCancelled(*Service, *JobContext, []string) {}
-
-// HandleTimer implements Orchestrator.
-func (Base) HandleTimer(*Service, *TimerContext, []string) {}
-
-// HandleUserEvent implements Orchestrator.
-func (Base) HandleUserEvent(*Service, *UserEventContext, []string) {}
 
 // eventData is the neutral representation the scope matcher operates on;
 // ctx holds the typed context delivered to the handler.

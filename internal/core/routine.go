@@ -31,6 +31,17 @@ type Routine interface {
 	Setup(sc *SetupContext) error
 }
 
+// Closer is an optional Routine extension: a routine implementing it
+// has Close invoked during Service.Stop, before event delivery shuts
+// down, so the actuation surface still works — the place to cancel
+// managed jobs, reset stores, or release external resources the
+// routine's Setup acquired. Hooks run in reverse setup order; a routine
+// needing teardown for closure-local state can register a function with
+// SetupContext.OnStop instead.
+type Closer interface {
+	Close(act *Actions)
+}
+
 // routineFunc adapts a bare setup function into a Routine.
 type routineFunc struct {
 	name  string
@@ -62,6 +73,16 @@ func (c *composite) Setup(sc *SetupContext) error {
 		}
 	}
 	return nil
+}
+
+// Close implements Closer by delegating to every child that implements
+// it, in reverse order — so composing routines keeps their teardown.
+func (c *composite) Close(act *Actions) {
+	for i := len(c.routines) - 1; i >= 0; i-- {
+		if cl, ok := c.routines[i].(Closer); ok {
+			cl.Close(act)
+		}
+	}
 }
 
 // Compose bundles several independent routines into one, so a single
@@ -98,6 +119,21 @@ func (sc *SetupContext) Routine() string { return sc.routine }
 // target configuration is submitted (§4.4); dependency uptime
 // requirements are waited out on the service clock.
 func (sc *SetupContext) Actions() *Actions { return sc.svc.Actions() }
+
+// OnStop registers a teardown hook for this routine, run exactly once
+// inside Service.Stop — in reverse registration order, before event
+// delivery shuts down, with the actuation surface still live. It is the
+// function-style counterpart of implementing Closer. Hooks do not run
+// when Start itself fails: a routine whose Setup errored never finished
+// acquiring what the hook would release. A nil fn is ignored.
+func (sc *SetupContext) OnStop(fn func(act *Actions)) {
+	if fn == nil {
+		return
+	}
+	sc.svc.mu.Lock()
+	sc.svc.stopHooks = append(sc.svc.stopHooks, fn)
+	sc.svc.mu.Unlock()
+}
 
 // Subscribe registers subscriptions built with the On* constructors.
 // Scope keys must be unique across the whole service; a duplicate key —

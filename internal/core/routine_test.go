@@ -282,68 +282,112 @@ func TestRoutineHandlerErrorsCounted(t *testing.T) {
 	}
 }
 
-// legacyProbe is a minimal wide-interface Orchestrator used to keep the
-// deprecated adapter path covered until its removal; the shared test
-// harness itself runs on recording routines.
-type legacyProbe struct {
-	Base
-	mu     sync.Mutex
-	events []recordedEvent
+// closingRoutine is a Routine with a Closer teardown, for the stop-hook
+// tests.
+type closingRoutine struct {
+	name    string
+	setup   func(*SetupContext) error
+	onClose func(*Actions)
 }
 
-func (l *legacyProbe) HandleOrcaStart(svc *Service, ctx *OrcaStartContext) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.events = append(l.events, recordedEvent{kind: KindOrcaStart, ctx: ctx})
-}
+func (c *closingRoutine) Name() string                 { return c.name }
+func (c *closingRoutine) Setup(sc *SetupContext) error { return c.setup(sc) }
+func (c *closingRoutine) Close(act *Actions)           { c.onClose(act) }
 
-func (l *legacyProbe) HandleUserEvent(svc *Service, ctx *UserEventContext, scopes []string) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.events = append(l.events, recordedEvent{kind: KindUserEvent, ctx: ctx, scopes: scopes})
-}
-
-func (l *legacyProbe) snapshot() []recordedEvent {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return append([]recordedEvent(nil), l.events...)
-}
-
-// TestLegacyAdapterStillDispatches: on a legacy service, scope keys
-// owned by nobody still reach the Orchestrator handlers (the deprecated
-// adapter keeps working unchanged until its removal release).
-func TestLegacyAdapterStillDispatches(t *testing.T) {
-	h := newHarness(t) // platform only; its service stays unstarted
-	probe := &legacyProbe{}
-	svc, err := NewService(Config{
-		Name: "legacyOrca", SAM: h.inst.SAM, SRM: h.inst.SRM,
-		Clock: h.clock, PullInterval: time.Hour,
-	}, probe)
-	if err != nil {
-		t.Fatal(err)
+// TestStopHooksRunOnceInReverseOrder: Stop runs OnStop hooks and Closer
+// teardowns exactly once, last-registered first, with the actuation
+// surface still live; a second Stop does not re-run them.
+func TestStopHooksRunOnceInReverseOrder(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	note := func(step string, act *Actions) {
+		if act.Stats().QueueDepth < 0 {
+			t.Errorf("actuation surface dead during %s", step)
+		}
+		mu.Lock()
+		order = append(order, step)
+		mu.Unlock()
 	}
-	t.Cleanup(svc.Stop)
-	if err := svc.RegisterEventScope(NewUserEventScope("legacy")); err != nil {
-		t.Fatal(err)
+	first := NewRoutine("first", func(sc *SetupContext) error {
+		sc.OnStop(func(act *Actions) { note("first-stop", act) })
+		return nil
+	})
+	second := &closingRoutine{
+		name: "second",
+		setup: func(sc *SetupContext) error {
+			sc.OnStop(func(act *Actions) { note("second-stop", act) })
+			return nil
+		},
+		onClose: func(act *Actions) { note("second-close", act) },
 	}
+	_, svc, _ := newRoutineHarness(t, first, second)
 	if err := svc.Start(); err != nil {
 		t.Fatal(err)
 	}
-	svc.RaiseUserEvent("ping", nil)
-	waitFor(t, "legacy delivery", func() bool {
-		for _, e := range probe.snapshot() {
-			if e.kind == KindUserEvent {
-				return true
-			}
+	svc.Stop()
+	svc.Stop() // idempotent: hooks must not run again
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"second-close", "second-stop", "first-stop"}
+	if len(order) != len(want) {
+		t.Fatalf("hooks ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("hooks ran %v, want %v", order, want)
 		}
-		return false
-	})
-	for _, e := range probe.snapshot() {
-		if e.kind == KindUserEvent {
-			if len(e.scopes) != 1 || e.scopes[0] != "legacy" {
-				t.Fatalf("legacy scopes = %v", e.scopes)
-			}
+	}
+}
+
+// TestStopHooksSkippedOnFailedStart: a Setup error aborts the start
+// without running teardown hooks — the routines never finished
+// acquiring what the hooks would release.
+func TestStopHooksSkippedOnFailedStart(t *testing.T) {
+	ran := false
+	bad := Compose(
+		NewRoutine("acquires", func(sc *SetupContext) error {
+			sc.OnStop(func(*Actions) { ran = true })
+			return nil
+		}),
+		NewRoutine("fails", func(sc *SetupContext) error {
+			return fmt.Errorf("boom")
+		}),
+	)
+	_, svc, _ := newRoutineHarness(t, bad)
+	if err := svc.Start(); err == nil {
+		t.Fatal("failed setup did not abort Start")
+	}
+	svc.Stop()
+	if ran {
+		t.Fatal("stop hook ran after aborted start")
+	}
+}
+
+// TestComposeDelegatesClose: composing routines keeps their Closer
+// teardowns, run in reverse order.
+func TestComposeDelegatesClose(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	mk := func(name string) Routine {
+		return &closingRoutine{
+			name:  name,
+			setup: func(*SetupContext) error { return nil },
+			onClose: func(*Actions) {
+				mu.Lock()
+				order = append(order, name)
+				mu.Unlock()
+			},
 		}
+	}
+	_, svc, _ := newRoutineHarness(t, Compose(mk("a"), NewRoutine("plain", func(*SetupContext) error { return nil }), mk("b")))
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	svc.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Fatalf("composite close order = %v, want [b a]", order)
 	}
 }
 

@@ -64,12 +64,10 @@ type JobSummary struct {
 }
 
 // Service is the ORCA service: the runtime half of an orchestrator. It
-// runs either a set of composable Routines (NewRoutineService) or one
-// legacy Orchestrator (NewService); both halves share the scope matcher
-// and the single-threaded delivery discipline.
+// runs a set of composable Routines (NewRoutineService) under the scope
+// matcher and the single-threaded delivery discipline.
 type Service struct {
 	cfg      Config
-	logic    Orchestrator // legacy adapter; nil in routine mode
 	routines []Routine
 	actions  *Actions
 	clock    vclock.Clock
@@ -91,9 +89,16 @@ type Service struct {
 
 	queue     *eventQueue
 	stopCh    chan struct{}
+	closeOnce sync.Once
 	done      sync.WaitGroup
 	started   atomic.Bool
 	startSeen atomic.Bool // OrcaStart handled; metric pulls gate on this
+
+	// stopHooks are routine teardown callbacks (SetupContext.OnStop and
+	// Closer routines); Stop runs them once, in reverse registration
+	// order, before event delivery shuts down.
+	stopHooks []func(*Actions)
+	stopOnce  sync.Once
 
 	delivered   uint64
 	matched     uint64
@@ -106,18 +111,6 @@ type Service struct {
 	journal   *journal
 
 	deps *depManager
-}
-
-// NewService builds a service around legacy ORCA logic — the wide
-// Orchestrator interface. It is the deprecated adapter kept for one
-// release of overlap: new code should implement Routine and use
-// NewRoutineService, which pairs scopes with typed handlers and surfaces
-// setup errors out of Start instead of panicking inside HandleOrcaStart.
-func NewService(cfg Config, logic Orchestrator) (*Service, error) {
-	if logic == nil {
-		return nil, fmt.Errorf("core: orchestrator %q has no logic", cfg.Name)
-	}
-	return newService(cfg, logic, nil)
 }
 
 // NewRoutineService builds a service running the given adaptation
@@ -135,10 +128,6 @@ func NewRoutineService(cfg Config, routines ...Routine) (*Service, error) {
 			return nil, fmt.Errorf("core: orchestrator %q: routine %d has no name", cfg.Name, i)
 		}
 	}
-	return newService(cfg, nil, routines)
-}
-
-func newService(cfg Config, logic Orchestrator, routines []Routine) (*Service, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("core: orchestrator needs a name")
 	}
@@ -156,7 +145,6 @@ func newService(cfg Config, logic Orchestrator, routines []Routine) (*Service, e
 	}
 	s := &Service{
 		cfg:        cfg,
-		logic:      logic,
 		routines:   routines,
 		clock:      cfg.Clock,
 		apps:       make(map[string]*adl.Application),
@@ -216,6 +204,11 @@ func (s *Service) Start() error {
 			s.abortStart()
 			return fmt.Errorf("core: orchestrator %q: routine %q setup: %w", s.cfg.Name, r.Name(), err)
 		}
+		if cl, ok := r.(Closer); ok {
+			s.mu.Lock()
+			s.stopHooks = append(s.stopHooks, cl.Close)
+			s.mu.Unlock()
+		}
 	}
 	s.queue.push(&delivered{data: &eventData{
 		kind: KindOrcaStart,
@@ -229,9 +222,11 @@ func (s *Service) Start() error {
 
 // abortStart unwinds a failed Start before the delivery goroutines
 // exist: subsequent Stop calls become no-ops and late event pushes are
-// dropped by the closed queue.
+// dropped by the closed queue. Stop hooks do not run — the routines
+// never finished setting up.
 func (s *Service) abortStart() {
-	close(s.stopCh)
+	s.stopOnce.Do(func() {}) // mark hooks as spent
+	s.closeOnce.Do(func() { close(s.stopCh) })
 	s.queue.close()
 	s.mu.Lock()
 	for name, t := range s.timers {
@@ -242,8 +237,10 @@ func (s *Service) abortStart() {
 	s.cfg.SAM.RemoveListener(s.cfg.Name)
 }
 
-// Stop shuts down event delivery and timers. Managed jobs keep running;
-// cancel them first if the policy requires it.
+// Stop shuts down event delivery and timers, running every registered
+// teardown hook (SetupContext.OnStop, Closer routines) first, while the
+// actuation surface still works. Managed jobs keep running; cancel them
+// from a hook or beforehand if the policy requires it.
 func (s *Service) Stop() {
 	if !s.started.Load() {
 		return
@@ -253,7 +250,8 @@ func (s *Service) Stop() {
 		return // already stopped
 	default:
 	}
-	close(s.stopCh)
+	s.runStopHooks()
+	s.closeOnce.Do(func() { close(s.stopCh) })
 	s.queue.close()
 	s.mu.Lock()
 	for name, t := range s.timers {
@@ -263,6 +261,28 @@ func (s *Service) Stop() {
 	s.mu.Unlock()
 	s.cfg.SAM.RemoveListener(s.cfg.Name)
 	s.done.Wait()
+}
+
+// runStopHooks runs the registered teardown hooks exactly once, in
+// reverse registration order (last set up, first torn down). A panicking
+// hook is contained and logged so the remaining hooks — and the shutdown
+// itself — still run.
+func (s *Service) runStopHooks() {
+	s.stopOnce.Do(func() {
+		s.mu.Lock()
+		hooks := append([]func(*Actions){}, s.stopHooks...)
+		s.mu.Unlock()
+		for i := len(hooks) - 1; i >= 0; i-- {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						s.cfg.Logf("orca %s: stop hook panic: %v", s.cfg.Name, r)
+					}
+				}()
+				hooks[i](s.actions)
+			}()
+		}
+	})
 }
 
 // RegisterEventScope adds a subscope to the service's event scope (§4.1).
@@ -340,49 +360,21 @@ func (s *Service) deliver(d *delivered) {
 		for _, sub := range subs {
 			s.invokeSub(sub, d.data)
 		}
-		if s.logic != nil {
-			s.logic.HandleOrcaStart(s, d.data.ctx.(*OrcaStartContext))
-		}
 		s.startSeen.Store(true)
 		return
 	}
 	// Routine subscriptions own their scope keys: each matched key pairs
-	// the event with exactly one typed handler. Keys nobody owns fall
-	// through to the legacy orchestrator, which receives them the old
-	// way — one call carrying every remaining key.
-	var legacy []string
+	// the event with exactly one typed handler. A matched key without an
+	// owning subscription (a scope registered directly via
+	// RegisterEventScope) keeps the event alive in Stats but delivers
+	// nowhere.
 	for _, key := range d.scopes {
 		s.mu.Lock()
 		sub := s.subs[key]
 		s.mu.Unlock()
 		if sub != nil {
 			s.invokeSub(sub, d.data)
-		} else {
-			legacy = append(legacy, key)
 		}
-	}
-	if s.logic == nil || len(legacy) == 0 {
-		return
-	}
-	switch d.data.kind {
-	case KindOperatorMetric:
-		s.logic.HandleOperatorMetric(s, d.data.ctx.(*OperatorMetricContext), legacy)
-	case KindPEMetric:
-		s.logic.HandlePEMetric(s, d.data.ctx.(*PEMetricContext), legacy)
-	case KindPortMetric:
-		s.logic.HandlePortMetric(s, d.data.ctx.(*PortMetricContext), legacy)
-	case KindPEFailure:
-		s.logic.HandlePEFailure(s, d.data.ctx.(*PEFailureContext), legacy)
-	case KindHostFailure:
-		s.logic.HandleHostFailure(s, d.data.ctx.(*HostFailureContext), legacy)
-	case KindJobSubmitted:
-		s.logic.HandleJobSubmitted(s, d.data.ctx.(*JobContext), legacy)
-	case KindJobCancelled:
-		s.logic.HandleJobCancelled(s, d.data.ctx.(*JobContext), legacy)
-	case KindTimer:
-		s.logic.HandleTimer(s, d.data.ctx.(*TimerContext), legacy)
-	case KindUserEvent:
-		s.logic.HandleUserEvent(s, d.data.ctx.(*UserEventContext), legacy)
 	}
 }
 

@@ -15,14 +15,22 @@ import (
 
 func TestNewServiceValidation(t *testing.T) {
 	h := newHarness(t)
-	if _, err := NewService(Config{SAM: h.inst.SAM, SRM: h.inst.SRM}, Base{}); err == nil {
+	noop := NewRoutine("noop", func(*SetupContext) error { return nil })
+	if _, err := NewRoutineService(Config{SAM: h.inst.SAM, SRM: h.inst.SRM}, noop); err == nil {
 		t.Fatal("empty name accepted")
 	}
-	if _, err := NewService(Config{Name: "x"}, Base{}); err == nil {
+	if _, err := NewRoutineService(Config{Name: "x"}, noop); err == nil {
 		t.Fatal("missing daemons accepted")
 	}
-	if _, err := NewService(Config{Name: "x", SAM: h.inst.SAM, SRM: h.inst.SRM}, nil); err == nil {
-		t.Fatal("nil logic accepted")
+	if _, err := NewRoutineService(Config{Name: "x", SAM: h.inst.SAM, SRM: h.inst.SRM}); err == nil {
+		t.Fatal("no routines accepted")
+	}
+	if _, err := NewRoutineService(Config{Name: "x", SAM: h.inst.SAM, SRM: h.inst.SRM}, nil); err == nil {
+		t.Fatal("nil routine accepted")
+	}
+	if _, err := NewRoutineService(Config{Name: "x", SAM: h.inst.SAM, SRM: h.inst.SRM},
+		NewRoutine("", func(*SetupContext) error { return nil })); err == nil {
+		t.Fatal("unnamed routine accepted")
 	}
 }
 

@@ -38,6 +38,10 @@ const (
 	PETuplesProcessed     = "nTuplesProcessed"
 	PETuplesSubmitted     = "nTuplesSubmitted"
 	PERestarts            = "nRestarts"
+	// PERestartAttempts is the cumulative count of restart attempts SAM
+	// spent on this PE, retries included; compared against nRestarts it
+	// exposes how hard the retry layer had to work.
+	PERestartAttempts = "nRestartAttempts"
 	// PECheckpoints counts completed state snapshots of the container;
 	// PECheckpointBytes accumulates their encoded sizes; PEStateRestores
 	// counts operators whose state a restart restored from a snapshot.

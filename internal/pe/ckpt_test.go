@@ -1,6 +1,8 @@
 package pe
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -204,6 +206,64 @@ func TestRestoreDiscardsCorruptSnapshot(t *testing.T) {
 		t.Fatalf("discard not logged: %q", joined)
 	}
 	p.Stop()
+}
+
+// TestRestoreSurvivesTornFSSnapshot: a snapshot file truncated after
+// commit (torn storage below the rename's guarantee) is detected by the
+// CRC, logged, and discarded — the replacement container cold-starts
+// and runs instead of failing, so a damaged store never blocks a
+// restart.
+func TestRestoreSurvivesTornFSSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	store, err := ckpt.NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc1 := &accumulator{}
+	p1 := newCkptPE(t, acc1, 10, CkptConfig{Store: store, Key: "torn"})
+	if err := p1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "source drained", func() bool { return acc1.value() == 45 })
+	if _, err := p1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	p1.Stop()
+
+	// Tear the committed file: drop its tail, keeping the header intact.
+	path := filepath.Join(dir, "torn.ckpt")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	var logged []string
+	acc2 := &accumulator{}
+	p2, err := New(Config{
+		ID: 7, Job: 1, App: "ckpt", Host: "h1",
+		Ops:      []OpSpec{srcSpec("src"), accSpec("acc")},
+		Wires:    []Wire{{"src", 0, "acc", 0}},
+		Registry: ckptRegistry(acc2, 3),
+		Ckpt:     CkptConfig{Store: store, Key: "torn", Restore: true},
+		Logf:     func(format string, args ...any) { logged = append(logged, format) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "cold run completes", func() bool { return acc2.value() == 3 })
+	if got := p2.PEMetrics().Counter(metrics.PEStateRestores).Value(); got != 0 {
+		t.Fatalf("nStateRestores = %d, want 0 (torn snapshot must not restore)", got)
+	}
+	if joined := strings.Join(logged, "\n"); !strings.Contains(joined, "discarding checkpoint") {
+		t.Fatalf("discard not logged: %q", joined)
+	}
+	p2.Stop()
 }
 
 // TestRestoreSkipsKindMismatch: a section whose operator kind changed

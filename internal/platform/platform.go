@@ -42,6 +42,11 @@ type Options struct {
 	// CheckpointInterval is the per-PE automatic snapshot period; 0
 	// means on-demand checkpoints only.
 	CheckpointInterval time.Duration
+	// Retry bounds and paces SAM's restart and checkpoint actuations.
+	// The zero value keeps the single-attempt behaviour deterministic
+	// virtual-clock tests rely on; sam.DefaultRetryPolicy() opts into
+	// bounded retries with exponential backoff.
+	Retry sam.RetryPolicy
 	// Logf receives platform diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -80,6 +85,7 @@ func NewInstance(opts Options) (*Instance, error) {
 		Logf:         opts.Logf,
 		Ckpt:         opts.Checkpoint,
 		CkptInterval: opts.CheckpointInterval,
+		Retry:        opts.Retry,
 	})
 	return &Instance{Clock: clock, SRM: resMgr, Cluster: cl, SAM: appMgr}, nil
 }

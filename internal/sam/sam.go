@@ -7,7 +7,9 @@
 package sam
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -40,6 +42,62 @@ type Config struct {
 	// CkptInterval is the per-PE automatic checkpoint period; 0 means
 	// snapshots are taken only on demand (CheckpointPE).
 	CkptInterval time.Duration
+	// Retry bounds and paces RestartPE / CheckpointPE retries. The zero
+	// value means a single attempt (no hidden sleeps under virtual-clock
+	// tests); DefaultRetryPolicy() is the opt-in retrying policy.
+	Retry RetryPolicy
+}
+
+// RetryPolicy governs how SAM retries failed actuations.
+type RetryPolicy struct {
+	// MaxAttempts caps total attempts, initial try included; <= 0 means 1.
+	MaxAttempts int
+	// BaseBackoff is the pause after the first failure; it doubles per
+	// subsequent failure up to MaxBackoff. Zero values default to
+	// 5ms / 250ms when MaxAttempts > 1.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterSeed seeds the deterministic jitter source (each backoff is
+	// stretched by up to 50%). A fixed seed reproduces retry timing
+	// exactly, which the chaos harness depends on.
+	JitterSeed int64
+}
+
+// DefaultRetryPolicy is the recommended production-shaped policy: three
+// attempts with 5ms-based exponential backoff capped at 250ms.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 250 * time.Millisecond}
+}
+
+// AttemptRecord journals one actuation attempt.
+type AttemptRecord struct {
+	// Seq orders records across the journal.
+	Seq int
+	// Action is "restart" or "checkpoint".
+	Action string
+	PE     ids.PEID
+	// Attempt numbers the try within its actuation, starting at 1.
+	Attempt int
+	// Err is empty on success.
+	Err string
+	At  time.Time
+	// Backoff is the pause slept before the next attempt; zero on the
+	// final attempt of an actuation.
+	Backoff time.Duration
+}
+
+// permanentError marks failures retrying cannot fix (unknown PE, wrong
+// state, structural config errors).
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+func (p permanentError) Unwrap() error { return p.err }
+
+func permanent(err error) error { return permanentError{err: err} }
+
+func isPermanent(err error) bool {
+	var p permanentError
+	return errors.As(err, &p)
 }
 
 // SubmitOptions parameterise one job submission.
@@ -82,6 +140,10 @@ type PERuntimeInfo struct {
 	State     string
 	Operators []string
 	Restarts  int
+	// Unplaceable is set when a restart exhausted its retry budget; the
+	// next explicit RestartPE gets a single attempt and clears it on
+	// success.
+	Unplaceable bool
 }
 
 // Listener receives job lifecycle callbacks for one orchestrator. All
@@ -104,6 +166,13 @@ type SAM struct {
 	listeners map[string]Listener
 	links     map[string]*xlink
 	nextLink  int64
+
+	// retryMu guards the attempt journal and jitter source; separate from
+	// mu because attempts are recorded while actuations run unlocked.
+	retryMu    sync.Mutex
+	retryRng   *rand.Rand
+	attempts   []AttemptRecord
+	attemptSeq int
 }
 
 type job struct {
@@ -118,12 +187,14 @@ type job struct {
 }
 
 type jpe struct {
-	index     int
-	id        ids.PEID
-	host      string
-	container *pe.PE
-	state     string // running | stopping | stopped | crashed
-	restarts  int
+	index       int
+	id          ids.PEID
+	host        string
+	container   *pe.PE
+	state       string // running | stopping | stopped | crashed
+	restarts    int
+	attempts    int // cumulative restart attempts, successes included
+	unplaceable bool
 }
 
 // New builds a SAM daemon wired to the cluster and SRM; it subscribes to
@@ -144,6 +215,7 @@ func New(cfg Config) *SAM {
 		reserved:  make(map[string]ids.JobID),
 		listeners: make(map[string]Listener),
 		links:     make(map[string]*xlink),
+		retryRng:  rand.New(rand.NewSource(cfg.Retry.JitterSeed)),
 	}
 	if cfg.SRM != nil {
 		cfg.SRM.OnPEExit(s.handlePEExit)
@@ -373,12 +445,139 @@ func (s *SAM) CancelJob(id ids.JobID) error {
 // checkpoint store, the fresh container restores every stateful
 // operator from the PE's latest snapshot before processing resumes, so
 // a restart no longer implies empty windows and zeroed counters.
+//
+// Transient failures (host gone mid-placement, store hiccups) are
+// retried under Config.Retry with exponential backoff and deterministic
+// jitter, each attempt journalled. Exhausting the budget marks the PE
+// unplaceable and pushes a degradation notification — a PEFailure with
+// a "restart abandoned" reason — to the owning orchestrator, which can
+// react (revive a host, reset a store) and try again: an unplaceable PE
+// gets single attempts until one succeeds and clears the mark.
 func (s *SAM) RestartPE(id ids.PEID) error {
+	pol := s.cfg.Retry
+	max := pol.MaxAttempts
+	if max <= 0 {
+		max = 1
+	}
+	s.mu.Lock()
+	if _, rp := s.findPELocked(id); rp != nil && rp.unplaceable {
+		max = 1 // already escalated: no repeated backoff storms
+	}
+	s.mu.Unlock()
+
+	var err error
+	attempts := 0
+	for attempt := 1; attempt <= max; attempt++ {
+		attempts = attempt
+		err = s.restartPEOnce(id)
+		final := err == nil || isPermanent(err) || attempt == max
+		var backoff time.Duration
+		if !final {
+			backoff = s.retryBackoff(pol, attempt)
+		}
+		s.recordAttempt("restart", id, attempt, err, backoff)
+		if final {
+			break
+		}
+		s.cfg.Logf("sam: restart %s attempt %d/%d failed (%v); retrying in %s", id, attempt, max, err, backoff)
+		s.cfg.Clock.Sleep(backoff)
+	}
+	s.settleRestart(id, attempts, err)
+	return err
+}
+
+// settleRestart applies the outcome of a restart actuation: success
+// clears the unplaceable mark and updates the attempt gauge; exhausting
+// the retry budget on a transient failure marks the PE unplaceable and
+// notifies the owning orchestrator once.
+func (s *SAM) settleRestart(id ids.PEID, attempts int, err error) {
 	s.mu.Lock()
 	j, rp := s.findPELocked(id)
 	if rp == nil {
 		s.mu.Unlock()
-		return fmt.Errorf("sam: no PE %s", id)
+		return
+	}
+	rp.attempts += attempts
+	if err == nil {
+		rp.unplaceable = false
+		if rp.container != nil {
+			rp.container.PEMetrics().Counter(metrics.PERestartAttempts).Set(int64(rp.attempts))
+		}
+		s.mu.Unlock()
+		return
+	}
+	if isPermanent(err) || rp.unplaceable {
+		s.mu.Unlock()
+		return
+	}
+	rp.unplaceable = true
+	listener := s.listeners[j.owner]
+	failure := PEFailure{
+		PE: id, Job: j.id, App: j.app.Name, Host: rp.host,
+		Reason:    fmt.Sprintf("restart abandoned after %d attempts: %v", attempts, err),
+		At:        s.cfg.Clock.Now(),
+		Operators: append([]string(nil), j.app.OperatorsInPE(rp.index)...),
+	}
+	s.mu.Unlock()
+	s.cfg.Logf("sam: PE %s unplaceable: %s", id, failure.Reason)
+	if listener.PEFailed != nil {
+		listener.PEFailed(failure)
+	}
+}
+
+// retryBackoff computes the pause before the next attempt: exponential
+// from BaseBackoff, capped at MaxBackoff, stretched by up to 50% of
+// deterministic seeded jitter.
+func (s *SAM) retryBackoff(pol RetryPolicy, attempt int) time.Duration {
+	base := pol.BaseBackoff
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	cap := pol.MaxBackoff
+	if cap <= 0 {
+		cap = 250 * time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	s.retryMu.Lock()
+	jitter := time.Duration(s.retryRng.Int63n(int64(d)/2 + 1))
+	s.retryMu.Unlock()
+	return d + jitter
+}
+
+// recordAttempt appends one actuation attempt to the journal.
+func (s *SAM) recordAttempt(action string, id ids.PEID, attempt int, err error, backoff time.Duration) {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	s.attemptSeq++
+	rec := AttemptRecord{
+		Seq: s.attemptSeq, Action: action, PE: id,
+		Attempt: attempt, At: s.cfg.Clock.Now(), Backoff: backoff,
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	s.attempts = append(s.attempts, rec)
+}
+
+// AttemptJournal returns a copy of every journalled actuation attempt,
+// in order. The chaos harness derives restart attempted/succeeded
+// counts from it.
+func (s *SAM) AttemptJournal() []AttemptRecord {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	return append([]AttemptRecord(nil), s.attempts...)
+}
+
+// restartPEOnce is one restart attempt.
+func (s *SAM) restartPEOnce(id ids.PEID) error {
+	s.mu.Lock()
+	j, rp := s.findPELocked(id)
+	if rp == nil {
+		s.mu.Unlock()
+		return permanent(fmt.Errorf("sam: no PE %s", id))
 	}
 	running := rp.state == "running" && rp.container != nil
 	container := rp.container
@@ -403,7 +602,7 @@ func (s *SAM) RestartPE(id ids.PEID) error {
 	cfg, err := s.peConfig(j, rp)
 	s.mu.Unlock()
 	if err != nil {
-		return err
+		return permanent(err)
 	}
 	cfg.Ckpt.Restore = cfg.Ckpt.Store != nil
 
@@ -436,16 +635,43 @@ func (s *SAM) RestartPE(id ids.PEID) error {
 // CheckpointPE captures an on-demand state snapshot of a running PE
 // (the orchestrator actuation backing checkpoint-before-risky-change
 // policies; periodic snapshots ride Config.CkptInterval instead).
+// Transient store failures are retried under Config.Retry with the same
+// journalled backoff as RestartPE.
 func (s *SAM) CheckpointPE(id ids.PEID) error {
+	pol := s.cfg.Retry
+	max := pol.MaxAttempts
+	if max <= 0 {
+		max = 1
+	}
+	var err error
+	for attempt := 1; attempt <= max; attempt++ {
+		err = s.checkpointPEOnce(id)
+		final := err == nil || isPermanent(err) || attempt == max
+		var backoff time.Duration
+		if !final {
+			backoff = s.retryBackoff(pol, attempt)
+		}
+		s.recordAttempt("checkpoint", id, attempt, err, backoff)
+		if final {
+			break
+		}
+		s.cfg.Logf("sam: checkpoint %s attempt %d/%d failed (%v); retrying in %s", id, attempt, max, err, backoff)
+		s.cfg.Clock.Sleep(backoff)
+	}
+	return err
+}
+
+// checkpointPEOnce is one checkpoint attempt.
+func (s *SAM) checkpointPEOnce(id ids.PEID) error {
 	s.mu.Lock()
 	_, rp := s.findPELocked(id)
 	if rp == nil {
 		s.mu.Unlock()
-		return fmt.Errorf("sam: no PE %s", id)
+		return permanent(fmt.Errorf("sam: no PE %s", id))
 	}
 	if rp.state != "running" || rp.container == nil {
 		s.mu.Unlock()
-		return fmt.Errorf("sam: PE %s is not running", id)
+		return permanent(fmt.Errorf("sam: PE %s is not running", id))
 	}
 	c := rp.container
 	s.mu.Unlock()
@@ -674,8 +900,9 @@ func (s *SAM) jobInfoLocked(j *job) JobInfo {
 	for _, rp := range j.pes {
 		info.PEs = append(info.PEs, PERuntimeInfo{
 			ID: rp.id, Index: rp.index, Host: rp.host, State: rp.state,
-			Operators: append([]string(nil), j.app.OperatorsInPE(rp.index)...),
-			Restarts:  rp.restarts,
+			Operators:   append([]string(nil), j.app.OperatorsInPE(rp.index)...),
+			Restarts:    rp.restarts,
+			Unplaceable: rp.unplaceable,
 		})
 	}
 	sort.Slice(info.PEs, func(a, b int) bool { return info.PEs[a].Index < info.PEs[b].Index })

@@ -558,3 +558,204 @@ func TestCheckpointAgeMetricFlowsThroughSRM(t *testing.T) {
 		t.Fatalf("nStateRestores = %d", got)
 	}
 }
+
+func newRetryInstance(t *testing.T, retry sam.RetryPolicy, store ckpt.Store, hostNames ...string) *platform.Instance {
+	t.Helper()
+	specs := make([]platform.HostSpec, len(hostNames))
+	for i, n := range hostNames {
+		specs[i] = platform.HostSpec{Name: n}
+	}
+	inst, err := platform.NewInstance(platform.Options{
+		Hosts:           specs,
+		MetricsInterval: time.Hour,
+		Checkpoint:      store,
+		Retry:           retry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Close)
+	return inst
+}
+
+// restartJournal filters the attempt journal down to one PE's restarts.
+func restartJournal(s *sam.SAM, id ids.PEID) []sam.AttemptRecord {
+	var out []sam.AttemptRecord
+	for _, rec := range s.AttemptJournal() {
+		if rec.Action == "restart" && rec.PE == id {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// TestRestartRetriesUntilHostReturns: a restart that keeps failing
+// while the only host is down succeeds once the host comes back within
+// the retry budget — the transient-outage case retries exist for.
+func TestRestartRetriesUntilHostReturns(t *testing.T) {
+	retry := sam.RetryPolicy{MaxAttempts: 40, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	inst := newRetryInstance(t, retry, nil, "h1")
+	ops.ResetCollector("rr1")
+	app := pipelineApp(t, "RetryHost", "rr1", 0)
+	jobID, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := inst.SAM.Job(jobID)
+	target := info.PEs[0].ID
+	if err := inst.Cluster.KillHost("h1"); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "PE crashed", func() bool {
+		info, _ := inst.SAM.Job(jobID)
+		return info.PEs[0].State == "crashed"
+	})
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		_ = inst.Cluster.ReviveHost("h1")
+	}()
+	if err := inst.SAM.RestartPE(target); err != nil {
+		t.Fatalf("restart did not outlast the outage: %v", err)
+	}
+	recs := restartJournal(inst.SAM, target)
+	if len(recs) < 2 {
+		t.Fatalf("expected retries in the journal, got %+v", recs)
+	}
+	for i, rec := range recs {
+		last := i == len(recs)-1
+		if last != (rec.Err == "") {
+			t.Fatalf("journal attempt %d: err %q", i, rec.Err)
+		}
+		if !last && rec.Backoff <= 0 {
+			t.Fatalf("journal attempt %d has no backoff: %+v", i, rec)
+		}
+	}
+	info, _ = inst.SAM.Job(jobID)
+	if info.PEs[0].State != "running" || info.PEs[0].Unplaceable {
+		t.Fatalf("PE after retried restart: %+v", info.PEs[0])
+	}
+}
+
+// TestRestartExhaustionMarksUnplaceable: exhausting the retry budget
+// marks the PE unplaceable, escalates exactly one degradation
+// notification to the owner, throttles further restarts to single
+// attempts, and a later success clears everything.
+func TestRestartExhaustionMarksUnplaceable(t *testing.T) {
+	retry := sam.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond}
+	inst := newRetryInstance(t, retry, nil, "h1")
+	var mu sync.Mutex
+	var abandoned []sam.PEFailure
+	inst.SAM.AddListener("orc", sam.Listener{PEFailed: func(f sam.PEFailure) {
+		if strings.HasPrefix(f.Reason, "restart abandoned") {
+			mu.Lock()
+			abandoned = append(abandoned, f)
+			mu.Unlock()
+		}
+	}})
+	ops.ResetCollector("rr2")
+	app := pipelineApp(t, "RetryExhaust", "rr2", 0)
+	jobID, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{Owner: "orc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := inst.SAM.Job(jobID)
+	target := info.PEs[0].ID
+	if err := inst.Cluster.KillHost("h1"); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "PE crashed", func() bool {
+		info, _ := inst.SAM.Job(jobID)
+		return info.PEs[0].State == "crashed"
+	})
+
+	if err := inst.SAM.RestartPE(target); err == nil {
+		t.Fatal("restart with no live host succeeded")
+	}
+	info, _ = inst.SAM.Job(jobID)
+	if !info.PEs[0].Unplaceable {
+		t.Fatalf("PE not marked unplaceable: %+v", info.PEs[0])
+	}
+	mu.Lock()
+	if len(abandoned) != 1 || !strings.Contains(abandoned[0].Reason, "after 2 attempts") {
+		t.Fatalf("degradation notifications = %+v", abandoned)
+	}
+	mu.Unlock()
+	if got := len(restartJournal(inst.SAM, target)); got != 2 {
+		t.Fatalf("journalled attempts = %d, want 2", got)
+	}
+
+	// Unplaceable: the next restart gets one attempt, no second escalation.
+	if err := inst.SAM.RestartPE(target); err == nil {
+		t.Fatal("restart with no live host succeeded")
+	}
+	if got := len(restartJournal(inst.SAM, target)); got != 3 {
+		t.Fatalf("journalled attempts = %d, want 3 (single attempt while unplaceable)", got)
+	}
+	mu.Lock()
+	if len(abandoned) != 1 {
+		t.Fatalf("repeated escalation: %+v", abandoned)
+	}
+	mu.Unlock()
+
+	// Recovery: success clears the mark and records cumulative attempts.
+	if err := inst.Cluster.ReviveHost("h1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.SAM.RestartPE(target); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = inst.SAM.Job(jobID)
+	if info.PEs[0].State != "running" || info.PEs[0].Unplaceable {
+		t.Fatalf("PE after recovery: %+v", info.PEs[0])
+	}
+	c, ok := inst.Cluster.PEContainer(target)
+	if !ok {
+		t.Fatal("no container after restart")
+	}
+	if got := c.PEMetrics().Counter(metrics.PERestartAttempts).Value(); got != 4 {
+		t.Fatalf("nRestartAttempts = %d, want 4", got)
+	}
+}
+
+// TestCheckpointRetriesInjectedStoreFaults: transient store failures
+// are retried under the policy; the default zero policy stays
+// single-attempt.
+func TestCheckpointRetriesInjectedStoreFaults(t *testing.T) {
+	store := ckpt.NewFaultStore(ckpt.NewMemStore(), nil)
+	retry := sam.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond}
+	inst := newRetryInstance(t, retry, store, "h1")
+	ops.ResetCollector("rr3")
+	app := pipelineApp(t, "RetryCkpt", "rr3", 0)
+	jobID, err := inst.SAM.SubmitJob(app, sam.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := inst.SAM.Job(jobID)
+	target := info.PEs[0].ID
+	store.FailSaves(2)
+	if err := inst.SAM.CheckpointPE(target); err != nil {
+		t.Fatalf("checkpoint did not outlast two injected failures: %v", err)
+	}
+	var recs []sam.AttemptRecord
+	for _, rec := range inst.SAM.AttemptJournal() {
+		if rec.Action == "checkpoint" && rec.PE == target {
+			recs = append(recs, rec)
+		}
+	}
+	if len(recs) != 3 || recs[0].Err == "" || recs[1].Err == "" || recs[2].Err != "" {
+		t.Fatalf("checkpoint journal = %+v", recs)
+	}
+	// Permanent failures are not retried even with budget left.
+	if err := inst.SAM.CheckpointPE(ids.PEID(9999)); err == nil {
+		t.Fatal("checkpoint of unknown PE succeeded")
+	}
+	n := 0
+	for _, rec := range inst.SAM.AttemptJournal() {
+		if rec.Action == "checkpoint" && rec.PE == ids.PEID(9999) {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("unknown-PE checkpoint journalled %d attempts, want 1", n)
+	}
+}

@@ -49,9 +49,10 @@
 // enough to disambiguate the application's logical and physical views
 // (query further with act.Graph, act.OperatorsInPE, act.PEOfOperator...).
 //
-// The legacy form — embedding orca.Base and overriding HandleOrcaStart
-// et al., started with NewService — remains supported for one release of
-// overlap and will then be removed.
+// Routines that acquire resources release them through teardown hooks:
+// implement the optional Closer interface or register a function with
+// SetupContext.OnStop, and Service.Stop runs the hooks — actuation
+// surface still live — before event delivery shuts down.
 package orca
 
 import (
@@ -74,6 +75,11 @@ type (
 	// Subscription pairs one event scope with its typed handler; build
 	// with the On* constructors.
 	Subscription = core.Subscription
+	// Closer is the optional Routine teardown extension: Close runs
+	// during Service.Stop, before event delivery shuts down, with the
+	// actuation surface still live. SetupContext.OnStop is the
+	// function-style equivalent.
+	Closer = core.Closer
 	// Actions is the actuation and inspection surface routine handlers
 	// receive; it embeds *Service.
 	Actions = core.Actions
@@ -158,22 +164,6 @@ func Debounce[C any](n int, holds func(*C) bool, inner Handler[C]) Handler[C] {
 func OncePerEpoch[C any](epoch func(*C) uint64, inner Handler[C]) Handler[C] {
 	return core.OncePerEpoch(epoch, inner)
 }
-
-// Legacy orchestrator surface, superseded by the Routine API.
-type (
-	// Orchestrator is the legacy wide ORCA-logic interface.
-	//
-	// Deprecated: implement Routine and use NewRoutineService; the
-	// typed subscriptions pair scopes with handlers and Setup errors
-	// surface out of Start. Orchestrator remains supported for one
-	// release of overlap.
-	Orchestrator = core.Orchestrator
-	// Base provides no-op defaults for every legacy handler.
-	//
-	// Deprecated: routines subscribe only to the events they handle, so
-	// no default stubs are needed; see Routine.
-	Base = core.Base
-)
 
 // Event kinds and contexts.
 type (
@@ -263,15 +253,6 @@ type (
 // ErrUnmanagedJob is returned by actuations addressed to jobs this
 // orchestrator did not start.
 var ErrUnmanagedJob = core.ErrUnmanagedJob
-
-// NewService builds an ORCA service around legacy Orchestrator logic.
-//
-// Deprecated: use NewRoutineService with Routine implementations; this
-// adapter remains for one release of overlap so existing logics migrate
-// incrementally.
-func NewService(cfg Config, logic Orchestrator) (*Service, error) {
-	return core.NewService(cfg, logic)
-}
 
 // Scope constructors.
 var (

@@ -1,5 +1,3 @@
-//lint:file-ignore SA1019 this file deliberately exercises the deprecated legacy Orchestrator adapter until its removal (see the deprecation note in package orca)
-
 package orca_test
 
 import (
@@ -11,10 +9,10 @@ import (
 	"streamorca/streams"
 )
 
-// publicPolicy exercises the full public orchestration surface: scopes,
-// timers, user events, actuation, inspection, and the dependency manager.
+// publicPolicy exercises the full public orchestration surface: typed
+// subscriptions, timers, user events, actuation, inspection, and the
+// dependency manager.
 type publicPolicy struct {
-	orca.Base
 	mu       sync.Mutex
 	started  bool
 	timers   int
@@ -22,38 +20,40 @@ type publicPolicy struct {
 	failures []orca.PEFailureContext
 }
 
-func (p *publicPolicy) HandleOrcaStart(svc *orca.Service, ctx *orca.OrcaStartContext) {
-	p.mu.Lock()
-	p.started = true
-	p.mu.Unlock()
-	must(svc.RegisterEventScope(orca.NewTimerScope("t")))
-	must(svc.RegisterEventScope(orca.NewUserEventScope("u")))
-	must(svc.RegisterEventScope(orca.NewPEFailureScope("f").AddApplicationFilter("papp")))
+func (p *publicPolicy) Name() string { return "publicPolicy" }
+
+func (p *publicPolicy) Setup(sc *orca.SetupContext) error {
+	return sc.Subscribe(
+		orca.OnStart(func(ctx *orca.OrcaStartContext, act *orca.Actions) error {
+			p.mu.Lock()
+			p.started = true
+			p.mu.Unlock()
+			return nil
+		}),
+		orca.OnTimer(orca.NewTimerScope("t"), func(ctx *orca.TimerContext, act *orca.Actions) error {
+			p.mu.Lock()
+			p.timers++
+			p.mu.Unlock()
+			return nil
+		}),
+		orca.OnUserEvent(orca.NewUserEventScope("u"), func(ctx *orca.UserEventContext, act *orca.Actions) error {
+			p.mu.Lock()
+			p.users = append(p.users, ctx.Name)
+			p.mu.Unlock()
+			return nil
+		}),
+		orca.OnPEFailure(orca.NewPEFailureScope("f").AddApplicationFilter("papp"),
+			func(ctx *orca.PEFailureContext, act *orca.Actions) error {
+				p.mu.Lock()
+				p.failures = append(p.failures, *ctx)
+				p.mu.Unlock()
+				return act.RestartPE(ctx.PE)
+			}),
+	)
 }
 
-func (p *publicPolicy) HandleTimer(svc *orca.Service, ctx *orca.TimerContext, scopes []string) {
-	p.mu.Lock()
-	p.timers++
-	p.mu.Unlock()
-}
-
-func (p *publicPolicy) HandleUserEvent(svc *orca.Service, ctx *orca.UserEventContext, scopes []string) {
-	p.mu.Lock()
-	p.users = append(p.users, ctx.Name)
-	p.mu.Unlock()
-}
-
-func (p *publicPolicy) HandlePEFailure(svc *orca.Service, ctx *orca.PEFailureContext, scopes []string) {
-	p.mu.Lock()
-	p.failures = append(p.failures, *ctx)
-	p.mu.Unlock()
-	_ = svc.RestartPE(ctx.PE)
-}
-
-func must(err error) {
-	if err != nil {
-		panic(err)
-	}
+func noopRoutine() orca.Routine {
+	return orca.NewRoutine("noop", func(*orca.SetupContext) error { return nil })
 }
 
 func waitFor(t *testing.T, what string, cond func() bool) {
@@ -89,7 +89,7 @@ func TestPublicOrchestrationSurface(t *testing.T) {
 	}
 
 	policy := &publicPolicy{}
-	svc, err := orca.NewService(orca.Config{
+	svc, err := orca.NewRoutineService(orca.Config{
 		Name: "publicOrca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
 	}, policy)
 	if err != nil {
@@ -128,7 +128,7 @@ func TestPublicOrchestrationSurface(t *testing.T) {
 		t.Fatalf("OperatorsInPE = %+v", ops)
 	}
 
-	// Failure handling + actuation through the facade.
+	// Failure handling + actuation through the routine's handler.
 	if err := svc.KillPE(pe, "public test"); err != nil {
 		t.Fatal(err)
 	}
@@ -169,6 +169,61 @@ func TestPublicOrchestrationSurface(t *testing.T) {
 	}
 }
 
+// TestPublicCloserRunsOnStop: the teardown surface works through the
+// facade — a Closer routine cancels its job during Stop, while the
+// actuation surface is still live.
+func TestPublicCloserRunsOnStop(t *testing.T) {
+	inst, err := streams.NewInstance(streams.InstanceOptions{
+		Hosts:           []streams.HostSpec{{Name: "h1"}},
+		MetricsInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	schema := streams.MustSchema(streams.Attribute{Name: "seq", Type: streams.Int})
+	b := streams.NewApp("closeapp")
+	src := b.AddOperator("src", "Beacon").Out(schema).Param("count", "0").Param("period", "1ms")
+	sink := b.AddOperator("sink", "CountSink").In(schema)
+	b.Connect(src, 0, sink, 0)
+	app, err := b.Build(streams.BuildOptions{Fusion: streams.FuseAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	submitAndTearDown := orca.NewRoutine("submitAndTearDown", func(sc *orca.SetupContext) error {
+		if _, err := sc.Actions().SubmitApplication("closeapp", nil); err != nil {
+			return err
+		}
+		sc.OnStop(func(act *orca.Actions) {
+			for _, j := range act.ManagedJobs() {
+				_ = act.CancelJob(j.Job)
+			}
+		})
+		return nil
+	})
+	svc, err := orca.NewRoutineService(orca.Config{
+		Name: "closerOrca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
+	}, submitAndTearDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.RegisterApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.SAM.Jobs()) != 1 {
+		t.Fatalf("jobs after start = %+v", inst.SAM.Jobs())
+	}
+	svc.Stop()
+	if left := inst.SAM.Jobs(); len(left) != 0 {
+		t.Fatalf("stop hook did not cancel the job: %+v", left)
+	}
+}
+
 func TestPublicDependencyManager(t *testing.T) {
 	inst, err := streams.NewInstance(streams.InstanceOptions{
 		Hosts:           []streams.HostSpec{{Name: "h1"}},
@@ -178,9 +233,9 @@ func TestPublicDependencyManager(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer inst.Close()
-	svc, err := orca.NewService(orca.Config{
+	svc, err := orca.NewRoutineService(orca.Config{
 		Name: "depOrca", SAM: inst.SAM, SRM: inst.SRM, PullInterval: time.Hour,
-	}, &orca.Base{})
+	}, noopRoutine())
 	if err != nil {
 		t.Fatal(err)
 	}

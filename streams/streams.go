@@ -230,6 +230,29 @@ func NewFSCheckpointStore(dir string) (CheckpointStore, error) {
 	return fs, nil
 }
 
+// FaultCheckpointStore decorates any CheckpointStore with deterministic
+// fault injection — failed, dropped, and torn saves plus per-operation
+// latency — for chaos testing against hostile storage.
+type FaultCheckpointStore = ckpt.FaultStore
+
+// NewFaultCheckpointStore wraps inner with fault injection. The clock
+// paces injected latency; nil means the wall clock. With no faults
+// armed the wrapper is fully transparent, so it can stay in place for
+// production-shaped runs.
+func NewFaultCheckpointStore(inner CheckpointStore, clock Clock) *FaultCheckpointStore {
+	return ckpt.NewFaultStore(inner, clock)
+}
+
+// RetryPolicy bounds and paces the platform's restart and checkpoint
+// actuations (InstanceOptions.Retry): bounded attempts with seeded
+// exponential-backoff jitter. The zero value keeps the single-attempt
+// behaviour deterministic virtual-clock tests rely on.
+type RetryPolicy = sam.RetryPolicy
+
+// DefaultRetryPolicy is the production-shaped retry policy: three
+// attempts with 5ms-based exponential backoff capped at 250ms.
+func DefaultRetryPolicy() RetryPolicy { return sam.DefaultRetryPolicy() }
+
 // Platform runtime.
 type (
 	// Instance is a running platform (SAM, SRM, simulated cluster).
