@@ -10,11 +10,12 @@
 //	go run ./cmd/orcarun -scenario recovery
 //	go run ./cmd/orcarun -scenario staleness-failover
 //	go run ./cmd/orcarun -scenario chaos -seed 42
+//	go run ./cmd/orcarun -scenario loadtest -seed 42 -rate 2000 -duration 2s
+//	go run ./cmd/orcarun -scenario chaos-load -seed 42
 //	go run ./cmd/orcarun -list-scenarios
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,14 +23,15 @@ import (
 	"time"
 
 	"streamorca/internal/exp"
+	"streamorca/internal/load"
 )
 
 // scenarios lists the runnable scenarios in -scenario order; CI's
 // example-drift smoke greps this listing.
-var scenarios = []string{"sentiment", "failover", "composition", "recovery", "staleness-failover", "chaos"}
+var scenarios = []string{"sentiment", "failover", "composition", "recovery", "staleness-failover", "chaos", "loadtest", "chaos-load"}
 
 func main() {
-	scenario := flag.String("scenario", "sentiment", "sentiment | failover | composition | recovery | staleness-failover | chaos")
+	scenario := flag.String("scenario", "sentiment", "sentiment | failover | composition | recovery | staleness-failover | chaos | loadtest | chaos-load")
 	list := flag.Bool("list-scenarios", false, "list available scenarios and exit")
 	shift := flag.Int64("shift", 4000, "sentiment: tweet index of the cause-distribution shift")
 	threshold := flag.Float64("ratio", 1.0, "sentiment: actuation ratio threshold")
@@ -37,10 +39,16 @@ func main() {
 	tick := flag.Duration("tick", time.Millisecond, "failover: tick period")
 	c3thresh := flag.Int64("threshold", 1500, "composition: new-profile threshold for C3 spawn")
 	warm := flag.Int64("warm", 100, "recovery: window fill to reach before the checkpoint")
-	storeDir := flag.String("store", "", "recovery, staleness-failover, chaos: checkpoint store directory (default: a temp dir; chaos: memory)")
+	storeDir := flag.String("store", "", "recovery, staleness-failover, chaos, loadtest, chaos-load: checkpoint store directory (default: a temp dir; chaos, loadtest: memory)")
 	maxAge := flag.Duration("max-snapshot-age", 100*time.Millisecond, "staleness-failover: staleness gate bound")
-	seed := flag.Int64("seed", 42, "chaos: fault schedule and retry jitter seed")
-	benchOut := flag.String("bench-out", "", "chaos: write the recovery-gap record to this JSON file")
+	seed := flag.Int64("seed", 42, "chaos, loadtest, chaos-load: fault schedule, workload, and retry jitter seed")
+	benchOut := flag.String("bench-out", "", "chaos, loadtest, chaos-load: write the run's bench record to this JSON file")
+	rate := flag.Float64("rate", 0, "offered rate in tuples/sec: loadtest, chaos-load open-loop rate; chaos source rate (0 = scenario default)")
+	duration := flag.Duration("duration", 0, "offered-load schedule length: loadtest, chaos-load duration; chaos injection window (0 = scenario default)")
+	users := flag.Int("users", 0, "loadtest, chaos-load: closed-loop mode with this many concurrent users (0 = open loop)")
+	think := flag.Duration("think", 10*time.Millisecond, "loadtest, chaos-load: closed-loop per-user think time")
+	keys := flag.Int("keys", 0, "loadtest, chaos-load: user key-space size (0 = scenario default)")
+	skew := flag.Float64("skew", -1, "loadtest, chaos-load: Zipf key-skew exponent (-1 = scenario default)")
 	maxDur := flag.Duration("max", 30*time.Second, "run time budget")
 	flag.Parse()
 
@@ -143,6 +151,12 @@ func main() {
 		cfg := exp.DefaultChaos(*seed)
 		cfg.MaxDuration = *maxDur
 		cfg.StoreDir = *storeDir
+		if *duration > 0 {
+			cfg.Window = *duration
+		}
+		if *rate > 0 {
+			cfg.TickPeriod = time.Duration(float64(time.Second) / *rate)
+		}
 		res, err := exp.RunChaos(cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -155,34 +169,65 @@ func main() {
 		fmt.Printf("output gaps: max %.1fms, p99 %.1fms; final count %d\n",
 			res.MaxGapMs, res.P99GapMs, res.FinalCount)
 		if *benchOut != "" {
-			record := struct {
-				Scenario          string  `json:"scenario"`
-				Seed              int64   `json:"seed"`
-				Fingerprint       string  `json:"fingerprint"`
-				FaultsApplied     int     `json:"faults_applied"`
-				FaultsSkipped     int     `json:"faults_skipped"`
-				RestartsAttempted int     `json:"restarts_attempted"`
-				RestartsSucceeded int     `json:"restarts_succeeded"`
-				Degradations      int     `json:"degradations"`
-				MaxGapMs          float64 `json:"max_gap_ms"`
-				P99GapMs          float64 `json:"p99_gap_ms"`
-				FinalCount        int     `json:"final_count"`
-			}{
-				Scenario: "chaos", Seed: *seed, Fingerprint: res.Fingerprint,
-				FaultsApplied: res.FaultsApplied, FaultsSkipped: res.FaultsSkipped,
-				RestartsAttempted: res.RestartsAttempted, RestartsSucceeded: res.RestartsSucceeded,
-				Degradations: res.Degradations,
-				MaxGapMs:     res.MaxGapMs, P99GapMs: res.P99GapMs, FinalCount: res.FinalCount,
-			}
-			data, err := json.MarshalIndent(record, "", "  ")
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			if err := load.WriteReport(*benchOut, res.BenchReport(*seed)); err != nil {
 				log.Fatal(err)
 			}
 		}
 		fmt.Println("chaos OK: zero PEs lost, pipeline recovered after the sweep")
+	case "loadtest", "chaos-load":
+		var cfg exp.LoadConfig
+		if *scenario == "chaos-load" {
+			cfg = exp.DefaultChaosLoad(*seed)
+		} else {
+			cfg = exp.DefaultLoad(*seed)
+		}
+		cfg.MaxDuration = *maxDur
+		cfg.StoreDir = *storeDir
+		if *rate > 0 {
+			cfg.Rate = *rate
+		}
+		if *duration > 0 {
+			cfg.Duration = *duration
+		}
+		if *users > 0 {
+			cfg.Users = *users
+			cfg.Think = *think
+			cfg.Rate = 0
+		}
+		if *keys > 0 {
+			cfg.Keys = *keys
+		}
+		if *skew >= 0 {
+			cfg.Skew = *skew
+		}
+		res, err := exp.RunLoadTest(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The determinism smoke diffs this line across same-seed runs:
+		// everything on it must be wall-clock-independent.
+		fmt.Printf("deterministic: seed=%d offered=%d hotKeyShare=%.4f fingerprint=%s\n",
+			cfg.Seed, res.Offered, res.HotKeyShare, res.Fingerprint)
+		fmt.Printf("offered %.0f tuples/sec for %v: %d offered, %d delivered, %d lost\n",
+			cfg.Rate, cfg.Duration, res.Offered, res.Delivered, res.Lost)
+		fmt.Printf("latency ms: p50 %.2f, p99 %.2f, p999 %.2f, max %.2f, mean %.2f\n",
+			res.P50Ms, res.P99Ms, res.P999Ms, res.MaxMs, res.MeanMs)
+		fmt.Printf("throughput tuples/sec: sustained %.0f; windows %d (min %.0f, max %.0f); PE gauges max in %d, out %d\n",
+			res.SustainedRate, res.Windows, res.MinWindowRate, res.MaxWindowRate,
+			res.MaxIngestRate, res.MaxEgressRate)
+		fmt.Printf("workers: w0=%d w1=%d w2=%d tuples\n",
+			res.WorkerTuples["w0"], res.WorkerTuples["w1"], res.WorkerTuples["w2"])
+		if *scenario == "chaos-load" {
+			fmt.Printf("schedule fingerprint: %s\n", res.Fingerprint)
+			fmt.Printf("faults applied %d, skipped %d; PEs lost forever %d\n",
+				res.FaultsApplied, res.FaultsSkipped, res.LostForever)
+		}
+		if *benchOut != "" {
+			if err := load.WriteReport(*benchOut, res.BenchReport(*scenario, cfg)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("%s OK: sustained the offered load with a full latency record\n", *scenario)
 	default:
 		log.Fatalf("unknown scenario %q", *scenario)
 	}

@@ -185,6 +185,49 @@
 // comes back and output resumes. Recovery-gap statistics land in
 // BENCH_pr6.json.
 //
+// # Load generation and latency measurement
+//
+// internal/load is the heavy-traffic regression harness. Two driver
+// models inject tuples into a running application through a
+// "LoadSource" operator (fed via a registered injector channel, so a
+// chaos-killed source PE reattaches mid-run):
+//
+//   - Open loop (load.RunOpenLoop): a constant offered rate,
+//     coordinated-omission-correct. Tuple i is stamped with its
+//     *intended* send instant start + i/rate before the (possibly
+//     blocking) push, so a stalled pipeline inflates the recorded tail
+//     even though fewer tuples were delivered during the stall. This
+//     is the driver the loadtest gate uses.
+//   - Closed loop (load.RunClosedLoop): N concurrent users with think
+//     time, stamped at the actual send. Offered rate is bounded by
+//     users/think and throttles under back-pressure — the classic
+//     model the open-loop driver exists to correct for.
+//
+// Keys come from workload.KeyGen, a Zipf sampler (any exponent s >= 0,
+// seeded, CDF-inverted) whose rank-0-hottest keys make hot partitions
+// emerge naturally under hash routing. A "LatencySink" operator reads
+// the injection timestamp attribute and records source-to-sink latency
+// into a load.Meter: a mergeable log-bucketed histogram (2^5 linear
+// sub-buckets per octave, <= ~3.1% relative quantile error,
+// allocation-free four-atomic-op Record) plus windowed throughput
+// bins. Per-PE ingest/egress tuples-per-second gauges
+// (streams.MetricIngestRate / MetricEgressRate) are derived from
+// counter deltas at each metric snapshot — the signal both the load
+// reports and future auto-fission routines read.
+//
+// The orcarun loadtest scenario (internal/exp.RunLoadTest) drives a
+// checkpointing three-host pipeline — LoadSource -> hash-split over
+// three Functor workers -> merge -> LatencySink, with an Aggregate
+// branch holding checkpointable window state — and writes
+// p50/p99/p999/max latency plus sustained and per-window throughput to
+// BENCH_pr7.json in the shared load.Report schema (one schema for
+// every BENCH_*.json: name, seed, deterministic meta, measured
+// metrics). The chaos-load scenario layers the PR-6 chaos schedule
+// over the same workload, so recovery gaps show up as measured p999
+// and min-window-throughput dips; for a fixed seed the schedule
+// fingerprint, offered count, and hot-key share are identical across
+// runs.
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for the
 // paper-vs-measured record. The root-level benchmarks (bench_test.go)

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"streamorca/internal/compiler"
 	"streamorca/internal/core"
 	"streamorca/internal/ids"
+	"streamorca/internal/load"
 	"streamorca/internal/ops"
 	"streamorca/internal/platform"
 	"streamorca/internal/sam"
@@ -104,6 +106,30 @@ type ChaosResult struct {
 	LostForever int
 	// FinalCount is the sink's tuple count at the end of the run.
 	FinalCount int
+}
+
+// BenchReport renders the chaos result in the shared BENCH_*.json
+// schema (load.Report): the schedule fingerprint and fault counts are
+// deterministic Meta for a fixed seed; gap statistics and the final
+// count are wall-clock-dependent Metrics.
+func (r *ChaosResult) BenchReport(seed int64) *load.Report {
+	return &load.Report{
+		Name: "chaos",
+		Seed: seed,
+		Meta: map[string]string{
+			"fingerprint":    r.Fingerprint,
+			"faults_applied": strconv.Itoa(r.FaultsApplied),
+			"faults_skipped": strconv.Itoa(r.FaultsSkipped),
+		},
+		Metrics: map[string]float64{
+			"restarts_attempted": float64(r.RestartsAttempted),
+			"restarts_succeeded": float64(r.RestartsSucceeded),
+			"degradations":       float64(r.Degradations),
+			"max_gap_ms":         r.MaxGapMs,
+			"p99_gap_ms":         r.P99GapMs,
+			"final_count":        float64(r.FinalCount),
+		},
+	}
 }
 
 // chaosPolicy restarts every failed PE, leaning on SAM's bounded-retry

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLoadtestOpenLoopSmoke runs a shrunk open-loop load test end to
+// end: offered == delivered (no loss without chaos), latency recorded
+// for every tuple, throughput windows populated, and the hash
+// partition visibly carrying the Zipf hot keys.
+func TestLoadtestOpenLoopSmoke(t *testing.T) {
+	cfg := DefaultLoad(11)
+	cfg.Rate = 400
+	cfg.Duration = 600 * time.Millisecond
+	cfg.Keys = 2000
+	if raceEnabled {
+		cfg.Rate = 200
+	}
+	res, err := RunLoadTest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 || res.Delivered != res.Offered {
+		t.Fatalf("delivered %d of %d offered", res.Delivered, res.Offered)
+	}
+	if res.Lost != 0 || res.Missed != 0 {
+		t.Fatalf("lost %d, missed %d without chaos", res.Lost, res.Missed)
+	}
+	if res.P50Ms <= 0 {
+		t.Fatalf("p50 = %vms, want > 0", res.P50Ms)
+	}
+	if res.P999Ms < res.P50Ms || res.MaxMs < res.P999Ms {
+		t.Fatalf("percentiles not ordered: p50=%v p999=%v max=%v", res.P50Ms, res.P999Ms, res.MaxMs)
+	}
+	if res.SustainedRate <= 0 {
+		t.Fatalf("sustained rate %v, want > 0", res.SustainedRate)
+	}
+	if res.Windows == 0 || res.MaxWindowRate <= 0 {
+		t.Fatalf("no throughput windows recorded: %d windows, max %v", res.Windows, res.MaxWindowRate)
+	}
+	var workerSum int64
+	for _, n := range res.WorkerTuples {
+		workerSum += n
+	}
+	if workerSum != res.Delivered {
+		t.Fatalf("workers processed %d, delivered %d — partitioned path leaks", workerSum, res.Delivered)
+	}
+	if res.HotKeyShare < 0.2 {
+		t.Fatalf("hot-key share %v implausibly low for skew %v", res.HotKeyShare, cfg.Skew)
+	}
+	if res.Fingerprint != "" {
+		t.Fatalf("pure load run has a chaos fingerprint %q", res.Fingerprint)
+	}
+}
+
+// TestLoadtestClosedLoopSmoke drives the same pipeline with the
+// closed-loop (users + think time) driver.
+func TestLoadtestClosedLoopSmoke(t *testing.T) {
+	cfg := DefaultLoad(13)
+	cfg.Rate = 0
+	cfg.Users = 8
+	cfg.Think = 10 * time.Millisecond
+	cfg.Duration = 500 * time.Millisecond
+	cfg.Keys = 1000
+	res, err := RunLoadTest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 || res.Delivered != res.Offered {
+		t.Fatalf("delivered %d of %d offered", res.Delivered, res.Offered)
+	}
+	bound := int64(cfg.Users) * (int64(cfg.Duration/cfg.Think) + 2)
+	if res.Offered > bound {
+		t.Fatalf("offered %d exceeds closed-loop bound %d", res.Offered, bound)
+	}
+}
+
+// TestChaosLoadSmoke layers a seeded fault schedule over the load run:
+// the schedule must apply, the sweep must recover every PE, and the
+// meter must keep a continuous record across the kills.
+func TestChaosLoadSmoke(t *testing.T) {
+	cfg := DefaultChaosLoad(5)
+	cfg.Rate = 300
+	cfg.Duration = 1200 * time.Millisecond
+	cfg.Keys = 2000
+	cfg.ChaosFaults = 8
+	cfg.ChaosWindow = 400 * time.Millisecond
+	if raceEnabled {
+		cfg.Rate = 150
+	}
+	res, err := RunLoadTest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint == "" {
+		t.Fatal("chaos-load run reported no schedule fingerprint")
+	}
+	if res.FaultsApplied == 0 {
+		t.Fatal("no faults applied")
+	}
+	if res.LostForever != 0 {
+		t.Fatalf("%d PEs lost forever", res.LostForever)
+	}
+	if res.Delivered == 0 || res.P50Ms <= 0 {
+		t.Fatalf("no latency record across chaos: delivered %d, p50 %v", res.Delivered, res.P50Ms)
+	}
+	if res.Lost < 0 {
+		t.Fatalf("negative loss %d: meter double-counted", res.Lost)
+	}
+}
+
+// TestChaosLoadDeterministicSchedule pins the regression-gate contract:
+// two same-seed runs inject the identical schedule (fingerprints and
+// offered counts match), even though wall-clock metrics differ.
+func TestChaosLoadDeterministicSchedule(t *testing.T) {
+	run := func() *LoadResult {
+		cfg := DefaultChaosLoad(42)
+		cfg.Rate = 250
+		cfg.Duration = 800 * time.Millisecond
+		cfg.Keys = 1000
+		cfg.ChaosFaults = 6
+		cfg.ChaosWindow = 300 * time.Millisecond
+		res, err := RunLoadTest(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprints diverge for one seed: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+	if a.Offered != b.Offered {
+		t.Fatalf("offered counts diverge for one seed: %d vs %d", a.Offered, b.Offered)
+	}
+	if a.HotKeyShare != b.HotKeyShare {
+		t.Fatalf("hot-key shares diverge: %v vs %v", a.HotKeyShare, b.HotKeyShare)
+	}
+}
+
+// TestLoadResultBenchReport pins the shared report schema.
+func TestLoadResultBenchReport(t *testing.T) {
+	res := &LoadResult{
+		Offered: 100, Delivered: 98, Lost: 2,
+		P50Ms: 1.5, P999Ms: 9.9, SustainedRate: 490,
+		Fingerprint:   "abc",
+		FaultsApplied: 3,
+		WorkerTuples:  map[string]int64{"w0": 50, "w1": 30, "w2": 18},
+	}
+	cfg := DefaultChaosLoad(7)
+	rep := res.BenchReport("chaos-load", cfg)
+	if rep.Name != "chaos-load" || rep.Seed != 7 {
+		t.Fatalf("report identity wrong: %+v", rep)
+	}
+	if rep.Meta["fingerprint"] != "abc" || rep.Meta["offered"] != "100" {
+		t.Fatalf("deterministic meta wrong: %+v", rep.Meta)
+	}
+	if rep.Metrics["p50_ms"] != 1.5 || rep.Metrics["delivered"] != 98 || rep.Metrics["tuples_w1"] != 30 {
+		t.Fatalf("metrics wrong: %+v", rep.Metrics)
+	}
+}

@@ -1,0 +1,137 @@
+package load
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketAccuracy pins the histogram's documented error bound: a
+// bucket's representative midpoint is within 1/2^subBits of any value
+// the bucket covers.
+func TestBucketAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		v := rng.Int63n(int64(10 * time.Minute))
+		mid := bucketMid(bucketIndex(v))
+		diff := mid - v
+		if diff < 0 {
+			diff = -diff
+		}
+		if bound := v >> subBits; v >= 1<<(subBits+1) && diff > bound {
+			t.Fatalf("value %d: bucket mid %d off by %d (> %d)", v, mid, diff, bound)
+		}
+		if v < 1<<(subBits+1) && mid != v {
+			t.Fatalf("small value %d not exact: got %d", v, mid)
+		}
+	}
+}
+
+func TestBucketIndexMonotoneAndBounded(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1 << 40, 1<<62 + 5, 1<<63 - 1} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", v, idx, numBuckets)
+		}
+		prev = idx
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000 microseconds, uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("count = %d, want 1000", got)
+	}
+	check := func(q float64, want time.Duration) {
+		t.Helper()
+		got := h.Quantile(q)
+		lo := want - want/16
+		hi := want + want/16
+		if got < lo || got > hi {
+			t.Fatalf("q%.3f = %v, want within [%v, %v]", q, got, lo, hi)
+		}
+	}
+	check(0.50, 500*time.Microsecond)
+	check(0.99, 990*time.Microsecond)
+	if got := h.Max(); got != 1000*time.Microsecond {
+		t.Fatalf("max = %v, want 1ms", got)
+	}
+	if got := h.Min(); got != 1*time.Microsecond {
+		t.Fatalf("min = %v, want 1µs", got)
+	}
+	if got, want := h.Mean(), 500500*time.Nanosecond; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestQuantileEmptyAndClamp(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	h.Record(70 * time.Nanosecond)
+	// A single observation: every quantile is the observation, and the
+	// bucket midpoint must clamp to the exact max.
+	if got := h.Quantile(0.999); got != 70*time.Nanosecond {
+		t.Fatalf("single-sample p999 = %v, want 70ns", got)
+	}
+}
+
+// TestMerge pins mergeability: recording two disjoint streams into two
+// histograms and merging must match recording everything into one.
+func TestMerge(t *testing.T) {
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Int63n(int64(time.Second)))
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		all.Record(d)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), all.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q%.3f: merged %v != direct %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	if a.Max() != all.Max() || a.Min() != all.Min() || a.Mean() != all.Mean() {
+		t.Fatalf("merged extrema/mean diverge: (%v,%v,%v) vs (%v,%v,%v)",
+			a.Min(), a.Max(), a.Mean(), all.Min(), all.Max(), all.Mean())
+	}
+}
+
+// TestRecordConcurrent exercises Record under the race detector.
+func TestRecordConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const per = 2000
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Int63n(int64(time.Millisecond))))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8*per {
+		t.Fatalf("count = %d, want %d", got, 8*per)
+	}
+}

@@ -1,0 +1,187 @@
+package load
+
+import (
+	"fmt"
+	"sync"
+
+	"streamorca/internal/opapi"
+	"streamorca/internal/tuple"
+)
+
+// Operator kinds registered by this package.
+const (
+	// KindLoadSource is a source fed externally through an Injector:
+	// the driver pushes tuples, the operator submits them downstream.
+	KindLoadSource = "LoadSource"
+	// KindLatencySink reads a timestamp attribute off every tuple and
+	// records now-ts into the meter named by its meterId parameter.
+	KindLatencySink = "LatencySink"
+)
+
+// injectorCap bounds the hand-off channel between a driver and its
+// LoadSource. Small enough that a stalled pipeline back-pressures the
+// driver quickly (the open-loop driver keeps charging latency against
+// intended send times while blocked), large enough to ride out
+// scheduling jitter at high rates.
+const injectorCap = 256
+
+// Injector is the hand-off between an external driver and a LoadSource
+// operator, resolved from a process-global registry by the operator's
+// injectorId parameter — the same pattern as the sink collector
+// registry, and for the same reason: the channel must outlive PE
+// restarts so a chaos-killed source PE reattaches mid-run.
+//
+// Ownership: exactly one driver pushes and, after its last push
+// returns, closes. Closing delivers a final punctuation downstream.
+type Injector struct {
+	ch        chan tuple.Tuple
+	closeOnce sync.Once
+}
+
+// Push hands one tuple to the source, blocking while the pipeline's
+// back-pressure holds the channel full. It returns false if stop
+// closes first (the tuple is dropped); a nil stop blocks indefinitely.
+func (in *Injector) Push(t tuple.Tuple, stop <-chan struct{}) bool {
+	select {
+	case in.ch <- t:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// Close marks the end of the stream: the LoadSource drains what was
+// pushed, then returns and emits a final punctuation. Idempotent; must
+// only be called after every Push has returned.
+func (in *Injector) Close() { in.closeOnce.Do(func() { close(in.ch) }) }
+
+var (
+	injectorsMu sync.Mutex
+	injectors   = map[string]*Injector{}
+)
+
+// InjectorFor returns the process-global injector with the given id,
+// creating it on first use.
+func InjectorFor(id string) *Injector {
+	injectorsMu.Lock()
+	defer injectorsMu.Unlock()
+	in, ok := injectors[id]
+	if !ok {
+		in = &Injector{ch: make(chan tuple.Tuple, injectorCap)}
+		injectors[id] = in
+	}
+	return in
+}
+
+// loadSource forwards tuples from its injector to output port 0.
+//
+// Parameters:
+//
+//	injectorId string  registry id the driver pushes into (required)
+type loadSource struct {
+	opapi.Base
+	ctx opapi.Context
+	inj *Injector
+}
+
+func (s *loadSource) Open(ctx opapi.Context) error {
+	s.ctx = ctx
+	cfg := ctx.Params().Bind()
+	id := cfg.Str("injectorId", "")
+	if err := cfg.Err(); err != nil {
+		return fmt.Errorf("LoadSource %s: %w", ctx.Name(), err)
+	}
+	if id == "" {
+		return fmt.Errorf("LoadSource %s: injectorId is required", ctx.Name())
+	}
+	s.inj = InjectorFor(id)
+	return nil
+}
+
+func (s *loadSource) Run(stop <-chan struct{}) error {
+	for {
+		select {
+		case t, ok := <-s.inj.ch:
+			if !ok {
+				return nil // injector closed: final punctuation
+			}
+			if err := s.ctx.Submit(0, t); err != nil {
+				return err
+			}
+		case <-stop:
+			return nil
+		}
+	}
+}
+
+// latencySink records source-to-sink latency: each tuple carries the
+// instant it was (intended to be) injected in a Timestamp attribute;
+// the sink charges now-ts to the meter's histogram.
+//
+// Parameters:
+//
+//	meterId string  meter registry id (required)
+//	tsAttr  string  Timestamp attribute stamped at injection (default "ts")
+type latencySink struct {
+	opapi.Base
+	ctx   opapi.Context
+	meter *Meter
+	tsRef tuple.FieldRef
+}
+
+func (s *latencySink) Open(ctx opapi.Context) error {
+	s.ctx = ctx
+	cfg := ctx.Params().Bind()
+	id := cfg.Str("meterId", "")
+	tsAttr := cfg.Str("tsAttr", "ts")
+	if err := cfg.Err(); err != nil {
+		return fmt.Errorf("LatencySink %s: %w", ctx.Name(), err)
+	}
+	if id == "" {
+		return fmt.Errorf("LatencySink %s: meterId is required", ctx.Name())
+	}
+	ref, err := ctx.InputSchema(0).TypedRef(tsAttr, tuple.Timestamp)
+	if err != nil {
+		return fmt.Errorf("LatencySink %s: %w", ctx.Name(), err)
+	}
+	s.meter = MeterFor(id)
+	s.tsRef = ref
+	return nil
+}
+
+func (s *latencySink) Process(port int, t tuple.Tuple) error {
+	now := s.ctx.Clock().Now()
+	lat := now.Sub(s.tsRef.Time(t))
+	if lat < 0 {
+		lat = 0
+	}
+	s.meter.Record(now, lat)
+	return nil
+}
+
+func init() {
+	opapi.Default.RegisterOp(KindLoadSource,
+		func() opapi.Operator { return &loadSource{} },
+		&opapi.OpModel{
+			Doc:     "Source fed by an external load driver through a registered injector channel.",
+			Inputs:  opapi.PortSpec{},
+			Outputs: opapi.ExactlyPorts(1),
+			Params: []opapi.ParamSpec{
+				{Name: "injectorId", Type: opapi.ParamString, Required: true,
+					Doc: "injector registry id the driver pushes into"},
+			},
+		})
+	opapi.Default.RegisterOp(KindLatencySink,
+		func() opapi.Operator { return &latencySink{} },
+		&opapi.OpModel{
+			Doc:     "Sink recording source-to-sink latency from an injection-stamped Timestamp attribute.",
+			Inputs:  opapi.ExactlyPorts(1),
+			Outputs: opapi.PortSpec{},
+			Params: []opapi.ParamSpec{
+				{Name: "meterId", Type: opapi.ParamString, Required: true,
+					Doc: "meter registry id latencies are recorded into"},
+				{Name: "tsAttr", Type: opapi.ParamString, Default: "ts",
+					Doc: "Timestamp attribute stamped at injection"},
+			},
+		})
+}

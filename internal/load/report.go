@@ -1,0 +1,35 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Report is the one schema every BENCH_*.json record uses: a scenario
+// name, the seed that reproduces the run, string run metadata, and a
+// flat numeric metrics map. Meta holds the deterministic facts (config
+// echo, schedule fingerprint, offered counts); Metrics holds measured,
+// wall-clock-dependent numbers (latencies, throughput). Keeping the
+// split explicit lets determinism smokes diff Meta across same-seed
+// runs while tolerating Metrics jitter.
+type Report struct {
+	Name    string             `json:"name"`
+	Seed    int64              `json:"seed"`
+	Meta    map[string]string  `json:"meta,omitempty"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// WriteReport serialises the report to path as indented JSON with a
+// trailing newline. Map keys marshal sorted, so byte-identical inputs
+// produce byte-identical files.
+func WriteReport(path string, r *Report) error {
+	if r.Name == "" {
+		return fmt.Errorf("load: report needs a name")
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

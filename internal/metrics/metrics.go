@@ -55,6 +55,13 @@ const (
 	// health signal: the smaller the age, the less state a restart of
 	// this PE would lose.
 	PECheckpointAgeMs = "lastCheckpointAgeMs"
+	// PEIngestRate and PEEgressRate are gauges: the container's tuple
+	// ingest and egress rates in tuples/sec, computed from the deltas of
+	// nTuplesProcessed / nTuplesSubmitted between metric snapshots. Load
+	// drivers read them for sustained-throughput reporting, and they are
+	// the signal a future auto-fission routine widens hot regions on.
+	PEIngestRate = "ingestRatePerSec"
+	PEEgressRate = "egressRatePerSec"
 )
 
 // Counter is a 64-bit metric cell. Built-in counters are monotonic except

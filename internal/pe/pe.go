@@ -120,6 +120,14 @@ type PE struct {
 	ckptMu    sync.Mutex   // serialises snapshot assembly
 	ckptAt    atomic.Int64 // platform-clock unix nanos of the last state anchor; 0 = never
 
+	// Rate-gauge baseline: the counter values and platform-clock instant
+	// of the previous metric snapshot, from which the ingest/egress
+	// tuples-per-second gauges are derived.
+	rateMu     sync.Mutex
+	lastRateAt time.Time
+	lastIn     int64
+	lastOut    int64
+
 	kill     chan struct{} // closed on crash or stop
 	stopSrc  chan struct{} // closed to ask sources to finish
 	killOnce sync.Once
@@ -234,6 +242,9 @@ func New(cfg Config) (*PE, error) {
 	// The age gauge starts at "never snapshotted"; the checkpoint driver
 	// and the metric snapshotter keep it current from then on.
 	p.peMetrics.Counter(metrics.PECheckpointAgeMs).Set(-1)
+	p.peMetrics.Counter(metrics.PEIngestRate)
+	p.peMetrics.Counter(metrics.PEEgressRate)
+	p.lastRateAt = cfg.Clock.Now()
 	for _, spec := range cfg.Ops {
 		op, err := cfg.Registry.New(spec.Kind)
 		if err != nil {
@@ -542,11 +553,31 @@ func (p *PE) refreshCheckpointAge() {
 	p.peMetrics.Counter(metrics.PECheckpointAgeMs).Set(age)
 }
 
+// refreshRates recomputes the ingest/egress tuples-per-second gauges
+// from the tuple-counter deltas since the previous snapshot. Snapshots
+// closer together than 1ms keep the previous gauge values: the delta
+// is too small to divide meaningfully and would only add noise.
+func (p *PE) refreshRates(at time.Time) {
+	in := p.peMetrics.Counter(metrics.PETuplesProcessed).Value()
+	out := p.peMetrics.Counter(metrics.PETuplesSubmitted).Value()
+	p.rateMu.Lock()
+	defer p.rateMu.Unlock()
+	dt := at.Sub(p.lastRateAt)
+	if dt < time.Millisecond {
+		return
+	}
+	sec := dt.Seconds()
+	p.peMetrics.Counter(metrics.PEIngestRate).Set(int64(float64(in-p.lastIn)/sec + 0.5))
+	p.peMetrics.Counter(metrics.PEEgressRate).Set(int64(float64(out-p.lastOut)/sec + 0.5))
+	p.lastRateAt, p.lastIn, p.lastOut = at, in, out
+}
+
 // MetricsSnapshot renders every metric of the container as samples tagged
 // with full identity, ready for the host controller to push to SRM.
 func (p *PE) MetricsSnapshot() []metrics.Sample {
 	at := p.cfg.Clock.Now()
 	p.refreshCheckpointAge()
+	p.refreshRates(at)
 	var out []metrics.Sample
 	for name, v := range p.peMetrics.Snapshot() {
 		out = append(out, metrics.Sample{

@@ -10,7 +10,9 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 )
 
 // Tweet is one synthetic microblog post about a product.
@@ -200,4 +202,79 @@ func (g *ProfileGen) Next() Profile {
 		HasGen:   g.rng.Float64() < g.cfg.PGender,
 		HasLoc:   g.rng.Float64() < g.cfg.PLocation,
 	}
+}
+
+// KeyConfig parameterises a KeyGen.
+type KeyConfig struct {
+	Seed int64
+	// N is the key-space size (default 100000).
+	N int
+	// Skew is the Zipf exponent s: key rank r (1-based) is drawn with
+	// probability proportional to r^-s. 0 means uniform; social-media
+	// user activity sits around 1.0–1.2. Unlike math/rand's Zipf, any
+	// s >= 0 is valid. Negative values are treated as 0.
+	Skew float64
+	// Prefix names the keys: Prefix + zero-padded rank (default "user").
+	Prefix string
+}
+
+// KeyGen draws Zipf-skewed keys for load generation: rank 0 is the
+// hottest key, so hot partitions emerge naturally when the keys are
+// hash-routed. Sampling inverts the precomputed CDF with a binary
+// search, deterministic for a fixed seed.
+type KeyGen struct {
+	cfg KeyConfig
+	rng *rand.Rand
+	cdf []float64
+}
+
+// NewKeyGen builds a key generator; defaults apply for omitted fields.
+func NewKeyGen(cfg KeyConfig) *KeyGen {
+	if cfg.N <= 0 {
+		cfg.N = 100000
+	}
+	if cfg.Skew < 0 {
+		cfg.Skew = 0
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = "user"
+	}
+	cdf := make([]float64, cfg.N)
+	var total float64
+	for i := 0; i < cfg.N; i++ {
+		total += math.Pow(float64(i+1), -cfg.Skew)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	cdf[cfg.N-1] = 1 // guard against accumulated rounding
+	return &KeyGen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), cdf: cdf}
+}
+
+// NextIndex draws the next key's rank in [0, N); rank 0 is hottest.
+func (g *KeyGen) NextIndex() int {
+	return sort.SearchFloat64s(g.cdf, g.rng.Float64())
+}
+
+// Next draws the next key name.
+func (g *KeyGen) Next() string {
+	return fmt.Sprintf("%s%06d", g.cfg.Prefix, g.NextIndex())
+}
+
+// N returns the key-space size after defaulting.
+func (g *KeyGen) N() int { return g.cfg.N }
+
+// TopShare returns the expected traffic share of the ceil(frac*N)
+// hottest keys — the analytic mass tests and reports compare measured
+// concentration against.
+func (g *KeyGen) TopShare(frac float64) float64 {
+	if frac <= 0 {
+		return 0
+	}
+	k := int(math.Ceil(frac * float64(g.cfg.N)))
+	if k >= g.cfg.N {
+		return 1
+	}
+	return g.cdf[k-1]
 }

@@ -1,6 +1,9 @@
 package workload
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestTweetGenDeterministic(t *testing.T) {
 	a := NewTweetGen(TweetConfig{Seed: 7})
@@ -129,5 +132,111 @@ func TestProfileGenUsersOverlap(t *testing.T) {
 	}
 	if dups == 0 {
 		t.Fatal("no duplicate users: dedup path never exercised")
+	}
+}
+
+func TestKeyGenDeterministic(t *testing.T) {
+	a := NewKeyGen(KeyConfig{Seed: 7, N: 5000, Skew: 1.1})
+	b := NewKeyGen(KeyConfig{Seed: 7, N: 5000, Skew: 1.1})
+	for i := 0; i < 2000; i++ {
+		if ka, kb := a.Next(), b.Next(); ka != kb {
+			t.Fatalf("draw %d: %q != %q for one seed", i, ka, kb)
+		}
+	}
+}
+
+// TestKeyGenSkewMatchesExponent fits the measured rank-frequency curve:
+// for Zipf(s), log(count) against log(rank) is a line of slope -s. The
+// fit uses the hottest 30 ranks, where counts are large enough that
+// sampling noise stays inside the tolerance.
+func TestKeyGenSkewMatchesExponent(t *testing.T) {
+	const (
+		s     = 1.2
+		n     = 500
+		draws = 300000
+		ranks = 30
+	)
+	g := NewKeyGen(KeyConfig{Seed: 11, N: n, Skew: s})
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[g.NextIndex()]++
+	}
+	// Least-squares slope of log(count) on log(rank).
+	var sx, sy, sxx, sxy float64
+	for r := 0; r < ranks; r++ {
+		if counts[r] == 0 {
+			t.Fatalf("rank %d never drawn in %d draws", r, draws)
+		}
+		x := math.Log(float64(r + 1))
+		y := math.Log(float64(counts[r]))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	slope := (float64(ranks)*sxy - sx*sy) / (float64(ranks)*sxx - sx*sx)
+	if math.Abs(slope+s) > 0.15 {
+		t.Fatalf("fitted exponent %.3f, want %.1f +/- 0.15", -slope, s)
+	}
+}
+
+// TestKeyGenHotKeyConcentration pins the top-1% traffic share against
+// the generator's own analytic expectation and against uniformity: the
+// hottest 1% of a skewed key space must carry far more than 1% of the
+// traffic, and the measured share must match TopShare.
+func TestKeyGenHotKeyConcentration(t *testing.T) {
+	const (
+		n     = 1000
+		draws = 200000
+	)
+	g := NewKeyGen(KeyConfig{Seed: 3, N: n, Skew: 1.1})
+	hot := int(math.Ceil(0.01 * n))
+	var inHot int
+	for i := 0; i < draws; i++ {
+		if g.NextIndex() < hot {
+			inHot++
+		}
+	}
+	measured := float64(inHot) / draws
+	want := g.TopShare(0.01)
+	if want < 0.25 {
+		t.Fatalf("expected mass %.3f implausibly low for s=1.1", want)
+	}
+	if math.Abs(measured-want) > 0.02 {
+		t.Fatalf("top-1%% share %.3f, want %.3f +/- 0.02", measured, want)
+	}
+	if measured < 10*0.01 {
+		t.Fatalf("top-1%% share %.3f not clearly above the uniform 1%%", measured)
+	}
+}
+
+// TestKeyGenUniformWhenUnskewed: s=0 degenerates to uniform draws, and
+// TopShare reports the uniform mass.
+func TestKeyGenUniformWhenUnskewed(t *testing.T) {
+	g := NewKeyGen(KeyConfig{Seed: 5, N: 200, Skew: 0})
+	if got := g.TopShare(0.1); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("uniform TopShare(0.1) = %.4f, want 0.1", got)
+	}
+	counts := make([]int, 200)
+	for i := 0; i < 100000; i++ {
+		counts[g.NextIndex()]++
+	}
+	for r, c := range counts {
+		if c < 300 || c > 700 {
+			t.Fatalf("rank %d drawn %d times; uniform expectation 500", r, c)
+		}
+	}
+}
+
+func TestKeyGenDefaults(t *testing.T) {
+	g := NewKeyGen(KeyConfig{Seed: 1})
+	if g.N() != 100000 {
+		t.Fatalf("default N = %d, want 100000", g.N())
+	}
+	if k := g.Next(); len(k) != len("user")+6 || k[:4] != "user" {
+		t.Fatalf("default key %q not user-prefixed and padded", k)
+	}
+	if got := g.TopShare(2); got != 1 {
+		t.Fatalf("TopShare(>1) = %v, want 1", got)
 	}
 }

@@ -48,6 +48,7 @@ import (
 	"streamorca/internal/ckpt"
 	"streamorca/internal/compiler"
 	"streamorca/internal/ids"
+	"streamorca/internal/load"
 	"streamorca/internal/metrics"
 	"streamorca/internal/opapi"
 	"streamorca/internal/ops"
@@ -55,6 +56,7 @@ import (
 	"streamorca/internal/sam"
 	"streamorca/internal/tuple"
 	"streamorca/internal/vclock"
+	"streamorca/internal/workload"
 )
 
 // Application model.
@@ -287,6 +289,63 @@ func NewManualClock(start time.Time) *ManualClock { return vclock.NewManual(star
 // operators.
 func Collector(id string) *ops.Collection { return ops.Collector(id) }
 
+// Load generation and latency measurement: external drivers push tuples
+// into a running application through a "LoadSource" operator (resolved
+// from the injector registry by its injectorId parameter) and a
+// "LatencySink" operator records source-to-sink latency from a
+// Timestamp attribute stamped at injection. See the root package doc's
+// "Load generation and latency measurement" section.
+type (
+	// LatencyHistogram is the mergeable log-bucketed latency histogram
+	// (~3% relative quantile error, allocation-free Record).
+	LatencyHistogram = load.Histogram
+	// LoadInjector hands driver tuples to a LoadSource operator.
+	LoadInjector = load.Injector
+	// LoadMeter accumulates a LatencySink's observations: histogram,
+	// delivered count, and windowed throughput.
+	LoadMeter = load.Meter
+	// OpenLoopConfig parameterises the constant-rate, coordinated-
+	// omission-correct driver (latency charged against intended send
+	// instants).
+	OpenLoopConfig = load.OpenLoopConfig
+	// ClosedLoopConfig parameterises the N-users-with-think-time driver.
+	ClosedLoopConfig = load.ClosedLoopConfig
+	// LoadStats summarises a driver run.
+	LoadStats = load.Stats
+	// BenchReport is the shared BENCH_*.json record schema.
+	BenchReport = load.Report
+	// KeyConfig and KeyGen draw Zipf-skewed keys for load generation.
+	KeyConfig = workload.KeyConfig
+	KeyGen    = workload.KeyGen
+)
+
+// NewLatencyHistogram returns an empty latency histogram.
+func NewLatencyHistogram() *LatencyHistogram { return load.NewHistogram() }
+
+// LoadInjectorFor returns the process-global injector with the given
+// id, shared with the LoadSource operator configured with the same
+// injectorId.
+func LoadInjectorFor(id string) *LoadInjector { return load.InjectorFor(id) }
+
+// LoadMeterFor returns the process-global meter with the given id,
+// shared with the LatencySink operator configured with the same
+// meterId.
+func LoadMeterFor(id string) *LoadMeter { return load.MeterFor(id) }
+
+// RunOpenLoop drives an injector at a constant offered rate,
+// coordinated-omission-correctly.
+func RunOpenLoop(cfg OpenLoopConfig) (LoadStats, error) { return load.RunOpenLoop(cfg) }
+
+// RunClosedLoop simulates N concurrent users with think time.
+func RunClosedLoop(cfg ClosedLoopConfig) (LoadStats, error) { return load.RunClosedLoop(cfg) }
+
+// NewKeyGen builds a Zipf-skewed key generator.
+func NewKeyGen(cfg KeyConfig) *KeyGen { return workload.NewKeyGen(cfg) }
+
+// WriteBenchReport serialises a bench record as deterministic indented
+// JSON — the one writer behind every BENCH_*.json file.
+func WriteBenchReport(path string, r *BenchReport) error { return load.WriteReport(path, r) }
+
 // Built-in metric names, re-exported for scope construction and metric
 // inspection.
 const (
@@ -304,4 +363,9 @@ const (
 	MetricStateRestores   = metrics.PEStateRestores
 	MetricCheckpointAgeMs = metrics.PECheckpointAgeMs
 	MetricCheckpointBytes = metrics.PECheckpointBytes
+	// Tuple-rate gauges (PE scope): ingest/egress tuples per second,
+	// derived from counter deltas between metric snapshots. Load
+	// drivers and elasticity routines rank PEs by these.
+	MetricIngestRate = metrics.PEIngestRate
+	MetricEgressRate = metrics.PEEgressRate
 )
