@@ -12,6 +12,7 @@
 //	go run ./cmd/orcarun -scenario chaos -seed 42
 //	go run ./cmd/orcarun -scenario loadtest -seed 42 -rate 2000 -duration 2s
 //	go run ./cmd/orcarun -scenario chaos-load -seed 42
+//	go run ./cmd/orcarun -scenario fission -seed 42
 //	go run ./cmd/orcarun -list-scenarios
 package main
 
@@ -28,10 +29,10 @@ import (
 
 // scenarios lists the runnable scenarios in -scenario order; CI's
 // example-drift smoke greps this listing.
-var scenarios = []string{"sentiment", "failover", "composition", "recovery", "staleness-failover", "chaos", "loadtest", "chaos-load"}
+var scenarios = []string{"sentiment", "failover", "composition", "recovery", "staleness-failover", "chaos", "loadtest", "chaos-load", "fission"}
 
 func main() {
-	scenario := flag.String("scenario", "sentiment", "sentiment | failover | composition | recovery | staleness-failover | chaos | loadtest | chaos-load")
+	scenario := flag.String("scenario", "sentiment", "sentiment | failover | composition | recovery | staleness-failover | chaos | loadtest | chaos-load | fission")
 	list := flag.Bool("list-scenarios", false, "list available scenarios and exit")
 	shift := flag.Int64("shift", 4000, "sentiment: tweet index of the cause-distribution shift")
 	threshold := flag.Float64("ratio", 1.0, "sentiment: actuation ratio threshold")
@@ -228,6 +229,42 @@ func main() {
 			}
 		}
 		fmt.Printf("%s OK: sustained the offered load with a full latency record\n", *scenario)
+	case "fission":
+		cfg := exp.DefaultFission(*seed)
+		cfg.MaxDuration = *maxDur
+		if *keys > 0 {
+			cfg.Keys = *keys
+		}
+		if *skew >= 0 {
+			cfg.Skew = *skew
+		}
+		if *duration > 0 {
+			cfg.AdaptDuration = *duration
+		}
+		res, err := exp.RunFission(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The determinism smoke diffs this line across same-seed runs:
+		// everything on it must be wall-clock-independent.
+		fmt.Printf("deterministic: seed=%d keys=%d skew=%.2f hotKeyShare=%.4f region=work maxWidth=%d workDelay=%s\n",
+			cfg.Seed, cfg.Keys, cfg.Skew, res.HotKeyShare, cfg.MaxWidth, cfg.WorkDelay)
+		fmt.Printf("capacity: width 1 sustained %.0f tps, width %d sustained %.0f tps, speedup %.2fx\n",
+			res.W1Sustained, cfg.MaxWidth, res.WideSustained, res.Speedup)
+		fmt.Printf("adaptive: routine widened %d time(s) to width %d (ingress threshold %d tps, offered %.0f tps)\n",
+			res.Widenings, res.FinalWidth, res.WidenAboveRate, res.AdaptRate)
+		for _, c := range res.Log {
+			fmt.Printf("  width %d -> %d at ingress %d tps (queue depth %d)\n",
+				c.From, c.To, c.IngestPerSec, c.QueueDepth)
+		}
+		fmt.Printf("adaptive delivery: %d offered, %d delivered, %d lost in flight; latency p50 %.2fms p99 %.2fms\n",
+			res.Offered, res.Delivered, res.Lost, res.P50Ms, res.P99Ms)
+		if *benchOut != "" {
+			if err := load.WriteReport(*benchOut, res.BenchReport(cfg)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println("fission OK: the adaptation routine, not the dataplane, widened the region under load")
 	default:
 		log.Fatalf("unknown scenario %q", *scenario)
 	}

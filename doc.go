@@ -213,7 +213,7 @@
 // bins. Per-PE ingest/egress tuples-per-second gauges
 // (streams.MetricIngestRate / MetricEgressRate) are derived from
 // counter deltas at each metric snapshot — the signal both the load
-// reports and future auto-fission routines read.
+// reports and the elastic fission routine read.
 //
 // The orcarun loadtest scenario (internal/exp.RunLoadTest) drives a
 // checkpointing three-host pipeline — LoadSource -> hash-split over
@@ -228,8 +228,51 @@
 // fingerprint, offered count, and hot-key share are identical across
 // runs.
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and per-experiment index, and EXPERIMENTS.md for the
-// paper-vs-measured record. The root-level benchmarks (bench_test.go)
-// regenerate one measurement per experiment.
+// # Parallel regions and elastic fission
+//
+// Parallel regions are the platform's adaptation showcase: the worked
+// example of the paper's thesis that runtime adaptation is orchestrator
+// logic, not dataplane machinery. An operator with a declared partition
+// key (OpModel.PartitionKey names the parameter holding the key
+// attribute — Aggregate's groupBy, KeyedWorker's keyAttr) can be
+// declared data-parallel in the builder with .Parallel(width). The
+// compiler expands the declaration into a key-partitioned region: an
+// auto-inserted hash split (FNV-1a over the key attribute, the same
+// hash opapi.PartitionOf exposes), width replicated instances of the
+// operator each isolated in its own PE, and a merge fanning back into
+// one stream. Neighbours connect to the split and merge, so the
+// region's width is invisible to the rest of the graph.
+//
+// Width is a runtime property. SAM's ResizeRegion actuation recompiles
+// the job's ADL to the new width, quiesces the region, migrates the
+// replicas' per-key state through the checkpoint store — old snapshots
+// are folded together (MergeState) and re-cut along the new
+// partitioning (SplitState), so every group window lands on exactly the
+// replica the resized hash split will route its key to — and restarts
+// the region, rewiring every stream link that touched it. Migration is
+// best-effort in the platform's usual "a bad snapshot never blocks a
+// restart" spirit: any failure degrades to a region-wide cold start,
+// losing window state but never wedging the region.
+//
+// The decision to scale lives where the paper says it should: in an
+// adaptation routine (internal/policies.Fission), built from the same
+// subscription-and-guard vocabulary as every other routine. It watches
+// the region's offered load — the split PE's ingestRatePerSec gauge,
+// width-independent by construction — plus egress rates and operator
+// queue depths, and composes a Threshold (anchor the ingress
+// observation, fold the load picture), a Debounce (demand sustained
+// overload, not a one-pull spike), and a SuppressFor cooldown (let the
+// last resize warm up) around the ResizeRegion actuation, growing the
+// region one replica at a time up to a cap. The orcarun fission
+// scenario runs the whole loop live — probes the region's capacity at
+// width 1 and max width, then offers a Zipf-skewed load above the
+// width-1 ceiling and lets the routine, not the driver, widen the
+// region — and records both capacities, the actuation log, and the
+// delivered-latency histogram in BENCH_pr8.json.
+//
+// See ARCHITECTURE.md for the component map, the tuple/frame and
+// checkpoint/restore lifecycles, and the catalog of every orcarun
+// scenario with what it proves; ROADMAP.md for the open directions.
+// The root-level benchmarks (bench_test.go) regenerate one measurement
+// per experiment.
 package streamorca

@@ -26,6 +26,21 @@ type Application struct {
 	Imports    []Import            `json:"imports,omitempty"`
 	PEs        []PE                `json:"pes"`
 	HostPools  []HostPool          `json:"hostPools,omitempty"`
+	Regions    []Region            `json:"regions,omitempty"`
+}
+
+// Region records one key-partitioned parallel region the compiler
+// expanded: the replicated operators plus the hash split and merge
+// wrapped around them. SAM's ResizeRegion actuation reads this record
+// to know which operators (and hence PEs) a width change replaces, and
+// rewrites it to the new width.
+type Region struct {
+	Name     string   `json:"name"`     // the declared operator's name (replica name prefix)
+	Key      string   `json:"key"`      // tuple attribute the split hashes on
+	Width    int      `json:"width"`    // current replica count
+	Split    string   `json:"split"`    // auto-inserted hash-split operator
+	Merge    string   `json:"merge"`    // auto-inserted merge operator
+	Replicas []string `json:"replicas"` // replica operator names, port order
 }
 
 // CompositeInstance is one instantiation of a composite operator type in
@@ -262,6 +277,35 @@ func (a *Application) Validate() error {
 	for name := range ops {
 		if _, ok := seen[name]; !ok {
 			return fmt.Errorf("adl: operator %q is not assigned to any PE", name)
+		}
+	}
+
+	regions := make(map[string]bool, len(a.Regions))
+	for _, r := range a.Regions {
+		if r.Name == "" || r.Key == "" {
+			return fmt.Errorf("adl: region with empty name or key")
+		}
+		if regions[r.Name] {
+			return fmt.Errorf("adl: duplicate region %q", r.Name)
+		}
+		regions[r.Name] = true
+		if r.Width < 1 || r.Width != len(r.Replicas) {
+			return fmt.Errorf("adl: region %q width %d does not match %d replicas", r.Name, r.Width, len(r.Replicas))
+		}
+		for _, name := range append([]string{r.Split, r.Merge}, r.Replicas...) {
+			if _, ok := ops[name]; !ok {
+				return fmt.Errorf("adl: region %q references unknown operator %q", r.Name, name)
+			}
+		}
+	}
+	return nil
+}
+
+// Region returns the named parallel region, or nil.
+func (a *Application) Region(name string) *Region {
+	for i := range a.Regions {
+		if a.Regions[i].Name == name {
+			return &a.Regions[i]
 		}
 	}
 	return nil

@@ -1,10 +1,15 @@
 // Package compiler turns application builder programs into ADL artifacts,
 // playing the role of the SPL compiler in §2.1: it assembles the logical
 // graph (operators, composite instances, stream connections, exports and
-// imports) and partitions operators into PEs according to the developer's
-// partition constraints and the selected fusion strategy. Host placement
-// happens later, at submission time, inside SAM — matching the paper's
-// split between compile-time partitioning and runtime placement.
+// imports), expands declared parallel regions (OpHandle.Parallel) into
+// hash-split / replica / merge sub-graphs, and partitions operators into
+// PEs according to the developer's partition constraints and the
+// selected fusion strategy. A logical operator is therefore not always
+// one runtime instance: a parallel declaration compiles to width
+// replicated instances in separate PEs, bracketed by an auto-inserted
+// split and merge. Host placement happens later, at submission time,
+// inside SAM — matching the paper's split between compile-time
+// partitioning and runtime placement.
 package compiler
 
 import (
@@ -29,6 +34,7 @@ type AppBuilder struct {
 	pools     []adl.HostPool
 	poolNames map[string]bool
 	stack     []string // composite instance path
+	regions   []adl.Region
 	errs      []error
 }
 
@@ -54,6 +60,7 @@ type OpHandle struct {
 	isolate   bool   // own PE
 	pool      string // host pool for the PE this operator lands in
 	isolatePE bool   // demand exclusive host for its PE
+	parallel  int    // parallel-region width; 0 = not a region
 }
 
 // Name returns the operator's fully qualified instance name.
@@ -127,6 +134,23 @@ func (h *OpHandle) Pool(name string) *OpHandle {
 // with no other PE of the same application.
 func (h *OpHandle) IsolateHost() *OpHandle {
 	h.isolatePE = true
+	return h
+}
+
+// Parallel declares the operator as a key-partitioned parallel region of
+// the given initial width — the SPL "user-defined parallelism"
+// annotation. Build replaces the operator with width replicas wrapped in
+// an auto-inserted hash split and merge, each in its own PE, and records
+// the expansion in the ADL's Regions so SAM's ResizeRegion actuation can
+// change the width at runtime.
+//
+// The operator's kind must declare an OpModel.PartitionKey and the
+// instance must set that parameter: its value names the tuple attribute
+// the split hashes on, which is the attribute the kind's per-key state
+// is keyed by. The operator must have exactly one input and one output
+// port and may not be colocated or host-isolated.
+func (h *OpHandle) Parallel(width int) *OpHandle {
+	h.parallel = width
 	return h
 }
 
@@ -240,6 +264,7 @@ func (b *AppBuilder) Build(opts Options) (*adl.Application, error) {
 	if reg == nil {
 		reg = opapi.Default
 	}
+	b.expandRegions(reg)
 	b.validateOperators(reg)
 	b.validateEndpoints()
 	if len(b.errs) > 0 {
@@ -268,6 +293,7 @@ func (b *AppBuilder) Build(opts Options) (*adl.Application, error) {
 		return nil, err
 	}
 	app.PEs = pes
+	app.Regions = append([]adl.Region(nil), b.regions...)
 	if err := app.Validate(); err != nil {
 		return nil, fmt.Errorf("compiler: generated invalid ADL: %w", err)
 	}

@@ -1,0 +1,113 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"streamorca/internal/adl"
+	"streamorca/internal/tuple"
+)
+
+func regionApp(t *testing.T, width int) *adl.Application {
+	t.Helper()
+	in := tuple.MustSchema(tuple.Attribute{Name: "user", Type: tuple.String}, tuple.Attribute{Name: "score", Type: tuple.Float})
+	b := NewApp("regionapp")
+	src := b.AddOperator("src", "Beacon").Out(in)
+	agg := b.AddOperator("agg", "Aggregate").
+		Param("window", "1s").Param("groupBy", "user").Param("valueAttr", "score").
+		In(in).Out(in).Parallel(width)
+	sink := b.AddOperator("sink", "CountSink").In(in)
+	b.Connect(src, 0, agg, 0)
+	b.Connect(agg, 0, sink, 0)
+	app, err := b.Build(Options{Fusion: FuseNone})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return app
+}
+
+func TestParallelExpandsRegion(t *testing.T) {
+	app := regionApp(t, 3)
+	r := app.Region("agg")
+	if r == nil {
+		t.Fatal("no region record for agg")
+	}
+	if r.Width != 3 || len(r.Replicas) != 3 || r.Key != "user" {
+		t.Fatalf("region = %+v", r)
+	}
+	if app.OperatorByName("agg") != nil {
+		t.Fatal("declared operator should be replaced by the expansion")
+	}
+	split := app.OperatorByName(r.Split)
+	if split == nil || split.Kind != "Split" || split.Params["mode"] != "hash" || split.Params["attr"] != "user" {
+		t.Fatalf("split = %+v", split)
+	}
+	if mrg := app.OperatorByName(r.Merge); mrg == nil || len(mrg.Inputs) != 3 {
+		t.Fatalf("merge = %+v", mrg)
+	}
+	// The neighbours were rewired to the split/merge pair, and every
+	// replica sits alone in its own PE.
+	for _, c := range app.Connects {
+		if c.ToOp == "agg" || c.FromOp == "agg" {
+			t.Fatalf("stale connection to declared operator: %+v", c)
+		}
+	}
+	for _, rep := range r.Replicas {
+		idx := app.PEOfOperator(rep)
+		if idx < 0 || len(app.OperatorsInPE(idx)) != 1 {
+			t.Fatalf("replica %s not isolated: PE %d = %v", rep, idx, app.OperatorsInPE(idx))
+		}
+	}
+}
+
+func TestParallelRequiresPartitionKey(t *testing.T) {
+	in := tuple.MustSchema(tuple.Attribute{Name: "user", Type: tuple.String})
+	b := NewApp("bad")
+	f := b.AddOperator("f", "Functor").In(in).Out(in).Parallel(2)
+	_ = f
+	_, err := b.Build(Options{Fusion: FuseNone})
+	if err == nil || !strings.Contains(err.Error(), "no partition key") {
+		t.Fatalf("want partition-key error, got %v", err)
+	}
+}
+
+func TestResizeRegionGrowAndShrink(t *testing.T) {
+	app := regionApp(t, 2)
+	grown, err := ResizeRegion(app, "agg", 3)
+	if err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	gr := grown.Region("agg")
+	if gr.Width != 3 || len(gr.Replicas) != 3 {
+		t.Fatalf("grown region = %+v", gr)
+	}
+	// Untouched PEs keep their indexes; the new replica got a fresh one.
+	for _, op := range []string{"agg/0", "agg/1", "agg/split", "agg/merge", "src", "sink"} {
+		if app.PEOfOperator(op) != grown.PEOfOperator(op) {
+			t.Fatalf("PE index of %s changed: %d -> %d", op, app.PEOfOperator(op), grown.PEOfOperator(op))
+		}
+	}
+	if idx := grown.PEOfOperator("agg/2"); idx < 0 {
+		t.Fatal("new replica has no PE")
+	}
+	shrunk, err := ResizeRegion(grown, "agg", 1)
+	if err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	sr := shrunk.Region("agg")
+	if sr.Width != 1 || len(sr.Replicas) != 1 {
+		t.Fatalf("shrunk region = %+v", sr)
+	}
+	for _, gone := range []string{"agg/1", "agg/2"} {
+		if shrunk.OperatorByName(gone) != nil {
+			t.Fatalf("removed replica %s still present", gone)
+		}
+	}
+	if mrg := shrunk.OperatorByName(sr.Merge); len(mrg.Inputs) != 1 {
+		t.Fatalf("merge ports not shrunk: %d", len(mrg.Inputs))
+	}
+	// The original application is untouched by either rewrite.
+	if err := app.Validate(); err != nil || app.Region("agg").Width != 2 {
+		t.Fatalf("input mutated: %v width=%d", err, app.Region("agg").Width)
+	}
+}

@@ -165,6 +165,61 @@ func (s *Service) KillPE(pe ids.PEID, reason string) error {
 	return err
 }
 
+// ResizeRegion changes the width of a managed job's key-partitioned
+// parallel region — the elastic-fission actuation. SAM recompiles the
+// job's ADL, migrates the replicas' per-key state between
+// partitionings through the checkpoint store, and restarts the region
+// at the new width; on success the job's stream graph is rebuilt so
+// inspection reflects the new topology. Like every actuation, the call
+// is journalled under the current event's transaction id.
+func (s *Service) ResizeRegion(job ids.JobID, region string, width int) error {
+	target := fmt.Sprintf("%s/%s->%d", job, region, width)
+	s.mu.Lock()
+	_, ok := s.managed[job]
+	s.mu.Unlock()
+	if !ok {
+		s.recordActuation("ResizeRegion", target, ErrUnmanagedJob)
+		return ErrUnmanagedJob
+	}
+	err := s.cfg.SAM.ResizeRegion(job, region, width)
+	s.recordActuation("ResizeRegion", target, err)
+	if err != nil {
+		return err
+	}
+	jobADL, ok1 := s.cfg.SAM.JobADL(job)
+	peIDs, hosts, ok2 := s.cfg.SAM.PEPlacement(job)
+	if ok1 && ok2 {
+		if g, gerr := graph.Build(jobADL, job, peIDs, hosts); gerr == nil {
+			s.mu.Lock()
+			s.graphs[job] = g
+			s.mu.Unlock()
+		} else {
+			s.cfg.Logf("core: rebuild graph after resize of %s: %v", job, gerr)
+		}
+	}
+	return nil
+}
+
+// RegionWidth reports the current width of a managed job's parallel
+// region, for routines that track how far they have scaled.
+func (s *Service) RegionWidth(job ids.JobID, region string) (int, bool) {
+	s.mu.Lock()
+	_, ok := s.managed[job]
+	s.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	app, ok := s.cfg.SAM.JobADL(job)
+	if !ok {
+		return 0, false
+	}
+	r := app.Region(region)
+	if r == nil {
+		return 0, false
+	}
+	return r.Width, true
+}
+
 // ControlOperator sends a control command to an operator of a managed
 // job.
 func (s *Service) ControlOperator(job ids.JobID, opName, cmd string, args map[string]string) error {

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFissionScenarioSmoke runs a shrunk elastic-fission scenario end
+// to end: the capacity probes must show the configured speedup, the
+// adaptation routine (not the driver) must widen the region at least
+// once under the skewed load, and the recorded bench report must carry
+// consistent widths and per-replica traffic shares.
+func TestFissionScenarioSmoke(t *testing.T) {
+	cfg := DefaultFission(7)
+	cfg.MaxWidth = 2
+	cfg.MinSpeedup = 1.3
+	cfg.ProbeRate = 3000
+	cfg.ProbeDuration = 300 * time.Millisecond
+	cfg.AdaptDuration = time.Second
+	cfg.Keys = 5000
+	if raceEnabled {
+		cfg.ProbeRate = 1500
+	}
+	res, err := RunFission(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < cfg.MinSpeedup {
+		t.Fatalf("speedup %.2fx, want >= %.2fx", res.Speedup, cfg.MinSpeedup)
+	}
+	if res.Widenings < 1 || res.FinalWidth < 2 {
+		t.Fatalf("routine never widened: %d widenings, final width %d", res.Widenings, res.FinalWidth)
+	}
+	if len(res.Log) != res.Widenings {
+		t.Fatalf("log has %d entries for %d widenings", len(res.Log), res.Widenings)
+	}
+	width := 1
+	for _, ch := range res.Log {
+		if ch.From != width || ch.To != width+1 {
+			t.Fatalf("non-sequential width change %+v (at width %d)", ch, width)
+		}
+		width = ch.To
+	}
+	if width != res.FinalWidth {
+		t.Fatalf("log ends at width %d, final width %d", width, res.FinalWidth)
+	}
+	if res.Delivered == 0 {
+		t.Fatalf("nothing delivered in the adaptive phase")
+	}
+
+	rep := res.BenchReport(cfg)
+	if rep.Metrics["final_width"] != float64(res.FinalWidth) {
+		t.Fatalf("report final_width = %v", rep.Metrics["final_width"])
+	}
+	shareSum := 0.0
+	for k, v := range rep.Metrics {
+		if len(k) > 6 && k[:6] == "share_" {
+			shareSum += v
+		}
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		t.Fatalf("replica shares sum to %v, want 1", shareSum)
+	}
+}

@@ -547,8 +547,18 @@ func (r *LoadResult) BenchReport(scenario string, cfg LoadConfig) *load.Report {
 		rep.Metrics["faults_applied"] = float64(r.FaultsApplied)
 		rep.Metrics["faults_skipped"] = float64(r.FaultsSkipped)
 	}
+	var workerTotal int64
+	for _, n := range r.WorkerTuples {
+		workerTotal += n
+	}
 	for w, n := range r.WorkerTuples {
 		rep.Metrics["tuples_"+w] = float64(n)
+		// Per-worker share of the region's traffic: the imbalance a
+		// Zipf-hot partition shows, and what a rebalance (a region
+		// resize re-cutting the key space) visibly moves.
+		if workerTotal > 0 {
+			rep.Metrics["share_"+w] = float64(n) / float64(workerTotal)
+		}
 	}
 	return rep
 }

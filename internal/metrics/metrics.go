@@ -58,8 +58,10 @@ const (
 	// PEIngestRate and PEEgressRate are gauges: the container's tuple
 	// ingest and egress rates in tuples/sec, computed from the deltas of
 	// nTuplesProcessed / nTuplesSubmitted between metric snapshots. Load
-	// drivers read them for sustained-throughput reporting, and they are
-	// the signal a future auto-fission routine widens hot regions on.
+	// drivers read them for sustained-throughput reporting, and the
+	// ingest rate of a region's split PE is the offered-load signal the
+	// fission routine (internal/policies.Fission) widens hot parallel
+	// regions on.
 	PEIngestRate = "ingestRatePerSec"
 	PEEgressRate = "egressRatePerSec"
 )

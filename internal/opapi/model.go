@@ -232,6 +232,15 @@ type OpModel struct {
 	Params []ParamSpec
 	// Inputs and Outputs declare the port shapes.
 	Inputs, Outputs PortSpec
+	// PartitionKey, when non-empty, names the declared parameter whose
+	// value is the tuple attribute this kind's state is keyed by. It is
+	// what makes a kind eligible for key-partitioned parallel regions
+	// (compiler OpHandle.Parallel): the compiler reads the instance's
+	// value of this parameter and routes the auto-inserted hash split on
+	// that attribute, so every tuple of one key reaches the replica that
+	// owns the key's state. Kinds whose state spans keys (or that keep
+	// no per-key state at all) leave it empty and cannot be parallelised.
+	PartitionKey string
 }
 
 // ParamSpec returns the declared spec for name, or nil.
@@ -362,6 +371,11 @@ func (m *OpModel) check() error {
 		}
 		if ps.Max >= 0 && ps.Max < ps.Min {
 			return fmt.Errorf("model %s: %s arity max %d < min %d", m.Kind, side, ps.Max, ps.Min)
+		}
+	}
+	if m.PartitionKey != "" {
+		if !seen[m.PartitionKey] {
+			return fmt.Errorf("model %s: partition key names undeclared param %q", m.Kind, m.PartitionKey)
 		}
 	}
 	return nil

@@ -314,6 +314,60 @@ type StatefulOperator interface {
 	RestoreState(dec *ckpt.Decoder) error
 }
 
+// PartitionedStateOperator is implemented by stateful operators whose
+// state is keyed by the attribute their OpModel.PartitionKey declares,
+// which makes the state migratable across width changes of a parallel
+// region (SAM's ResizeRegion actuation).
+//
+// Both methods speak the SaveState wire format and must work on a
+// fresh, never-Opened instance: migration happens between PE
+// incarnations, on a scratch instance that only ever transcodes state.
+//
+//   - MergeState folds another partition's SaveState-format state into
+//     this instance (unlike RestoreState, which overwrites). Keys never
+//     collide across well-formed partitions, but a merge must tolerate
+//     overlap by combining rather than dropping.
+//   - SplitState writes, in SaveState format, only the keys this
+//     instance owns that PartitionOf(key, ...) assigns to partition
+//     part of width — so restoring each partition's output on its new
+//     replica reconstructs the region's state exactly once.
+type PartitionedStateOperator interface {
+	StatefulOperator
+	MergeState(dec *ckpt.Decoder) error
+	SplitState(enc *ckpt.Encoder, part, width int) error
+}
+
+// PartitionOf maps a tuple's partition-key value to a replica index in
+// a parallel region of the given width. It is the single routing
+// function shared by the auto-inserted hash split (per-tuple) and by
+// SplitState implementations (per-key, at migration time): both sides
+// must agree or a key's tuples would land on a replica that does not
+// hold the key's state.
+//
+// The key value is hashed as the string form sv, a '|' separator, and
+// the decimal form of iv — FNV-1a over that byte sequence. String-typed
+// keys pass iv = 0 (an unresolvable int attribute reads as zero);
+// int-typed keys pass sv = "".
+func PartitionOf(sv string, iv int64, width int) int {
+	if width <= 1 {
+		return 0
+	}
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(sv); i++ {
+		h ^= uint32(sv[i])
+		h *= prime32
+	}
+	h ^= '|'
+	h *= prime32
+	var num [20]byte
+	for _, c := range strconv.AppendInt(num[:0], iv, 10) {
+		h ^= uint32(c)
+		h *= prime32
+	}
+	return int(h) % width
+}
+
 // Base provides no-op defaults so operators only implement what they
 // need.
 type Base struct{}

@@ -209,3 +209,62 @@ func (a *aggregate) RestoreState(d *ckpt.Decoder) error {
 	a.groups = groups
 	return nil
 }
+
+// MergeState folds another partition's SaveState-format state into the
+// current group windows (repartitioning a parallel region narrower: the
+// surviving replicas absorb the removed replicas' groups). Overlapping
+// keys concatenate and re-sort their windows by sample time, so the
+// expiry scan in Process keeps seeing a time-ordered window.
+func (a *aggregate) MergeState(d *ckpt.Decoder) error {
+	n := d.Uint()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if a.groups == nil {
+		a.groups = make(map[string][]sample, min(n, 1024))
+	}
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		k := d.Str()
+		m := d.Uint()
+		win := a.groups[k]
+		merged := len(win) > 0
+		for j := uint64(0); j < m && d.Err() == nil; j++ {
+			at := d.Time()
+			v := d.Float()
+			win = append(win, sample{at: at, v: v})
+		}
+		if d.Err() == nil {
+			if merged {
+				sort.Slice(win, func(x, y int) bool { return win[x].at.Before(win[y].at) })
+			}
+			a.groups[k] = win
+		}
+	}
+	return d.Err()
+}
+
+// SplitState writes, in SaveState format, only the groups that
+// opapi.PartitionOf assigns to partition part of width. The hash input
+// matches what the region's hash split computes per tuple for a string
+// key attribute (iv reads as zero when the attribute is not an int), so
+// a key's window lands on the replica its tuples will keep reaching.
+func (a *aggregate) SplitState(e *ckpt.Encoder, part, width int) error {
+	keys := make([]string, 0, len(a.groups))
+	for k := range a.groups {
+		if opapi.PartitionOf(k, 0, width) == part {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	e.PutUint(uint64(len(keys)))
+	for _, k := range keys {
+		e.PutStr(k)
+		win := a.groups[k]
+		e.PutUint(uint64(len(win)))
+		for _, s := range win {
+			e.PutTime(s.at)
+			e.PutFloat(s.v)
+		}
+	}
+	return nil
+}

@@ -96,9 +96,10 @@ func init() {
 		},
 	})
 	opapi.Default.RegisterOp(KindAggregate, func() opapi.Operator { return &aggregate{} }, &opapi.OpModel{
-		Doc:     "per-group sliding-window summary statistics over one numeric attribute",
-		Inputs:  opapi.ExactlyPorts(1),
-		Outputs: opapi.ExactlyPorts(1),
+		Doc:          "per-group sliding-window summary statistics over one numeric attribute",
+		Inputs:       opapi.ExactlyPorts(1),
+		Outputs:      opapi.ExactlyPorts(1),
+		PartitionKey: "groupBy",
 		Params: []opapi.ParamSpec{
 			{Name: "window", Type: opapi.ParamDuration, Required: true, Min: opapi.Bound(1e-9), Doc: "sliding window length"},
 			{Name: "groupBy", Type: opapi.ParamString, Doc: "grouping attribute; empty = one global group"},

@@ -2,7 +2,6 @@ package ops
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strconv"
 	"strings"
 	"sync"
@@ -318,13 +317,12 @@ func (f *functor) Process(port int, t tuple.Tuple) error {
 //	attr string  hashing attribute for mode=hash
 type split struct {
 	opapi.Base
-	ctx     opapi.Context
-	mode    string
-	attr    string
-	strRef  tuple.FieldRef // set when attr is a string attribute
-	intRef  tuple.FieldRef // set when attr is an int attribute
-	next    int
-	scratch []byte
+	ctx    opapi.Context
+	mode   string
+	attr   string
+	strRef tuple.FieldRef // set when attr is a string attribute
+	intRef tuple.FieldRef // set when attr is an int attribute
+	next   int
 }
 
 func (s *split) Open(ctx opapi.Context) error {
@@ -365,8 +363,10 @@ func (s *split) Process(port int, t tuple.Tuple) error {
 		}
 		return nil
 	case "hash":
-		// Same key bytes as the old fmt.Fprintf("%s|%d") rendering, built
-		// without formatting or allocation.
+		// opapi.PartitionOf is the one routing function: parallel-region
+		// state migration (SplitState) hashes keys through the same code,
+		// so a migrated key's tuples keep landing on the replica that now
+		// holds the key's state.
 		var sv string
 		var iv int64
 		if s.strRef.Valid() {
@@ -375,11 +375,7 @@ func (s *split) Process(port int, t tuple.Tuple) error {
 		if s.intRef.Valid() {
 			iv = s.intRef.Int(t)
 		}
-		s.scratch = append(append(s.scratch[:0], sv...), '|')
-		s.scratch = strconv.AppendInt(s.scratch, iv, 10)
-		h := fnv.New32a()
-		_, _ = h.Write(s.scratch)
-		return s.ctx.Submit(int(h.Sum32())%n, t)
+		return s.ctx.Submit(opapi.PartitionOf(sv, iv, n), t)
 	default: // roundrobin
 		i := s.next % n
 		s.next++

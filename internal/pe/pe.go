@@ -639,8 +639,13 @@ func (rt *opRuntime) enqueueBatch(port int, b *Batch) {
 	}
 }
 
-// consumeLoop is the single processing goroutine of an operator with
-// inputs. All Process/ProcessMark/Control calls happen here.
+// consumeLoop is the processing goroutine of one operator *instance*
+// with inputs: all Process/ProcessMark/Control calls on this instance
+// happen here, serialised. Note the unit is the instance, not the
+// logical operator — a logical operator declared parallel runs as
+// several replicated instances in separate PEs, each with its own
+// consumeLoop, so "one goroutine per operator" holds only within a
+// region replica.
 func (rt *opRuntime) consumeLoop() {
 	defer rt.pe.wg.Done()
 	defer func() {

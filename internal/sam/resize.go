@@ -1,0 +1,379 @@
+package sam
+
+import (
+	"fmt"
+
+	"streamorca/internal/adl"
+	"streamorca/internal/ckpt"
+	"streamorca/internal/compiler"
+	"streamorca/internal/ids"
+	"streamorca/internal/opapi"
+	"streamorca/internal/pe"
+)
+
+// ResizeRegion changes the width of a job's key-partitioned parallel
+// region at runtime: it recompiles the job's ADL to the new width
+// (compiler.ResizeRegion), stops the region's PEs, migrates the
+// replicas' per-key operator state between the two partitionings
+// through the checkpoint store, starts the region at the new width, and
+// rewires every stream link touching it. PEs outside the region keep
+// running untouched; the split/merge pair insulates the neighbours from
+// the width change.
+//
+// State migration is best-effort, in the spirit of "a bad snapshot
+// never blocks a restart": the old replicas are checkpointed, their
+// snapshots folded together (MergeState) and re-cut along the new
+// partitioning (SplitState), and each cut saved under the new replica's
+// snapshot key so the restarted replica restores exactly the keys the
+// resized hash split will route to it. Any failure on that path —
+// unreadable snapshot, store error, a kind that is not a
+// PartitionedStateOperator — degrades to a region-wide cold start: all
+// region snapshots are deleted and the region restarts empty, losing
+// window state but never wedging. In-flight tuples of the region are
+// lost, as in every restart (§5.2 loss semantics).
+func (s *SAM) ResizeRegion(jobID ids.JobID, region string, width int) error {
+	if width < 1 {
+		return fmt.Errorf("sam: resize region %q: width %d < 1", region, width)
+	}
+
+	s.mu.Lock()
+	j, ok := s.jobs[jobID]
+	if !ok || j.cancelling {
+		s.mu.Unlock()
+		return fmt.Errorf("sam: no job %s", jobID)
+	}
+	r := j.app.Region(region)
+	if r == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("sam: job %s has no region %q", jobID, region)
+	}
+	if r.Width == width {
+		s.mu.Unlock()
+		return nil
+	}
+	resized, err := compiler.ResizeRegion(j.app, region, width)
+	if err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("sam: resize region %q of %s: %w", region, jobID, err)
+	}
+	newR := resized.Region(region)
+	old := *r // copy: j.app is swapped below
+
+	// Region PEs before the resize: split, merge, and every old replica.
+	regionIdx := func(app *adl.Application, names ...string) map[int]bool {
+		out := make(map[int]bool, len(names))
+		for _, n := range names {
+			if idx := app.PEOfOperator(n); idx >= 0 {
+				out[idx] = true
+			}
+		}
+		return out
+	}
+	oldIdx := regionIdx(j.app, append([]string{old.Split, old.Merge}, old.Replicas...)...)
+
+	oldReplicas := make([]replicaState, 0, old.Width)
+	kind := ""
+	if op := j.app.OperatorByName(old.Replicas[0]); op != nil {
+		kind = op.Kind
+	}
+	var toStop []*pe.PE
+	for idx := range oldIdx {
+		if rp := j.pes[idx]; rp != nil {
+			if rp.state == "running" && rp.container != nil {
+				rp.state = "stopping"
+				toStop = append(toStop, rp.container)
+			}
+		}
+	}
+	for _, name := range old.Replicas {
+		rp := j.pes[j.app.PEOfOperator(name)]
+		if rp == nil {
+			s.mu.Unlock()
+			return fmt.Errorf("sam: resize region %q of %s: replica %q has no PE", region, jobID, name)
+		}
+		oldReplicas = append(oldReplicas, replicaState{
+			name:      name,
+			key:       ckptKey(j.id, rp.id),
+			container: rp.container,
+			running:   rp.state == "stopping", // was running before we marked it
+		})
+	}
+
+	// Mint runtime PEs for replicas the resize adds, so their snapshot
+	// keys exist before migration writes to them. Removed replicas drop
+	// out of the job's tables; a late exit notification for one simply
+	// finds no PE.
+	survivors := min(old.Width, width)
+	newKeys := make([]string, width)
+	for p := 0; p < survivors; p++ {
+		rp := j.pes[j.app.PEOfOperator(old.Replicas[p])]
+		newKeys[p] = ckptKey(j.id, rp.id)
+	}
+	var added []*jpe
+	for p := survivors; p < width; p++ {
+		idx := resized.PEOfOperator(newR.Replicas[p])
+		s.nextPE++
+		rp := &jpe{index: idx, id: ids.PEID(s.nextPE), state: "stopped"}
+		added = append(added, rp)
+		newKeys[p] = ckptKey(j.id, rp.id)
+	}
+	var removedKeys []string
+	for p := width; p < old.Width; p++ {
+		removedKeys = append(removedKeys, oldReplicas[p].key)
+	}
+	s.mu.Unlock()
+
+	// Freshen the snapshots about to be migrated, then quiesce the
+	// region. Checkpoint failures are tolerable: migration then moves
+	// the previous periodic snapshot (or cold-starts the region).
+	for _, or := range oldReplicas {
+		if or.running && or.container != nil && s.cfg.Ckpt != nil {
+			if _, err := or.container.Checkpoint(); err != nil {
+				s.cfg.Logf("sam: resize %s/%s: pre-stop checkpoint of %s: %v", jobID, region, or.name, err)
+			}
+		}
+	}
+	for _, c := range toStop {
+		c.Stop()
+	}
+
+	if s.cfg.Ckpt != nil {
+		if err := s.migrateRegionState(oldReplicas, newR, kind, newKeys, width); err != nil {
+			s.cfg.Logf("sam: resize %s/%s: state migration failed (%v); cold-starting region", jobID, region, err)
+			for _, k := range append(append([]string(nil), newKeys...), keysOf(oldReplicas)...) {
+				if derr := s.cfg.Ckpt.Delete(k); derr != nil {
+					s.cfg.Logf("sam: resize %s/%s: drop snapshot %s: %v", jobID, region, k, derr)
+				}
+			}
+		} else {
+			// Removed replicas' snapshots are garbage once their keys
+			// migrated into the surviving partitions.
+			for _, k := range removedKeys {
+				if derr := s.cfg.Ckpt.Delete(k); derr != nil {
+					s.cfg.Logf("sam: resize %s/%s: drop snapshot %s: %v", jobID, region, k, derr)
+				}
+			}
+		}
+	}
+
+	// Swap in the resized ADL and restart the region.
+	s.mu.Lock()
+	removed := make(map[string]bool, old.Width)
+	for p := width; p < old.Width; p++ {
+		removed[old.Replicas[p]] = true
+	}
+	for idx := range oldIdx {
+		rp := j.pes[idx]
+		if rp == nil {
+			continue
+		}
+		ops := j.app.OperatorsInPE(idx)
+		if len(ops) == 1 && removed[ops[0]] {
+			delete(j.pes, idx)
+			delete(j.byID, rp.id)
+		}
+	}
+	j.app = resized
+	assign, _, perr := place(resized, s.cfg.Cluster.Hosts(), s.reservedByOther(j.id), s.occupiedByOther(j.id))
+	if perr != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("sam: resize region %q of %s: place: %w", region, jobID, perr)
+	}
+	for _, rp := range added {
+		rp.host = assign[rp.index]
+		j.pes[rp.index] = rp
+		j.byID[rp.id] = rp
+	}
+	newIdx := regionIdx(resized, append([]string{newR.Split, newR.Merge}, newR.Replicas...)...)
+	type startup struct {
+		rp  *jpe
+		cfg pe.Config
+	}
+	var starts []startup
+	for idx := range newIdx {
+		rp := j.pes[idx]
+		if rp == nil {
+			s.mu.Unlock()
+			return fmt.Errorf("sam: resize region %q of %s: no runtime PE for partition %d", region, jobID, idx)
+		}
+		if !s.cfg.Cluster.HostUp(rp.host) {
+			rp.host = assign[rp.index]
+		}
+		cfg, cerr := s.peConfig(j, rp)
+		if cerr != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("sam: resize region %q of %s: %w", region, jobID, cerr)
+		}
+		cfg.Ckpt.Restore = cfg.Ckpt.Store != nil
+		starts = append(starts, startup{rp: rp, cfg: cfg})
+	}
+	s.mu.Unlock()
+
+	var startErr error
+	for _, st := range starts {
+		c, err := s.cfg.Cluster.StartPE(st.rp.host, st.cfg)
+		if err != nil {
+			if startErr == nil {
+				startErr = fmt.Errorf("sam: resize region %q of %s: start PE %d: %w", region, jobID, st.rp.index, err)
+			}
+			continue
+		}
+		s.mu.Lock()
+		st.rp.container = c
+		st.rp.state = "running"
+		s.mu.Unlock()
+	}
+
+	// Rewire: every link touching a region PE (old or new index) is
+	// stale — its endpoint container was replaced or removed — so drop
+	// them all and mint fresh links from the resized ADL's connections.
+	s.mu.Lock()
+	for idx := range newIdx {
+		oldIdx[idx] = true
+	}
+	for lid, l := range s.links {
+		if (l.fromJob == jobID && oldIdx[l.fromIdx]) || (l.toJob == jobID && oldIdx[l.toIdx]) {
+			if l.link != nil {
+				l.link.Discard()
+				l.link = nil
+			}
+			delete(s.links, lid)
+		}
+	}
+	regionOps := map[string]bool{newR.Split: true, newR.Merge: true}
+	for _, n := range newR.Replicas {
+		regionOps[n] = true
+	}
+	var wireErr error
+	for _, c := range resized.Connects {
+		if !regionOps[c.FromOp] && !regionOps[c.ToOp] {
+			continue
+		}
+		fromIdx := resized.PEOfOperator(c.FromOp)
+		toIdx := resized.PEOfOperator(c.ToOp)
+		if fromIdx == toIdx {
+			continue // fused: wired inside the container
+		}
+		s.nextLink++
+		l := &xlink{
+			id:      fmt.Sprintf("static-%d-%d", j.id, s.nextLink),
+			fromJob: j.id, fromIdx: fromIdx, fromOp: c.FromOp, fromPort: c.FromPort,
+			toJob: j.id, toIdx: toIdx, toOp: c.ToOp, toPort: c.ToPort,
+		}
+		s.links[l.id] = l
+		if err := s.establishLocked(l); err != nil && wireErr == nil {
+			wireErr = err
+		}
+	}
+	s.mu.Unlock()
+
+	if startErr != nil {
+		return startErr
+	}
+	if wireErr != nil {
+		return fmt.Errorf("sam: resize region %q of %s: wire: %w", region, jobID, wireErr)
+	}
+	s.cfg.Logf("sam: resized region %q of %s: width %d -> %d", region, jobID, old.Width, width)
+	return nil
+}
+
+// replicaState carries what state migration needs to know about one
+// pre-resize replica.
+type replicaState struct {
+	name      string
+	key       string // snapshot key (old partitioning)
+	container *pe.PE
+	running   bool
+}
+
+func keysOf(rs []replicaState) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.key
+	}
+	return out
+}
+
+// migrateRegionState re-cuts the old replicas' checkpointed state along
+// the new partitioning: every old replica's snapshot section is folded
+// into one scratch instance of the replica kind, and the folded state
+// is split into width cuts saved under the new replicas' snapshot keys.
+// Returning an error makes the caller cold-start the whole region.
+func (s *SAM) migrateRegionState(oldReplicas []replicaState, newR *adl.Region, kind string, newKeys []string, width int) error {
+	op, err := s.cfg.Registry.New(kind)
+	if err != nil {
+		return err
+	}
+	scratch, ok := op.(opapi.PartitionedStateOperator)
+	if !ok {
+		if _, stateful := op.(opapi.StatefulOperator); !stateful {
+			// A stateless kind has nothing to migrate: the region cold
+			// starts by construction, which is exact, not degraded.
+			return nil
+		}
+		return fmt.Errorf("kind %s is stateful but not partition-migratable", kind)
+	}
+
+	loaded := 0
+	for _, or := range oldReplicas {
+		data, ok, err := s.cfg.Ckpt.Load(or.key)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", or.key, err)
+		}
+		if !ok {
+			continue // never checkpointed: empty state
+		}
+		snap, err := ckpt.Parse(data)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", or.key, err)
+		}
+		for _, sec := range snap.Sections() {
+			if sec.Name != or.name || sec.Kind != kind {
+				continue
+			}
+			if err := mergeSection(scratch, sec, loaded == 0); err != nil {
+				return fmt.Errorf("fold %s: %w", or.name, err)
+			}
+			loaded++
+		}
+	}
+	if loaded == 0 {
+		return nil // no state anywhere: nothing to write, clean cold start
+	}
+
+	for p := 0; p < width; p++ {
+		w := ckpt.NewWriter()
+		err := w.Section(newR.Replicas[p], kind, func(e *ckpt.Encoder) error {
+			return scratch.SplitState(e, p, width)
+		})
+		if err == nil {
+			err = s.cfg.Ckpt.Save(newKeys[p], w.Finish())
+		}
+		w.Close()
+		if err != nil {
+			return fmt.Errorf("cut partition %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// mergeSection folds one snapshot section into the scratch operator,
+// containing panics like the PE's restore path: a pathological payload
+// must degrade to a region cold start, never crash SAM.
+func mergeSection(scratch opapi.PartitionedStateOperator, sec ckpt.Section, first bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("merge panicked: %v", r)
+		}
+	}()
+	dec := sec.Decoder()
+	if first {
+		err = scratch.RestoreState(dec)
+	} else {
+		err = scratch.MergeState(dec)
+	}
+	if err == nil {
+		err = dec.Err()
+	}
+	return err
+}

@@ -1,0 +1,44 @@
+package orca_test
+
+import (
+	"fmt"
+
+	"streamorca/orca"
+)
+
+// Example_widthActuation is the guard composition behind elastic
+// fission: a Threshold anchors every ingress-rate observation (limit
+// -1 — rates are never negative, so the threshold only filters out
+// invalid observations), and a Debounce demands two consecutive
+// overloaded readings before the widen actuation fires, so a one-pull
+// spike never resizes the region. In a real routine the inner handler
+// calls act.ResizeRegion and the gate is subscribed with OnPEMetric to
+// the region's split PE; here it is driven with synthetic observations
+// so the composition's behaviour is visible in isolation.
+func Example_widthActuation() {
+	const overloadedAbove = 1000 // tuples/sec the region handles at its current width
+
+	width := 1
+	widen := func(ctx *orca.PEMetricContext, _ *orca.Actions) error {
+		width++ // a routine would call act.ResizeRegion(job, region, width)
+		fmt.Printf("resize to width %d at ingress %d tuples/sec\n", width, ctx.Value)
+		return nil
+	}
+
+	gate := orca.Threshold(
+		func(ctx *orca.PEMetricContext) (float64, bool) { return float64(ctx.Value), true },
+		-1,
+		orca.Debounce(2,
+			func(ctx *orca.PEMetricContext) bool { return ctx.Value > overloadedAbove },
+			widen))
+
+	for _, rate := range []int64{900, 1400, 500, 1600, 1700, 1800, 1900} {
+		_ = gate(&orca.PEMetricContext{Metric: "ingestRatePerSec", Value: rate}, nil)
+	}
+	// The 1400 spike is ridden out (the healthy 500 resets the streak);
+	// the sustained overload from 1600 on widens twice.
+
+	// Output:
+	// resize to width 2 at ingress 1700 tuples/sec
+	// resize to width 3 at ingress 1900 tuples/sec
+}

@@ -134,6 +134,13 @@ type (
 	// it through a StateEncoder, RestoreState reads it back after a PE
 	// restart. See the interface docs for the capture contract.
 	StatefulOperator = opapi.StatefulOperator
+	// PartitionedStateOperator extends StatefulOperator with the
+	// fold/re-cut hooks (MergeState, SplitState) a runtime width change
+	// of a parallel region uses to migrate per-key state between
+	// partitionings. Operators declared data-parallel with
+	// OpHandle.Parallel should implement it; a stateful kind without it
+	// cold-starts its region on every resize.
+	PartitionedStateOperator = opapi.PartitionedStateOperator
 	// OpContext is the runtime environment handed to an operator.
 	OpContext = opapi.Context
 	// OperatorBase provides no-op defaults to embed.
@@ -213,6 +220,14 @@ type (
 	// StateDecoder reads operator state back out of a snapshot section.
 	StateDecoder = ckpt.Decoder
 )
+
+// PartitionOf is the hash a parallel region's split applies to route a
+// key to one of width partitions — FNV-1a over the key, stable across
+// resizes. SplitState implementations use the same function so migrated
+// state lands exactly where the resized split will route the key's
+// tuples. sv and iv are the key's string and integer components; pass
+// the zero value for the one the key does not use.
+func PartitionOf(sv string, iv int64, width int) int { return opapi.PartitionOf(sv, iv, width) }
 
 // NewMemCheckpointStore returns an in-process snapshot store — state
 // survives PE restarts within one platform instance.
