@@ -1,0 +1,54 @@
+// Command orcalint runs the platform's static-analysis suite
+// (internal/lint) over the named packages and fails on any finding.
+//
+// Usage:
+//
+//	orcalint [-list] [packages]
+//
+// With no package patterns it analyzes ./... from the current
+// directory. -list prints the analyzer catalog (name and summary, one
+// per line) and exits; CI greps this output to keep the documentation
+// in lockstep with the registered analyzers, the same way the
+// load-generation scenario catalog is checked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamorca/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer catalog and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: orcalint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Summary())
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(".", lint.Analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orcalint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "orcalint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -270,9 +270,37 @@
 // region — and records both capacities, the actuation log, and the
 // delivered-latency histogram in BENCH_pr8.json.
 //
+// # Static analysis and lint contracts
+//
+// The platform's layering leans on contracts the compiler cannot see:
+// an OpModel declares parameters that Open binds by string key, metric
+// scopes and guards select metrics by name, checkpoint SPI methods are
+// discovered by interface assertion, and actuations report failures
+// through errors the retry machinery consumes. Each of those drifts
+// silently — a misspelled Bind key takes its default forever, a
+// misspelled metric name matches nothing, a SaveState without
+// RestoreState checkpoints state that is never restored, a discarded
+// actuation error hides a failed restart. internal/lint encodes these
+// invariants as orcalint analyzers (paramdrift, metrickey, statespi,
+// actuationcheck), built on the standard library's go/types against
+// build-cache export data so the module keeps its zero-dependency
+// property. cmd/orcalint runs the suite over any package pattern and
+// fails on the first finding; -list prints the analyzer catalog. CI
+// runs it over the whole tree. A finding that is genuinely intended —
+// a best-effort rollback, a deliberately external restore path — is
+// suppressed in the source with
+//
+//	//orcalint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// at the end of the offending line (or alone on the line above), and
+// the reason is mandatory: an undocumented exemption is itself a
+// diagnostic. The analyzers' own fixtures live under
+// internal/lint/testdata and pin both the positive findings and the
+// exemption forms.
+//
 // See ARCHITECTURE.md for the component map, the tuple/frame and
-// checkpoint/restore lifecycles, and the catalog of every orcarun
-// scenario with what it proves; ROADMAP.md for the open directions.
-// The root-level benchmarks (bench_test.go) regenerate one measurement
-// per experiment.
+// checkpoint/restore lifecycles, the analyzer catalog, and the catalog
+// of every orcarun scenario with what it proves; ROADMAP.md for the
+// open directions. The root-level benchmarks (bench_test.go)
+// regenerate one measurement per experiment.
 package streamorca

@@ -28,6 +28,28 @@ const (
 	KindSegmentSource = "SegmentSource"
 )
 
+// Custom metric names published by this package's operators. Adaptation
+// routines subscribe to these by name, so producers and consumers share
+// one constant per metric instead of re-spelling the string.
+const (
+	// MetricTweetsClassified counts tweets the sentiment classifier
+	// has labelled.
+	MetricTweetsClassified = "nTweetsClassified"
+	// MetricTotalKnownCauses / MetricTotalUnknownCauses are the cause
+	// matcher's cumulative counters (§5.1).
+	MetricTotalKnownCauses   = "totalKnownCauses"
+	MetricTotalUnknownCauses = "totalUnknownCauses"
+	// MetricRecentKnownCauses / MetricRecentUnknownCauses are the cause
+	// matcher's sliding-window gauges the recompute policy watches.
+	MetricRecentKnownCauses   = "recentKnownCauses"
+	MetricRecentUnknownCauses = "recentUnknownCauses"
+	// MetricProfilesWith* count profiles the enricher discovered with
+	// each attribute (§5.3); the composition policy aggregates them.
+	MetricProfilesWithAge      = "profilesWithAge"
+	MetricProfilesWithGender   = "profilesWithGender"
+	MetricProfilesWithLocation = "profilesWithLocation"
+)
+
 func init() {
 	opapi.Default.RegisterOp(KindTweetSource, func() opapi.Operator { return &tweetSource{} }, &opapi.OpModel{
 		Doc: "emits synthetic tweets from the workload generator",
@@ -286,7 +308,7 @@ func (c *sentimentClassifier) Open(ctx opapi.Context) error {
 func (c *sentimentClassifier) Process(port int, t tuple.Tuple) error {
 	out := t.Clone()
 	c.neg.SetBool(out, strings.Contains(c.text.Str(t), "hate"))
-	c.ctx.CustomMetric("nTweetsClassified").Inc()
+	c.ctx.CustomMetric(MetricTweetsClassified).Inc()
 	return c.ctx.Submit(0, out)
 }
 
@@ -364,9 +386,9 @@ func (m *causeMatcher) Process(port int, t tuple.Tuple) error {
 	cause := extjob.ExtractCause(text)
 	known := cause != "" && m.model.Contains(cause)
 	if known {
-		m.ctx.CustomMetric("totalKnownCauses").Inc()
+		m.ctx.CustomMetric(MetricTotalKnownCauses).Inc()
 	} else {
-		m.ctx.CustomMetric("totalUnknownCauses").Inc()
+		m.ctx.CustomMetric(MetricTotalUnknownCauses).Inc()
 	}
 	m.recent = append(m.recent, known)
 	if known {
@@ -378,8 +400,8 @@ func (m *causeMatcher) Process(port int, t tuple.Tuple) error {
 		}
 		m.recent = m.recent[1:]
 	}
-	m.ctx.CustomMetric("recentKnownCauses").Set(int64(m.nKnown))
-	m.ctx.CustomMetric("recentUnknownCauses").Set(int64(len(m.recent) - m.nKnown))
+	m.ctx.CustomMetric(MetricRecentKnownCauses).Set(int64(m.nKnown))
+	m.ctx.CustomMetric(MetricRecentUnknownCauses).Set(int64(len(m.recent) - m.nKnown))
 
 	out := tuple.New(m.ctx.OutputSchema(0))
 	m.outUser.SetStr(out, m.inUser.Str(t))
@@ -392,8 +414,8 @@ func (m *causeMatcher) Process(port int, t tuple.Tuple) error {
 // window of recent match outcomes. The shared model and corpus live in
 // extjob registries outside the PE and survive on their own.
 func (m *causeMatcher) SaveState(e *ckpt.Encoder) error {
-	e.PutInt(m.ctx.CustomMetric("totalKnownCauses").Value())
-	e.PutInt(m.ctx.CustomMetric("totalUnknownCauses").Value())
+	e.PutInt(m.ctx.CustomMetric(MetricTotalKnownCauses).Value())
+	e.PutInt(m.ctx.CustomMetric(MetricTotalUnknownCauses).Value())
 	e.PutUint(uint64(len(m.recent)))
 	for _, known := range m.recent {
 		e.PutBool(known)
@@ -425,10 +447,10 @@ func (m *causeMatcher) RestoreState(d *ckpt.Decoder) error {
 		return err
 	}
 	m.recent, m.nKnown = recent, nKnown
-	m.ctx.CustomMetric("totalKnownCauses").Set(totalKnown)
-	m.ctx.CustomMetric("totalUnknownCauses").Set(totalUnknown)
-	m.ctx.CustomMetric("recentKnownCauses").Set(int64(m.nKnown))
-	m.ctx.CustomMetric("recentUnknownCauses").Set(int64(len(m.recent) - m.nKnown))
+	m.ctx.CustomMetric(MetricTotalKnownCauses).Set(totalKnown)
+	m.ctx.CustomMetric(MetricTotalUnknownCauses).Set(totalUnknown)
+	m.ctx.CustomMetric(MetricRecentKnownCauses).Set(int64(m.nKnown))
+	m.ctx.CustomMetric(MetricRecentUnknownCauses).Set(int64(len(m.recent) - m.nKnown))
 	return nil
 }
 
@@ -634,13 +656,13 @@ func (e *profileEnricher) Process(port int, t tuple.Tuple) error {
 	// The aggregate counts include duplicates across C2 applications,
 	// as the paper notes; only the data store is deduplicated.
 	if rec.HasAge {
-		e.ctx.CustomMetric("profilesWithAge").Inc()
+		e.ctx.CustomMetric(MetricProfilesWithAge).Inc()
 	}
 	if rec.HasGen {
-		e.ctx.CustomMetric("profilesWithGender").Inc()
+		e.ctx.CustomMetric(MetricProfilesWithGender).Inc()
 	}
 	if rec.HasLoc {
-		e.ctx.CustomMetric("profilesWithLocation").Inc()
+		e.ctx.CustomMetric(MetricProfilesWithLocation).Inc()
 	}
 	e.store.Add(rec)
 	return nil

@@ -29,6 +29,11 @@ const (
 	KindJobTrigger        = "JobTrigger"
 )
 
+// MetricJobsTriggered counts external jobs the embedded trigger
+// operator started — the custom metric experiments compare against the
+// orchestrated variant.
+const MetricJobsTriggered = "nJobsTriggered"
+
 func init() {
 	opapi.Default.RegisterOp(KindThresholdDetector, func() opapi.Operator { return &thresholdDetector{} }, &opapi.OpModel{
 		Doc:     "emits a trigger tuple when the unknown/known cause ratio crosses a threshold",
@@ -208,7 +213,7 @@ func (j *jobTrigger) Process(port int, t tuple.Tuple) error {
 	}
 	j.fired = true
 	j.last = now
-	j.ctx.CustomMetric("nJobsTriggered").Inc()
+	j.ctx.CustomMetric(MetricJobsTriggered).Inc()
 	return nil
 }
 

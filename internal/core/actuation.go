@@ -38,12 +38,12 @@ func (s *Service) submitInternal(appName string, params map[string]string, confi
 	jobADL, ok1 := s.cfg.SAM.JobADL(job)
 	peIDs, hosts, ok2 := s.cfg.SAM.PEPlacement(job)
 	if !ok1 || !ok2 {
-		_ = s.cfg.SAM.CancelJob(job)
+		_ = s.cfg.SAM.CancelJob(job) //orcalint:ignore actuationcheck best-effort rollback; the vanished-job error below is the one the caller acts on
 		return ids.InvalidJob, fmt.Errorf("core: job %s vanished during submission", job)
 	}
 	g, err := graph.Build(jobADL, job, peIDs, hosts)
 	if err != nil {
-		_ = s.cfg.SAM.CancelJob(job)
+		_ = s.cfg.SAM.CancelJob(job) //orcalint:ignore actuationcheck best-effort rollback; the graph-build error below is the one the caller acts on
 		return ids.InvalidJob, fmt.Errorf("core: graph for %s: %w", appName, err)
 	}
 	s.mu.Lock()

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ActuationCheck reports discarded results of platform actuations.
+var ActuationCheck = &Analyzer{
+	Name: "actuationcheck",
+	Doc: `actuation results must not be discarded
+
+Every actuation (RestartPE, CheckpointPE, ResizeRegion, ...) returns an
+error that feeds the retry, journalling, and degradation machinery; a
+discarded result hides a failed actuation and the routine keeps acting
+on a world model that no longer holds. The analyzer flags actuation
+calls whose result is dropped — as a bare call statement, behind go or
+defer, or assigned to the blank identifier — and guard-wrapped Handler
+invocations treated the same way. Genuinely best-effort call sites
+(rollback paths, sweep loops) carry an //orcalint:ignore actuationcheck
+directive with the reason.`,
+	Run: runActuationCheck,
+}
+
+// Actuation methods per declaring package. The orca facade re-exports
+// these types as aliases, so facade calls resolve to the same objects.
+var actuationMethods = map[string]map[string]bool{
+	corePath: {
+		"SubmitApplication":      true,
+		"CancelJob":              true,
+		"RestartPE":              true,
+		"CheckpointPE":           true,
+		"StopPE":                 true,
+		"KillPE":                 true,
+		"ResizeRegion":           true,
+		"ControlOperator":        true,
+		"MakeExclusiveHostPools": true,
+		"RepartitionApplication": true,
+		"StartApp":               true,
+		"StopApp":                true,
+	},
+	samPath: {
+		"SubmitJob":       true,
+		"CancelJob":       true,
+		"RestartPE":       true,
+		"CheckpointPE":    true,
+		"StopPE":          true,
+		"KillPE":          true,
+		"ControlOperator": true,
+		"ResizeRegion":    true,
+	},
+}
+
+func runActuationCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call, "dropped by a bare call statement")
+				}
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, n.Call, "dropped by the go statement")
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, n.Call, "dropped by the defer statement")
+			case *ast.AssignStmt:
+				checkDiscardingAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardingAssign flags assignments that send an actuation's error
+// result to the blank identifier.
+func checkDiscardingAssign(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 {
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		// The error is always the last result, so the last LHS is the
+		// one that must not be blank.
+		if ok && isBlank(as.Lhs[len(as.Lhs)-1]) {
+			checkDiscardedCall(pass, call, "assigned to the blank identifier")
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := unparen(rhs).(*ast.CallExpr)
+		if ok && i < len(as.Lhs) && isBlank(as.Lhs[i]) {
+			checkDiscardedCall(pass, call, "assigned to the blank identifier")
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// checkDiscardedCall reports the call if it is an actuation method or a
+// guard-wrapped Handler invocation.
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr, how string) {
+	if m := calledMethod(pass.TypesInfo, call); m != nil {
+		if methodRecv(m) == nil || m.Pkg() == nil {
+			return
+		}
+		if actuationMethods[m.Pkg().Path()][m.Name()] {
+			pass.Reportf(call.Pos(),
+				"error from actuation %s.%s %s: actuation outcomes feed the retry and journalling machinery, and a dropped error hides a failed actuation (add //orcalint:ignore actuationcheck <reason> if this site is genuinely best-effort)",
+				m.Pkg().Name(), m.Name(), how)
+		}
+		return
+	}
+	// Not a named method: a guard-wrapped handler invocation has the
+	// defined function type core.Handler[C].
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if ok && tv.IsValue() && typeIs(tv.Type, corePath, "Handler") {
+		pass.Reportf(call.Pos(),
+			"error from a core.Handler call %s: the handler's error is the signal guards and the dispatcher act on",
+			how)
+	}
+}

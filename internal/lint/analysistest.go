@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// This file is the package's analysistest equivalent: fixtures under
+// testdata/src/<name> are real module packages (the go tool skips
+// testdata directories in wildcard patterns, so they never leak into
+// builds) annotated with expectation comments of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// Each expectation must be matched by a diagnostic reported on its line,
+// and every diagnostic must be claimed by an expectation — unexpected
+// findings and stale expectations both fail.
+
+// expectation is one parsed want comment pattern.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Patterns may be backquoted (the usual form, since diagnostic messages
+// quote identifiers) or double-quoted.
+var (
+	wantRE   = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	quotedRE = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+)
+
+// CheckFixture loads the fixture package testdata/src/<fixture>
+// (relative to dir), applies the analyzers, and returns one error
+// message per mismatch between diagnostics and want comments.
+func CheckFixture(dir string, analyzers []*Analyzer, fixture string) ([]string, error) {
+	pkgs, err := Load(dir, "./testdata/src/"+fixture)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) != 1 {
+		return nil, fmt.Errorf("fixture %s: loaded %d packages, want 1", fixture, len(pkgs))
+	}
+	pkg := pkgs[0]
+	diags, err := runAnalyzers(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	wants, err := parseWants(pkg)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched want %v", w.file, w.line, w.re))
+		}
+	}
+	return problems, nil
+}
+
+// parseWants extracts every expectation comment from the fixture's
+// syntax.
+func parseWants(pkg *Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := quotedRE.FindAllString(m[1], -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: unquote %s: %w", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: compile %q: %w", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// claimWant marks the first unmatched expectation on the diagnostic's
+// line whose pattern matches the message.
+func claimWant(wants []*expectation, d Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.line != d.Pos.Line || w.file != d.Pos.Filename {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// This file loads packages for analysis without golang.org/x/tools: it
+// shells out to `go list -export -deps -json` for package metadata and
+// build-cache export data, parses the target packages' sources, and
+// type-checks them with the standard library's gc importer reading the
+// export files — the same pipeline go vet drives, minus the toolchain
+// plumbing.
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	directives []*fileDirective
+}
+
+// listEntry mirrors the subset of `go list -json` output the loader
+// needs.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns (relative to dir, "" for
+// the current directory), type-checks the non-dependency matches from
+// source, and returns them sorted by import path. Test files are not
+// analyzed: orcalint guards production contracts, and tests exercise
+// mismatches deliberately.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	entries, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	var targets []listEntry
+	for _, e := range entries {
+		if e.Error != nil && !e.DepOnly {
+			return nil, fmt.Errorf("lint: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+	imp := newExportImporter(exports)
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		p, err := typeCheck(t, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func goList(dir string, patterns ...string) ([]listEntry, error) {
+	args := []string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Error",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// newExportImporter returns a types.Importer resolving import paths
+// through build-cache export data files.
+func newExportImporter(exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(token.NewFileSet(), "gc", lookup)
+}
+
+// typeCheck parses and type-checks one package from its listed sources.
+func typeCheck(e listEntry, imp types.Importer) (*Package, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(e.GoFiles))
+	var directives []*fileDirective
+	for _, name := range e.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+		directives = append(directives, parseIgnores(fset, f)...)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", e.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:    e.ImportPath,
+		Dir:        e.Dir,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+		directives: directives,
+	}, nil
+}
+
+// Run loads the packages matching patterns and applies every analyzer,
+// returning all findings sorted by position — the entry point shared by
+// cmd/orcalint and the fixture harness.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := runAnalyzers(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}

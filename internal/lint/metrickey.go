@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MetricKey reports raw string literals in positions where a metric
+// name flows.
+var MetricKey = &Analyzer{
+	Name: "metrickey",
+	Doc: `metric names must be named constants, never raw string literals
+
+A misspelled metric-name literal compiles, matches nothing, and the
+subscribing routine observes nothing forever. The analyzer flags string
+literals used where a metric name flows: the metric filters of
+operator/PE/port metric scopes (AddOperatorMetric, AddPEMetric,
+AddPortMetric), CustomMetric registrations, and comparisons or switches
+on the metric-name field of a metric event context or sample
+(ctx.Metric, Sample.Name). Use the internal/metrics constants (or their
+streams.Metric* re-exports) for built-ins and an exported constant next
+to the CustomMetric call for custom metrics, so every producer and
+consumer of a name shares one point of truth.`,
+	Run: runMetricKey,
+}
+
+// metricFilterMethods are the scope-builder methods whose every
+// argument is a metric name.
+var metricFilterMethods = map[string]bool{
+	"AddOperatorMetric": true,
+	"AddPEMetric":       true,
+	"AddPortMetric":     true,
+}
+
+func runMetricKey(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkMetricCall(pass, n)
+			case *ast.BinaryExpr:
+				checkMetricComparison(pass, n)
+			case *ast.SwitchStmt:
+				checkMetricSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMetricCall(pass *Pass, call *ast.CallExpr) {
+	m := calledMethod(pass.TypesInfo, call)
+	if m == nil {
+		return
+	}
+	switch {
+	case metricFilterMethods[m.Name()] && funcIsFrom(m, corePath):
+		for _, arg := range call.Args {
+			reportMetricLiteral(pass, arg, m.Name())
+		}
+	case m.Name() == "CustomMetric" && len(call.Args) == 1 && isStringParamMethod(m):
+		reportMetricLiteral(pass, call.Args[0], "CustomMetric")
+	}
+}
+
+// isStringParamMethod reports whether the method takes exactly one
+// string parameter — distinguishing the operator-context CustomMetric
+// from unrelated same-named methods.
+func isStringParamMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 {
+		return false
+	}
+	b, ok := sig.Params().At(0).Type().(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+// metricNameExpr reports whether e reads a metric-name field: the
+// Metric field of a core event context, or the Name field of a
+// metrics.Sample.
+func metricNameExpr(pass *Pass, e ast.Expr) bool {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return false
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil {
+		return false
+	}
+	switch field.Pkg().Path() {
+	case corePath:
+		return field.Name() == "Metric"
+	case metricsPath:
+		return field.Name() == "Name" && typeIs(selection.Recv(), metricsPath, "Sample")
+	}
+	return false
+}
+
+func checkMetricComparison(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if metricNameExpr(pass, be.X) {
+		reportMetricLiteral(pass, be.Y, "comparison")
+	}
+	if metricNameExpr(pass, be.Y) {
+		reportMetricLiteral(pass, be.X, "comparison")
+	}
+}
+
+func checkMetricSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !metricNameExpr(pass, sw.Tag) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, v := range cc.List {
+			reportMetricLiteral(pass, v, "switch case")
+		}
+	}
+}
+
+func reportMetricLiteral(pass *Pass, e ast.Expr, where string) {
+	if !isStringLiteral(e) {
+		return
+	}
+	v, _ := stringConst(pass.TypesInfo, e)
+	if v == "" {
+		return // empty string is an absence test, not a metric name
+	}
+	pass.Reportf(e.Pos(),
+		"metric name %q in %s must be a named constant (internal/metrics, a streams.Metric* re-export, or the exported constant beside its CustomMetric registration), not a string literal",
+		v, where)
+}

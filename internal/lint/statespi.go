@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+)
+
+// StateSPI reports half-implemented checkpoint SPIs: types that save
+// state they can never restore, or split state they can never merge.
+var StateSPI = &Analyzer{
+	Name: "statespi",
+	Doc: `checkpoint SPI methods must come in complete pairs
+
+A type with a SaveState(*ckpt.Encoder) error method but no matching
+RestoreState compiles and checkpoints happily — and silently never
+restores, because the PE runtime gates restoration on the full
+StatefulOperator interface. The analyzer reports SaveState without
+RestoreState (and vice versa), MergeState without SplitState (and vice
+versa), and Merge/Split pairs on types that do not implement the full
+StatefulOperator contract PartitionedStateOperator embeds.`,
+	Run: runStateSPI,
+}
+
+func runStateSPI(pass *Pass) error {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		checkStateMethods(pass, named)
+	}
+	return nil
+}
+
+// spiMethod looks up one checkpoint SPI method on *named and verifies
+// its exact signature; a same-named method with a different shape is
+// reported as a near-miss rather than silently skipped.
+func spiMethod(pass *Pass, named *types.Named, name string, params ...string) *types.Func {
+	f := lookupMethod(named, name)
+	if f == nil {
+		return nil
+	}
+	if !sigMatches(f, params...) {
+		pass.Reportf(safePos(pass, f, named),
+			"type %s has a method %s whose signature does not match the checkpoint SPI (want func(%s) error): it will never be called by the checkpoint driver",
+			named.Obj().Name(), name, joinComma(params))
+		return nil
+	}
+	return f
+}
+
+// safePos returns the method's position when it is declared in the
+// package under analysis, and the type's position otherwise (a method
+// promoted from an imported embedded type has no position in this
+// package's file set).
+func safePos(pass *Pass, f *types.Func, named *types.Named) token.Pos {
+	if f.Pkg() == pass.Pkg {
+		return f.Pos()
+	}
+	return named.Obj().Pos()
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}
+
+func checkStateMethods(pass *Pass, named *types.Named) {
+	enc := "*" + ckptPath + ".Encoder"
+	dec := "*" + ckptPath + ".Decoder"
+	save := spiMethod(pass, named, "SaveState", enc)
+	restore := spiMethod(pass, named, "RestoreState", dec)
+	merge := spiMethod(pass, named, "MergeState", dec)
+	split := spiMethod(pass, named, "SplitState", enc, "int", "int")
+
+	typeName := named.Obj().Name()
+	switch {
+	case save != nil && restore == nil:
+		pass.Reportf(save.Pos(),
+			"type %s implements SaveState but not RestoreState: snapshots are captured but a restarted PE silently never restores them (StatefulOperator requires both)",
+			typeName)
+	case restore != nil && save == nil:
+		pass.Reportf(restore.Pos(),
+			"type %s implements RestoreState but not SaveState: no snapshot is ever captured for it to restore (StatefulOperator requires both)",
+			typeName)
+	}
+	switch {
+	case merge != nil && split == nil:
+		pass.Reportf(merge.Pos(),
+			"type %s implements MergeState but not SplitState: a region resize could fold its state but never re-cut it (PartitionedStateOperator requires both)",
+			typeName)
+	case split != nil && merge == nil:
+		pass.Reportf(split.Pos(),
+			"type %s implements SplitState but not MergeState: a region resize could re-cut its state but never fold it (PartitionedStateOperator requires both)",
+			typeName)
+	}
+	if merge != nil && split != nil && (save == nil || restore == nil) {
+		pass.Reportf(merge.Pos(),
+			"type %s implements MergeState/SplitState without the full StatefulOperator contract: PartitionedStateOperator embeds StatefulOperator, so migration state has no capture/restore path",
+			typeName)
+	}
+}

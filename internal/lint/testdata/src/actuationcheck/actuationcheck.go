@@ -1,0 +1,38 @@
+// Package actuationcheck is an orcalint fixture: actuation calls whose
+// error results are dropped in every shape the analyzer recognises,
+// alongside handled and legitimately-exempted forms.
+package actuationcheck
+
+import (
+	"streamorca/internal/core"
+	"streamorca/internal/ids"
+)
+
+func discards(act *core.Actions, pe ids.PEID, job ids.JobID) {
+	act.RestartPE(pe)                      // want `error from actuation core.RestartPE dropped by a bare call statement`
+	go act.CheckpointPE(pe)                // want `error from actuation core.CheckpointPE dropped by the go statement`
+	defer act.CancelJob(job)               // want `error from actuation core.CancelJob dropped by the defer statement`
+	_ = act.ResizeRegion(job, "reg", 2)    // want `error from actuation core.ResizeRegion assigned to the blank identifier`
+	_, _ = act.SubmitApplication("a", nil) // want `error from actuation core.SubmitApplication assigned to the blank identifier`
+}
+
+func handled(act *core.Actions, pe ids.PEID) error {
+	if err := act.RestartPE(pe); err != nil { // handled: clean
+		return err
+	}
+	job, err := act.SubmitApplication("a", nil) // handled: clean
+	_ = job
+	return err
+}
+
+func exempted(act *core.Actions, pe ids.PEID) {
+	_ = act.CheckpointPE(pe) //orcalint:ignore actuationcheck best-effort snapshot in a fixture
+	//orcalint:ignore actuationcheck own-line directive form, also best-effort
+	_ = act.RestartPE(pe)
+}
+
+func handlerCalls(h core.Handler[core.PEFailureContext], ctx *core.PEFailureContext, act *core.Actions) error {
+	h(ctx, act)        // want `error from a core.Handler call dropped by a bare call statement`
+	_ = h(ctx, act)    // want `error from a core.Handler call assigned to the blank identifier`
+	return h(ctx, act) // returned to the dispatcher: clean
+}

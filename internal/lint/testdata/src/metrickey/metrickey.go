@@ -1,0 +1,56 @@
+// Package metrickey is an orcalint fixture: metric names spelled as
+// raw string literals in positions where a misspelling silently matches
+// nothing, next to the constant-based forms the analyzer accepts.
+package metrickey
+
+import (
+	"streamorca/internal/core"
+	"streamorca/internal/metrics"
+	"streamorca/internal/opapi"
+)
+
+// localMetric is the exported-constant-beside-the-registration idiom
+// for custom metrics.
+const localMetric = "fixtureCounter"
+
+func scopes() {
+	core.NewOperatorMetricScope("s1").
+		AddOperatorMetric("nTuplesProcessed") // want `metric name "nTuplesProcessed" in AddOperatorMetric must be a named constant`
+	core.NewOperatorMetricScope("s2").
+		AddOperatorMetric(metrics.OpTuplesProcessed) // constant: clean
+	core.NewPEMetricScope("s3").
+		AddPEMetric("ingestRatePerSec") // want `metric name "ingestRatePerSec" in AddPEMetric must be a named constant`
+	core.NewPortMetricScope("s4").
+		AddPortMetric(metrics.PortFinalPunctsQueued) // constant: clean
+}
+
+func observe(ctx *core.OperatorMetricContext, pe *core.PEMetricContext) bool {
+	if ctx.Metric == "nTuplesProcessed" { // want `metric name "nTuplesProcessed" in comparison must be a named constant`
+		return true
+	}
+	if ctx.Metric == metrics.OpTuplesProcessed { // constant: clean
+		return true
+	}
+	if "queueSize" == ctx.Metric { // want `metric name "queueSize" in comparison must be a named constant`
+		return true
+	}
+	switch pe.Metric {
+	case "peQueueDepth": // want `metric name "peQueueDepth" in switch case must be a named constant`
+		return true
+	case metrics.PEIngestRate: // constant: clean
+		return true
+	}
+	return false
+}
+
+func sample(s metrics.Sample) bool {
+	if s.Name == "nTuplesProcessed" { // want `metric name "nTuplesProcessed" in comparison must be a named constant`
+		return true
+	}
+	return s.Name != "" // empty string is an absence test, not a name: clean
+}
+
+func custom(ctx opapi.Context) {
+	ctx.CustomMetric("adhocCounter").Inc() // want `metric name "adhocCounter" in CustomMetric must be a named constant`
+	ctx.CustomMetric(localMetric).Inc()    // constant: clean
+}

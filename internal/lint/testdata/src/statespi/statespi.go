@@ -1,0 +1,81 @@
+// Package statespi is an orcalint fixture: checkpoint SPI
+// implementations that are complete, half-done, or subtly mis-typed.
+// Everything compiles; only the complete pairs would actually be driven
+// by the PE checkpoint machinery.
+package statespi
+
+import "streamorca/internal/ckpt"
+
+// saveOnly checkpoints state it can never get back.
+type saveOnly struct{ n int64 }
+
+func (s *saveOnly) SaveState(e *ckpt.Encoder) error { // want `implements SaveState but not RestoreState`
+	e.PutInt(s.n)
+	return nil
+}
+
+// restoreOnly waits for a snapshot nothing ever writes.
+type restoreOnly struct{ n int64 }
+
+func (r *restoreOnly) RestoreState(d *ckpt.Decoder) error { // want `implements RestoreState but not SaveState`
+	r.n = d.Int()
+	return d.Err()
+}
+
+// nearMiss drops the error result, so the interface assertion in the
+// checkpoint driver never sees it.
+type nearMiss struct{ n int64 }
+
+func (m *nearMiss) SaveState(e *ckpt.Encoder) { // want `signature does not match the checkpoint SPI`
+	e.PutInt(m.n)
+}
+
+// mergeOnly could fold migrated state but never re-cut it.
+type mergeOnly struct{ n int64 }
+
+func (m *mergeOnly) SaveState(e *ckpt.Encoder) error { e.PutInt(m.n); return nil }
+func (m *mergeOnly) RestoreState(d *ckpt.Decoder) error {
+	m.n = d.Int()
+	return d.Err()
+}
+
+func (m *mergeOnly) MergeState(d *ckpt.Decoder) error { // want `implements MergeState but not SplitState`
+	m.n += d.Int()
+	return d.Err()
+}
+
+// migrateNoBase has the partitioned pair but not the stateful base, so
+// its migration state has no capture/restore path.
+type migrateNoBase struct{ n int64 }
+
+func (m *migrateNoBase) MergeState(d *ckpt.Decoder) error { // want `without the full StatefulOperator contract`
+	m.n += d.Int()
+	return d.Err()
+}
+
+func (m *migrateNoBase) SplitState(e *ckpt.Encoder, part, width int) error {
+	e.PutInt(m.n)
+	return nil
+}
+
+// complete implements the full partitioned-state contract: clean.
+type complete struct{ n int64 }
+
+func (c *complete) SaveState(e *ckpt.Encoder) error { e.PutInt(c.n); return nil }
+func (c *complete) RestoreState(d *ckpt.Decoder) error {
+	c.n = d.Int()
+	return d.Err()
+}
+func (c *complete) MergeState(d *ckpt.Decoder) error { c.n += d.Int(); return d.Err() }
+func (c *complete) SplitState(e *ckpt.Encoder, part, width int) error {
+	e.PutInt(c.n / int64(width))
+	return nil
+}
+
+// suppressed documents a deliberate exemption through the escape hatch.
+type suppressed struct{ n int64 }
+
+func (s *suppressed) SaveState(e *ckpt.Encoder) error { //orcalint:ignore statespi fixture type restored by an external replayer
+	e.PutInt(s.n)
+	return nil
+}

@@ -24,6 +24,16 @@ const (
 	KindCountSink     = "CountSink"
 )
 
+// Custom metric names published by the library's operators, exported so
+// routines and benchmarks subscribe by constant rather than re-spelling
+// the string.
+const (
+	// MetricTuplesDropped counts tuples Filter/DynamicFilter discarded.
+	MetricTuplesDropped = "nTuplesDropped"
+	// MetricTuplesSeen counts tuples CountSink swallowed.
+	MetricTuplesSeen = "nTuplesSeen"
+)
+
 // comparisonOps are the predicate operators Filter and DynamicFilter
 // accept for their "op" parameter.
 var comparisonOps = []string{"eq", "ne", "lt", "le", "gt", "ge", "contains"}

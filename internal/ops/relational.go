@@ -44,7 +44,7 @@ func (f *filter) Process(port int, t tuple.Tuple) error {
 	if f.pred(t) {
 		return f.ctx.Submit(0, t)
 	}
-	f.ctx.CustomMetric("nTuplesDropped").Inc()
+	f.ctx.CustomMetric(MetricTuplesDropped).Inc()
 	return nil
 }
 
@@ -81,7 +81,7 @@ func (f *dynamicFilter) Process(port int, t tuple.Tuple) error {
 	if pass {
 		return f.ctx.Submit(0, t)
 	}
-	f.ctx.CustomMetric("nTuplesDropped").Inc()
+	f.ctx.CustomMetric(MetricTuplesDropped).Inc()
 	return nil
 }
 

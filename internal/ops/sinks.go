@@ -194,7 +194,7 @@ type countSink struct {
 
 func (s *countSink) Open(ctx opapi.Context) error {
 	s.ctx = ctx
-	s.seen = ctx.CustomMetric("nTuplesSeen")
+	s.seen = ctx.CustomMetric(MetricTuplesSeen)
 	return nil
 }
 

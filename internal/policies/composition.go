@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"streamorca/internal/apps"
 	"streamorca/internal/core"
 	"streamorca/internal/ids"
 	"streamorca/internal/metrics"
@@ -42,9 +43,9 @@ type Composition struct {
 
 // metricToAttr maps the enricher's custom metric names to attributes.
 var metricToAttr = map[string]string{
-	"profilesWithAge":      "age",
-	"profilesWithGender":   "gender",
-	"profilesWithLocation": "location",
+	apps.MetricProfilesWithAge:      "age",
+	apps.MetricProfilesWithGender:   "gender",
+	apps.MetricProfilesWithLocation: "location",
 }
 
 // Name implements core.Routine.
@@ -71,7 +72,7 @@ func (p *Composition) Setup(sc *core.SetupContext) error {
 	}
 	c2scope := core.NewOperatorMetricScope("c2profiles").
 		CustomMetricsOnly().
-		AddOperatorMetric("profilesWithAge", "profilesWithGender", "profilesWithLocation")
+		AddOperatorMetric(apps.MetricProfilesWithAge, apps.MetricProfilesWithGender, apps.MetricProfilesWithLocation)
 	finalScope := core.NewPortMetricScope("c3final").
 		AddApplicationFilter(p.C3App).
 		AddPortMetric(metrics.PortFinalPunctsQueued).

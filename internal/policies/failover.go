@@ -255,7 +255,7 @@ func (p *Failover) promoteFreshest(ctx *core.PEFailureContext, act *core.Actions
 			if info, ok := g.PE(peID); !ok || info.State != "running" {
 				continue
 			}
-			_ = act.CheckpointPE(peID)
+			_ = act.CheckpointPE(peID) //orcalint:ignore actuationcheck best-effort freshness snapshot of the survivors; failover proceeds on the last checkpoint either way
 		}
 	}
 

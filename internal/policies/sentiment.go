@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"streamorca/internal/apps"
 	"streamorca/internal/core"
 	"streamorca/internal/extjob"
 	"streamorca/internal/ids"
@@ -83,7 +84,7 @@ func (p *ModelRecompute) Setup(sc *core.SetupContext) error {
 	scope := core.NewOperatorMetricScope("causeMetrics").
 		AddApplicationFilter(p.App).
 		AddOperatorNameFilter(p.MatcherOp).
-		AddOperatorMetric("recentKnownCauses", "recentUnknownCauses").
+		AddOperatorMetric(apps.MetricRecentKnownCauses, apps.MetricRecentUnknownCauses).
 		CustomMetricsOnly()
 	p.handle = core.Threshold(p.observeRatio, p.Threshold,
 		core.SuppressFor(p.Suppression, p.recompute))
@@ -97,9 +98,9 @@ func (p *ModelRecompute) observeRatio(ctx *core.OperatorMetricContext) (float64,
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	switch ctx.Metric {
-	case "recentKnownCauses":
+	case apps.MetricRecentKnownCauses:
 		p.known, p.knownEpoch = ctx.Value, ctx.Epoch
-	case "recentUnknownCauses":
+	case apps.MetricRecentUnknownCauses:
 		p.unknown, p.unknownEpoch = ctx.Value, ctx.Epoch
 	default:
 		return 0, false

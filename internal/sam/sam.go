@@ -315,7 +315,7 @@ func (s *SAM) SubmitJob(app *adl.Application, opts SubmitOptions) (ids.JobID, er
 	info := s.jobInfoLocked(j)
 	s.mu.Unlock()
 	if estFail != nil {
-		_ = s.CancelJob(jobID)
+		_ = s.CancelJob(jobID) //orcalint:ignore actuationcheck best-effort rollback of a submission that failed to wire; the wiring error is what the caller sees
 		return ids.InvalidJob, fmt.Errorf("sam: wire %s: %w", app.Name, estFail)
 	}
 	if listener.JobSubmitted != nil {
