@@ -27,6 +27,37 @@
 // allocation-free for fixed-width schemas. See internal/tuple and
 // internal/transport for the layout and framing contracts.
 //
+// # Batch execution
+//
+// Batches survive past the PE boundary: the delivery loop executes
+// whole runs, not single tuples. An operator opts in by implementing
+// streams.BatchOperator — ProcessBatch(port, *tuple.Batch) alongside
+// the mandatory per-tuple Process — and the PE hands it each maximal
+// run of consecutive tuples on a port as one call, reusing a single
+// Batch view per operator (zero allocations on the steady-state path).
+// Punctuation splits runs: marks are always delivered in position
+// through ProcessMark, so window boundaries and final marks keep their
+// ordering guarantees. Operators that do not implement the interface
+// see no change — runs unroll through Process one tuple at a time.
+//
+// The Batch is a borrowed view. It is valid only for the duration of
+// the ProcessBatch call; an operator that retains tuples beyond the
+// call must copy them (tuple.Clone), exactly the contract Process has
+// always had. Submissions made while a batch executes are coalesced:
+// outputs buffer per port and flush as one batch into same-PE
+// consumers (one queue operation) and as one run into cross-PE links,
+// so a chain of batch-aware operators inside a PE never degrades to
+// per-tuple handoff. If ProcessBatch returns an error the buffered
+// outputs of the failing call are discarded rather than forwarded —
+// restart-based recovery replays from upstream, and forwarding the
+// partial effects would double-deliver them — the PE crashes, and the
+// undelivered remainder of the accepted batch is logged and counted on
+// nTuplesDropped. The hot built-ins (Functor, Filter, Aggregate
+// ingest, CountSink, LatencySink) implement the interface with tight
+// column-slice loops; the orcalint batchspi analyzer guards the
+// signature contracts (a mis-typed ProcessBatch would otherwise
+// silently fall back to the per-tuple path).
+//
 // # Operator model
 //
 // Operator kinds register declarative descriptors (opapi.OpModel) —
@@ -117,9 +148,14 @@
 // Every PE publishes a snapshot-age gauge, lastCheckpointAgeMs
 // (streams.MetricCheckpointAgeMs): milliseconds since its state was
 // last anchored to a snapshot — a completed checkpoint, or a restore at
-// start-up — and -1 before any anchor. The gauge rides the ordinary
-// HC→SRM→orchestrator metric path, so adaptation routines observe it
-// with an OnPEMetric subscription like any other PE metric.
+// start-up — and -1 before any anchor. Snapshots record their capture
+// instant in the header (format v2; v1 snapshots still parse, with the
+// instant unknown), so a restore anchors the gauge to when the state
+// was actually captured, not to the restart — a replica restored from
+// an hour-old snapshot honestly reports an hour of staleness. The gauge
+// rides the ordinary HC→SRM→orchestrator metric path, so adaptation
+// routines observe it with an OnPEMetric subscription like any other PE
+// metric.
 //
 // The §5.2 failover policy (internal/policies.Failover, and the
 // orcarun staleness-failover scenario) is built on this signal. The
@@ -281,8 +317,9 @@
 // misspelled metric name matches nothing, a SaveState without
 // RestoreState checkpoints state that is never restored, a discarded
 // actuation error hides a failed restart. internal/lint encodes these
-// invariants as orcalint analyzers (paramdrift, metrickey, statespi,
-// actuationcheck), built on the standard library's go/types against
+// invariants as orcalint analyzers (paramdrift, metrickey, batchspi,
+// statespi, actuationcheck), built on the standard library's go/types
+// against
 // build-cache export data so the module keeps its zero-dependency
 // property. cmd/orcalint runs the suite over any package pattern and
 // fails on the first finding; -list prints the analyzer catalog. CI

@@ -312,6 +312,25 @@ func (c *sentimentClassifier) Process(port int, t tuple.Tuple) error {
 	return c.ctx.Submit(0, out)
 }
 
+// ProcessBatch classifies the run with the counter resolved once and
+// bumped in one add; the per-tuple clone stays (the classified copy
+// escapes downstream).
+func (c *sentimentClassifier) ProcessBatch(port int, b *tuple.Batch) error {
+	text, neg := c.text, c.neg
+	classified := int64(0)
+	for _, t := range b.Tuples() {
+		out := t.Clone()
+		neg.SetBool(out, strings.Contains(text.Str(t), "hate"))
+		classified++
+		if err := c.ctx.Submit(0, out); err != nil {
+			c.ctx.CustomMetric(MetricTweetsClassified).Add(classified)
+			return err
+		}
+	}
+	c.ctx.CustomMetric(MetricTweetsClassified).Add(classified)
+	return nil
+}
+
 // causeMatcher correlates negative tweets with the known-cause model
 // (§5.1). It maintains the two cumulative custom metrics the paper
 // describes (totalKnownCauses, totalUnknownCauses) plus sliding-window

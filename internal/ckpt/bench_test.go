@@ -67,6 +67,45 @@ func BenchmarkCheckpointEncode(b *testing.B) {
 	}
 }
 
+// TestEncodeReusesPooledBuffers pins the pooled-buffer fast path for
+// large snapshots: a ~100 KB encode (the g10_s600 shape) must keep its
+// grown buffers through the pool instead of falling back to growing a
+// fresh 512-byte buffer every capture. A regression to the old 64 KB
+// pool cap shows up here as the full append-doubling ladder (about ten
+// allocations and ~200 KB copied) reappearing on every encode.
+func TestEncodeReusesPooledBuffers(t *testing.T) {
+	// Pre-render the group names: fmt.Sprintf inside the measured loop
+	// would charge its own allocations to the encoder.
+	names := make([]string, 10)
+	for g := range names {
+		names[g] = fmt.Sprintf("SYM%03d", g)
+	}
+	base := time.Unix(0, 1345852800000000000)
+	encode := func() {
+		w := NewWriter()
+		_ = w.Section("agg", "Aggregate", func(e *Encoder) error {
+			e.PutUint(uint64(len(names)))
+			for _, name := range names {
+				e.PutStr(name)
+				e.PutUint(600)
+				for s := 0; s < 600; s++ {
+					e.PutTime(base.Add(time.Duration(s) * time.Millisecond))
+					e.PutFloat(100 + float64(s)*0.25)
+				}
+			}
+			return nil
+		})
+		if len(w.Finish()) < 64<<10 {
+			t.Fatal("snapshot unexpectedly small: the test no longer exercises the large-buffer path")
+		}
+		w.Close()
+	}
+	encode() // warm the pool with grown buffers
+	if allocs := testing.AllocsPerRun(20, encode); allocs > 4 {
+		t.Errorf("large snapshot encode allocated %.1f objects/op after warm-up; want <= 4 (pooled buffers not reused)", allocs)
+	}
+}
+
 // BenchmarkCheckpointDecode measures restore-side parsing: CRC verify,
 // section framing, and a full decode of the aggregate payload.
 func BenchmarkCheckpointDecode(b *testing.B) {

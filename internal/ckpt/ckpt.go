@@ -10,12 +10,20 @@
 // # Snapshot format
 //
 //	magic    4 bytes  "ORCK"
-//	version  1 byte   (currently 1)
+//	version  1 byte   (currently 2)
+//	captured varint   capture instant, unix-nanos on the platform clock
+//	                  (math.MinInt64 = unknown; absent in version 1)
 //	sections repeated:
 //	  name    uvarint length + bytes   operator instance name
 //	  kind    uvarint length + bytes   operator kind
 //	  payload uvarint length + bytes   operator-encoded state
 //	crc      4 bytes big-endian CRC-32C over everything before it
+//
+// The capture timestamp (added in version 2) lets a restarted PE
+// compute its exact post-restore staleness: lastCheckpointAgeMs after a
+// restore measures from the adopted snapshot's capture instant, not
+// from the restore moment. Parse still reads version-1 snapshots; they
+// simply carry no capture instant.
 //
 // Within a payload, operators write primitives through an Encoder and
 // read them back through a Decoder in the same order. The wire
@@ -41,8 +49,14 @@ import (
 	"streamorca/internal/tuple"
 )
 
-// Version is the snapshot format version this package writes.
-const Version = 1
+// Version is the snapshot format version this package writes. Version 2
+// added the capture-timestamp header field; version-1 snapshots are
+// still parsed (their capture instant reads as unknown).
+const Version = 2
+
+// unknownCapture is the captured-header sentinel for "no capture
+// instant recorded", matching the tuple codec's zero-time convention.
+const unknownCapture = math.MinInt64
 
 // magic identifies a snapshot; it is deliberately not a valid tuple
 // frame so a snapshot fed to the tuple codec (or vice versa) fails fast.
@@ -70,11 +84,23 @@ type Writer struct {
 	finished bool
 }
 
-// NewWriter starts a snapshot with the header written.
-func NewWriter() *Writer {
+// NewWriter starts a snapshot with the header written and no capture
+// instant recorded. Checkpoint drivers that know when the capture
+// happens should use NewWriterAt so restores can compute exact
+// staleness ages.
+func NewWriter() *Writer { return NewWriterAt(time.Time{}) }
+
+// NewWriterAt starts a snapshot whose header records at as the capture
+// instant (on the platform clock); the zero time records "unknown".
+func NewWriterAt(at time.Time) *Writer {
 	b := tuple.GetBuf()
 	*b = append(*b, magic[:]...)
 	*b = append(*b, Version)
+	nanos := int64(unknownCapture)
+	if !at.IsZero() {
+		nanos = at.UnixNano()
+	}
+	*b = binary.AppendVarint(*b, nanos)
 	return &Writer{buf: b}
 }
 
@@ -142,10 +168,21 @@ func (s Section) Decoder() *Decoder { return &Decoder{data: s.payload} }
 // Snapshot is a parsed, checksum-verified snapshot.
 type Snapshot struct {
 	sections []Section
+	captured int64 // unix-nanos; unknownCapture when not recorded
 }
 
 // Sections returns the operator sections in capture order.
 func (s *Snapshot) Sections() []Section { return s.sections }
+
+// CapturedAt returns the instant the snapshot was captured at, and
+// whether the snapshot recorded one (version-1 snapshots, and writers
+// not given a clock, did not).
+func (s *Snapshot) CapturedAt() (time.Time, bool) {
+	if s.captured == unknownCapture {
+		return time.Time{}, false
+	}
+	return time.Unix(0, s.captured), true
+}
 
 // Parse verifies and decodes a snapshot. The returned sections alias
 // data; callers keeping a snapshot must keep data alive.
@@ -159,15 +196,24 @@ func Parse(data []byte) (*Snapshot, error) {
 	if !bytes.Equal(data[:len(magic)], magic[:]) {
 		return nil, ErrNotSnapshot
 	}
-	if v := data[len(magic)]; v != Version {
-		return nil, fmt.Errorf("%w: version %d (supported: %d)", ErrVersion, v, Version)
+	v := data[len(magic)]
+	if v != 1 && v != Version {
+		return nil, fmt.Errorf("%w: version %d (supported: 1-%d)", ErrVersion, v, Version)
 	}
 	body, trailer := data[:len(data)-crc32.Size], data[len(data)-crc32.Size:]
 	if got, want := crc32.Checksum(body, castagnoli), binary.BigEndian.Uint32(trailer); got != want {
 		return nil, fmt.Errorf("%w: crc mismatch (computed %08x, stored %08x)", ErrCorrupt, got, want)
 	}
-	snap := &Snapshot{}
+	snap := &Snapshot{captured: unknownCapture}
 	rest := body[len(magic)+1:]
+	if v >= 2 {
+		captured, n := binary.Varint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: capture timestamp", ErrCorrupt)
+		}
+		snap.captured = captured
+		rest = rest[n:]
+	}
 	for len(rest) > 0 {
 		var sec Section
 		var err error

@@ -1,0 +1,68 @@
+package lint
+
+import "go/types"
+
+// BatchSPI reports batch-execution SPI implementations that break the
+// fallback contract or will silently never be called.
+var BatchSPI = &Analyzer{
+	Name: "batchspi",
+	Doc: `ProcessBatch implementers must keep the per-tuple fallback intact
+
+The batch execution SPI is opt-in on top of the per-tuple Operator
+contract: the PE delivery loop hands whole batches to operators
+implementing ProcessBatch(int, *tuple.Batch) error, but still needs the
+per-tuple Process for everything batching does not cover (singleton
+deliveries, mark-adjacent items, non-batch upstreams). A type with
+ProcessBatch but no correctly-shaped Process either fails the Operator
+interface entirely or — worse, with a mis-typed Process — falls out of
+the batch fast path without anyone noticing. The analyzer reports
+ProcessBatch without a matching Process, and near-miss ProcessBatch
+signatures the runtime's interface assertion will silently never
+select.`,
+	Run: runBatchSPI,
+}
+
+func runBatchSPI(pass *Pass) error {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		checkBatchMethods(pass, named)
+	}
+	return nil
+}
+
+func checkBatchMethods(pass *Pass, named *types.Named) {
+	pb := lookupMethod(named, "ProcessBatch")
+	if pb == nil {
+		return
+	}
+	typeName := named.Obj().Name()
+	if !sigMatches(pb, "int", "*"+tuplePath+".Batch") {
+		pass.Reportf(safePos(pass, pb, named),
+			"type %s has a method ProcessBatch whose signature does not match the batch SPI (want func(int, *tuple.Batch) error): the runtime's BatchOperator assertion will silently never select it",
+			typeName)
+		return
+	}
+	proc := lookupMethod(named, "Process")
+	if proc == nil {
+		pass.Reportf(safePos(pass, pb, named),
+			"type %s implements ProcessBatch but not Process: BatchOperator embeds Operator, so the per-tuple fallback the delivery loop requires is missing",
+			typeName)
+		return
+	}
+	if !sigMatches(proc, "int", tuplePath+".Tuple") {
+		pass.Reportf(safePos(pass, proc, named),
+			"type %s implements ProcessBatch but its Process signature does not match the operator SPI (want func(int, tuple.Tuple) error): the per-tuple fallback contract is broken",
+			typeName)
+	}
+}

@@ -1,0 +1,58 @@
+// Package batchspi is an orcalint fixture: batch-execution SPI
+// implementations that are complete, missing their per-tuple fallback,
+// or subtly mis-typed. Everything compiles; only the complete ones
+// would actually be selected by the PE runtime's BatchOperator
+// assertion.
+package batchspi
+
+import "streamorca/internal/tuple"
+
+// complete implements both halves of the contract: clean.
+type complete struct{ n int64 }
+
+func (c *complete) Process(port int, t tuple.Tuple) error { c.n++; return nil }
+func (c *complete) ProcessBatch(port int, b *tuple.Batch) error {
+	c.n += int64(b.Len())
+	return nil
+}
+
+// batchOnly has no per-tuple fallback at all.
+type batchOnly struct{ n int64 }
+
+func (o *batchOnly) ProcessBatch(port int, b *tuple.Batch) error { // want `implements ProcessBatch but not Process`
+	o.n += int64(b.Len())
+	return nil
+}
+
+// nearMissBatch takes the batch by value, so the interface assertion
+// never selects it and the type silently stays on the per-tuple path.
+type nearMissBatch struct{ n int64 }
+
+func (m *nearMissBatch) Process(port int, t tuple.Tuple) error { m.n++; return nil }
+func (m *nearMissBatch) ProcessBatch(port int, b tuple.Batch) error { // want `signature does not match the batch SPI`
+	m.n += int64(b.Len())
+	return nil
+}
+
+// brokenFallback pairs a correct ProcessBatch with a Process that drops
+// the error result, breaking the Operator interface underneath.
+type brokenFallback struct{ n int64 }
+
+func (f *brokenFallback) Process(port int, t tuple.Tuple) { f.n++ } // want `Process signature does not match the operator SPI`
+func (f *brokenFallback) ProcessBatch(port int, b *tuple.Batch) error {
+	f.n += int64(b.Len())
+	return nil
+}
+
+// tupleOnly never opted into batching: nothing to report.
+type tupleOnly struct{ n int64 }
+
+func (t *tupleOnly) Process(port int, tp tuple.Tuple) error { t.n++; return nil }
+
+// suppressed documents a deliberate exemption through the escape hatch.
+type suppressed struct{ n int64 }
+
+func (s *suppressed) ProcessBatch(port int, b *tuple.Batch) error { //orcalint:ignore batchspi fixture type fed batches by a bespoke harness
+	s.n += int64(b.Len())
+	return nil
+}

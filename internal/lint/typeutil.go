@@ -13,6 +13,7 @@ const (
 	samPath     = "streamorca/internal/sam"
 	ckptPath    = "streamorca/internal/ckpt"
 	metricsPath = "streamorca/internal/metrics"
+	tuplePath   = "streamorca/internal/tuple"
 )
 
 // unparen strips any number of enclosing parentheses.

@@ -37,7 +37,13 @@ const (
 	PETupleBytesSubmitted = "nTupleBytesSubmitted"
 	PETuplesProcessed     = "nTuplesProcessed"
 	PETuplesSubmitted     = "nTuplesSubmitted"
-	PERestarts            = "nRestarts"
+	// PETuplesDropped counts tuples the container accepted but never
+	// delivered to an operator: the undelivered remainder of a batch
+	// whose earlier tuple crashed the PE mid-delivery. The delivery loop
+	// logs the loss and accounts it here, so a frame tail lost to a
+	// mid-batch failure is visible instead of silent.
+	PETuplesDropped = "nTuplesDropped"
+	PERestarts      = "nRestarts"
 	// PERestartAttempts is the cumulative count of restart attempts SAM
 	// spent on this PE, retries included; compared against nRestarts it
 	// exposes how hard the retry layer had to work.

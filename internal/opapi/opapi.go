@@ -269,6 +269,34 @@ type Operator interface {
 	Close() error
 }
 
+// BatchOperator is an opt-in extension of Operator for columnar batch
+// execution: the PE runtime detects the interface at container assembly
+// and hands whole queue batches — transport frames, coalesced intra-PE
+// runs — to ProcessBatch as one call, instead of unpacking them into
+// per-tuple Process calls. Punctuation never enters a batch; marks
+// interleave in position through ProcessMark as usual.
+//
+// Contract:
+//
+//   - ProcessBatch(port, b) must be semantically equivalent to calling
+//     Process(port, t) for each tuple of b in order. Process stays
+//     mandatory and live: single-item deliveries and every non-batch
+//     path still use it (the batchspi analyzer enforces the pair).
+//   - The Batch and the slice Tuples returns are valid only for the
+//     duration of the call; the runtime reuses the view. The tuples
+//     themselves follow the normal framing rules: retaining one past
+//     the call requires Clone, submitting it downstream is safe.
+//   - While ProcessBatch runs, Submit/SubmitMark coalesce: outputs are
+//     buffered and forwarded as whole batches when the call returns, so
+//     intra-PE hops between two batch operators stay batched.
+//   - An error crashes the containing PE exactly like a Process error;
+//     the tuples of the delivery not known to have been processed are
+//     accounted as dropped on the PE's nTuplesDropped counter.
+type BatchOperator interface {
+	Operator
+	ProcessBatch(port int, b *tuple.Batch) error
+}
+
 // Source is implemented by operators with no input ports. The runtime
 // calls Run on a dedicated goroutine; it should emit tuples via the
 // context until stop is closed or the stream is exhausted. Returning nil

@@ -48,6 +48,27 @@ func (f *filter) Process(port int, t tuple.Tuple) error {
 	return nil
 }
 
+// ProcessBatch runs the compiled predicate over the whole run and
+// accounts discards once, keeping the per-tuple work to predicate +
+// submit.
+func (f *filter) ProcessBatch(port int, b *tuple.Batch) error {
+	pred := f.pred
+	dropped := 0
+	for _, t := range b.Tuples() {
+		if !pred(t) {
+			dropped++
+			continue
+		}
+		if err := f.ctx.Submit(0, t); err != nil {
+			return err
+		}
+	}
+	if dropped > 0 {
+		f.ctx.CustomMetric(MetricTuplesDropped).Add(int64(dropped))
+	}
+	return nil
+}
+
 // dynamicFilter is a filter whose predicate can be replaced at runtime by
 // an orchestrator control command — the paper's example of a local,
 // operator-level adaptation the orchestrator complements rather than
@@ -82,6 +103,30 @@ func (f *dynamicFilter) Process(port int, t tuple.Tuple) error {
 		return f.ctx.Submit(0, t)
 	}
 	f.ctx.CustomMetric(MetricTuplesDropped).Inc()
+	return nil
+}
+
+// ProcessBatch snapshots the predicate once per batch — one lock
+// acquisition instead of one per tuple; a concurrent setPredicate takes
+// effect at the next batch boundary, which per-tuple delivery never
+// promised tighter than anyway.
+func (f *dynamicFilter) ProcessBatch(port int, b *tuple.Batch) error {
+	f.mu.Lock()
+	pred := f.pred
+	f.mu.Unlock()
+	dropped := 0
+	for _, t := range b.Tuples() {
+		if !pred(t) {
+			dropped++
+			continue
+		}
+		if err := f.ctx.Submit(0, t); err != nil {
+			return err
+		}
+	}
+	if dropped > 0 {
+		f.ctx.CustomMetric(MetricTuplesDropped).Add(int64(dropped))
+	}
 	return nil
 }
 
@@ -309,6 +354,66 @@ func (f *functor) Process(port int, t tuple.Tuple) error {
 	return f.ctx.Submit(0, out)
 }
 
+// ProcessBatch projects the whole run through column-wise loops: one
+// block allocation covers every output tuple (the outputs escape
+// downstream on Submit, so the block cannot be reused), and each
+// compiled copy / arithmetic spec walks its column across all tuples —
+// the type switch and ref bounds run once per column instead of once
+// per tuple.
+func (f *functor) ProcessBatch(port int, b *tuple.Batch) error {
+	n := b.Len()
+	outs := tuple.NewBlock(f.ctx.OutputSchema(0), n)
+	ins := b.Tuples()
+	for _, c := range f.copies {
+		switch c.in.Type() {
+		case tuple.Int:
+			for i := range outs {
+				c.out.SetInt(outs[i], c.in.Int(ins[i]))
+			}
+		case tuple.Float:
+			for i := range outs {
+				c.out.SetFloat(outs[i], c.in.Float(ins[i]))
+			}
+		case tuple.String:
+			for i := range outs {
+				c.out.SetStr(outs[i], c.in.Str(ins[i]))
+			}
+		case tuple.Bool:
+			for i := range outs {
+				c.out.SetBool(outs[i], c.in.Bool(ins[i]))
+			}
+		case tuple.Timestamp:
+			for i := range outs {
+				c.out.SetTime(outs[i], c.in.Time(ins[i]))
+			}
+		}
+	}
+	if f.addRef.Valid() {
+		ref, delta := f.addRef, f.addDelta
+		for i := range outs {
+			ref.SetInt(outs[i], ref.Int(outs[i])+delta)
+		}
+	}
+	if f.scaleRef.Valid() {
+		ref, by := f.scaleRef, f.scaleBy
+		for i := range outs {
+			ref.SetFloat(outs[i], ref.Float(outs[i])*by)
+		}
+	}
+	if f.setRef.Valid() {
+		ref, val := f.setRef, f.setVal
+		for i := range outs {
+			ref.SetStr(outs[i], val)
+		}
+	}
+	for i := range outs {
+		if err := f.ctx.Submit(0, outs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // split routes each input tuple to one (or all) of its output ports.
 //
 // Parameters:
@@ -393,3 +498,15 @@ type merge struct {
 func (m *merge) Open(ctx opapi.Context) error { m.ctx = ctx; return nil }
 
 func (m *merge) Process(port int, t tuple.Tuple) error { return m.ctx.Submit(0, t) }
+
+// ProcessBatch forwards the run tuple by tuple; with a batch-capable
+// downstream the runtime coalesces the submits back into one batch, so
+// a merge between two batch operators keeps the frame intact.
+func (m *merge) ProcessBatch(port int, b *tuple.Batch) error {
+	for _, t := range b.Tuples() {
+		if err := m.ctx.Submit(0, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -203,6 +203,12 @@ func (s *countSink) Process(port int, t tuple.Tuple) error {
 	return nil
 }
 
+// ProcessBatch counts the whole run with one atomic add.
+func (s *countSink) ProcessBatch(port int, b *tuple.Batch) error {
+	s.seen.Add(int64(b.Len()))
+	return nil
+}
+
 // SaveState snapshots the tuple count.
 func (s *countSink) SaveState(e *ckpt.Encoder) error {
 	e.PutInt(s.seen.Value())

@@ -33,7 +33,10 @@ func (p *PE) Checkpoint() (int, error) {
 	}
 	p.ckptMu.Lock()
 	defer p.ckptMu.Unlock()
-	w := ckpt.NewWriter()
+	// The snapshot header records the capture instant on the platform
+	// clock, so a later restore can compute its exact staleness.
+	capturedAt := p.cfg.Clock.Now()
+	w := ckpt.NewWriterAt(capturedAt)
 	defer w.Close()
 	for _, rt := range p.statefuls {
 		st := rt.op.(opapi.StatefulOperator)
@@ -50,7 +53,7 @@ func (p *PE) Checkpoint() (int, error) {
 	}
 	p.peMetrics.Counter(metrics.PECheckpoints).Inc()
 	p.peMetrics.Counter(metrics.PECheckpointBytes).Add(int64(len(data)))
-	p.noteStateAnchor()
+	p.noteStateAnchorAt(capturedAt)
 	return len(data), nil
 }
 
@@ -164,11 +167,16 @@ func (p *PE) restoreState() {
 	if restored > 0 {
 		p.peMetrics.Counter(metrics.PEStateRestores).Add(int64(restored))
 		// The restored container's state is anchored to the adopted
-		// snapshot. The snapshot format carries no capture timestamp, so
-		// the restore moment stands in for it — optimistic by at most the
-		// capture-to-restart delay, which periodic checkpointing bounds to
-		// about one interval.
-		p.noteStateAnchor()
+		// snapshot. A v2 snapshot carries its capture instant, so the
+		// age gauge starts at the state's true staleness; a v1 snapshot
+		// does not, and the restore moment stands in for it — optimistic
+		// by at most the capture-to-restart delay, which periodic
+		// checkpointing bounds to about one interval.
+		if at, ok := snap.CapturedAt(); ok {
+			p.noteStateAnchorAt(at)
+		} else {
+			p.noteStateAnchor()
+		}
 		p.cfg.Logf("pe %s: restored %d operator state(s) from checkpoint", p.cfg.ID, restored)
 	}
 }

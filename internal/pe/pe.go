@@ -117,8 +117,14 @@ type PE struct {
 	statefuls []*opRuntime // ops implementing opapi.StatefulOperator
 
 	peMetrics *metrics.Set
-	ckptMu    sync.Mutex   // serialises snapshot assembly
-	ckptAt    atomic.Int64 // platform-clock unix nanos of the last state anchor; 0 = never
+	// Hot-path counter cells resolved once at construction: the delivery
+	// and submit paths bump these directly instead of going through the
+	// Set's name lookup (a map access under RWMutex) per tuple.
+	cTuplesIn      *metrics.Counter // PETuplesProcessed
+	cTuplesOut     *metrics.Counter // PETuplesSubmitted
+	cTuplesDropped *metrics.Counter // PETuplesDropped
+	ckptMu         sync.Mutex       // serialises snapshot assembly
+	ckptAt         atomic.Int64     // platform-clock unix nanos of the last state anchor; 0 = never
 
 	// Rate-gauge baseline: the counter values and platform-clock instant
 	// of the previous metric snapshot, from which the ingest/egress
@@ -139,13 +145,37 @@ type PE struct {
 }
 
 type opRuntime struct {
-	pe    *PE
-	spec  OpSpec
-	op    opapi.Operator
-	in    chan queued
-	om    *metrics.OpMetrics
-	inPM  []*metrics.Set // per input port
-	outPM []*metrics.Set // per output port
+	pe   *PE
+	spec OpSpec
+	op   opapi.Operator
+	// batchOp is non-nil when op implements the opt-in batch SPI; the
+	// consume loop then delivers whole queue batches through
+	// ProcessBatch instead of unpacking them into per-tuple calls.
+	batchOp opapi.BatchOperator
+	// view and viewTs are the reusable batch presented to ProcessBatch:
+	// viewTs accumulates the current run of consecutive tuples, view
+	// wraps it without copying storage. Both live on the consume
+	// goroutine only.
+	view   tuple.Batch
+	viewTs []tuple.Tuple
+	// coalescing is set for the duration of a ProcessBatch call: emits
+	// buffer into outBuf (one pending run per output port) and flush as
+	// whole batches when the call returns, keeping intra-PE hops between
+	// two batch operators batched. Only touched on the consume
+	// goroutine.
+	coalescing bool
+	outBuf     [][]Item
+	in         chan queued
+	om         *metrics.OpMetrics
+	inPM       []*metrics.Set // per input port
+	outPM      []*metrics.Set // per output port
+	// Hot-path counter cells resolved once at construction (see the PE
+	// struct's cTuples* fields for the rationale).
+	cProcessed *metrics.Counter   // builtin nTuplesProcessed
+	cSubmitted *metrics.Counter   // builtin nTuplesSubmitted
+	cPuncts    *metrics.Counter   // builtin nPunctsProcessed
+	pIn        []*metrics.Counter // PortTuplesProcessed per input port
+	pOut       []*metrics.Counter // PortTuplesSubmitted per output port
 
 	// routing per output port
 	intra   [][]intraTarget
@@ -235,10 +265,14 @@ func New(cfg Config) (*PE, error) {
 		stopSrc:   make(chan struct{}),
 	}
 	for _, n := range []string{metrics.PETupleBytesProcessed, metrics.PETupleBytesSubmitted,
-		metrics.PETuplesProcessed, metrics.PETuplesSubmitted, metrics.PERestarts,
-		metrics.PECheckpoints, metrics.PECheckpointBytes, metrics.PEStateRestores} {
+		metrics.PETuplesProcessed, metrics.PETuplesSubmitted, metrics.PETuplesDropped,
+		metrics.PERestarts, metrics.PECheckpoints, metrics.PECheckpointBytes,
+		metrics.PEStateRestores} {
 		p.peMetrics.Counter(n)
 	}
+	p.cTuplesIn = p.peMetrics.Counter(metrics.PETuplesProcessed)
+	p.cTuplesOut = p.peMetrics.Counter(metrics.PETuplesSubmitted)
+	p.cTuplesDropped = p.peMetrics.Counter(metrics.PETuplesDropped)
 	// The age gauge starts at "never snapshotted"; the checkpoint driver
 	// and the metric snapshotter keep it current from then on.
 	p.peMetrics.Counter(metrics.PECheckpointAgeMs).Set(-1)
@@ -261,18 +295,25 @@ func New(cfg Config) (*PE, error) {
 			finalSeen: make([]bool, len(spec.Inputs)),
 			loopDone:  make(chan struct{}),
 		}
+		if bo, ok := op.(opapi.BatchOperator); ok {
+			rt.batchOp = bo
+			rt.outBuf = make([][]Item, len(spec.Outputs))
+		}
+		rt.cProcessed = rt.om.Builtin.Counter(metrics.OpTuplesProcessed)
+		rt.cSubmitted = rt.om.Builtin.Counter(metrics.OpTuplesSubmitted)
+		rt.cPuncts = rt.om.Builtin.Counter(metrics.OpPunctsProcessed)
 		for i := range rt.outlets {
 			rt.outlets[i] = &outletSet{}
 		}
 		for range spec.Inputs {
 			s := metrics.NewSet()
-			s.Counter(metrics.PortTuplesProcessed)
+			rt.pIn = append(rt.pIn, s.Counter(metrics.PortTuplesProcessed))
 			s.Counter(metrics.PortFinalPunctsQueued)
 			rt.inPM = append(rt.inPM, s)
 		}
 		for range spec.Outputs {
 			s := metrics.NewSet()
-			s.Counter(metrics.PortTuplesSubmitted)
+			rt.pOut = append(rt.pOut, s.Counter(metrics.PortTuplesSubmitted))
 			rt.outPM = append(rt.outPM, s)
 		}
 		rt.ctx = newOpContext(rt)
@@ -542,6 +583,21 @@ func (p *PE) noteStateAnchor() {
 	p.peMetrics.Counter(metrics.PECheckpointAgeMs).Set(0)
 }
 
+// noteStateAnchorAt anchors the container's state to a snapshot captured
+// at the given past instant — the restore path uses the capture timestamp
+// a v2 snapshot carries, so the age gauge reflects the true staleness of
+// the adopted state rather than resetting to zero at restore time.
+func (p *PE) noteStateAnchorAt(at time.Time) {
+	nanos := at.UnixNano()
+	if nanos == 0 {
+		// A manual clock positioned exactly at the epoch would collide
+		// with the "never anchored" sentinel; nudge by one nanosecond.
+		nanos = 1
+	}
+	p.ckptAt.Store(nanos)
+	p.refreshCheckpointAge()
+}
+
 // refreshCheckpointAge recomputes the snapshot-age gauge against the
 // platform clock: -1 while the container has never anchored its state.
 func (p *PE) refreshCheckpointAge() {
@@ -668,13 +724,7 @@ func (rt *opRuntime) consumeLoop() {
 				continue
 			}
 			if q.batch != nil {
-				done := false
-				for _, it := range q.batch.Items {
-					if rt.deliver(queued{port: q.port, item: it}) {
-						done = true
-						break
-					}
-				}
+				done := rt.deliverBatch(q.port, q.batch)
 				PutBatch(q.batch)
 				if done {
 					return // all inputs finalised (or crashed)
@@ -690,11 +740,138 @@ func (rt *opRuntime) consumeLoop() {
 	}
 }
 
+// countTuples returns the number of tuple (non-mark) items in a run.
+func countTuples(items []Item) int {
+	n := 0
+	for _, it := range items {
+		if !it.IsMark() {
+			n++
+		}
+	}
+	return n
+}
+
+// deliverBatch hands one queued batch to the operator. Batch
+// implementers receive each run of consecutive tuples as one
+// ProcessBatch call (marks interleave in position through the per-item
+// path); everyone else gets the per-item loop. Either way the
+// partial-batch contract holds: when a mid-batch failure crashes the
+// container, the undelivered remainder of the batch is logged and
+// accounted on the PE's nTuplesDropped counter instead of vanishing
+// silently. It reports whether the consume loop should exit.
+func (rt *opRuntime) deliverBatch(port int, b *Batch) bool {
+	items := b.Items
+	if rt.batchOp == nil {
+		for i, it := range items {
+			if rt.deliver(queued{port: port, item: it}) {
+				if !rt.finalised.Load() {
+					rt.noteBatchLoss(countTuples(items[i+1:]))
+				}
+				return true
+			}
+		}
+		return false
+	}
+	i := 0
+	for i < len(items) {
+		if items[i].IsMark() {
+			if rt.deliver(queued{port: port, item: items[i]}) {
+				if !rt.finalised.Load() {
+					rt.noteBatchLoss(countTuples(items[i+1:]))
+				}
+				return true
+			}
+			i++
+			continue
+		}
+		j := i
+		for j < len(items) && !items[j].IsMark() {
+			rt.viewTs = append(rt.viewTs, items[j].T)
+			j++
+		}
+		n := int64(j - i)
+		rt.view.SetView(rt.viewTs)
+		rt.coalescing = true
+		err := rt.batchOp.ProcessBatch(port, &rt.view)
+		rt.coalescing = false
+		clear(rt.viewTs)
+		rt.viewTs = rt.viewTs[:0]
+		rt.view.SetView(nil)
+		if err != nil {
+			rt.pe.crash(fmt.Sprintf("operator %s: %v", rt.spec.Name, err))
+			// The failed call's tuples are not known to have been
+			// processed; they and the rest of the batch are lost.
+			rt.dropCoalesced()
+			rt.noteBatchLoss(int(n) + countTuples(items[j:]))
+			return true
+		}
+		rt.cProcessed.Add(n)
+		rt.pIn[port].Add(n)
+		rt.pe.cTuplesIn.Add(n)
+		rt.flushCoalesced()
+		i = j
+	}
+	return false
+}
+
+// noteBatchLoss logs and accounts tuples of an accepted batch that will
+// never reach their operator because an earlier failure crashed the
+// container mid-batch.
+func (rt *opRuntime) noteBatchLoss(lost int) {
+	if lost <= 0 {
+		return
+	}
+	rt.pe.cTuplesDropped.Add(int64(lost))
+	rt.pe.cfg.Logf("pe %s: operator %s: dropped %d undelivered tuple(s) after mid-batch failure",
+		rt.pe.cfg.ID, rt.spec.Name, lost)
+}
+
+// flushCoalesced forwards the outputs buffered during a ProcessBatch
+// call: every intra-PE target receives its port's run as one batch (one
+// queue operation), external outlets receive the items in order (links
+// batch internally), and the submission counters advance by the run's
+// tuple count in one step per port.
+func (rt *opRuntime) flushCoalesced() {
+	for port := range rt.outBuf {
+		buf := rt.outBuf[port]
+		if len(buf) == 0 {
+			continue
+		}
+		if nt := int64(countTuples(buf)); nt > 0 {
+			rt.cSubmitted.Add(nt)
+			rt.pOut[port].Add(nt)
+			rt.pe.cTuplesOut.Add(nt)
+		}
+		for _, tgt := range rt.intra[port] {
+			nb := GetBatch()
+			nb.Items = append(nb.Items, buf...)
+			tgt.op.enqueueBatch(tgt.port, nb)
+		}
+		os := rt.outlets[port]
+		for _, it := range buf {
+			os.each(it)
+		}
+		clear(buf)
+		rt.outBuf[port] = buf[:0]
+	}
+}
+
+// dropCoalesced discards outputs buffered by a ProcessBatch call that
+// failed: the container is crashing, and forwarding the partial effects
+// of a failed batch would double-deliver them after a restart replays
+// upstream of the failure point.
+func (rt *opRuntime) dropCoalesced() {
+	for port := range rt.outBuf {
+		clear(rt.outBuf[port])
+		rt.outBuf[port] = rt.outBuf[port][:0]
+	}
+}
+
 // deliver processes one queued item; it reports whether the operator has
 // now seen final punctuation on every input port.
 func (rt *opRuntime) deliver(q queued) bool {
 	if q.item.IsMark() {
-		rt.om.Builtin.Counter(metrics.OpPunctsProcessed).Inc()
+		rt.cPuncts.Inc()
 		if q.item.Mark == tuple.FinalMark {
 			if rt.finalSeen[q.port] {
 				return false // duplicate final on a port: ignore
@@ -714,9 +891,9 @@ func (rt *opRuntime) deliver(q queued) bool {
 		}
 		return false
 	}
-	rt.om.Builtin.Counter(metrics.OpTuplesProcessed).Inc()
-	rt.inPM[q.port].Counter(metrics.PortTuplesProcessed).Inc()
-	rt.pe.peMetrics.Counter(metrics.PETuplesProcessed).Inc()
+	rt.cProcessed.Inc()
+	rt.pIn[q.port].Inc()
+	rt.pe.cTuplesIn.Inc()
 	if err := rt.op.Process(q.port, q.item.T); err != nil {
 		rt.pe.crash(fmt.Sprintf("operator %s: %v", rt.spec.Name, err))
 		return true
@@ -761,12 +938,19 @@ func (rt *opRuntime) forwardFinal() {
 }
 
 // emit routes an item leaving an output port to fused neighbours and
-// external outlets, maintaining submission metrics.
+// external outlets, maintaining submission metrics. While a
+// ProcessBatch call is in flight the item is buffered instead —
+// flushCoalesced forwards the whole run (and accounts its metrics in
+// bulk) when the call returns.
 func (rt *opRuntime) emit(port int, it Item) {
+	if rt.coalescing {
+		rt.outBuf[port] = append(rt.outBuf[port], it)
+		return
+	}
 	if !it.IsMark() {
-		rt.om.Builtin.Counter(metrics.OpTuplesSubmitted).Inc()
-		rt.outPM[port].Counter(metrics.PortTuplesSubmitted).Inc()
-		rt.pe.peMetrics.Counter(metrics.PETuplesSubmitted).Inc()
+		rt.cSubmitted.Inc()
+		rt.pOut[port].Inc()
+		rt.pe.cTuplesOut.Inc()
 	}
 	for _, tgt := range rt.intra[port] {
 		tgt.op.enqueue(tgt.port, it)

@@ -2,6 +2,7 @@ package sam
 
 import (
 	"fmt"
+	"time"
 
 	"streamorca/internal/adl"
 	"streamorca/internal/ckpt"
@@ -315,6 +316,11 @@ func (s *SAM) migrateRegionState(oldReplicas []replicaState, newR *adl.Region, k
 	}
 
 	loaded := 0
+	// The re-cut snapshots inherit the oldest contributing capture
+	// instant — migrated state is only as fresh as its stalest source —
+	// and record "unknown" if any source predates timestamped snapshots.
+	var oldest time.Time
+	capturesKnown := true
 	for _, or := range oldReplicas {
 		data, ok, err := s.cfg.Ckpt.Load(or.key)
 		if err != nil {
@@ -327,6 +333,7 @@ func (s *SAM) migrateRegionState(oldReplicas []replicaState, newR *adl.Region, k
 		if err != nil {
 			return fmt.Errorf("parse %s: %w", or.key, err)
 		}
+		folded := false
 		for _, sec := range snap.Sections() {
 			if sec.Name != or.name || sec.Kind != kind {
 				continue
@@ -335,14 +342,25 @@ func (s *SAM) migrateRegionState(oldReplicas []replicaState, newR *adl.Region, k
 				return fmt.Errorf("fold %s: %w", or.name, err)
 			}
 			loaded++
+			folded = true
+		}
+		if folded {
+			if at, ok := snap.CapturedAt(); !ok {
+				capturesKnown = false
+			} else if oldest.IsZero() || at.Before(oldest) {
+				oldest = at
+			}
 		}
 	}
 	if loaded == 0 {
 		return nil // no state anywhere: nothing to write, clean cold start
 	}
+	if !capturesKnown {
+		oldest = time.Time{}
+	}
 
 	for p := 0; p < width; p++ {
-		w := ckpt.NewWriter()
+		w := ckpt.NewWriterAt(oldest)
 		err := w.Section(newR.Replicas[p], kind, func(e *ckpt.Encoder) error {
 			return scratch.SplitState(e, p, width)
 		})

@@ -1,0 +1,192 @@
+package transport
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"streamorca/internal/metrics"
+	"streamorca/internal/opapi"
+	"streamorca/internal/pe"
+	"streamorca/internal/tuple"
+)
+
+var intOnly = tuple.MustSchema(tuple.Attribute{Name: "v", Type: tuple.Int})
+
+// tally is a batch-capable sink that records every value it sees, with
+// multiplicity — the double-delivery assertion needs counts, not sets.
+type tally struct {
+	opapi.Base
+	mu   sync.Mutex
+	seen map[int64]int
+}
+
+func newTally() *tally { return &tally{seen: make(map[int64]int)} }
+
+func (s *tally) Process(port int, t tuple.Tuple) error {
+	s.mu.Lock()
+	s.seen[t.Int("v")]++
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *tally) ProcessBatch(port int, b *tuple.Batch) error {
+	ref := b.Schema().MustRef("v")
+	s.mu.Lock()
+	for _, t := range b.Tuples() {
+		s.seen[ref.Int(t)]++
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *tally) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.seen)
+}
+
+func (s *tally) snapshot() map[int64]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int64]int, len(s.seen))
+	for k, v := range s.seen {
+		out[k] = v
+	}
+	return out
+}
+
+func newSinkPE(t testing.TB, sink *tally) *pe.PE {
+	t.Helper()
+	reg := opapi.NewRegistry()
+	reg.Register("Tally", func() opapi.Operator { return sink })
+	p, err := pe.New(pe.Config{
+		ID: 9, Job: 1, App: "race", Host: "h1",
+		Ops:      []pe.OpSpec{{Name: "sink", Kind: "Tally", Inputs: []*tuple.Schema{intOnly}}},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestLinkBatchPoolReuseRace drives two concurrent links into two PEs
+// that share the global pe.Batch pool, so recycled batches from one
+// PE's delivery loop are immediately reused by the other link's decode
+// path. Run under -race this pins the pooled-Batch lifecycle: a Batch
+// handed back by PutBatch must carry no unsynchronised reads or stale
+// item slots into its next life. The value tally doubles as a
+// corruption check — a batch recycled too early shows up as a wrong or
+// duplicated value, not just as a race report.
+func TestLinkBatchPoolReuseRace(t *testing.T) {
+	const perLink = 4000
+	sinks := [2]*tally{newTally(), newTally()}
+	var links [2]*Link
+	var pes [2]*pe.PE
+	for i := range links {
+		pes[i] = newSinkPE(t, sinks[i])
+		inlet, err := pes[i].ExternalBatchInlet("sink", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recv metrics.Counter
+		links[i] = NewLink(intOnly, inlet, nil, &recv, func(err error) { t.Error(err) })
+	}
+
+	var wg sync.WaitGroup
+	for i, link := range links {
+		wg.Add(1)
+		go func(base int64, l *Link) {
+			defer wg.Done()
+			for v := int64(0); v < perLink; v++ {
+				tp := tuple.Build(intOnly).Int("v", base+v).Done()
+				l.Send(pe.TupleItem(tp))
+			}
+			l.Flush()
+		}(int64(i)*perLink, link)
+	}
+	wg.Wait()
+
+	for i := range links {
+		links[i].Close()
+	}
+	// Flush/Close only guarantee delivery into the PE's input queue;
+	// Stop kills without draining, so wait for the sinks to consume.
+	for _, sink := range sinks {
+		for sink.count() < perLink {
+			runtime.Gosched()
+		}
+	}
+	for i := range pes {
+		pes[i].Stop()
+	}
+	for i, sink := range sinks {
+		got := sink.snapshot()
+		if len(got) != perLink {
+			t.Fatalf("link %d delivered %d distinct values, want %d", i, len(got), perLink)
+		}
+		base := int64(i) * perLink
+		for v := base; v < base+perLink; v++ {
+			if got[v] != 1 {
+				t.Fatalf("link %d value %d delivered %d times", i, v, got[v])
+			}
+		}
+	}
+}
+
+// TestLinkPEKillMidStream kills the receiving PE in the middle of a
+// stream of frames, then discards the link — the chaos sequence a host
+// failure triggers. The contract is loss without corruption: the sender
+// must not wedge (enqueueBatch recycles batches once the PE is dead and
+// Discard unblocks any send stuck on backpressure), nothing is
+// delivered twice, and every value that did arrive is one the sender
+// actually sent.
+func TestLinkPEKillMidStream(t *testing.T) {
+	const total = 8000
+	sink := newTally()
+	p := newSinkPE(t, sink)
+	inlet, err := p.ExternalBatchInlet("sink", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := NewLink(intOnly, inlet, nil, nil, nil)
+
+	// First half of the stream flows normally.
+	for v := int64(0); v < total/2; v++ {
+		link.Send(pe.TupleItem(tuple.Build(intOnly).Int("v", v).Done()))
+	}
+	for sink.count() == 0 {
+		runtime.Gosched()
+	}
+	// Cut the PE down with frames still in flight, then keep sending:
+	// the second half exercises the dead-receiver path end to end. If
+	// enqueueBatch failed to recycle batches for a killed PE the link's
+	// flusher would stall and these sends would wedge on backpressure.
+	p.Kill("chaos: host failure")
+	for v := int64(total / 2); v < total; v++ {
+		link.Send(pe.TupleItem(tuple.Build(intOnly).Int("v", v).Done()))
+	}
+	link.Flush()
+	link.Discard()
+	link.Close()
+
+	got := sink.snapshot()
+	if len(got) == 0 {
+		t.Fatal("kill fired before anything was delivered")
+	}
+	if len(got) >= total {
+		t.Fatalf("all %d tuples delivered despite mid-stream kill", total)
+	}
+	for v, n := range got {
+		if v < 0 || v >= total/2 {
+			t.Fatalf("delivered value %d was sent after the kill (or never sent)", v)
+		}
+		if n != 1 {
+			t.Fatalf("value %d delivered %d times", v, n)
+		}
+	}
+}

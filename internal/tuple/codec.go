@@ -31,9 +31,14 @@ func GetBuf() *[]byte {
 	return b
 }
 
-// maxPooledBuf bounds what PutBuf keeps: one pathological frame (e.g. a
-// multi-megabyte string attribute) must not permanently inflate the pool.
-const maxPooledBuf = 64 << 10
+// maxPooledBuf bounds what PutBuf keeps: truly pathological buffers (a
+// multi-megabyte string attribute) must not permanently inflate the
+// pool. The bound is grow-and-keep sized for the largest steady-state
+// producer — checkpoint snapshots of big group windows run to ~100 KB
+// per capture (BenchmarkCheckpointEncode g10_s600) and must reuse their
+// grown buffer instead of falling out of the fast path and reallocating
+// on every capture, which a hop-frame-sized bound made them do.
+const maxPooledBuf = 1 << 20
 
 // PutBuf returns a buffer obtained from GetBuf (possibly regrown by
 // appends) to the pool; oversized outliers are dropped for the GC.

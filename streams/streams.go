@@ -95,6 +95,10 @@ type (
 	Attribute = tuple.Attribute
 	// Tuple is one data item, stored unboxed in typed arrays.
 	Tuple = tuple.Tuple
+	// TupleBatch is a schema-homogeneous run of tuples handed to
+	// BatchOperator implementers as one call; see the tuple.Batch docs
+	// for the ownership contract.
+	TupleBatch = tuple.Batch
 	// Type enumerates attribute types.
 	Type = tuple.Type
 	// FieldRef is a compiled attribute reference: resolve once at operator
@@ -126,6 +130,11 @@ func NewTuple(s *Schema) Tuple { return tuple.New(s) }
 type (
 	// Operator is the stream-operator interface.
 	Operator = opapi.Operator
+	// BatchOperator is the opt-in batch execution SPI: an Operator that
+	// also accepts whole delivery batches through ProcessBatch. The
+	// per-tuple Process remains mandatory — the runtime falls back to it
+	// whenever batching does not apply.
+	BatchOperator = opapi.BatchOperator
 	// Source is an operator with no inputs, driven by Run.
 	Source = opapi.Source
 	// Controllable receives orchestrator control commands.
